@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Datawidth tradeoff study (Section VI-B): applications moving 512b
+ * cachelines must serialize them on narrow NoCs, but narrow NoCs
+ * route wider systems and clock faster. Sweeps the datawidth for an
+ * SpMV workload with 512b payloads on an 8x8 FT(64,2,1) and reports
+ * the wall-clock optimum, with infeasible widths marked NA.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/routability.hpp"
+#include "sim/simulation.hpp"
+#include "traffic/segmentation.hpp"
+#include "workloads/spmv.hpp"
+
+using namespace fasttrack;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    bench::banner(
+        "Datawidth study: serializing 512b transfers on narrower "
+        "NoCs (8x8, SpMV workload)",
+        "wider datapaths cut fragment counts but clock lower and stop "
+        "fitting; the optimum sits at the widest routable width");
+
+    AreaModel area;
+    RoutabilityModel routability(area);
+
+    MatrixParams params;
+    params.name = "cacheline";
+    params.rows = 6000;
+    params.avgNnzPerRow = 6.0;
+    params.localFraction = 0.4;
+    const SparseMatrix matrix = generateMatrix(params);
+    const Trace message_trace = spmvTrace(matrix, 8);
+    constexpr std::uint32_t kMessageBits = 512;
+
+    Table table("one SpMV sweep moving 512b values");
+    table.setHeader({"width(b)", "frags/msg", "packets", "cycles",
+                     "MHz", "time(us)", "fits"});
+
+    for (std::uint32_t width : {32u, 64u, 128u, 256u, 512u}) {
+        const NocConfig cfg = NocConfig::fastTrack(8, 2, 1);
+        const MappingResult fit = routability.map(cfg.toSpec(width));
+        const Trace packet_trace =
+            segmentTrace(message_trace, kMessageBits, width);
+        const TraceResult res = runTrace(cfg, 1, packet_trace);
+        const double mhz = fit.feasible
+            ? fit.frequencyMhz
+            : area.nocCost(cfg.toSpec(width)).frequencyMhz;
+        table.addRow(
+            {Table::num(static_cast<std::uint64_t>(width)),
+             Table::num(static_cast<std::uint64_t>(
+                 fragmentsPerMessage(kMessageBits, width))),
+             Table::num(static_cast<std::uint64_t>(
+                 packet_trace.messages.size())),
+             Table::num(res.completion), Table::num(mhz, 0),
+             fit.feasible ? Table::num(res.completion / mhz, 1)
+                          : Table::na(),
+             fit.feasible ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNarrow widths multiply the packet count faster "
+                 "than they raise the clock; beyond the routability "
+                 "limit (Fig 10) wide datapaths simply do not map.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Layout ablation (Section V: "we adopt a folded layout to balance
+ * wire lengths"): the linear ring placement leaves an N-tile
+ * wraparound wire that caps the clock; folding bounds every hop at
+ * two tiles. This bench quantifies the choice the paper makes in one
+ * sentence.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/layout.hpp"
+#include "sim/experiment.hpp"
+
+using namespace fasttrack;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    bench::banner(
+        "Ablation: folded vs linear torus layout",
+        "the folded layout's two-tile hop bound keeps the wraparound "
+        "off the critical path; linear placement loses most of the "
+        "clock at 8x8 and above");
+
+    LayoutModel layout;
+    AreaModel area;
+
+    Table table("clock cap from the longest wire, and resulting "
+                "bandwidth at saturation (RANDOM)");
+    table.setHeader({"NoC", "layout", "max wire (SLICEs)",
+                     "clock cap (MHz)", "Mpkts/s"});
+
+    for (std::uint32_t n : {4u, 8u, 16u}) {
+        for (bool ft : {false, true}) {
+            const NocConfig cfg =
+                ft ? NocConfig::fastTrack(n, 2, 1) : NocConfig::hoplite(n);
+            const NocSpec spec = cfg.toSpec(256);
+            const SynthResult res = saturationRun(
+                {cfg.describe(), cfg, 1}, TrafficPattern::random, 256);
+            for (TorusLayout l :
+                 {TorusLayout::folded, TorusLayout::linear}) {
+                double span = layout.maxShortSpan(n, l);
+                if (ft) {
+                    span = std::max(span,
+                                    layout.maxExpressSpan(n, 2, l));
+                }
+                const double cap = std::min(
+                    layout.frequencyCapMhz(spec, l),
+                    area.nocCost(spec).frequencyMhz);
+                table.addRow({cfg.describe(), toString(l),
+                              Table::num(span, 0),
+                              Table::num(cap, 0),
+                              Table::num(res.sustainedRate() *
+                                             cfg.pes() * cap, 1)});
+            }
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation (paper Section V + Section VII HyperFlex discussion):
+ * extra pipeline registers on the NoC links raise the clock but add a
+ * cycle of latency per hop. Throughput-bound traffic gains wall-clock
+ * bandwidth; latency-bound (dataflow) workloads can lose. This bench
+ * quantifies both sides.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/area_model.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/dataflow.hpp"
+
+using namespace fasttrack;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    bench::banner(
+        "Ablation: link pipelining (HyperFlex-style) on FT(64,2,1) "
+        "and Hoplite",
+        "clock rises toward the router-logic limit; cycle counts rise "
+        "with per-hop latency; bandwidth in Mpkts/s improves, "
+        "latency-bound dataflow in ns worsens");
+
+    AreaModel area;
+    const LuDagParams lu_params{"lu", 4096, 12.0, 1.8, 3, 91};
+    const DataflowDag dag = sparseLuDag(lu_params);
+    const Trace lu_trace = dataflowTrace(dag, 8);
+
+    Table table("effect of extra link registers (256b, 8x8, RANDOM "
+                "@100% + LU dataflow)");
+    table.setHeader({"NoC", "stages", "MHz", "FFs",
+                     "rate(pkt/cyc/PE)", "Mpkts/s", "LU cycles",
+                     "LU time(us)"});
+
+    for (bool ft : {true, false}) {
+        for (std::uint32_t stages : {0u, 1u, 2u, 4u}) {
+            NocConfig cfg =
+                ft ? NocConfig::fastTrack(8, 2, 1) : NocConfig::hoplite(8);
+            cfg.shortLinkStages = stages;
+            cfg.expressLinkStages = stages;
+
+            SyntheticWorkload workload;
+            workload.pattern = TrafficPattern::random;
+            workload.injectionRate = 1.0;
+            workload.packetsPerPe = 512;
+            const SynthResult synth = runSynthetic(cfg, 1, workload);
+
+            const TraceResult lu = runTrace(cfg, 1, lu_trace);
+
+            const NocCost cost = area.nocCost(cfg.toSpec(256));
+            const double mpkts = synth.sustainedRate() *
+                                 cfg.pes() * cost.frequencyMhz;
+            const double lu_us = static_cast<double>(lu.completion) /
+                                 cost.frequencyMhz;
+            table.addRow({cfg.describe(), Table::num(
+                              static_cast<std::uint64_t>(stages)),
+                          Table::num(cost.frequencyMhz, 0),
+                          Table::num(cost.ffs),
+                          Table::num(synth.sustainedRate(), 4),
+                          Table::num(mpkts, 1),
+                          Table::num(lu.completion),
+                          Table::num(lu_us, 1)});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

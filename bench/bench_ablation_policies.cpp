@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation (beyond the paper's figures, supporting its Section IV
+ * design choices): how much each FastTrack routing-policy feature is
+ * worth on RANDOM traffic -- short->express upgrades (Fig 8), express
+ * turns (W_EX->S_EX), and the inject-only FTlite variant.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+
+using namespace fasttrack;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    bench::banner(
+        "Ablation: FastTrack routing-policy features, 64 PEs, RANDOM "
+        "@100%",
+        "upgrades are the biggest single win; inject-only trades "
+        "throughput for the cheapest router");
+
+    struct Variant
+    {
+        const char *label;
+        NocConfig cfg;
+    };
+    std::vector<Variant> variants;
+
+    NocConfig full = NocConfig::fastTrack(8, 2, 1);
+    variants.push_back({"FT full (upgrades + express turns)", full});
+
+    NocConfig no_turn = full;
+    no_turn.allowExpressTurn = false;
+    variants.push_back({"FT full, no express turns", no_turn});
+
+    NocConfig no_upgrade = full;
+    no_upgrade.allowUpgrade = false;
+    variants.push_back({"FT full, no lane upgrades", no_upgrade});
+
+    NocConfig inject = NocConfig::fastTrack(8, 2, 1,
+                                            NocVariant::ftInject);
+    variants.push_back({"FTlite inject-only", inject});
+
+    variants.push_back({"Hoplite baseline", NocConfig::hoplite(8)});
+
+    Table table("policy ablation");
+    table.setHeader({"variant", "rate(pkt/cyc/PE)", "avg-lat",
+                     "worst-lat", "express-hop %", "deflections"});
+
+    for (const Variant &v : variants) {
+        SyntheticWorkload workload;
+        workload.pattern = TrafficPattern::random;
+        workload.injectionRate = 1.0;
+        const SynthResult res = runSynthetic(v.cfg, 1, workload);
+        const auto &s = res.stats;
+        const double hops = static_cast<double>(
+            s.shortHopTraversals + s.expressHopTraversals);
+        table.addRow({v.label, Table::num(res.sustainedRate(), 4),
+                      Table::num(res.avgLatency(), 1),
+                      Table::num(res.worstLatency()),
+                      Table::num(hops ? 100.0 * s.expressHopTraversals /
+                                            hops
+                                      : 0.0, 1),
+                      Table::num(s.totalDeflections())});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator core itself
+ * (not a paper artifact): router-evaluation throughput and end-to-end
+ * simulated cycles per second for representative configurations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "noc/network.hpp"
+#include "sim/simulation.hpp"
+#include "traffic/trace_replay.hpp"
+#include "workloads/dataflow.hpp"
+
+using namespace fasttrack;
+
+namespace {
+
+void
+BM_NetworkStep(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const bool ft = state.range(1) != 0;
+    const NocConfig cfg =
+        ft ? NocConfig::fastTrack(n, 2, 1) : NocConfig::hoplite(n);
+    Network noc(cfg);
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 0xffffffffu; // endless generation
+    SyntheticInjector injector(noc, workload);
+
+    for (auto _ : state) {
+        injector.tick();
+        noc.step();
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.pes());
+    state.counters["routers"] = cfg.pes();
+}
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    LuDagParams params{"bench", 4096, 12.0, 1.8, 3, 77};
+    const DataflowDag dag = sparseLuDag(params);
+    const Trace trace = dataflowTrace(dag, 8);
+    for (auto _ : state) {
+        auto noc = makeNoc(NocConfig::fastTrack(8, 2, 1), 1);
+        TraceReplayer replayer(*noc, trace);
+        benchmark::DoNotOptimize(replayer.run(10'000'000));
+    }
+    state.SetItemsProcessed(state.iterations() * trace.messages.size());
+}
+
+} // namespace
+
+BENCHMARK(BM_NetworkStep)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 1});
+BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig 4 reproduction: achievable frequency of a registered wire of
+ * varying SLICE distance with 0-8 intermediate LUT hops (virtual
+ * express links, where every hop pays the fabric exit/entry penalty).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/wire_model.hpp"
+
+using namespace fasttrack;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    bench::banner(
+        "Fig 4: virtual express links - frequency vs distance x hops",
+        "hops=0 degrades from ~2 GHz (theoretical) to ~250 MHz at 256 "
+        "SLICEs; any LUT hop costs heavily; multi-hop floors ~200 MHz");
+
+    WireModel wires;
+    const std::uint32_t distances[] = {2, 4, 8, 16, 32, 64, 128, 256};
+    const std::uint32_t hops[] = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+
+    Table table("frequency (MHz); ceiling " +
+                Table::num(wires.device().clockCeilingMhz, 0) +
+                " MHz marked *");
+    std::vector<std::string> header{"hops\\dist"};
+    for (auto d : distances)
+        header.push_back(std::to_string(d));
+    table.setHeader(header);
+
+    for (auto h : hops) {
+        std::vector<std::string> row{std::to_string(h)};
+        for (auto d : distances) {
+            const double mhz = wires.virtualExpressMhz(d, h);
+            std::string cell = Table::num(mhz, 0);
+            if (mhz > wires.device().clockCeilingMhz)
+                cell += "*";
+            row.push_back(cell);
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nfull-chip traversal (256 SLICEs, 0 hops): "
+              << Table::num(wires.virtualExpressMhz(256, 0), 0)
+              << " MHz (paper: ~250 MHz)\n";
+    return 0;
+}

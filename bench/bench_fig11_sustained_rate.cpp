@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig 11 reproduction: sustained rate vs injection rate for a 64-PE
+ * NoC under the four synthetic patterns, comparing FT(64,2,1),
+ * FT(64,2,2) and baseline Hoplite (1K packets/PE).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+#include "common/ascii_chart.hpp"
+#include "sim/experiment.hpp"
+
+using namespace fasttrack;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    bench::banner(
+        "Fig 11: sustained rate (pkt/cycle/PE) vs injection rate, "
+        "64 PEs",
+        "FT(64,2,1) up to 2.5x Hoplite on RANDOM, 2x BITCOMPL, 1.5x "
+        "LOCAL, ~1x TRANSPOSE; no win below 10% injection; R=2 sits "
+        "between");
+
+    const auto lineup = standardLineup(8);
+    const auto rates = injectionRateGrid();
+
+    for (TrafficPattern pattern : kAllPatterns) {
+        Table table(std::string(toString(pattern)) +
+                    ": sustained rate by injection rate");
+        std::vector<std::string> header{"inj-rate"};
+        for (const auto &nut : lineup)
+            header.push_back(nut.label);
+        table.setHeader(header);
+
+        std::vector<std::vector<SweepPoint>> sweeps;
+        for (const auto &nut : lineup)
+            sweeps.push_back(injectionSweep(nut, pattern, rates));
+
+        for (std::size_t r = 0; r < rates.size(); ++r) {
+            std::vector<std::string> row{Table::num(rates[r], 2)};
+            for (const auto &sweep : sweeps)
+                row.push_back(
+                    Table::num(sweep[r].result.sustainedRate(), 4));
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+
+        if (!Table::csvMode()) {
+            AsciiChart chart(std::string(toString(pattern)) +
+                             " (sustained rate vs injection rate)");
+            chart.setLogX(true);
+            chart.setAxisLabels("injection rate", "pkt/cyc/PE");
+            for (std::size_t c = 0; c < lineup.size(); ++c) {
+                std::vector<std::pair<double, double>> pts;
+                for (const SweepPoint &p : sweeps[c])
+                    pts.emplace_back(p.rate,
+                                     p.result.sustainedRate());
+                chart.addSeries(lineup[c].label, std::move(pts));
+            }
+            chart.print(std::cout);
+            std::cout << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig 19 reproduction: throughput-energy tradeoff for a 64-PE NoC
+ * routing the RANDOM workload to completion. Energy = modelled
+ * dynamic power at the *measured* link activity x routing time.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/power_model.hpp"
+#include "sim/experiment.hpp"
+
+using namespace fasttrack;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    bench::banner(
+        "Fig 19: throughput vs energy, 64 PEs, RANDOM @100% injection",
+        "FT(64,2,1) ~1.8x Hoplite throughput at ~20% less energy; "
+        "~1.2x Hoplite-3x throughput at ~15% more energy; Hoplite-2x "
+        "is the energy minimum at lower throughput");
+
+    AreaModel area;
+    PowerModel power(area);
+
+    std::vector<NocUnderTest> lineup = isoWiringLineup(8);
+    lineup.push_back({"Hoplite-2x", NocConfig::hoplite(8), 2});
+
+    Table table("throughput vs energy (256b, workload = 1K pkts/PE)");
+    table.setHeader({"NoC", "Mpkts/s", "power(W)", "time(ms)",
+                     "energy(mJ)", "activity"});
+
+    for (const auto &nut : lineup) {
+        const SynthResult res =
+            saturationRun(nut, TrafficPattern::random);
+        const NocSpec spec = nut.config.toSpec(256, nut.channels);
+        const NocCost cost = area.nocCost(spec);
+
+        // Activity measured from the simulation: fraction of
+        // link-cycles actually toggling.
+        auto noc = makeNoc(nut.config, nut.channels);
+        const double activity = res.stats.linkActivity(
+            noc->linkCount(), res.cycles);
+
+        const double watts = power.dynamicPowerW(spec, activity);
+        const double seconds =
+            static_cast<double>(res.cycles) /
+            (cost.frequencyMhz * 1e6);
+        const double mpkts = res.sustainedRate() * nut.config.pes() *
+                             cost.frequencyMhz;
+        table.addRow({nut.label, Table::num(mpkts, 1),
+                      Table::num(watts, 1),
+                      Table::num(seconds * 1e3, 3),
+                      Table::num(watts * seconds * 1e3, 3),
+                      Table::num(activity, 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Virtual vs physical express links, end to end (Sections II-A1 and
+ * III): an idealized SMART Hoplite wins on *cycles* as HPC_max grows,
+ * but each bypassed router still sits combinationally in the clock
+ * path on an FPGA (Fig 4), so its packets/ns collapse - while
+ * FastTrack's physical express wires keep the clock high. This bench
+ * quantifies the paper's core motivation.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/area_model.hpp"
+#include "fpga/wire_model.hpp"
+#include "noc/smart.hpp"
+#include "sim/simulation.hpp"
+
+using namespace fasttrack;
+
+namespace {
+
+SynthResult
+runOn(NocDevice &noc)
+{
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 512;
+    return runSynthetic(noc, workload);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    bench::banner(
+        "SMART virtual bypass vs FastTrack physical express, 8x8 "
+        "RANDOM @100%",
+        "SMART matches/beats FastTrack in cycles but its clock "
+        "collapses with HPC_max on an FPGA; FastTrack wins packets/ns");
+
+    WireModel wires;
+    AreaModel area;
+    const std::uint32_t n = 8;
+    const double tile =
+        static_cast<double>(wires.device().sliceSpan) / n;
+
+    Table table("cycles are FPGA-agnostic; MHz and Mpkts/s are "
+                "Virtex-7 projections");
+    table.setHeader({"NoC", "rate(pkt/cyc/PE)", "avg-lat(cyc)", "MHz",
+                     "Mpkts/s"});
+
+    // Baseline Hoplite and FastTrack from the standard models.
+    for (const NocConfig &cfg :
+         {NocConfig::hoplite(n), NocConfig::fastTrack(n, 2, 1)}) {
+        auto noc = makeNoc(cfg, 1);
+        const SynthResult res = runOn(*noc);
+        const double mhz = area.nocCost(cfg.toSpec(256)).frequencyMhz;
+        table.addRow({cfg.describe(),
+                      Table::num(res.sustainedRate(), 4),
+                      Table::num(res.avgLatency(), 1),
+                      Table::num(mhz, 0),
+                      Table::num(res.sustainedRate() * n * n * mhz,
+                                 1)});
+    }
+
+    // SMART at increasing bypass depths: the clock is set by a
+    // straight path of HPC_max link segments through HPC_max - 1
+    // combinational router traversals (Fig 4 experiment).
+    for (std::uint32_t hpc : {2u, 4u, 8u}) {
+        SmartNetwork noc(n, hpc);
+        const SynthResult res = runOn(noc);
+        const double span = tile * hpc;
+        const double mhz = std::min(
+            wires.virtualExpressMhz(
+                static_cast<std::uint32_t>(span), hpc - 1),
+            area.nocCost(NocConfig::hoplite(n).toSpec(256))
+                .frequencyMhz);
+        table.addRow({"SMART HPC=" + std::to_string(hpc),
+                      Table::num(res.sustainedRate(), 4),
+                      Table::num(res.avgLatency(), 1),
+                      Table::num(mhz, 0),
+                      Table::num(res.sustainedRate() * n * n * mhz,
+                                 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nOn an ASIC the SMART rows would keep their "
+                 "single-hop clock; the FPGA's fabric exit/entry "
+                 "penalty (Fig 4) is what motivates FastTrack's "
+                 "physical express wires.\n";
+    return 0;
+}

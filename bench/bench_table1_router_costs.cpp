@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table I reproduction: FPGA implementation cost of 32b NoC routers.
+ * Prior designs are published reference values; the Hoplite and
+ * FastTrack rows come from our calibrated area model.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/area_model.hpp"
+#include "fpga/reference_data.hpp"
+
+using namespace fasttrack;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    bench::banner(
+        "Table I: FPGA implementations of 32b NoC routers",
+        "Hoplite ~78 LUTs; FastTrack 191-290 LUTs, ~2 ns; both orders "
+        "of magnitude below buffered routers");
+
+    AreaModel area;
+    Table table("32b router cost (LUTs / FFs / clock period)");
+    table.setHeader({"Router", "Device", "LUTs", "FFs", "Clk(ns)",
+                     "source"});
+
+    for (const RouterReference &ref : priorRouters()) {
+        table.addRow({ref.name, ref.device, Table::num(
+                          static_cast<std::uint64_t>(ref.luts)),
+                      Table::num(static_cast<std::uint64_t>(ref.ffs)),
+                      Table::num(ref.periodNs, 1), "published"});
+    }
+
+    const RouterReference hop = hopliteReference();
+    table.addRow({hop.name, hop.device,
+                  Table::num(static_cast<std::uint64_t>(hop.luts)), "-",
+                  Table::num(hop.periodNs, 1), "published"});
+
+    const RouterCost hop_model =
+        area.routerCost(RouterArch::hoplite, 32);
+    table.addRow({"Hoplite (model)", "Virtex-7 485T",
+                  Table::num(static_cast<std::uint64_t>(hop_model.luts)),
+                  Table::num(static_cast<std::uint64_t>(hop_model.ffs)),
+                  Table::num(1000.0 / area.frequencyMhz(
+                                 NocSpec{8, 32, 0, 1, false, 1}), 1),
+                  "this model"});
+
+    for (auto [arch, label] :
+         {std::pair{RouterArch::ftInject, "FastTrack FTlite (model)"},
+          std::pair{RouterArch::ftFull, "FastTrack Full (model)"}}) {
+        const RouterCost rc = area.routerCost(arch, 32);
+        table.addRow({label, "Virtex-7 485T",
+                      Table::num(static_cast<std::uint64_t>(rc.luts)),
+                      Table::num(static_cast<std::uint64_t>(rc.ffs)),
+                      Table::num(1000.0 / area.frequencyMhz(
+                                     NocSpec{8, 32, 2, 1, false, 1}), 1),
+                      "this model"});
+    }
+
+    const FastTrackReference ft = fastTrackReference();
+    std::cout << "paper FastTrack anchor: " << ft.lutsLow << "-"
+              << ft.lutsHigh << " LUTs, " << ft.ffs << " FFs, "
+              << ft.periodNs << " ns\n\n";
+    table.print(std::cout);
+    return 0;
+}

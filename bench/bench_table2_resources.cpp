@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table II reproduction: resource usage, frequency and power of an
+ * 8x8 256b NoC on the Virtex-7 485T (Hoplite vs FT(64,2,1) vs
+ * FT(64,2,2)), from the calibrated area and power models.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/power_model.hpp"
+#include "noc/config.hpp"
+
+using namespace fasttrack;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    bench::banner(
+        "Table II: 8x8 256b NoC resources on Virtex-7 485T",
+        "paper: Hoplite 34K/83K LUT/FF 344 MHz 9.8 W; FT(64,2,1) "
+        "104K/150K 320 MHz 25.1 W; FT(64,2,2) 69K/117K 323 MHz 19.9 W");
+
+    AreaModel area;
+    PowerModel power(area);
+
+    struct Row
+    {
+        const char *label;
+        NocConfig cfg;
+        double paperLutsK, paperFfsK, paperMhz, paperW;
+    };
+    const Row rows[] = {
+        {"Hoplite", NocConfig::hoplite(8), 34, 83, 344, 9.8},
+        {"FT(64,2,1)", NocConfig::fastTrack(8, 2, 1), 104, 150, 320,
+         25.1},
+        {"FT(64,2,2)", NocConfig::fastTrack(8, 2, 2), 69, 117, 323,
+         19.9},
+    };
+
+    Table table("model vs paper");
+    table.setHeader({"Config", "LUTs", "FFs", "MHz", "Power(W)",
+                     "paper LUTs", "paper FFs", "paper MHz",
+                     "paper W"});
+    for (const Row &row : rows) {
+        const NocSpec spec = row.cfg.toSpec(256);
+        const NocCost cost = area.nocCost(spec);
+        table.addRow({row.label, Table::num(cost.luts),
+                      Table::num(cost.ffs),
+                      Table::num(cost.frequencyMhz, 0),
+                      Table::num(power.dynamicPowerW(spec), 1),
+                      Table::num(row.paperLutsK, 0) + "K",
+                      Table::num(row.paperFfsK, 0) + "K",
+                      Table::num(row.paperMhz, 0),
+                      Table::num(row.paperW, 1)});
+    }
+    table.print(std::cout);
+
+    const double hop_luts =
+        static_cast<double>(area.nocCost(rows[0].cfg.toSpec(256)).luts);
+    std::cout << "\narea ratios over Hoplite: FT(64,2,1) "
+              << Table::num(area.nocCost(rows[1].cfg.toSpec(256)).luts /
+                                hop_luts, 2)
+              << "x, FT(64,2,2) "
+              << Table::num(area.nocCost(rows[2].cfg.toSpec(256)).luts /
+                                hop_luts, 2)
+              << "x (paper: 2.6x / 1.7x)\n";
+    return 0;
+}

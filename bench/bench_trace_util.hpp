@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared machinery for the Fig 15 accelerator-trace benches: run a
+ * trace on baseline Hoplite and on each candidate FastTrack topology,
+ * and report the best-FastTrack speedup, as the paper does.
+ */
+
+#ifndef FT_BENCH_BENCH_TRACE_UTIL_HPP
+#define FT_BENCH_BENCH_TRACE_UTIL_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "sim/simulation.hpp"
+
+namespace fasttrack::bench {
+
+/** FastTrack configurations the paper would sweep for a given size. */
+inline std::vector<NocConfig>
+fastTrackCandidates(std::uint32_t n)
+{
+    std::vector<NocConfig> configs;
+    if (n < 4) {
+        configs.push_back(NocConfig::fastTrack(n, 1, 1));
+        return configs;
+    }
+    configs.push_back(NocConfig::fastTrack(n, 2, 1));
+    configs.push_back(NocConfig::fastTrack(n, 2, 2));
+    if (n >= 8)
+        configs.push_back(NocConfig::fastTrack(n, 3, 1));
+    if (n >= 16)
+        configs.push_back(NocConfig::fastTrack(n, 4, 1));
+    return configs;
+}
+
+/** Outcome of one benchmark x PE-count cell. */
+struct TraceSpeedup
+{
+    Cycle hopliteCycles = 0;
+    Cycle bestFtCycles = 0;
+    std::string bestConfig;
+
+    double speedup() const
+    {
+        return bestFtCycles
+                   ? static_cast<double>(hopliteCycles) /
+                         static_cast<double>(bestFtCycles)
+                   : 0.0;
+    }
+};
+
+/** Replay @p trace on Hoplite and all FastTrack candidates (each
+ *  candidate on its own core). */
+inline TraceSpeedup
+traceSpeedup(const Trace &trace, Cycle max_cycles = 50'000'000)
+{
+    std::vector<NocConfig> configs{NocConfig::hoplite(trace.n)};
+    for (const NocConfig &cfg : fastTrackCandidates(trace.n))
+        configs.push_back(cfg);
+
+    const std::vector<Cycle> cycles =
+        parallelMap(configs, [&](const NocConfig &cfg) {
+            return runTrace(cfg, 1, trace, max_cycles).completion;
+        });
+
+    TraceSpeedup out;
+    out.hopliteCycles = cycles[0];
+    for (std::size_t i = 1; i < configs.size(); ++i) {
+        if (out.bestFtCycles == 0 || cycles[i] < out.bestFtCycles) {
+            out.bestFtCycles = cycles[i];
+            out.bestConfig = configs[i].describe();
+        }
+    }
+    return out;
+}
+
+} // namespace fasttrack::bench
+
+#endif // FT_BENCH_BENCH_TRACE_UTIL_HPP

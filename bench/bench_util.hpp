@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench harnesses.
+ */
+
+#ifndef FT_BENCH_BENCH_UTIL_HPP
+#define FT_BENCH_BENCH_UTIL_HPP
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace fasttrack::bench {
+
+/** Parse shared harness flags: --csv switches every table to CSV
+ *  output (for scripting the figure data). Call first in main(). */
+inline void
+parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0)
+            Table::setCsvMode(true);
+    }
+}
+
+/** Print the standard harness banner: which paper artifact this
+ *  regenerates and what shape to expect. */
+inline void
+banner(const std::string &artifact, const std::string &expectation)
+{
+    std::cout << "### " << artifact << "\n";
+    if (!expectation.empty() && !Table::csvMode())
+        std::cout << "# paper shape: " << expectation << "\n";
+    std::cout << "\n";
+}
+
+} // namespace fasttrack::bench
+
+#endif // FT_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Config-file experiment runner: describe a NoC and a synthetic
+ * workload in a key=value file and get the full measurement row --
+ * scripting without recompilation.
+ *
+ * Run: ./run_experiment <config-file>
+ *
+ * Example config:
+ *
+ *     # 8x8 FastTrack under random traffic
+ *     noc      = ft-full     # hoplite | ft-full | ft-inject
+ *     n        = 8
+ *     d        = 2
+ *     r        = 1
+ *     channels = 1
+ *     pattern  = RANDOM      # RANDOM | LOCAL | BITCOMPL | TRANSPOSE
+ *     rate     = 0.5
+ *     packets  = 1024
+ *     seed     = 1
+ *     width    = 256         # datapath bits for the cost models
+ *     short_stages   = 0     # extra link pipeline registers
+ *     express_stages = 0
+ */
+
+#include <iostream>
+
+#include "common/config_file.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "fpga/power_model.hpp"
+#include "sim/simulation.hpp"
+
+using namespace fasttrack;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: run_experiment <config-file> [--csv]\n";
+        return 2;
+    }
+    if (argc > 2 && std::string(argv[2]) == "--csv")
+        Table::setCsvMode(true);
+    const KeyValueFile kv = KeyValueFile::parseFile(argv[1]);
+
+    const auto n = static_cast<std::uint32_t>(kv.getInt("n", 8));
+    const std::string kind = kv.getString("noc", "ft-full");
+    NocConfig cfg = NocConfig::hoplite(n);
+    if (kind == "ft-full" || kind == "ft-inject") {
+        cfg = NocConfig::fastTrack(
+            n, static_cast<std::uint32_t>(kv.getInt("d", 2)),
+            static_cast<std::uint32_t>(kv.getInt("r", 1)),
+            kind == "ft-inject" ? NocVariant::ftInject
+                                : NocVariant::ftFull);
+    } else if (kind != "hoplite") {
+        FT_FATAL("unknown noc kind: ", kind);
+    }
+    cfg.shortLinkStages =
+        static_cast<std::uint32_t>(kv.getInt("short_stages", 0));
+    cfg.expressLinkStages =
+        static_cast<std::uint32_t>(kv.getInt("express_stages", 0));
+    cfg.validate();
+
+    SyntheticWorkload workload;
+    workload.pattern =
+        patternFromString(kv.getString("pattern", "RANDOM"));
+    workload.injectionRate = kv.getDouble("rate", 0.5);
+    workload.packetsPerPe =
+        static_cast<std::uint32_t>(kv.getInt("packets", 1024));
+    workload.seed = static_cast<std::uint64_t>(kv.getInt("seed", 1));
+
+    const auto channels =
+        static_cast<std::uint32_t>(kv.getInt("channels", 1));
+    const auto width =
+        static_cast<std::uint32_t>(kv.getInt("width", 256));
+
+    auto noc = makeNoc(cfg, channels);
+    const SynthResult res = runSynthetic(*noc, workload);
+
+    AreaModel area;
+    PowerModel power(area);
+    const NocSpec spec = cfg.toSpec(width, channels);
+    const NocCost cost = area.nocCost(spec);
+    const double activity =
+        res.stats.linkActivity(noc->linkCount(), res.cycles);
+
+    Table table(cfg.describe() + (channels > 1 ? " x" +
+                    std::to_string(channels) : "") +
+                ", " + toString(workload.pattern) + " @" +
+                Table::num(workload.injectionRate, 2));
+    table.setHeader({"metric", "value"});
+    table.addRow({"completed", res.completed ? "yes" : "NO"});
+    table.addRow({"cycles", Table::num(res.cycles)});
+    table.addRow({"sustained rate (pkt/cyc/PE)",
+                  Table::num(res.sustainedRate(), 4)});
+    table.addRow({"avg latency (cyc)", Table::num(res.avgLatency(), 1)});
+    table.addRow({"p99 latency",
+                  Table::num(res.stats.totalLatency.percentile(99))});
+    table.addRow({"worst latency", Table::num(res.worstLatency())});
+    table.addRow({"misroutes", Table::num(res.stats.totalMisroutes())});
+    table.addRow({"express hop share %",
+                  Table::num(
+                      res.stats.shortHopTraversals +
+                              res.stats.expressHopTraversals
+                          ? 100.0 * res.stats.expressHopTraversals /
+                                (res.stats.shortHopTraversals +
+                                 res.stats.expressHopTraversals)
+                          : 0.0, 1)});
+    table.addRow({"LUTs", Table::num(cost.luts)});
+    table.addRow({"FFs", Table::num(cost.ffs)});
+    table.addRow({"clock (MHz)", Table::num(cost.frequencyMhz, 0)});
+    table.addRow({"bandwidth (Mpkts/s)",
+                  Table::num(res.sustainedRate() * cfg.pes() *
+                                 cost.frequencyMhz, 1)});
+    table.addRow({"power (W)",
+                  Table::num(power.dynamicPowerW(spec, activity), 2)});
+    table.addRow({"energy (mJ)",
+                  Table::num(power.energyJ(spec,
+                                           static_cast<double>(
+                                               res.cycles),
+                                           activity) * 1e3, 3)});
+    table.print(std::cout);
+    return res.completed ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Render the bench harnesses' --csv output as matplotlib figures.
+
+Usage:
+    # regenerate one figure's data and plot it
+    build/bench/bench_fig11_sustained_rate --csv > fig11.csv
+    scripts/plot_figures.py fig11.csv -o fig11.png
+
+The bench CSV format is a sequence of blocks:
+    # <table title>
+    <header row>
+    <data rows...>
+The first column is treated as the x axis; every remaining numeric
+column becomes a series. Non-numeric cells (NA) are skipped.
+"""
+
+import argparse
+import sys
+
+
+def parse_blocks(path):
+    """Split a bench CSV file into (title, header, rows) blocks."""
+    blocks = []
+    title, header, rows = None, None, []
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("###"):
+                continue
+            if line.startswith("#"):
+                if header is not None:
+                    blocks.append((title, header, rows))
+                title, header, rows = line[1:].strip(), None, []
+                continue
+            cells = line.split(",")
+            if header is None:
+                header = cells
+            else:
+                rows.append(cells)
+    if header is not None:
+        blocks.append((title, header, rows))
+    return blocks
+
+
+def numeric(cell):
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def plot_blocks(blocks, out, logx=False, logy=False):
+    try:
+        import matplotlib
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    n = len(blocks)
+    fig, axes = plt.subplots(n, 1, figsize=(7, 4 * n), squeeze=False)
+    for ax, (title, header, rows) in zip(axes[:, 0], blocks):
+        xs = [numeric(r[0]) for r in rows]
+        for col in range(1, len(header)):
+            pts = [
+                (x, numeric(r[col]))
+                for x, r in zip(xs, rows)
+                if x is not None and col < len(r)
+            ]
+            pts = [(x, y) for x, y in pts if y is not None]
+            if not pts:
+                continue
+            ax.plot(*zip(*pts), marker="o", label=header[col])
+        ax.set_title(title or "")
+        ax.set_xlabel(header[0])
+        if logx:
+            ax.set_xscale("log")
+        if logy:
+            ax.set_yscale("log")
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out} ({n} panel(s))")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv", help="bench --csv output file")
+    ap.add_argument("-o", "--out", default="figure.png")
+    ap.add_argument("--logx", action="store_true")
+    ap.add_argument("--logy", action="store_true")
+    args = ap.parse_args()
+
+    blocks = parse_blocks(args.csv)
+    if not blocks:
+        sys.exit("no CSV tables found in input")
+    plot_blocks(blocks, args.out, args.logx, args.logy)
+
+
+if __name__ == "__main__":
+    main()

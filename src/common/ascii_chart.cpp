@@ -1,0 +1,120 @@
+#include "common/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+double
+maybeLog(double v, bool log_scale)
+{
+    if (!log_scale)
+        return v;
+    return std::log10(std::max(v, 1e-12));
+}
+
+std::string
+fmt(double v)
+{
+    char buf[32];
+    if (v != 0.0 && (std::fabs(v) < 0.01 || std::fabs(v) >= 10000.0))
+        std::snprintf(buf, sizeof(buf), "%.1e", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3g", v);
+    return buf;
+}
+
+} // namespace
+
+AsciiChart::AsciiChart(std::string title, std::uint32_t width,
+                       std::uint32_t height)
+    : title_(std::move(title)), width_(width), height_(height)
+{
+    FT_ASSERT(width_ >= 10 && height_ >= 4, "chart area too small");
+}
+
+void
+AsciiChart::addSeries(const std::string &name,
+                      std::vector<std::pair<double, double>> points)
+{
+    FT_ASSERT(series_.size() < sizeof(kGlyphs), "too many series");
+    series_.push_back(
+        Series{name, kGlyphs[series_.size()], std::move(points)});
+}
+
+void
+AsciiChart::setAxisLabels(std::string x, std::string y)
+{
+    xLabel_ = std::move(x);
+    yLabel_ = std::move(y);
+}
+
+void
+AsciiChart::print(std::ostream &os) const
+{
+    if (series_.empty())
+        return;
+
+    double min_x = std::numeric_limits<double>::infinity();
+    double max_x = -min_x;
+    double min_y = min_x, max_y = -min_x;
+    for (const Series &s : series_) {
+        for (const auto &[x, y] : s.points) {
+            min_x = std::min(min_x, maybeLog(x, logX_));
+            max_x = std::max(max_x, maybeLog(x, logX_));
+            min_y = std::min(min_y, maybeLog(y, logY_));
+            max_y = std::max(max_y, maybeLog(y, logY_));
+        }
+    }
+    if (!(min_x < max_x))
+        max_x = min_x + 1.0;
+    if (!(min_y < max_y))
+        max_y = min_y + 1.0;
+
+    std::vector<std::string> grid(height_,
+                                  std::string(width_, ' '));
+    for (const Series &s : series_) {
+        for (const auto &[x, y] : s.points) {
+            const double fx =
+                (maybeLog(x, logX_) - min_x) / (max_x - min_x);
+            const double fy =
+                (maybeLog(y, logY_) - min_y) / (max_y - min_y);
+            const auto col = static_cast<std::uint32_t>(
+                std::lround(fx * (width_ - 1)));
+            const auto row = static_cast<std::uint32_t>(
+                std::lround((1.0 - fy) * (height_ - 1)));
+            grid[row][col] = s.glyph;
+        }
+    }
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    const double raw_max_y = logY_ ? std::pow(10.0, max_y) : max_y;
+    const double raw_min_y = logY_ ? std::pow(10.0, min_y) : min_y;
+    os << fmt(raw_max_y) << (yLabel_.empty() ? "" : " " + yLabel_)
+       << "\n";
+    for (const std::string &row : grid)
+        os << "  |" << row << "\n";
+    os << fmt(raw_min_y) << " +" << std::string(width_, '-') << "\n";
+    const double raw_min_x = logX_ ? std::pow(10.0, min_x) : min_x;
+    const double raw_max_x = logX_ ? std::pow(10.0, max_x) : max_x;
+    os << "   " << fmt(raw_min_x) << std::string(
+           width_ > 24 ? width_ - 12 : 4, ' ')
+       << fmt(raw_max_x) << (xLabel_.empty() ? "" : "  " + xLabel_)
+       << "\n";
+    os << "  legend:";
+    for (const Series &s : series_)
+        os << "  " << s.glyph << "=" << s.name;
+    os << "\n";
+    os.flush();
+}
+
+} // namespace fasttrack

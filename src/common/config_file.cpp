@@ -1,0 +1,129 @@
+#include "common/config_file.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+namespace {
+
+std::string
+strip(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+} // namespace
+
+KeyValueFile
+KeyValueFile::parse(std::istream &is)
+{
+    KeyValueFile kv;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const std::string stripped = strip(line);
+        if (stripped.empty())
+            continue;
+        const auto eq = stripped.find('=');
+        if (eq == std::string::npos) {
+            FT_FATAL("config line ", line_no,
+                     " is not 'key = value': ", stripped);
+        }
+        const std::string key = strip(stripped.substr(0, eq));
+        const std::string value = strip(stripped.substr(eq + 1));
+        if (key.empty())
+            FT_FATAL("config line ", line_no, " has an empty key");
+        kv.values_[key] = value;
+    }
+    return kv;
+}
+
+KeyValueFile
+KeyValueFile::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        FT_FATAL("cannot open config file: ", path);
+    return parse(in);
+}
+
+bool
+KeyValueFile::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+KeyValueFile::getString(const std::string &key,
+                        const std::string &fallback) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+KeyValueFile::getInt(const std::string &key,
+                     std::int64_t fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    try {
+        std::size_t used = 0;
+        const std::int64_t v = std::stoll(it->second, &used);
+        if (used != it->second.size())
+            throw std::invalid_argument("trailing");
+        return v;
+    } catch (const std::exception &) {
+        FT_FATAL("config key '", key, "' is not an integer: ",
+                 it->second);
+    }
+}
+
+double
+KeyValueFile::getDouble(const std::string &key, double fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(it->second, &used);
+        if (used != it->second.size())
+            throw std::invalid_argument("trailing");
+        return v;
+    } catch (const std::exception &) {
+        FT_FATAL("config key '", key, "' is not a number: ",
+                 it->second);
+    }
+}
+
+bool
+KeyValueFile::getBool(const std::string &key, bool fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    FT_FATAL("config key '", key, "' is not a boolean: ", it->second);
+}
+
+} // namespace fasttrack

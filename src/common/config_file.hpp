@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal key=value configuration file support, so experiments can be
+ * scripted without recompiling ('#' comments, one `key = value` per
+ * line, later keys override earlier ones).
+ */
+
+#ifndef FT_COMMON_CONFIG_FILE_HPP
+#define FT_COMMON_CONFIG_FILE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace fasttrack {
+
+/** Parsed key=value file with typed, defaulted accessors. */
+class KeyValueFile
+{
+  public:
+    /** Parse from a stream; fatal on malformed lines. */
+    static KeyValueFile parse(std::istream &is);
+    /** Parse a file path; fatal if unreadable. */
+    static KeyValueFile parseFile(const std::string &path);
+
+    bool has(const std::string &key) const;
+
+    /** Typed accessors; return @p fallback when the key is absent and
+     *  abort with a user error when the value does not parse. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback = 0) const;
+    double getDouble(const std::string &key,
+                     double fallback = 0.0) const;
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+    std::size_t size() const { return values_.size(); }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_COMMON_CONFIG_FILE_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic parallel map over independent work items. Experiment
+ * sweeps run many isolated simulations; each item's result is written
+ * to its own slot, so the output is identical to the serial order no
+ * matter how the threads interleave.
+ */
+
+#ifndef FT_COMMON_PARALLEL_HPP
+#define FT_COMMON_PARALLEL_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace fasttrack {
+
+/**
+ * Apply @p fn to every element of @p items on up to @p threads
+ * workers and return the results in input order.
+ *
+ * @p fn must be safe to call concurrently on distinct items (the
+ * simulators here share no mutable state between instances).
+ */
+template <typename In, typename Fn>
+auto
+parallelMap(const std::vector<In> &items, Fn fn,
+            unsigned threads = std::thread::hardware_concurrency())
+    -> std::vector<decltype(fn(items.front()))>
+{
+    using Out = decltype(fn(items.front()));
+    std::vector<Out> results(items.size());
+    if (items.empty())
+        return results;
+
+    threads = std::max(1u, std::min<unsigned>(
+                               threads,
+                               static_cast<unsigned>(items.size())));
+    if (threads == 1) {
+        for (std::size_t i = 0; i < items.size(); ++i)
+            results[i] = fn(items[i]);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= items.size())
+                return;
+            results[i] = fn(items[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace fasttrack
+
+#endif // FT_COMMON_PARALLEL_HPP

@@ -1,0 +1,149 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    if (count_ == 1) {
+        mean_ = min_ = max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    bins_[value] += weight;
+    count_ += weight;
+    sum_ += static_cast<double>(value) * static_cast<double>(weight);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (const auto &[value, n] : other.bins_)
+        bins_[value] += n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+Histogram::reset()
+{
+    bins_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t
+Histogram::min() const
+{
+    return bins_.empty() ? 0 : bins_.begin()->first;
+}
+
+std::uint64_t
+Histogram::max() const
+{
+    return bins_.empty() ? 0 : bins_.rbegin()->first;
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    FT_ASSERT(p >= 0.0 && p <= 100.0, "percentile(", p, ")");
+    if (count_ == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (const auto &[value, n] : bins_) {
+        seen += n;
+        if (seen >= target)
+            return value;
+    }
+    return bins_.rbegin()->first;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+Histogram::logBuckets() const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    if (bins_.empty())
+        return out;
+    std::uint64_t bound = 1;
+    std::uint64_t acc = 0;
+    for (const auto &[value, n] : bins_) {
+        while (value >= bound) {
+            out.emplace_back(bound, acc);
+            acc = 0;
+            bound *= 2;
+        }
+        acc += n;
+    }
+    out.emplace_back(bound, acc);
+    // Drop leading empty buckets for compact output.
+    while (!out.empty() && out.front().second == 0)
+        out.erase(out.begin());
+    return out;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by the NoC simulator: running
+ * scalar summaries and integer histograms with exact percentiles.
+ */
+
+#ifndef FT_COMMON_STATS_HPP
+#define FT_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fasttrack {
+
+/**
+ * Running summary of a scalar sample stream: count, mean, min, max and
+ * variance via Welford's algorithm (numerically stable single pass).
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void merge(const RunningStat &other);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Exact histogram over non-negative integer samples (e.g. packet
+ * latencies in cycles). Stores per-value counts sparsely; supports exact
+ * percentiles and log-spaced bucketing for printing.
+ */
+class Histogram
+{
+  public:
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+    void merge(const Histogram &other);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    std::uint64_t min() const;
+    std::uint64_t max() const;
+
+    /** Exact p-th percentile (0 <= p <= 100) by counting. */
+    std::uint64_t percentile(double p) const;
+
+    /**
+     * Bucketize into @p buckets log2-spaced bins [1,2), [2,4), ...
+     * Returns (bucket upper bound, count) pairs covering all samples.
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    logBuckets() const;
+
+    /** Raw sparse (value -> count) view, ascending by value. */
+    const std::map<std::uint64_t, std::uint64_t> &bins() const
+    {
+        return bins_;
+    }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> bins_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace fasttrack
+
+#endif // FT_COMMON_STATS_HPP

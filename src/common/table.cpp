@@ -1,0 +1,121 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    FT_ASSERT(header_.empty() || row.size() == header_.size(),
+              "row width ", row.size(), " != header width ",
+              header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::na()
+{
+    return "NA";
+}
+
+namespace {
+bool csvModeFlag = false;
+} // namespace
+
+void
+Table::setCsvMode(bool csv)
+{
+    csvModeFlag = csv;
+}
+
+bool
+Table::csvMode()
+{
+    return csvModeFlag;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    if (csvModeFlag) {
+        printCsv(os);
+        return;
+    }
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (row.size() > width.size())
+            width.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << (i ? "  " : "") << std::setw(static_cast<int>(width[i]))
+               << row[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < width.size(); ++i)
+            total += width[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    if (!title_.empty())
+        os << "# " << title_ << "\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            os << (i ? "," : "") << row[i];
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+} // namespace fasttrack

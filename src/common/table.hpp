@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the bench harnesses to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef FT_COMMON_TABLE_HPP
+#define FT_COMMON_TABLE_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fasttrack {
+
+/**
+ * Column-aligned ASCII table. Add a header once, then rows of the same
+ * width; print() right-aligns numeric-looking cells.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    void setHeader(std::vector<std::string> header);
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+    /** Convenience: format an integer. */
+    static std::string num(std::uint64_t v);
+    /** "NA" cell (infeasible configuration, matching the paper). */
+    static std::string na();
+
+    /** Render aligned ASCII, or CSV when global CSV mode is on. */
+    void print(std::ostream &os) const;
+    /** Emit as CSV (no alignment, comma separated, title as comment). */
+    void printCsv(std::ostream &os) const;
+
+    /** Global output mode: when true, print() emits CSV (set by the
+     *  bench harnesses' --csv flag). */
+    static void setCsvMode(bool csv);
+    static bool csvMode();
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_COMMON_TABLE_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fundamental scalar types and small value types shared by every
+ * FastTrack library.
+ */
+
+#ifndef FT_COMMON_TYPES_HPP
+#define FT_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <string>
+
+namespace fasttrack {
+
+/** Simulation time in NoC clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Flat node (PE / router) identifier, row-major: id = y * N + x. */
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/**
+ * 2D torus coordinate. Each network is N x N; x grows East, y grows
+ * South, matching the unidirectional ring directions of Hoplite.
+ */
+struct Coord
+{
+    std::uint16_t x = 0;
+    std::uint16_t y = 0;
+
+    auto operator<=>(const Coord &) const = default;
+};
+
+/** Convert a flat id to a coordinate on an N x N torus. */
+constexpr Coord
+toCoord(NodeId id, std::uint32_t n)
+{
+    return Coord{static_cast<std::uint16_t>(id % n),
+                 static_cast<std::uint16_t>(id / n)};
+}
+
+/** Convert a coordinate to a flat id on an N x N torus. */
+constexpr NodeId
+toNodeId(Coord c, std::uint32_t n)
+{
+    return static_cast<NodeId>(c.y) * n + c.x;
+}
+
+/** Eastward (positive-x) distance from @p from to @p to on an N-ring. */
+constexpr std::uint32_t
+ringDistance(std::uint32_t from, std::uint32_t to, std::uint32_t n)
+{
+    return (to + n - from) % n;
+}
+
+/** Render a coordinate as "(x,y)" for logs and tables. */
+std::string inline
+coordToString(Coord c)
+{
+    return "(" + std::to_string(c.x) + "," + std::to_string(c.y) + ")";
+}
+
+} // namespace fasttrack
+
+template <>
+struct std::hash<fasttrack::Coord>
+{
+    std::size_t
+    operator()(const fasttrack::Coord &c) const noexcept
+    {
+        return (static_cast<std::size_t>(c.y) << 16) | c.x;
+    }
+};
+
+#endif // FT_COMMON_TYPES_HPP

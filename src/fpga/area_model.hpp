@@ -1,0 +1,121 @@
+/**
+ * @file
+ * FPGA resource (LUT/FF/wire) and frequency model for Hoplite and
+ * FastTrack NoCs, calibrated against the paper's Vivado results
+ * (Table I for 32b routers, Table II for the 8x8 256b NoC).
+ */
+
+#ifndef FT_FPGA_AREA_MODEL_HPP
+#define FT_FPGA_AREA_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/device.hpp"
+
+namespace fasttrack {
+
+/** Router microarchitecture families costed by the model. */
+enum class RouterArch
+{
+    /** Base Hoplite: two 3:1 muxes, no express ports (Fig 9a). */
+    hoplite,
+    /** FT Full: express in/out both dims, any-port lane change
+     *  (Fig 9b). */
+    ftFull,
+    /** FT depopulated Grey: express ports in one dimension only. */
+    ftGrey,
+    /** FTlite Inject: express entry only at the PE port (Fig 9c). */
+    ftInject,
+};
+
+/** Implementation-level description of one NoC for costing. */
+struct NocSpec
+{
+    /** Side of the N x N torus. */
+    std::uint32_t n = 8;
+    /** Payload datawidth in bits. */
+    std::uint32_t width = 256;
+    /** Express link length in hops; 0 means plain Hoplite. */
+    std::uint32_t d = 0;
+    /** Depopulation factor, 1 <= r <= d (ignored when d == 0). */
+    std::uint32_t r = 1;
+    /** True when FT routers use the inject-only lite variant. */
+    bool injectOnly = false;
+    /** Parallel independent channels (Hoplite-2x/3x replication). */
+    std::uint32_t channels = 1;
+    /** Extra pipeline registers per short link (raises clock, adds
+     *  FFs, lengthens per-hop latency in cycles). */
+    std::uint32_t shortLinkStages = 0;
+    /** Extra pipeline registers per express link. */
+    std::uint32_t expressLinkStages = 0;
+
+    std::uint32_t pes() const { return n * n; }
+    bool isHoplite() const { return d == 0; }
+    std::string describe() const;
+};
+
+/** Aggregate implementation cost of one NoC configuration. */
+struct NocCost
+{
+    std::uint64_t luts = 0;
+    std::uint64_t ffs = 0;
+    /** max(LUTs, FFs) per switch - the Fig 1 cost metric. */
+    double costPerSwitch = 0.0;
+    /** Ring tracks crossing a bisection cut: rings x tracks-per-ring
+     *  (the Fig 14b wire-count metric, width-independent). */
+    std::uint32_t wireCount = 0;
+    /** Total wire length x width product, in SLICE-bits (power/energy
+     *  input). */
+    double wireSliceBits = 0.0;
+    /** Achievable clock, MHz, after placement congestion effects. */
+    double frequencyMhz = 0.0;
+};
+
+/** Per-router LUT/FF cost (Table I reproduction). */
+struct RouterCost
+{
+    std::uint32_t luts = 0;
+    std::uint32_t ffs = 0;
+};
+
+/**
+ * Calibrated area/frequency model.
+ *
+ * LUT counts follow 6-LUT mux packing (3:1 and 4:1 muxes cost one LUT
+ * per bit, 5:1 costs two) plus per-router control, with coefficients
+ * fitted to Table I/II; FF counts are width x registered-port count.
+ */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const FpgaDevice &device = virtex7_485t());
+
+    /** Cost of a single router of @p arch at datawidth @p width. */
+    RouterCost routerCost(RouterArch arch, std::uint32_t width) const;
+
+    /** Number of routers of each kind in an FT(N^2, D, R) topology. */
+    struct KindCounts
+    {
+        std::uint32_t black = 0; ///< express in both dimensions
+        std::uint32_t grey = 0;  ///< express in one dimension
+        std::uint32_t white = 0; ///< plain Hoplite
+    };
+    static KindCounts kindCounts(std::uint32_t n, std::uint32_t d,
+                                 std::uint32_t r);
+
+    /** Full-NoC cost, wires and achievable frequency. */
+    NocCost nocCost(const NocSpec &spec) const;
+
+    /** Fitted placed-and-routed clock (MHz) for the NoC alone. */
+    double frequencyMhz(const NocSpec &spec) const;
+
+    const FpgaDevice &device() const { return device_; }
+
+  private:
+    FpgaDevice device_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_FPGA_AREA_MODEL_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Static description of the FPGA device the paper maps to (Xilinx
+ * Virtex-7 XC7VX485T, -2 speed grade) plus the timing constants the
+ * wire/area/power models are calibrated against.
+ *
+ * The paper's hardware numbers come from Vivado 2017.2 place & route;
+ * we replace that flow with analytic models anchored to every number
+ * the paper reports (Table I, Table II, Figs 4, 6, 10). See DESIGN.md
+ * "Substitutions".
+ */
+
+#ifndef FT_FPGA_DEVICE_HPP
+#define FT_FPGA_DEVICE_HPP
+
+#include <cstdint>
+
+namespace fasttrack {
+
+/** Capacity and calibrated timing parameters for one FPGA device. */
+struct FpgaDevice
+{
+    const char *name;
+
+    /** Total 6-input LUTs available. */
+    std::uint32_t totalLuts;
+    /** Total flip-flops available. */
+    std::uint32_t totalFfs;
+
+    /**
+     * Logical slice-grid span of the die (SLICE columns). The paper's
+     * wire characterization sweeps Distance up to 256 SLICEs, "close to
+     * chip dimensions".
+     */
+    std::uint32_t sliceSpan;
+
+    /**
+     * Routing tracks usable per slice-row of the die cross-section for
+     * overlay NoC rings (calibrated so a 4x4 D=2 NoC fits 512b but not
+     * 1024b, Fig 10 / Section VI-B).
+     */
+    std::uint32_t tracksPerSliceRow;
+
+    /** Peak frequency of the clock distribution network, MHz (Fig 4). */
+    double clockCeilingMhz;
+
+    // --- calibrated timing constants (ns) ---
+    /** Register clk->q plus setup. */
+    double tReg;
+    /** Penalty of exiting + re-entering the fabric through one LUT
+     *  stage (the "expensive CLB hop" of Section III). */
+    double tLutHop;
+    /** Fixed cost of getting onto the routing fabric per wire segment. */
+    double tWireBase;
+    /** Incremental wire delay per SLICE of distance. */
+    double tWirePerSlice;
+};
+
+/** The device used throughout the paper. */
+inline constexpr FpgaDevice virtex7_485t()
+{
+    return FpgaDevice{
+        .name = "Xilinx Virtex-7 XC7VX485T (-2)",
+        .totalLuts = 303600,
+        .totalFfs = 607200,
+        .sliceSpan = 256,
+        .tracksPerSliceRow = 32,
+        .clockCeilingMhz = 710.0,
+        .tReg = 0.35,
+        .tLutHop = 1.00,
+        .tWireBase = 0.05,
+        .tWirePerSlice = 0.0125,
+    };
+}
+
+} // namespace fasttrack
+
+#endif // FT_FPGA_DEVICE_HPP

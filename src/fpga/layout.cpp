@@ -1,0 +1,86 @@
+#include "fpga/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+const char *
+toString(TorusLayout layout)
+{
+    switch (layout) {
+      case TorusLayout::linear: return "linear";
+      case TorusLayout::folded: return "folded";
+    }
+    return "?";
+}
+
+LayoutModel::LayoutModel(const FpgaDevice &device)
+    : device_(device), wires_(device)
+{
+}
+
+std::uint32_t
+LayoutModel::slotOf(std::uint32_t i, std::uint32_t n,
+                    TorusLayout layout)
+{
+    FT_ASSERT(i < n, "ring index out of range");
+    if (layout == TorusLayout::linear)
+        return i;
+    // Folded: even indices count up from the left edge, odd indices
+    // count down from the right edge.
+    if (i <= (n - 1) / 2)
+        return 2 * i;
+    return 2 * (n - i) - 1;
+}
+
+namespace {
+
+/** Longest |slot(i+step) - slot(i)| over the ring, in slots. */
+std::uint32_t
+maxHopSlots(std::uint32_t n, std::uint32_t step, TorusLayout layout)
+{
+    std::uint32_t worst = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t a = LayoutModel::slotOf(i, n, layout);
+        const std::uint32_t b =
+            LayoutModel::slotOf((i + step) % n, n, layout);
+        worst = std::max(worst, a > b ? a - b : b - a);
+    }
+    return worst;
+}
+
+} // namespace
+
+double
+LayoutModel::maxShortSpan(std::uint32_t n, TorusLayout layout) const
+{
+    const double tile = static_cast<double>(device_.sliceSpan) / n;
+    return maxHopSlots(n, 1, layout) * tile;
+}
+
+double
+LayoutModel::maxExpressSpan(std::uint32_t n, std::uint32_t d,
+                            TorusLayout layout) const
+{
+    const double tile = static_cast<double>(device_.sliceSpan) / n;
+    return maxHopSlots(n, d, layout) * tile;
+}
+
+double
+LayoutModel::frequencyCapMhz(const NocSpec &spec,
+                             TorusLayout layout) const
+{
+    double span = maxShortSpan(spec.n, layout);
+    if (!spec.isHoplite()) {
+        span = std::max(span,
+                        maxExpressSpan(spec.n, spec.d, layout));
+    }
+    const double ns = device_.tReg + device_.tLutHop +
+                      wires_.segmentDelayNs(span);
+    return std::min(1000.0 / ns, device_.clockCeilingMhz);
+}
+
+} // namespace fasttrack

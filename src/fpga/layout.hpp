@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Physical layout model for torus rings on the FPGA die (Section V:
+ * "for the unidirectional torus ring topology, we adopt a folded
+ * layout to balance wire lengths"). Computes the longest wire each
+ * layout induces and the clock cap that follows from the wire model,
+ * quantifying why the folded layout is the right choice.
+ */
+
+#ifndef FT_FPGA_LAYOUT_HPP
+#define FT_FPGA_LAYOUT_HPP
+
+#include "fpga/area_model.hpp"
+#include "fpga/wire_model.hpp"
+
+namespace fasttrack {
+
+/** How the N routers of one ring are placed along the die. */
+enum class TorusLayout
+{
+    /** Ring order 0,1,..,N-1 placed left to right: unit-length hops
+     *  but an N-tile wraparound wire. */
+    linear,
+    /** Interleaved 0,2,4,..,5,3,1 placement: every ring hop spans at
+     *  most two tiles, wraparound included. */
+    folded,
+};
+
+const char *toString(TorusLayout layout);
+
+/** Wire-length consequences of a layout choice. */
+class LayoutModel
+{
+  public:
+    explicit LayoutModel(const FpgaDevice &device = virtex7_485t());
+
+    /** Physical slot (0..n-1) of ring index @p i under @p layout. */
+    static std::uint32_t slotOf(std::uint32_t i, std::uint32_t n,
+                                TorusLayout layout);
+
+    /** Longest short-link span in SLICEs (wraparound included). */
+    double maxShortSpan(std::uint32_t n, TorusLayout layout) const;
+
+    /** Longest express-link span in SLICEs for hop length @p d. */
+    double maxExpressSpan(std::uint32_t n, std::uint32_t d,
+                          TorusLayout layout) const;
+
+    /** Clock ceiling implied by the longest wire of @p spec under
+     *  @p layout (one registered segment plus the mux landing). */
+    double frequencyCapMhz(const NocSpec &spec,
+                           TorusLayout layout) const;
+
+  private:
+    FpgaDevice device_;
+    WireModel wires_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_FPGA_LAYOUT_HPP

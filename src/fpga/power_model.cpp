@@ -1,0 +1,38 @@
+#include "fpga/power_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+namespace {
+// Fitted switching-capacitance coefficients (see DESIGN.md): watts per
+// GHz per thousand FFs, and per GHz per mega-SLICE-bit of wiring.
+constexpr double kFfCoeff = 0.080;
+constexpr double kWireCoeff = 21.0;
+} // namespace
+
+PowerModel::PowerModel(const AreaModel &area) : area_(area) {}
+
+double
+PowerModel::dynamicPowerW(const NocSpec &spec, double activity) const
+{
+    FT_ASSERT(activity >= 0.0 && activity <= 1.0,
+              "activity out of range: ", activity);
+    const NocCost cost = area_.nocCost(spec);
+    const double f_ghz = cost.frequencyMhz / 1000.0;
+    const double base =
+        f_ghz * (kFfCoeff * (static_cast<double>(cost.ffs) / 1000.0) +
+                 kWireCoeff * (cost.wireSliceBits / 1e6));
+    return base * (activity / kAlphaRef);
+}
+
+double
+PowerModel::energyJ(const NocSpec &spec, double cycles,
+                    double activity) const
+{
+    const NocCost cost = area_.nocCost(spec);
+    const double seconds = cycles / (cost.frequencyMhz * 1e6);
+    return dynamicPowerW(spec, activity) * seconds;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Dynamic power and energy model for overlay NoCs, calibrated to the
+ * Vivado power numbers of Table II (8x8 256b: Hoplite 9.8 W,
+ * FT(64,2,1) 25.1 W, FT(64,2,2) 19.9 W) and used for the
+ * throughput-energy tradeoff of Fig 19.
+ */
+
+#ifndef FT_FPGA_POWER_MODEL_HPP
+#define FT_FPGA_POWER_MODEL_HPP
+
+#include "fpga/area_model.hpp"
+
+namespace fasttrack {
+
+/**
+ * Dynamic power = f x (register switching + wire switching), scaled by
+ * the observed toggle activity. The calibration activity (what Vivado's
+ * vectorless analysis assumes) is alphaRef; simulation-measured link
+ * utilization replaces it for energy results, which is how FastTrack's
+ * fewer-deflections advantage shows up as energy savings.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const AreaModel &area);
+
+    /**
+     * Dynamic power in watts.
+     * @param spec NoC configuration.
+     * @param activity average per-cycle fraction of NoC state toggling
+     *        (0..1); defaults to the Table II calibration point.
+     */
+    double dynamicPowerW(const NocSpec &spec, double activity = kAlphaRef)
+        const;
+
+    /**
+     * Energy (joules) to route a workload of @p cycles NoC cycles at
+     * the given measured @p activity.
+     */
+    double energyJ(const NocSpec &spec, double cycles,
+                   double activity) const;
+
+    /** Activity level the Table II power numbers correspond to. */
+    static constexpr double kAlphaRef = 0.5;
+
+  private:
+    const AreaModel &area_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_FPGA_POWER_MODEL_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Published reference datapoints quoted by the paper for competing NoC
+ * routers (Table I and the Fig 1 area-bandwidth scatter). These are
+ * literature values, not outputs of our models; we embed them so the
+ * Table I / Fig 1 benches can print the full comparison.
+ */
+
+#ifndef FT_FPGA_REFERENCE_DATA_HPP
+#define FT_FPGA_REFERENCE_DATA_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace fasttrack {
+
+/** One published 32b-router implementation datapoint (Table I). */
+struct RouterReference
+{
+    const char *name;
+    const char *device;
+    std::uint32_t luts;
+    /** 0 when the source does not report FFs. */
+    std::uint32_t ffs;
+    /** Clock period in ns ("Clk" column of Table I). */
+    double periodNs;
+    /** Peak switching capability in packets per cycle per switch,
+     *  used with the period for the Fig 1 bandwidth axis. */
+    double packetsPerCycle;
+};
+
+/** Table I rows for the prior designs (FastTrack/Hoplite rows are
+ *  produced by our AreaModel instead). */
+inline constexpr std::array<RouterReference, 5> priorRouters()
+{
+    return {{
+        {"OpenSMART 4VC 1-deep", "Virtex-7 VX690T", 3700, 1700, 5.0,
+         2.0},
+        {"BLESS (no buffers)", "Virtex-2 Pro", 1090, 335, 13.2, 2.0},
+        {"CONNECT 2VCs 16-deep", "Virtex-6 LX240T", 1562, 635, 9.6,
+         2.0},
+        {"Split-Merge DOR", "Virtex-6 LX240T", 1785, 541, 4.5, 1.0},
+        {"Altera Qsys (16-node)", "Stratix IV C2", 1673, 165, 3.1, 1.0},
+    }};
+}
+
+/** Table I anchor for Hoplite at 32b (measured, from [14]). */
+inline constexpr RouterReference hopliteReference()
+{
+    return {"Hoplite", "Virtex-7 485T", 78, 0, 1.2, 1.0};
+}
+
+/** Table I anchor range for FastTrack at 32b (this paper). */
+struct FastTrackReference
+{
+    std::uint32_t lutsLow = 191;
+    std::uint32_t lutsHigh = 290;
+    std::uint32_t ffs = 290;
+    double periodNs = 2.0;
+};
+
+inline constexpr FastTrackReference fastTrackReference()
+{
+    return FastTrackReference{};
+}
+
+} // namespace fasttrack
+
+#endif // FT_FPGA_REFERENCE_DATA_HPP

@@ -1,0 +1,68 @@
+#include "fpga/routability.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+RoutabilityModel::RoutabilityModel(const AreaModel &area) : area_(area) {}
+
+MappingResult
+RoutabilityModel::map(const NocSpec &spec) const
+{
+    const FpgaDevice &dev = area_.device();
+    const NocCost cost = area_.nocCost(spec);
+
+    MappingResult result;
+    if (cost.luts > dev.totalLuts) {
+        result.limit = MappingResult::Limit::luts;
+        return result;
+    }
+    if (cost.ffs > dev.totalFfs) {
+        result.limit = MappingResult::Limit::ffs;
+        return result;
+    }
+
+    // Wiring: every ring track carries `width` bits across a bisection
+    // cut; the N rings of one dimension share the die's slice rows, so
+    // each NoC row gets sliceSpan/N slice rows of track budget.
+    const std::uint32_t tracks =
+        (spec.isHoplite() ? 1 : (spec.d / spec.r + 1)) * spec.channels;
+    const double demand = static_cast<double>(tracks) * spec.width;
+    const double budget = static_cast<double>(dev.tracksPerSliceRow) *
+                          dev.sliceSpan / spec.n;
+    if (demand > budget) {
+        result.limit = MappingResult::Limit::wiring;
+        return result;
+    }
+
+    result.feasible = true;
+    result.limit = MappingResult::Limit::none;
+    // Congestion from nearly-full tracks costs some frequency.
+    const double utilization = demand / budget;
+    result.frequencyMhz = cost.frequencyMhz * (1.0 - 0.25 * utilization);
+    return result;
+}
+
+std::optional<std::uint32_t>
+RoutabilityModel::peakDatawidth(NocSpec spec) const
+{
+    std::optional<std::uint32_t> best;
+    for (std::uint32_t w : datawidthSweep()) {
+        spec.width = w;
+        if (map(spec).feasible)
+            best = w;
+    }
+    return best;
+}
+
+const std::vector<std::uint32_t> &
+RoutabilityModel::datawidthSweep()
+{
+    static const std::vector<std::uint32_t> sweep{
+        8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024};
+    return sweep;
+}
+
+} // namespace fasttrack

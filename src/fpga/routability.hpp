@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Routability analysis (Section VI-B / Fig 10): for a given NoC system
+ * size and express configuration, which datawidths fit the device, and
+ * at what clock.
+ */
+
+#ifndef FT_FPGA_ROUTABILITY_HPP
+#define FT_FPGA_ROUTABILITY_HPP
+
+#include <optional>
+#include <vector>
+
+#include "fpga/area_model.hpp"
+
+namespace fasttrack {
+
+/** Outcome of mapping one NoC configuration onto the device. */
+struct MappingResult
+{
+    bool feasible = false;
+    /** Which resource ran out first when infeasible. */
+    enum class Limit { none, luts, ffs, wiring } limit = Limit::none;
+    /** Achievable frequency when feasible (MHz). */
+    double frequencyMhz = 0.0;
+};
+
+/**
+ * Device-capacity model: LUT/FF budgets from the part's totals and a
+ * per-slice-row routing-track budget shared by all ring tracks that
+ * cross a chip bisection in the folded-torus layout.
+ */
+class RoutabilityModel
+{
+  public:
+    explicit RoutabilityModel(const AreaModel &area);
+
+    MappingResult map(const NocSpec &spec) const;
+
+    /** Largest feasible power-of-two-ish datawidth from the paper's
+     *  sweep list, or nullopt when even 8b does not fit. */
+    std::optional<std::uint32_t> peakDatawidth(NocSpec spec) const;
+
+    /** The datawidth sweep used by Fig 10. */
+    static const std::vector<std::uint32_t> &datawidthSweep();
+
+  private:
+    const AreaModel &area_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_FPGA_ROUTABILITY_HPP

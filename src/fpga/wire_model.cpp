@@ -1,0 +1,87 @@
+#include "fpga/wire_model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+WireModel::WireModel(const FpgaDevice &device) : device_(device) {}
+
+double
+WireModel::segmentDelayNs(double slices) const
+{
+    return device_.tWireBase + device_.tWirePerSlice * slices;
+}
+
+double
+WireModel::virtualPathNs(std::uint32_t distance, std::uint32_t hops) const
+{
+    FT_ASSERT(distance >= 1, "distance must be >= 1");
+    // hops LUT stages divide the run into hops+1 equal wire segments;
+    // each LUT stage costs a full fabric exit/re-entry.
+    const double segments = static_cast<double>(hops) + 1.0;
+    const double seg_len = static_cast<double>(distance) / segments;
+    return device_.tReg + hops * device_.tLutHop +
+           segments * segmentDelayNs(seg_len);
+}
+
+double
+WireModel::expressPathNs(std::uint32_t distance, std::uint32_t hops) const
+{
+    FT_ASSERT(distance >= 1, "distance must be >= 1");
+    // Regular chain stage: FF -> LUT -> FF over one inter-stage span.
+    const double stage =
+        device_.tReg + device_.tLutHop + segmentDelayNs(distance);
+    if (hops == 0)
+        return stage;
+    // Express wire: one continuous segment spanning all bypassed
+    // stages, landing in the far LUT (one fabric entry, not per hop).
+    const double span = static_cast<double>(hops) * distance;
+    const double express =
+        device_.tReg + device_.tLutHop + segmentDelayNs(span);
+    return std::max(stage, express);
+}
+
+double
+WireModel::toMhz(double ns) const
+{
+    FT_ASSERT(ns > 0.0, "non-positive delay");
+    return 1000.0 / ns;
+}
+
+double
+WireModel::toRealizableMhz(double ns) const
+{
+    return std::min(toMhz(ns), device_.clockCeilingMhz);
+}
+
+double
+WireModel::virtualExpressMhz(std::uint32_t distance,
+                             std::uint32_t hops) const
+{
+    return toMhz(virtualPathNs(distance, hops));
+}
+
+double
+WireModel::physicalExpressMhz(std::uint32_t distance,
+                              std::uint32_t hops) const
+{
+    return toMhz(expressPathNs(distance, hops));
+}
+
+std::uint32_t
+WireModel::maxExpressSpan(double target_mhz) const
+{
+    FT_ASSERT(target_mhz > 0.0, "non-positive frequency target");
+    const double budget = 1000.0 / target_mhz;
+    const double wire_budget =
+        budget - device_.tReg - device_.tLutHop - device_.tWireBase;
+    if (wire_budget <= 0.0)
+        return 0;
+    const double span = wire_budget / device_.tWirePerSlice;
+    return static_cast<std::uint32_t>(
+        std::min(span, static_cast<double>(device_.sliceSpan)));
+}
+
+} // namespace fasttrack

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * FPGA wire-delay characterization model reproducing the experiments of
+ * Section III (Figs 3-6): achievable clock frequency of a registered
+ * wire of a given SLICE distance with a programmable number of LUT
+ * stages, in two styles:
+ *
+ *  - virtual express (Fig 3/4): the signal exits the interconnect into
+ *    a LUT at every hop (SMART-style tunneling), paying the full fabric
+ *    entry/exit penalty each time;
+ *  - physical express (Fig 5/6): a dedicated bypass wire spans all
+ *    bypassed LUT-FF stages in one segment, paying the LUT penalty only
+ *    at the endpoints.
+ */
+
+#ifndef FT_FPGA_WIRE_MODEL_HPP
+#define FT_FPGA_WIRE_MODEL_HPP
+
+#include <cstdint>
+
+#include "fpga/device.hpp"
+
+namespace fasttrack {
+
+/**
+ * Analytic wire-timing model for one device.
+ *
+ * Delays compose as
+ *   T = tReg + hops * tLutHop + sum_over_segments(tWireBase +
+ *       tWirePerSlice * segment_length)
+ * which captures the paper's two observations: FPGA wires alone are
+ * fast (long distances at one tWirePerSlice each), while entering and
+ * exiting the fabric (tLutHop, tWireBase) is expensive.
+ */
+class WireModel
+{
+  public:
+    explicit WireModel(const FpgaDevice &device = virtex7_485t());
+
+    /** Raw delay (ns) of a single wire segment of @p slices length. */
+    double segmentDelayNs(double slices) const;
+
+    /**
+     * Fig 4 experiment: two registers @p distance SLICEs apart with
+     * @p hops equidistant LUT stages between them. Returns the critical
+     * path delay in ns.
+     */
+    double virtualPathNs(std::uint32_t distance, std::uint32_t hops) const;
+
+    /**
+     * Fig 6 experiment: a pipelined chain of LUT-FF pairs spaced
+     * @p distance SLICEs apart, with an express bypass wire skipping
+     * @p hops stages. The critical path is the longer of the express
+     * wire (one segment of hops*distance SLICEs plus one LUT landing)
+     * and a regular chain stage.
+     */
+    double expressPathNs(std::uint32_t distance, std::uint32_t hops) const;
+
+    /** Convert a path delay to the plotted frequency (MHz), NOT capped
+     *  at the clock ceiling (the paper plots theoretical values too). */
+    double toMhz(double ns) const;
+
+    /** Frequency capped at the clock distribution ceiling. */
+    double toRealizableMhz(double ns) const;
+
+    /** Fig 4 as frequency (MHz). */
+    double virtualExpressMhz(std::uint32_t distance,
+                             std::uint32_t hops) const;
+
+    /** Fig 6 as frequency (MHz). */
+    double physicalExpressMhz(std::uint32_t distance,
+                              std::uint32_t hops) const;
+
+    /**
+     * Longest single-cycle express span (SLICEs) sustaining at least
+     * @p target_mhz - the design question of Section III-2.
+     */
+    std::uint32_t maxExpressSpan(double target_mhz) const;
+
+    const FpgaDevice &device() const { return device_; }
+
+  private:
+    FpgaDevice device_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_FPGA_WIRE_MODEL_HPP

@@ -1,0 +1,50 @@
+#include "noc/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+Cycle
+hopliteWorstCaseInFlight(const NocConfig &config, Coord src, Coord dst)
+{
+    FT_ASSERT(config.variant == NocVariant::hoplite,
+              "bound derived for Hoplite; use "
+              "fastTrackWorstCaseInFlight for FT variants");
+    const std::uint32_t n = config.n;
+    const Cycle dx = ringDistance(src.x, dst.x, n);
+    const Cycle dy = ringDistance(src.y, dst.y, n);
+    // X phase: W traffic is never deflected under turn priority.
+    // Y phase: one possible deflection per southward step plus one at
+    // the exit, each costing a full X-ring lap of N hops.
+    const Cycle deflectable = (dx + dy == 0) ? 0 : dy + 1;
+    const Cycle hops = dx + dy + deflectable * n;
+    return hops * (1 + config.shortLinkStages);
+}
+
+Cycle
+hopliteWorstCaseInFlight(const NocConfig &config)
+{
+    const auto far = static_cast<std::uint16_t>(config.n - 1);
+    return hopliteWorstCaseInFlight(config, Coord{0, 0},
+                                    Coord{far, far});
+}
+
+Cycle
+fastTrackWorstCaseInFlight(const NocConfig &config)
+{
+    FT_ASSERT(config.isFastTrack(), "use the Hoplite bound");
+    NocConfig hoplite_like = config;
+    hoplite_like.variant = NocVariant::hoplite;
+    const Cycle base = hopliteWorstCaseInFlight(hoplite_like);
+    // Each Y step may additionally trigger one express-escape lap
+    // (an N_EX deflection or early-turn recovery that re-circulates
+    // a ring on the slower of the two lane classes).
+    const Cycle lap =
+        static_cast<Cycle>(config.n) *
+        (1 + std::max(config.shortLinkStages, config.expressLinkStages));
+    return base + static_cast<Cycle>(config.n) * lap;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Static worst-case analysis of the deflection NoC under the paper's
+ * turn-priority rule (Section IV-D, after HopliteRT [30]).
+ *
+ * For single-channel Hoplite with turn priority, the router gives W
+ * traffic strict priority, so a packet in flight is only ever
+ * deflected while on the N port, each deflection costs exactly one
+ * full X-ring lap (it returns as top-priority W and then succeeds),
+ * and at most one deflection can occur per southward step plus one at
+ * the exit. That yields a closed-form in-flight bound; FastTrack's
+ * extra lanes only add bounded escape laps, giving a conservative
+ * multiplier.
+ */
+
+#ifndef FT_NOC_ANALYSIS_HPP
+#define FT_NOC_ANALYSIS_HPP
+
+#include "common/types.hpp"
+#include "noc/config.hpp"
+
+namespace fasttrack {
+
+/**
+ * Worst-case in-flight cycles (injection to delivery, excluding
+ * source queueing) for a specific source/destination pair on a
+ * single-channel Hoplite with the turn-priority rule:
+ *   dx + dy + dy_plus_exit_deflections * N, all scaled by the
+ * short-link latency when links are pipelined.
+ */
+Cycle hopliteWorstCaseInFlight(const NocConfig &config, Coord src,
+                               Coord dst);
+
+/** Network-wide worst case: max over all pairs = (N-1)(N+2) cycles
+ *  for an unpipelined NoC. */
+Cycle hopliteWorstCaseInFlight(const NocConfig &config);
+
+/**
+ * Conservative in-flight bound for FastTrack variants: the Hoplite
+ * bound plus one express-escape lap per Y step (misaligned express
+ * packets escape through an early turn and one extra ring lap).
+ * Empirical worst cases sit well below this; property tests enforce
+ * it.
+ */
+Cycle fastTrackWorstCaseInFlight(const NocConfig &config);
+
+} // namespace fasttrack
+
+#endif // FT_NOC_ANALYSIS_HPP

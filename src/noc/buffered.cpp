@@ -1,0 +1,199 @@
+#include "noc/buffered.hpp"
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+BufferedNetwork::BufferedNetwork(std::uint32_t n,
+                                 std::uint32_t fifo_depth)
+    : n_(n), fifoDepth_(fifo_depth)
+{
+    FT_ASSERT(n >= 2, "mesh side must be >= 2");
+    FT_ASSERT(fifo_depth >= 1, "FIFO depth must be >= 1");
+    config_ = NocConfig::hoplite(n); // size carrier for NocDevice
+    routers_.resize(n * n);
+    offers_.resize(n * n);
+}
+
+BufferedNetwork::Port
+BufferedNetwork::routeOutput(Coord here, Coord dst) const
+{
+    // Dimension-ordered XY on a mesh (no wraparound): deadlock-free.
+    if (dst.x > here.x)
+        return east;
+    if (dst.x < here.x)
+        return west;
+    if (dst.y > here.y)
+        return south;
+    if (dst.y < here.y)
+        return north;
+    return local;
+}
+
+NodeId
+BufferedNetwork::neighbor(NodeId id, Port out) const
+{
+    const Coord c = toCoord(id, n_);
+    switch (out) {
+      case north:
+        return c.y == 0 ? kInvalidNode : id - n_;
+      case south:
+        return c.y + 1 == n_ ? kInvalidNode : id + n_;
+      case east:
+        return c.x + 1 == n_ ? kInvalidNode : id + 1;
+      case west:
+        return c.x == 0 ? kInvalidNode : id - 1;
+      default:
+        return kInvalidNode;
+    }
+}
+
+void
+BufferedNetwork::offer(const Packet &packet)
+{
+    FT_ASSERT(packet.src < routers_.size(), "bad source node");
+    FT_ASSERT(packet.dst < routers_.size(), "bad destination node");
+    if (packet.src == packet.dst) {
+        ++stats_.selfDelivered;
+        Packet p = packet;
+        p.injected = cycle_;
+        if (deliver_)
+            deliver_(p, cycle_);
+        return;
+    }
+    auto &slot = offers_[packet.src];
+    FT_ASSERT(!slot, "node ", packet.src, " already has a pending offer");
+    slot = packet;
+    ++pendingOffers_;
+}
+
+bool
+BufferedNetwork::hasPendingOffer(NodeId node) const
+{
+    FT_ASSERT(node < offers_.size(), "bad node");
+    return offers_[node].has_value();
+}
+
+void
+BufferedNetwork::step()
+{
+    struct Move
+    {
+        NodeId from;
+        Port in;
+        NodeId to;       ///< kInvalidNode = delivery
+        Port to_in = local;
+    };
+    std::vector<Move> moves;
+
+    // Opposite input port a packet lands on after leaving through an
+    // output port.
+    static constexpr Port kOpposite[] = {south, north, west, east,
+                                         local};
+
+    // Phase 1: per-output round-robin arbitration using start-of-cycle
+    // FIFO occupancies as credits.
+    for (NodeId id = 0; id < routers_.size(); ++id) {
+        RouterState &router = routers_[id];
+        const Coord here = toCoord(id, n_);
+        for (std::uint8_t out = 0; out < portCount; ++out) {
+            // Credit check for link outputs.
+            NodeId to = kInvalidNode;
+            Port to_in = local;
+            if (out != local) {
+                to = neighbor(id, static_cast<Port>(out));
+                if (to == kInvalidNode)
+                    continue; // mesh edge: no such link
+                to_in = kOpposite[out];
+                if (routers_[to].fifo[to_in].size() >= fifoDepth_)
+                    continue; // no credit
+            }
+            // Round-robin scan of requesting inputs.
+            for (std::uint8_t scan = 0; scan < portCount; ++scan) {
+                const auto in = static_cast<std::uint8_t>(
+                    (router.rr[out] + scan) % portCount);
+                const auto &fifo = router.fifo[in];
+                if (fifo.empty())
+                    continue;
+                const Coord dst = toCoord(fifo.front().dst, n_);
+                if (routeOutput(here, dst) !=
+                    static_cast<Port>(out)) {
+                    continue;
+                }
+                moves.push_back({id, static_cast<Port>(in),
+                                 out == local ? kInvalidNode : to,
+                                 to_in});
+                router.rr[out] =
+                    static_cast<std::uint8_t>((in + 1) % portCount);
+                break;
+            }
+        }
+    }
+
+    // Phase 2: apply grants (pops are unique per input FIFO since a
+    // head requests exactly one output).
+    for (const Move &m : moves) {
+        auto &fifo = routers_[m.from].fifo[m.in];
+        Packet p = std::move(fifo.front());
+        fifo.pop_front();
+        if (m.to == kInvalidNode) {
+            --inFlight_;
+            ++stats_.delivered;
+            stats_.totalLatency.add(cycle_ - p.created);
+            stats_.networkLatency.add(cycle_ - p.injected);
+            stats_.hopCount.add(p.totalHops());
+            stats_.deflectionCount.add(p.deflections);
+            if (deliver_)
+                deliver_(p, cycle_);
+        } else {
+            ++p.shortHops;
+            ++stats_.shortHopTraversals;
+            routers_[m.to].fifo[m.to_in].push_back(std::move(p));
+        }
+    }
+
+    // Phase 3: client injection into the local FIFOs.
+    for (NodeId id = 0; id < routers_.size(); ++id) {
+        auto &offer = offers_[id];
+        if (!offer)
+            continue;
+        auto &fifo = routers_[id].fifo[local];
+        if (fifo.size() >= fifoDepth_) {
+            ++stats_.injectionBlockedCycles;
+            continue;
+        }
+        Packet p = *offer;
+        p.injected = cycle_;
+        fifo.push_back(std::move(p));
+        offer.reset();
+        --pendingOffers_;
+        ++inFlight_;
+        ++stats_.injected;
+    }
+
+    ++cycle_;
+}
+
+bool
+BufferedNetwork::quiescent() const
+{
+    return inFlight_ == 0 && pendingOffers_ == 0;
+}
+
+bool
+BufferedNetwork::drain(Cycle max_cycles)
+{
+    const Cycle limit = cycle_ + max_cycles;
+    while (!quiescent() && cycle_ < limit)
+        step();
+    return quiescent();
+}
+
+std::uint64_t
+BufferedNetwork::linkCount() const
+{
+    // Bidirectional mesh: 2 links per adjacent pair, both dimensions.
+    return 2ull * 2 * n_ * (n_ - 1);
+}
+
+} // namespace fasttrack

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Buffered baseline router (CONNECT/Split-Merge class, Section II-A):
+ * a classic input-queued, XY-routed, credit-backpressured NoC on a
+ * bidirectional mesh. The paper quotes published FPGA costs for these
+ * designs (Table I); this model lets the Fig 1 bandwidth axis be
+ * *measured* under identical traffic instead of quoted.
+ *
+ * Single-flit packets (as everywhere in this library) keep the router
+ * exact without wormhole machinery: each input port holds a FIFO;
+ * each cycle every output port grants one requesting input
+ * round-robin, and a granted packet moves iff the downstream FIFO has
+ * a free slot at the start of the cycle (conservative credits).
+ * XY dimension order on a mesh is deadlock-free.
+ */
+
+#ifndef FT_NOC_BUFFERED_HPP
+#define FT_NOC_BUFFERED_HPP
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "noc/noc_device.hpp"
+
+namespace fasttrack {
+
+/** Input-buffered mesh NoC implementing the NocDevice interface. */
+class BufferedNetwork : public NocDevice
+{
+  public:
+    /**
+     * @param n mesh side.
+     * @param fifo_depth packets per input FIFO (>= 1).
+     */
+    BufferedNetwork(std::uint32_t n, std::uint32_t fifo_depth);
+
+    void setDeliverCallback(DeliverFn fn) override
+    {
+        deliver_ = std::move(fn);
+    }
+    void offer(const Packet &packet) override;
+    bool hasPendingOffer(NodeId node) const override;
+    void step() override;
+    bool drain(Cycle max_cycles) override;
+    Cycle now() const override { return cycle_; }
+    bool quiescent() const override;
+    NocStats statsSnapshot() const override { return stats_; }
+    const NocConfig &config() const override { return config_; }
+    std::uint64_t linkCount() const override;
+    std::uint32_t channelCount() const override { return 1; }
+
+    std::uint32_t fifoDepth() const { return fifoDepth_; }
+    /** Total packets currently buffered in the network. */
+    std::uint64_t buffered() const { return inFlight_; }
+
+  private:
+    /** Mesh ports. */
+    enum Port : std::uint8_t
+    {
+        north = 0, ///< from/to y-1
+        south = 1, ///< from/to y+1
+        east = 2,  ///< from/to x+1
+        west = 3,  ///< from/to x-1
+        local = 4, ///< client
+        portCount = 5,
+    };
+
+    /** XY route: output port toward dst from router at (x, y). */
+    Port routeOutput(Coord here, Coord dst) const;
+    /** Neighbour router id through @p out, or kInvalidNode off-mesh. */
+    NodeId neighbor(NodeId id, Port out) const;
+
+    struct RouterState
+    {
+        std::array<std::deque<Packet>, portCount> fifo;
+        /** Round-robin grant pointer per output port. */
+        std::array<std::uint8_t, portCount> rr{};
+    };
+
+    NocConfig config_; ///< for the NocDevice interface (n, hoplite tag)
+    std::uint32_t n_;
+    std::uint32_t fifoDepth_;
+    std::vector<RouterState> routers_;
+    std::vector<std::optional<Packet>> offers_;
+    NocStats stats_;
+    DeliverFn deliver_;
+    Cycle cycle_ = 0;
+    std::uint64_t inFlight_ = 0;
+    std::uint64_t pendingOffers_ = 0;
+};
+
+} // namespace fasttrack
+
+#endif // FT_NOC_BUFFERED_HPP

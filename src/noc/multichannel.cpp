@@ -1,0 +1,140 @@
+#include "noc/multichannel.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+std::unique_ptr<NocDevice>
+makeNoc(const NocConfig &config, std::uint32_t channels)
+{
+    if (channels <= 1)
+        return std::make_unique<Network>(config);
+    return std::make_unique<MultiChannelNoc>(config, channels);
+}
+
+MultiChannelNoc::MultiChannelNoc(const NocConfig &config,
+                                 std::uint32_t channels)
+    : config_(config)
+{
+    FT_ASSERT(channels >= 1, "need at least one channel");
+    config_.validate();
+    const std::uint32_t nodes = config_.pes();
+    offerChannel_.assign(nodes, -1);
+    nextChannel_.assign(nodes, 0);
+    exitUsed_.assign(nodes, false);
+
+    for (std::uint32_t c = 0; c < channels; ++c) {
+        auto net = std::make_unique<Network>(config_);
+        net->setExitGate([this](NodeId node, const Packet &) {
+            return !exitUsed_[node];
+        });
+        net->setDeliverCallback([this](const Packet &p, Cycle when) {
+            exitUsed_[p.dst] = true;
+            if (deliver_)
+                deliver_(p, when);
+        });
+        channels_.push_back(std::move(net));
+    }
+}
+
+void
+MultiChannelNoc::setDeliverCallback(DeliverFn fn)
+{
+    deliver_ = std::move(fn);
+}
+
+void
+MultiChannelNoc::offer(const Packet &packet)
+{
+    FT_ASSERT(packet.src < offerChannel_.size(), "bad source node");
+    if (packet.src == packet.dst) {
+        // Local traffic: route through channel 0's self-delivery path.
+        channels_[0]->offer(packet);
+        return;
+    }
+    FT_ASSERT(offerChannel_[packet.src] < 0,
+              "node ", packet.src, " already has a pending offer");
+    const std::uint32_t c = nextChannel_[packet.src];
+    channels_[c]->offer(packet);
+    offerChannel_[packet.src] = static_cast<int>(c);
+}
+
+bool
+MultiChannelNoc::hasPendingOffer(NodeId node) const
+{
+    FT_ASSERT(node < offerChannel_.size(), "bad node");
+    return offerChannel_[node] >= 0;
+}
+
+void
+MultiChannelNoc::step()
+{
+    std::fill(exitUsed_.begin(), exitUsed_.end(), false);
+
+    // Rotate the channel evaluation order so no channel permanently
+    // wins the shared exit.
+    const std::uint32_t k = channelCount();
+    for (std::uint32_t i = 0; i < k; ++i)
+        channels_[(stepOrigin_ + i) % k]->step();
+    stepOrigin_ = (stepOrigin_ + 1) % k;
+
+    // Retarget offers that were not accepted to the next channel, so a
+    // congested channel cannot starve injection while others are idle.
+    for (NodeId node = 0; node < offerChannel_.size(); ++node) {
+        int &held = offerChannel_[node];
+        if (held < 0)
+            continue;
+        auto &ch = *channels_[static_cast<std::uint32_t>(held)];
+        if (!ch.hasPendingOffer(node)) {
+            // Accepted this cycle.
+            nextChannel_[node] =
+                (static_cast<std::uint32_t>(held) + 1) % k;
+            held = -1;
+            continue;
+        }
+        const Packet p = ch.withdrawOffer(node);
+        const std::uint32_t c =
+            (static_cast<std::uint32_t>(held) + 1) % k;
+        channels_[c]->offer(p);
+        held = static_cast<int>(c);
+    }
+    ++cycle_;
+}
+
+bool
+MultiChannelNoc::drain(Cycle max_cycles)
+{
+    const Cycle limit = cycle_ + max_cycles;
+    while (!quiescent() && cycle_ < limit)
+        step();
+    return quiescent();
+}
+
+bool
+MultiChannelNoc::quiescent() const
+{
+    for (const auto &ch : channels_) {
+        if (!ch->quiescent())
+            return false;
+    }
+    return true;
+}
+
+NocStats
+MultiChannelNoc::aggregateStats() const
+{
+    NocStats total;
+    for (const auto &ch : channels_)
+        total.merge(ch->stats());
+    return total;
+}
+
+std::uint64_t
+MultiChannelNoc::linkCount() const
+{
+    return channels_[0]->linkCount() * channelCount();
+}
+
+} // namespace fasttrack

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Multi-channel Hoplite (Hoplite-2x / Hoplite-3x): k independent
+ * replicated networks behind a single client interface, the paper's
+ * iso-wiring baseline (Section VI, Fig 13/14). Fair-comparison rules
+ * from the paper: each client injects at most one packet per cycle
+ * (into one channel) and accepts at most one delivery per cycle.
+ */
+
+#ifndef FT_NOC_MULTICHANNEL_HPP
+#define FT_NOC_MULTICHANNEL_HPP
+
+#include <memory>
+#include <vector>
+
+#include "noc/network.hpp"
+
+namespace fasttrack {
+
+/**
+ * Replicated-channel NoC with single-injection / single-delivery
+ * client semantics. Presents the same offer/step interface as Network.
+ */
+class MultiChannelNoc : public NocDevice
+{
+  public:
+    MultiChannelNoc(const NocConfig &config, std::uint32_t channels);
+
+    using DeliverFn = Network::DeliverFn;
+    void setDeliverCallback(DeliverFn fn) override;
+
+    /** Offer a packet at its source (one pending per node). */
+    void offer(const Packet &packet) override;
+    bool hasPendingOffer(NodeId node) const override;
+
+    /** Advance all channels one cycle with shared exit arbitration. */
+    void step() override;
+    bool drain(Cycle max_cycles) override;
+
+    Cycle now() const override { return cycle_; }
+    bool quiescent() const override;
+    std::uint32_t channelCount() const override
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+
+    /** Summed stats across channels. */
+    NocStats aggregateStats() const;
+    NocStats statsSnapshot() const override { return aggregateStats(); }
+    const Network &channel(std::uint32_t i) const { return *channels_[i]; }
+    const NocConfig &config() const override { return config_; }
+    std::uint64_t linkCount() const override;
+
+  private:
+    NocConfig config_;
+    std::vector<std::unique_ptr<Network>> channels_;
+    /** Which channel currently holds each node's pending offer, or -1. */
+    std::vector<int> offerChannel_;
+    /** Next channel to try per node (round-robin retargeting). */
+    std::vector<std::uint32_t> nextChannel_;
+    /** Per-cycle exit-used marks (one delivery per node per cycle). */
+    std::vector<bool> exitUsed_;
+    DeliverFn deliver_;
+    Cycle cycle_ = 0;
+    std::uint32_t stepOrigin_ = 0;
+};
+
+} // namespace fasttrack
+
+#endif // FT_NOC_MULTICHANNEL_HPP

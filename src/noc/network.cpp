@@ -1,0 +1,198 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+Network::Network(const NocConfig &config) : topo_(config)
+{
+    const std::uint32_t n = topo_.n();
+    const std::uint32_t count = topo_.nodeCount();
+    routers_.reserve(count);
+    inputs_.resize(count);
+    offers_.resize(count);
+    targets_.resize(count);
+    const Cycle max_latency =
+        1 + std::max(config.shortLinkStages, config.expressLinkStages);
+    pipe_.resize(max_latency + 1);
+    linkTraversals_.resize(count);
+    nodeCounters_.resize(count);
+
+    for (std::uint32_t id = 0; id < count; ++id) {
+        const Coord c = toCoord(id, n);
+        routers_.emplace_back(topo_, c);
+
+        auto &t = targets_[id];
+        t[static_cast<std::size_t>(OutPort::eSh)] = {
+            toNodeId(topo_.eastShort(c), n), InPort::wSh};
+        t[static_cast<std::size_t>(OutPort::sSh)] = {
+            toNodeId(topo_.southShort(c), n), InPort::nSh};
+        if (topo_.hasExpressX(c.x)) {
+            t[static_cast<std::size_t>(OutPort::eEx)] = {
+                toNodeId(topo_.eastExpress(c), n), InPort::wEx};
+        } else {
+            t[static_cast<std::size_t>(OutPort::eEx)] = {kInvalidNode,
+                                                         InPort::wEx};
+        }
+        if (topo_.hasExpressY(c.y)) {
+            t[static_cast<std::size_t>(OutPort::sEx)] = {
+                toNodeId(topo_.southExpress(c), n), InPort::nEx};
+        } else {
+            t[static_cast<std::size_t>(OutPort::sEx)] = {kInvalidNode,
+                                                         InPort::nEx};
+        }
+    }
+}
+
+void
+Network::offer(const Packet &packet)
+{
+    FT_ASSERT(packet.src < topo_.nodeCount(), "bad source node");
+    FT_ASSERT(packet.dst < topo_.nodeCount(), "bad destination node");
+    if (packet.src == packet.dst) {
+        // Local traffic bypasses the NoC entirely.
+        ++stats_.selfDelivered;
+        Packet p = packet;
+        p.injected = cycle_;
+        if (deliver_)
+            deliver_(p, cycle_);
+        return;
+    }
+    auto &slot = offers_[packet.src];
+    FT_ASSERT(!slot, "node ", packet.src, " already has a pending offer");
+    slot = packet;
+    ++pendingOffers_;
+}
+
+bool
+Network::hasPendingOffer(NodeId node) const
+{
+    FT_ASSERT(node < offers_.size(), "bad node");
+    return offers_[node].has_value();
+}
+
+Packet
+Network::withdrawOffer(NodeId node)
+{
+    FT_ASSERT(node < offers_.size(), "bad node");
+    auto &slot = offers_[node];
+    FT_ASSERT(slot, "no pending offer at node ", node);
+    Packet p = *slot;
+    slot.reset();
+    --pendingOffers_;
+    return p;
+}
+
+void
+Network::step()
+{
+    const std::uint32_t count = topo_.nodeCount();
+    for (std::uint32_t id = 0; id < count; ++id) {
+        auto &in = inputs_[id];
+        auto &offer = offers_[id];
+
+        // Consult the external exit gate (multi-channel delivery
+        // arbitration) once per router-cycle, using the first
+        // at-destination packet as the candidate.
+        bool gate = true;
+        if (exitGate_) {
+            for (const auto &slot : in) {
+                if (slot && slot->dst == id) {
+                    gate = exitGate_(id, *slot);
+                    break;
+                }
+            }
+        }
+
+        Router::Result res =
+            routers_[id].route(in, offer, gate, cycle_, stats_);
+        // Inputs were consumed by the router this cycle.
+        for (auto &slot : in)
+            slot.reset();
+
+        if (res.peAccepted) {
+            FT_ASSERT(offer, "acceptance without an offer");
+            --pendingOffers_;
+            ++inFlight_;
+            ++nodeCounters_[id].injected;
+            offer.reset();
+        } else if (offer) {
+            // Offer keeps waiting; latency accrues via created time.
+            ++nodeCounters_[id].blockedCycles;
+        }
+
+        if (res.delivered) {
+            Packet p = *res.delivered;
+            FT_ASSERT(p.dst == id, "delivery at wrong node");
+            --inFlight_;
+            ++stats_.delivered;
+            ++nodeCounters_[id].delivered;
+            stats_.totalLatency.add(cycle_ - p.created);
+            stats_.networkLatency.add(cycle_ - p.injected);
+            stats_.hopCount.add(p.totalHops());
+            stats_.deflectionCount.add(p.deflections);
+            if (tracer_)
+                tracer_(p, id, OutPort::none, cycle_);
+            if (deliver_)
+                deliver_(p, cycle_);
+        }
+
+        for (std::size_t port = 0; port < kNumOutPorts; ++port) {
+            if (!res.out[port])
+                continue;
+            const TransferTarget &t = targets_[id][port];
+            FT_ASSERT(t.router != kInvalidNode,
+                      "forward onto a non-existent link");
+            if (tracer_)
+                tracer_(*res.out[port], id,
+                        static_cast<OutPort>(port), cycle_);
+            ++linkTraversals_[id][port];
+            const Cycle lat = linkLatency(static_cast<OutPort>(port));
+            auto &slot = pipe_[(cycle_ + lat) % pipe_.size()];
+            slot.push_back(Arrival{t.router, t.port,
+                                   std::move(*res.out[port])});
+        }
+    }
+
+    // Land next cycle's arrivals in the routers' input registers.
+    ++cycle_;
+    auto &due = pipe_[cycle_ % pipe_.size()];
+    for (Arrival &a : due) {
+        auto &dst_slot =
+            inputs_[a.router][static_cast<std::size_t>(a.port)];
+        FT_ASSERT(!dst_slot, "link register collision");
+        dst_slot = std::move(a.packet);
+    }
+    due.clear();
+}
+
+Cycle
+Network::linkLatency(OutPort out) const
+{
+    const NocConfig &cfg = topo_.config();
+    return isExpress(out) ? 1 + cfg.expressLinkStages
+                          : 1 + cfg.shortLinkStages;
+}
+
+bool
+Network::drain(Cycle max_cycles)
+{
+    const Cycle limit = cycle_ + max_cycles;
+    while (!quiescent() && cycle_ < limit)
+        step();
+    return quiescent();
+}
+
+std::uint64_t
+Network::linkCount() const
+{
+    const std::uint64_t rings = 2ull * topo_.n();
+    const std::uint64_t short_links = rings * topo_.n();
+    const std::uint64_t express_links =
+        rings * topo_.expressLinksPerRing();
+    return short_links + express_links;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The cycle-accurate NoC: routers, link registers, the two-phase
+ * clock-edge update, PE injection offers and client deliveries.
+ */
+
+#ifndef FT_NOC_NETWORK_HPP
+#define FT_NOC_NETWORK_HPP
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "noc/config.hpp"
+#include "noc/noc_device.hpp"
+#include "noc/noc_stats.hpp"
+#include "noc/packet.hpp"
+#include "noc/router.hpp"
+#include "noc/topology.hpp"
+
+namespace fasttrack {
+
+/**
+ * One Hoplite/FastTrack network instance.
+ *
+ * Usage per cycle: clients call offer() (at most one pending packet
+ * per node; re-offering while pending is an error), then step() once.
+ * Accepted offers disappear from the pending set; deliveries invoke
+ * the delivery callback. Bit-identical across runs: no internal
+ * randomness, fixed router evaluation order.
+ */
+class Network : public NocDevice
+{
+  public:
+    explicit Network(const NocConfig &config);
+
+    using DeliverFn = NocDevice::DeliverFn;
+    /** External per-cycle exit permission (multi-channel arbitration);
+     *  must be pure within a cycle. */
+    using ExitGate = std::function<bool(NodeId, const Packet &)>;
+    /** Observer of every router traversal: (packet, router, output
+     *  port it left on, cycle). OutPort::none marks a delivery. Debug
+     *  aid; adds one call per traversal when set. */
+    using TraceFn = std::function<void(const Packet &, NodeId, OutPort,
+                                       Cycle)>;
+
+    void setDeliverCallback(DeliverFn fn) override
+    {
+        deliver_ = std::move(fn);
+    }
+    void setExitGate(ExitGate gate) { exitGate_ = std::move(gate); }
+    void setJourneyTracer(TraceFn fn) { tracer_ = std::move(fn); }
+
+    /**
+     * Offer a packet for injection at its source node. Self-addressed
+     * packets are delivered immediately without entering the network.
+     * A node can hold only one pending offer; the offer persists
+     * across cycles until the router accepts it.
+     */
+    void offer(const Packet &packet) override;
+
+    /** Whether @p node still has an un-injected pending offer. */
+    bool hasPendingOffer(NodeId node) const override;
+
+    /** Withdraw an un-injected offer (multi-channel retargeting).
+     *  Returns the packet; panics if no offer is pending. */
+    Packet withdrawOffer(NodeId node);
+
+    /** Advance one clock cycle. */
+    void step() override;
+
+    /** Run until no packets are in flight or pending, or @p max_cycles
+     *  elapse. Returns true when fully drained. */
+    bool drain(Cycle max_cycles) override;
+
+    Cycle now() const override { return cycle_; }
+    std::uint64_t inFlight() const { return inFlight_; }
+    std::uint64_t pendingOffers() const { return pendingOffers_; }
+    bool quiescent() const override
+    {
+        return inFlight_ == 0 && pendingOffers_ == 0;
+    }
+
+    NocStats &stats() { return stats_; }
+    const NocStats &stats() const { return stats_; }
+    NocStats statsSnapshot() const override { return stats_; }
+    const Topology &topology() const { return topo_; }
+    const NocConfig &config() const override { return topo_.config(); }
+
+    /** Total physical links (short + express), for activity metrics. */
+    std::uint64_t linkCount() const override;
+    std::uint32_t channelCount() const override { return 1; }
+
+    /** Per-link traversal counts: [router][OutPort] packets that left
+     *  that router on that link. Feed of the utilization heatmaps. */
+    const std::vector<std::array<std::uint64_t, kNumOutPorts>> &
+    linkTraversals() const
+    {
+        return linkTraversals_;
+    }
+
+    /** Per-node fairness counters. */
+    struct NodeCounters
+    {
+        std::uint64_t injected = 0;
+        std::uint64_t delivered = 0;
+        /** Cycles this node's pending offer was refused. */
+        std::uint64_t blockedCycles = 0;
+    };
+    const std::vector<NodeCounters> &nodeCounters() const
+    {
+        return nodeCounters_;
+    }
+
+  private:
+    struct TransferTarget
+    {
+        std::uint32_t router;
+        InPort port;
+    };
+
+    /** One in-flight link transfer, landing at a future cycle. */
+    struct Arrival
+    {
+        std::uint32_t router;
+        InPort port;
+        Packet packet;
+    };
+
+    /** Link latency in cycles for an output lane (1 + extra stages). */
+    Cycle linkLatency(OutPort out) const;
+
+    Topology topo_;
+    std::vector<Router> routers_;
+    /** Link registers: packet sitting at each router input. */
+    std::vector<Router::Inputs> inputs_;
+    /** Pipeline slots for multi-cycle links, indexed by
+     *  cycle % pipe_.size(). Slot 0 depth is unused when all links
+     *  are single-cycle. */
+    std::vector<std::vector<Arrival>> pipe_;
+    /** Pending injection offer per node. */
+    std::vector<std::optional<Packet>> offers_;
+    /** Precomputed landing site for each (router, OutPort). */
+    std::vector<std::array<TransferTarget, kNumOutPorts>> targets_;
+
+    std::vector<std::array<std::uint64_t, kNumOutPorts>> linkTraversals_;
+    std::vector<NodeCounters> nodeCounters_;
+    NocStats stats_;
+    DeliverFn deliver_;
+    TraceFn tracer_;
+    ExitGate exitGate_;
+    Cycle cycle_ = 0;
+    std::uint64_t inFlight_ = 0;
+    std::uint64_t pendingOffers_ = 0;
+};
+
+} // namespace fasttrack
+
+#endif // FT_NOC_NETWORK_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Abstract client-side interface shared by Network and
+ * MultiChannelNoc, so traffic generators, trace replay and the
+ * dataflow engine drive either interchangeably.
+ */
+
+#ifndef FT_NOC_NOC_DEVICE_HPP
+#define FT_NOC_NOC_DEVICE_HPP
+
+#include <functional>
+#include <memory>
+
+#include "noc/config.hpp"
+#include "noc/noc_stats.hpp"
+#include "noc/packet.hpp"
+
+namespace fasttrack {
+
+/** What a NoC looks like to its clients. */
+class NocDevice
+{
+  public:
+    using DeliverFn = std::function<void(const Packet &, Cycle)>;
+
+    virtual ~NocDevice() = default;
+
+    virtual void setDeliverCallback(DeliverFn fn) = 0;
+    /** Offer a packet at its source; at most one pending per node. */
+    virtual void offer(const Packet &packet) = 0;
+    virtual bool hasPendingOffer(NodeId node) const = 0;
+    virtual void step() = 0;
+    virtual bool drain(Cycle max_cycles) = 0;
+    virtual Cycle now() const = 0;
+    virtual bool quiescent() const = 0;
+    virtual NocStats statsSnapshot() const = 0;
+    virtual const NocConfig &config() const = 0;
+    /** Total physical links across all channels. */
+    virtual std::uint64_t linkCount() const = 0;
+    virtual std::uint32_t channelCount() const = 0;
+};
+
+/**
+ * Build a NoC device: a plain Network when @p channels == 1, a
+ * MultiChannelNoc otherwise.
+ */
+std::unique_ptr<NocDevice> makeNoc(const NocConfig &config,
+                                   std::uint32_t channels = 1);
+
+} // namespace fasttrack
+
+#endif // FT_NOC_NOC_DEVICE_HPP

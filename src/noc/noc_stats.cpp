@@ -1,0 +1,70 @@
+#include "noc/noc_stats.hpp"
+
+namespace fasttrack {
+
+std::uint64_t
+NocStats::totalDeflections() const
+{
+    std::uint64_t total = 0;
+    for (auto d : deflectionsByPort)
+        total += d;
+    return total;
+}
+
+std::uint64_t
+NocStats::totalMisroutes() const
+{
+    std::uint64_t total = 0;
+    for (auto d : misroutesByPort)
+        total += d;
+    return total;
+}
+
+void
+NocStats::merge(const NocStats &other)
+{
+    injected += other.injected;
+    delivered += other.delivered;
+    selfDelivered += other.selfDelivered;
+    shortHopTraversals += other.shortHopTraversals;
+    expressHopTraversals += other.expressHopTraversals;
+    for (std::size_t i = 0; i < deflectionsByPort.size(); ++i) {
+        deflectionsByPort[i] += other.deflectionsByPort[i];
+        misroutesByPort[i] += other.misroutesByPort[i];
+    }
+    laneDeflections += other.laneDeflections;
+    exitBlocked += other.exitBlocked;
+    injectionBlockedCycles += other.injectionBlockedCycles;
+    totalLatency.merge(other.totalLatency);
+    networkLatency.merge(other.networkLatency);
+    hopCount.merge(other.hopCount);
+    deflectionCount.merge(other.deflectionCount);
+}
+
+double
+NocStats::sustainedRate(std::uint32_t pes, Cycle cycles) const
+{
+    if (cycles == 0 || pes == 0)
+        return 0.0;
+    return static_cast<double>(delivered) /
+           (static_cast<double>(cycles) * pes);
+}
+
+double
+NocStats::linkActivity(std::uint64_t total_links, Cycle cycles) const
+{
+    if (total_links == 0 || cycles == 0)
+        return 0.0;
+    const double traversals = static_cast<double>(shortHopTraversals) +
+                              static_cast<double>(expressHopTraversals);
+    return traversals /
+           (static_cast<double>(total_links) * static_cast<double>(cycles));
+}
+
+void
+NocStats::reset()
+{
+    *this = NocStats{};
+}
+
+} // namespace fasttrack

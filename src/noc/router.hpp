@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Single-router combinational arbitration: assign every in-flight
+ * input packet (plus, lowest priority, the PE's offered packet) to a
+ * distinct output port in one cycle, following the routing policy's
+ * ordered candidate lists.
+ */
+
+#ifndef FT_NOC_ROUTER_HPP
+#define FT_NOC_ROUTER_HPP
+
+#include <array>
+#include <optional>
+
+#include "common/types.hpp"
+#include "noc/noc_stats.hpp"
+#include "noc/packet.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+
+namespace fasttrack {
+
+/**
+ * One FastTrack/Hoplite router.
+ *
+ * The router itself is stateless between cycles (all state lives in
+ * the network's link registers); this class caches the per-site
+ * geometry facts and implements the priority-ordered greedy matching.
+ * Greedy assignment always succeeds: each input's candidate list ends
+ * with all physically reachable outputs, and at every router the
+ * reachable-output count of the k-th priority input is at least k
+ * (lane partitioning covers the inject variant).
+ */
+class Router
+{
+  public:
+    Router(const Topology &topology, Coord pos);
+
+    /** Link-register contents feeding this router, indexed by InPort
+     *  (wEx, nEx, wSh, nSh). */
+    using Inputs = std::array<std::optional<Packet>, 4>;
+
+    /** Outcome of one cycle of arbitration. */
+    struct Result
+    {
+        /** Forwarded packet per output port, indexed by OutPort. */
+        std::array<std::optional<Packet>, kNumOutPorts> out{};
+        /** Packet delivered to the local client this cycle, if any. */
+        std::optional<Packet> delivered;
+        /** Input port the delivered packet arrived on. */
+        InPort deliveredFrom = InPort::pe;
+        /** Whether the PE's offered packet was accepted. */
+        bool peAccepted = false;
+    };
+
+    /**
+     * Route one cycle.
+     * @param inputs in-flight packets on the four link inputs; consumed.
+     * @param pe_offer packet the client wants to inject, if any.
+     * @param exit_ok whether the client can accept a delivery this
+     *        cycle (multi-channel NoCs arbitrate this externally).
+     * @param now current cycle (stamped on accepted injections).
+     * @param stats measurement sink.
+     */
+    Result route(Inputs &inputs, const std::optional<Packet> &pe_offer,
+                 bool exit_ok, Cycle now, NocStats &stats) const;
+
+    Coord pos() const { return pos_; }
+    const RouterSite &site() const { return site_; }
+
+  private:
+    Coord pos_;
+    std::uint32_t n_;
+    RouterSite site_;
+    bool turnPriority_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_NOC_ROUTER_HPP

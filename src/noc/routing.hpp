@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Routing policy of Hoplite and FastTrack routers (Sections IV-C/D),
+ * expressed as pure functions from packet state to an *ordered
+ * candidate list* of output ports. The router arbitration engine
+ * (router.cpp) walks these lists in input-priority order.
+ *
+ * Policy summary implemented here:
+ *  - Dimension-ordered routing: X (East) before Y (South).
+ *  - A packet rides an express lane only when it can reach its
+ *    turn/exit column entirely within the express network
+ *    (delta >= D and delta % D == 0, at an express-capable router).
+ *  - Express -> short transitions only at turns: W_EX -> S_SH and
+ *    N_EX -> E_SH.
+ *  - Turn traffic beats ring traffic (W before N) for livelock
+ *    avoidance; deflected N packets may take either E port.
+ *  - Deflections onto an express lane are only *preferred* when the
+ *    wraparound keeps the packet aligned (D | N); otherwise they are
+ *    last-resort moves whose recovery paths are also encoded here
+ *    (early-turn escape for W_EX, sanctioned E_SH escape for N_EX).
+ */
+
+#ifndef FT_NOC_ROUTING_HPP
+#define FT_NOC_ROUTING_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "noc/config.hpp"
+
+namespace fasttrack {
+
+/** Router input ports in descending arbitration priority (when the
+ *  paper's turn-priority rule is active). */
+enum class InPort : std::uint8_t
+{
+    wEx = 0, ///< West express (incoming X express link)
+    nEx = 1, ///< North express (incoming Y express link)
+    wSh = 2, ///< West short
+    nSh = 3, ///< North short
+    pe = 4,  ///< Client injection
+};
+
+/** Router output ports. */
+enum class OutPort : std::uint8_t
+{
+    eEx = 0, ///< East express
+    eSh = 1, ///< East short
+    sEx = 2, ///< South express
+    sSh = 3, ///< South short (shared with the client exit)
+    none = 4,
+};
+
+inline constexpr std::size_t kNumInPorts = 5;
+inline constexpr std::size_t kNumOutPorts = 4;
+
+const char *toString(InPort p);
+const char *toString(OutPort p);
+
+inline bool
+isExpress(OutPort p)
+{
+    return p == OutPort::eEx || p == OutPort::sEx;
+}
+
+inline bool
+isExpress(InPort p)
+{
+    return p == InPort::wEx || p == InPort::nEx;
+}
+
+/** One routing option: an output port, possibly meaning "exit to the
+ *  client here" when the packet is at its destination. */
+struct Candidate
+{
+    OutPort out = OutPort::none;
+    bool exit = false;
+};
+
+/** Small fixed-capacity ordered candidate list. */
+class CandidateList
+{
+  public:
+    void push(OutPort out, bool exit = false);
+    bool contains(OutPort out) const;
+    std::size_t size() const { return size_; }
+    const Candidate &operator[](std::size_t i) const { return v_[i]; }
+
+  private:
+    std::array<Candidate, 8> v_{};
+    std::size_t size_ = 0;
+};
+
+/** Static facts about one router needed by the policy. */
+struct RouterSite
+{
+    std::uint32_t n = 0;
+    std::uint32_t d = 0;
+    NocVariant variant = NocVariant::hoplite;
+    bool hasEx = false;       ///< X-dimension express ports exist here
+    bool hasEy = false;       ///< Y-dimension express ports exist here
+    bool wrapAligned = false; ///< D divides N
+    bool allowExpressTurn = true;
+    bool allowUpgrade = true;
+};
+
+/** Whether the hardware mux structure lets @p in drive @p out at this
+ *  router (variant- and depopulation-aware). */
+bool physicallyReachable(const RouterSite &site, InPort in, OutPort out);
+
+/**
+ * Ordered candidates for an in-flight packet on @p in with remaining
+ * ring distances @p dx / @p dy. The list always ends with every
+ * physically reachable output, so a bufferless router can forward the
+ * packet no matter what higher-priority traffic took.
+ * @param express_class inject-variant lane class of the packet.
+ */
+CandidateList routeCandidates(const RouterSite &site, InPort in,
+                              std::uint32_t dx, std::uint32_t dy,
+                              bool express_class);
+
+/**
+ * Ordered *productive* candidates for PE injection (no deflection
+ * entries: Hoplite blocks injection rather than deflecting it).
+ * @param[out] express_class set when the inject variant admits the
+ *             packet to the express class.
+ */
+CandidateList injectCandidates(const RouterSite &site, std::uint32_t dx,
+                               std::uint32_t dy, bool &express_class);
+
+/**
+ * True when the packet can enter an express lane in the given
+ * dimension: express ports present, and the remaining distance is an
+ * exact multiple of D (so the ride ends exactly at the turn/exit).
+ */
+bool expressEligible(const RouterSite &site, bool x_dim,
+                     std::uint32_t delta);
+
+} // namespace fasttrack
+
+#endif // FT_NOC_ROUTING_HPP

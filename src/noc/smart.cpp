@@ -1,0 +1,168 @@
+#include "noc/smart.hpp"
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+SmartNetwork::SmartNetwork(std::uint32_t n, std::uint32_t hpc_max)
+    : config_(NocConfig::hoplite(n)),
+      topo_(config_),
+      hpcMax_(hpc_max)
+{
+    FT_ASSERT(hpc_max >= 1, "HPC_max must be >= 1");
+    const std::uint32_t count = topo_.nodeCount();
+    routers_.reserve(count);
+    inputs_.resize(count);
+    next_.resize(count);
+    offers_.resize(count);
+    bypassLengths_.assign(hpcMax_, 0);
+    for (std::uint32_t id = 0; id < count; ++id)
+        routers_.emplace_back(topo_, toCoord(id, n));
+}
+
+NodeId
+SmartNetwork::eastOf(NodeId id) const
+{
+    return toNodeId(topo_.eastShort(toCoord(id, topo_.n())), topo_.n());
+}
+
+NodeId
+SmartNetwork::southOf(NodeId id) const
+{
+    return toNodeId(topo_.southShort(toCoord(id, topo_.n())),
+                    topo_.n());
+}
+
+void
+SmartNetwork::offer(const Packet &packet)
+{
+    FT_ASSERT(packet.src < topo_.nodeCount(), "bad source node");
+    FT_ASSERT(packet.dst < topo_.nodeCount(), "bad destination node");
+    if (packet.src == packet.dst) {
+        ++stats_.selfDelivered;
+        Packet p = packet;
+        p.injected = cycle_;
+        if (deliver_)
+            deliver_(p, cycle_);
+        return;
+    }
+    auto &slot = offers_[packet.src];
+    FT_ASSERT(!slot, "node ", packet.src, " already has a pending offer");
+    slot = packet;
+    ++pendingOffers_;
+}
+
+bool
+SmartNetwork::hasPendingOffer(NodeId node) const
+{
+    FT_ASSERT(node < offers_.size(), "bad node");
+    return offers_[node].has_value();
+}
+
+void
+SmartNetwork::step()
+{
+    const std::uint32_t count = topo_.nodeCount();
+
+    struct PendingTransfer
+    {
+        Packet packet;
+        NodeId from;
+        bool south; ///< false = East
+    };
+    std::vector<PendingTransfer> transfers;
+    // Link usage this cycle: [router][0]=E link, [1]=S link.
+    std::vector<std::array<bool, 2>> link_used(count, {false, false});
+
+    // Phase 1: ordinary Hoplite arbitration at every router.
+    for (std::uint32_t id = 0; id < count; ++id) {
+        auto &offer = offers_[id];
+        Router::Result res =
+            routers_[id].route(inputs_[id], offer, true, cycle_,
+                               stats_);
+        if (res.peAccepted) {
+            --pendingOffers_;
+            ++inFlight_;
+            offer.reset();
+        }
+        if (res.delivered) {
+            Packet p = *res.delivered;
+            --inFlight_;
+            ++stats_.delivered;
+            stats_.totalLatency.add(cycle_ - p.created);
+            stats_.networkLatency.add(cycle_ - p.injected);
+            stats_.hopCount.add(p.totalHops());
+            stats_.deflectionCount.add(p.deflections);
+            if (deliver_)
+                deliver_(p, cycle_);
+        }
+        auto &e_slot = res.out[static_cast<std::size_t>(OutPort::eSh)];
+        if (e_slot) {
+            link_used[id][0] = true;
+            transfers.push_back({std::move(*e_slot), id, false});
+        }
+        auto &s_slot = res.out[static_cast<std::size_t>(OutPort::sSh)];
+        if (s_slot) {
+            link_used[id][1] = true;
+            transfers.push_back({std::move(*s_slot), id, true});
+        }
+    }
+
+    // Phase 2: SMART bypass extension - each launched packet tunnels
+    // through further routers while it wants to continue straight and
+    // the next link segment is idle. Greedy in router-scan order,
+    // matching a deterministic SSR priority.
+    const std::uint32_t n = topo_.n();
+    for (PendingTransfer &t : transfers) {
+        NodeId land = t.south ? southOf(t.from) : eastOf(t.from);
+        std::uint32_t chain = 1;
+        while (chain < hpcMax_) {
+            const Coord here = toCoord(land, n);
+            const Coord dst = toCoord(t.packet.dst, n);
+            const std::uint32_t dx = ringDistance(here.x, dst.x, n);
+            const std::uint32_t dy = ringDistance(here.y, dst.y, n);
+            const bool continues =
+                t.south ? (dx == 0 && dy > 0) : (dx > 0);
+            if (!continues)
+                break;
+            auto &used = link_used[land][t.south ? 1 : 0];
+            if (used)
+                break;
+            used = true;
+            ++t.packet.shortHops;
+            ++stats_.shortHopTraversals;
+            land = t.south ? southOf(land) : eastOf(land);
+            ++chain;
+        }
+        ++bypassLengths_[chain - 1];
+        auto &dst_slot =
+            next_[land][static_cast<std::size_t>(
+                t.south ? InPort::nSh : InPort::wSh)];
+        FT_ASSERT(!dst_slot, "SMART landing collision");
+        dst_slot = std::move(t.packet);
+    }
+
+    inputs_.swap(next_);
+    for (auto &slots : next_) {
+        for (auto &slot : slots)
+            slot.reset();
+    }
+    ++cycle_;
+}
+
+bool
+SmartNetwork::drain(Cycle max_cycles)
+{
+    const Cycle limit = cycle_ + max_cycles;
+    while (!quiescent() && cycle_ < limit)
+        step();
+    return quiescent();
+}
+
+std::uint64_t
+SmartNetwork::linkCount() const
+{
+    return 2ull * topo_.n() * topo_.n();
+}
+
+} // namespace fasttrack

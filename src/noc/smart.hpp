@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SMART-style virtual express baseline (Krishna et al. [22], discussed
+ * in Sections II-A1 and III-1): a Hoplite torus whose packets may
+ * tunnel combinationally through up to HPC_max routers per cycle when
+ * the straight-line path ahead is uncontended. Bypass paths are
+ * *virtual* - they reuse the ordinary single-hop links - so every
+ * bypassed router still inserts its LUT delay into the cycle; on an
+ * FPGA that collapses the clock (Fig 4), which is exactly the paper's
+ * motivation for physical express links.
+ *
+ * The model here is idealized in SMART's favor: bypass arbitration is
+ * globally greedy with no setup-cycle overhead (real SMART spends a
+ * cycle on SSR requests). Even so, converting cycles to wall-clock
+ * with the Fig 4 frequencies shows it losing to FastTrack on FPGAs.
+ */
+
+#ifndef FT_NOC_SMART_HPP
+#define FT_NOC_SMART_HPP
+
+#include <vector>
+
+#include "noc/network.hpp"
+
+namespace fasttrack {
+
+/**
+ * Hoplite network with SMART multi-hop bypass. Implements NocDevice,
+ * so all traffic drivers work unchanged.
+ */
+class SmartNetwork : public NocDevice
+{
+  public:
+    /**
+     * @param n torus side (plain Hoplite topology).
+     * @param hpc_max maximum routers traversed per cycle (>= 1;
+     *        1 degenerates to baseline Hoplite).
+     */
+    SmartNetwork(std::uint32_t n, std::uint32_t hpc_max);
+
+    void setDeliverCallback(DeliverFn fn) override
+    {
+        deliver_ = std::move(fn);
+    }
+    void offer(const Packet &packet) override;
+    bool hasPendingOffer(NodeId node) const override;
+    void step() override;
+    bool drain(Cycle max_cycles) override;
+    Cycle now() const override { return cycle_; }
+    bool quiescent() const override
+    {
+        return inFlight_ == 0 && pendingOffers_ == 0;
+    }
+    NocStats statsSnapshot() const override { return stats_; }
+    const NocConfig &config() const override { return config_; }
+    std::uint64_t linkCount() const override;
+    std::uint32_t channelCount() const override { return 1; }
+
+    std::uint32_t hpcMax() const { return hpcMax_; }
+    const NocStats &stats() const { return stats_; }
+    /** Multi-hop traversals realized, by chain length (1..HPC_max). */
+    const std::vector<std::uint64_t> &bypassHistogram() const
+    {
+        return bypassLengths_;
+    }
+
+  private:
+    NodeId eastOf(NodeId id) const;
+    NodeId southOf(NodeId id) const;
+
+    NocConfig config_;
+    Topology topo_;
+    std::vector<Router> routers_;
+    std::vector<Router::Inputs> inputs_;
+    std::vector<Router::Inputs> next_;
+    std::vector<std::optional<Packet>> offers_;
+    std::uint32_t hpcMax_;
+    std::vector<std::uint64_t> bypassLengths_;
+    NocStats stats_;
+    DeliverFn deliver_;
+    Cycle cycle_ = 0;
+    std::uint64_t inFlight_ = 0;
+    std::uint64_t pendingOffers_ = 0;
+};
+
+} // namespace fasttrack
+
+#endif // FT_NOC_SMART_HPP

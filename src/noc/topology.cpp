@@ -1,0 +1,113 @@
+#include "noc/topology.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+Topology::Topology(const NocConfig &config) : config_(config)
+{
+    config_.validate();
+}
+
+bool
+Topology::hasExpressX(std::uint32_t x) const
+{
+    return config_.isFastTrack() && x % config_.r == 0;
+}
+
+bool
+Topology::hasExpressY(std::uint32_t y) const
+{
+    return config_.isFastTrack() && y % config_.r == 0;
+}
+
+bool
+Topology::wrapAligned() const
+{
+    return config_.isFastTrack() && config_.n % config_.d == 0;
+}
+
+RouterArch
+Topology::kindAt(Coord c) const
+{
+    const bool ex = hasExpressX(c.x);
+    const bool ey = hasExpressY(c.y);
+    if (ex && ey) {
+        return config_.variant == NocVariant::ftInject
+                   ? RouterArch::ftInject
+                   : RouterArch::ftFull;
+    }
+    if (ex || ey)
+        return RouterArch::ftGrey;
+    return RouterArch::hoplite;
+}
+
+Coord
+Topology::eastShort(Coord c) const
+{
+    return Coord{static_cast<std::uint16_t>((c.x + 1) % n()), c.y};
+}
+
+Coord
+Topology::eastExpress(Coord c) const
+{
+    FT_ASSERT(hasExpressX(c.x), "no X express link at ",
+              coordToString(c));
+    return Coord{static_cast<std::uint16_t>((c.x + d()) % n()), c.y};
+}
+
+Coord
+Topology::southShort(Coord c) const
+{
+    return Coord{c.x, static_cast<std::uint16_t>((c.y + 1) % n())};
+}
+
+Coord
+Topology::southExpress(Coord c) const
+{
+    FT_ASSERT(hasExpressY(c.y), "no Y express link at ",
+              coordToString(c));
+    return Coord{c.x, static_cast<std::uint16_t>((c.y + d()) % n())};
+}
+
+std::uint32_t
+Topology::tracksPerRing() const
+{
+    return config_.isFastTrack() ? config_.d / config_.r + 1 : 1;
+}
+
+std::uint32_t
+Topology::expressLinksPerRing() const
+{
+    if (!config_.isFastTrack())
+        return 0;
+    return (n() + r() - 1) / r();
+}
+
+std::uint32_t
+Topology::ringHops(std::uint32_t pos, std::uint32_t delta,
+                   bool express_dim) const
+{
+    if (!config_.isFastTrack() || !express_dim)
+        return delta;
+    // Ride short links k hops until aligned, then express the rest.
+    // k + (delta - k)/D grows with k, so the first feasible k is best.
+    for (std::uint32_t k = 0; k <= delta; ++k) {
+        const std::uint32_t rem = delta - k;
+        if (rem >= d() && rem % d() == 0 && (pos + k) % r() == 0)
+            return k + rem / d();
+    }
+    return delta;
+}
+
+std::uint32_t
+Topology::minimalHops(Coord src, Coord dst) const
+{
+    const std::uint32_t dx = ringDistance(src.x, dst.x, n());
+    const std::uint32_t dy = ringDistance(src.y, dst.y, n());
+    return ringHops(src.x, dx, true) + ringHops(src.y, dy, true);
+}
+
+} // namespace fasttrack

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * FT(N^2, D, R) topology geometry: which routers carry express ports,
+ * where each link lands, and the wiring bill (Section IV-A, Fig 7).
+ */
+
+#ifndef FT_NOC_TOPOLOGY_HPP
+#define FT_NOC_TOPOLOGY_HPP
+
+#include "common/types.hpp"
+#include "fpga/area_model.hpp"
+#include "noc/config.hpp"
+
+namespace fasttrack {
+
+/**
+ * Geometry of one configured NoC. Express links in a row start at
+ * columns x == 0 (mod R) and span D routers eastward (braided, so D/R
+ * express tracks cross any vertical cut); columns are symmetric.
+ */
+class Topology
+{
+  public:
+    explicit Topology(const NocConfig &config);
+
+    const NocConfig &config() const { return config_; }
+    std::uint32_t n() const { return config_.n; }
+    std::uint32_t d() const { return config_.d; }
+    std::uint32_t r() const { return config_.r; }
+    std::uint32_t nodeCount() const { return config_.pes(); }
+
+    /** Router at column @p x drives/receives X-dimension express links. */
+    bool hasExpressX(std::uint32_t x) const;
+    /** Router at row @p y drives/receives Y-dimension express links. */
+    bool hasExpressY(std::uint32_t y) const;
+
+    /** Full express-ring wraparound stays aligned (D divides N). */
+    bool wrapAligned() const;
+
+    /** Router family at a coordinate (Black / Grey / White of Fig 7). */
+    RouterArch kindAt(Coord c) const;
+
+    // --- link landing sites ---
+    Coord eastShort(Coord c) const;
+    Coord eastExpress(Coord c) const;
+    Coord southShort(Coord c) const;
+    Coord southExpress(Coord c) const;
+
+    /** Ring tracks crossing a cut: 1 short + D/R express (paper's
+     *  "D/R + 1" wire factor). */
+    std::uint32_t tracksPerRing() const;
+
+    /** Express links per ring (N/R start positions). */
+    std::uint32_t expressLinksPerRing() const;
+
+    /**
+     * Minimal hop count from @p src to @p dst under ideal contention-
+     * free FastTrack routing (short prefix to align, express ride,
+     * same in Y). Used by tests as a zero-load golden model.
+     */
+    std::uint32_t minimalHops(Coord src, Coord dst) const;
+
+  private:
+    /** Ideal hop count along one ring of distance @p delta, given the
+     *  alignment start offset @p pos (position on the ring). */
+    std::uint32_t ringHops(std::uint32_t pos, std::uint32_t delta,
+                           bool express_dim) const;
+
+    NocConfig config_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_NOC_TOPOLOGY_HPP

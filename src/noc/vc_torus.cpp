@@ -1,0 +1,232 @@
+#include "noc/vc_torus.hpp"
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+VcTorusNetwork::VcTorusNetwork(std::uint32_t n, std::uint32_t vc_count,
+                               std::uint32_t fifo_depth)
+    : n_(n), vcCount_(vc_count), fifoDepth_(fifo_depth)
+{
+    FT_ASSERT(n >= 2, "torus side must be >= 2");
+    FT_ASSERT(vc_count >= 2,
+              "dateline deadlock avoidance needs >= 2 VCs");
+    FT_ASSERT(fifo_depth >= 1, "FIFO depth must be >= 1");
+    config_ = NocConfig::hoplite(n); // size carrier for NocDevice
+    routers_.resize(n * n);
+    for (RouterState &router : routers_)
+        router.vcs.resize(vcCount_);
+    offers_.resize(n * n);
+}
+
+VcTorusNetwork::Port
+VcTorusNetwork::routeOutput(Coord here, Coord dst) const
+{
+    // Shortest direction per dimension, X before Y; ties go positive.
+    if (here.x != dst.x) {
+        const std::uint32_t east_dist = ringDistance(here.x, dst.x, n_);
+        return east_dist <= n_ - east_dist ? east : west;
+    }
+    if (here.y != dst.y) {
+        const std::uint32_t south_dist =
+            ringDistance(here.y, dst.y, n_);
+        return south_dist <= n_ - south_dist ? south : north;
+    }
+    return local;
+}
+
+NodeId
+VcTorusNetwork::neighbor(NodeId id, Port out) const
+{
+    const Coord c = toCoord(id, n_);
+    switch (out) {
+      case north:
+        return toNodeId({c.x, static_cast<std::uint16_t>(
+                                  (c.y + n_ - 1) % n_)}, n_);
+      case south:
+        return toNodeId({c.x, static_cast<std::uint16_t>(
+                                  (c.y + 1) % n_)}, n_);
+      case east:
+        return toNodeId({static_cast<std::uint16_t>((c.x + 1) % n_),
+                         c.y}, n_);
+      case west:
+        return toNodeId({static_cast<std::uint16_t>(
+                             (c.x + n_ - 1) % n_), c.y}, n_);
+      default:
+        return kInvalidNode;
+    }
+}
+
+bool
+VcTorusNetwork::crossesDateline(NodeId id, Port out) const
+{
+    const Coord c = toCoord(id, n_);
+    switch (out) {
+      case east:
+        return c.x + 1 == n_; // wrap n-1 -> 0
+      case west:
+        return c.x == 0; // wrap 0 -> n-1
+      case south:
+        return c.y + 1 == n_;
+      case north:
+        return c.y == 0;
+      default:
+        return false;
+    }
+}
+
+void
+VcTorusNetwork::offer(const Packet &packet)
+{
+    FT_ASSERT(packet.src < routers_.size(), "bad source node");
+    FT_ASSERT(packet.dst < routers_.size(), "bad destination node");
+    if (packet.src == packet.dst) {
+        ++stats_.selfDelivered;
+        Packet p = packet;
+        p.injected = cycle_;
+        if (deliver_)
+            deliver_(p, cycle_);
+        return;
+    }
+    auto &slot = offers_[packet.src];
+    FT_ASSERT(!slot, "node ", packet.src, " already has a pending offer");
+    slot = packet;
+    ++pendingOffers_;
+}
+
+bool
+VcTorusNetwork::hasPendingOffer(NodeId node) const
+{
+    FT_ASSERT(node < offers_.size(), "bad node");
+    return offers_[node].has_value();
+}
+
+void
+VcTorusNetwork::step()
+{
+    struct Move
+    {
+        NodeId from;
+        Port in;
+        std::uint32_t vc;
+        NodeId to; ///< kInvalidNode = delivery
+        Port to_in = local;
+        std::uint32_t to_vc = 0;
+    };
+    std::vector<Move> moves;
+
+    static constexpr Port kOpposite[] = {south, north, west, east,
+                                         local};
+
+    for (NodeId id = 0; id < routers_.size(); ++id) {
+        RouterState &router = routers_[id];
+        const Coord here = toCoord(id, n_);
+        const std::uint32_t pairs = portCount * vcCount_;
+        for (std::uint8_t out = 0; out < portCount; ++out) {
+            const bool is_link = out != local;
+            const NodeId to =
+                is_link ? neighbor(id, static_cast<Port>(out))
+                        : kInvalidNode;
+            const Port to_in = is_link ? kOpposite[out] : local;
+            const bool crossing =
+                is_link && crossesDateline(id, static_cast<Port>(out));
+
+            // Round-robin over (port, vc) requesters for this output.
+            for (std::uint32_t scan = 0; scan < pairs; ++scan) {
+                const std::uint32_t pair =
+                    (router.rr[out] + scan) % pairs;
+                const auto in = static_cast<Port>(pair % portCount);
+                const std::uint32_t vc = pair / portCount;
+                const auto &fifo = router.vcs[vc][in];
+                if (fifo.empty())
+                    continue;
+                const Coord dst = toCoord(fifo.front().dst, n_);
+                if (routeOutput(here, dst) != static_cast<Port>(out))
+                    continue;
+                std::uint32_t to_vc = 0;
+                if (is_link) {
+                    // Entering a new dimension restarts at VC0; the
+                    // dateline bumps to the escape VC.
+                    const bool entering_y =
+                        (out == north || out == south) &&
+                        (in == east || in == west || in == local);
+                    const bool entering_x =
+                        (out == east || out == west) && in == local;
+                    to_vc = (entering_x || entering_y) ? 0 : vc;
+                    if (crossing)
+                        to_vc = std::min(to_vc + 1, vcCount_ - 1);
+                    // Credit check against the target VC FIFO.
+                    if (routers_[to].vcs[to_vc][to_in].size() >=
+                        fifoDepth_) {
+                        continue;
+                    }
+                }
+                moves.push_back({id, in, vc, to, to_in, to_vc});
+                router.rr[out] = (pair + 1) % pairs;
+                break;
+            }
+        }
+    }
+
+    for (const Move &m : moves) {
+        auto &fifo = routers_[m.from].vcs[m.vc][m.in];
+        Packet p = std::move(fifo.front());
+        fifo.pop_front();
+        if (m.to == kInvalidNode) {
+            --inFlight_;
+            ++stats_.delivered;
+            stats_.totalLatency.add(cycle_ - p.created);
+            stats_.networkLatency.add(cycle_ - p.injected);
+            stats_.hopCount.add(p.totalHops());
+            stats_.deflectionCount.add(p.deflections);
+            if (deliver_)
+                deliver_(p, cycle_);
+        } else {
+            if (m.to_vc > m.vc)
+                ++datelines_;
+            ++p.shortHops;
+            ++stats_.shortHopTraversals;
+            routers_[m.to].vcs[m.to_vc][m.to_in].push_back(
+                std::move(p));
+        }
+    }
+
+    // Client injection into VC0 of the local port.
+    for (NodeId id = 0; id < routers_.size(); ++id) {
+        auto &offer = offers_[id];
+        if (!offer)
+            continue;
+        auto &fifo = routers_[id].vcs[0][local];
+        if (fifo.size() >= fifoDepth_) {
+            ++stats_.injectionBlockedCycles;
+            continue;
+        }
+        Packet p = *offer;
+        p.injected = cycle_;
+        fifo.push_back(std::move(p));
+        offer.reset();
+        --pendingOffers_;
+        ++inFlight_;
+        ++stats_.injected;
+    }
+
+    ++cycle_;
+}
+
+bool
+VcTorusNetwork::drain(Cycle max_cycles)
+{
+    const Cycle limit = cycle_ + max_cycles;
+    while (!quiescent() && cycle_ < limit)
+        step();
+    return quiescent();
+}
+
+std::uint64_t
+VcTorusNetwork::linkCount() const
+{
+    // Bidirectional torus: 4 links per router (2 out per dimension).
+    return 4ull * n_ * n_;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Virtual-channel torus baseline (OpenSMART class, Table I's top row):
+ * input-queued router with per-port virtual channels, shortest-path
+ * XY routing on a bidirectional torus, and dateline VC switching for
+ * deadlock freedom on the wraparound rings. Completes the measured
+ * baseline set: bufferless (Hoplite), mesh buffered (CONNECT class),
+ * and VC torus (ASIC-style high-performance).
+ */
+
+#ifndef FT_NOC_VC_TORUS_HPP
+#define FT_NOC_VC_TORUS_HPP
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "noc/noc_device.hpp"
+
+namespace fasttrack {
+
+/** VC-buffered bidirectional-torus NoC behind the NocDevice API. */
+class VcTorusNetwork : public NocDevice
+{
+  public:
+    /**
+     * @param n torus side.
+     * @param vc_count virtual channels per input port (>= 2: the
+     *        dateline scheme needs an escape VC).
+     * @param fifo_depth packets per VC FIFO.
+     */
+    VcTorusNetwork(std::uint32_t n, std::uint32_t vc_count,
+                   std::uint32_t fifo_depth);
+
+    void setDeliverCallback(DeliverFn fn) override
+    {
+        deliver_ = std::move(fn);
+    }
+    void offer(const Packet &packet) override;
+    bool hasPendingOffer(NodeId node) const override;
+    void step() override;
+    bool drain(Cycle max_cycles) override;
+    Cycle now() const override { return cycle_; }
+    bool quiescent() const override
+    {
+        return inFlight_ == 0 && pendingOffers_ == 0;
+    }
+    NocStats statsSnapshot() const override { return stats_; }
+    const NocConfig &config() const override { return config_; }
+    std::uint64_t linkCount() const override;
+    std::uint32_t channelCount() const override { return 1; }
+
+    std::uint32_t vcCount() const { return vcCount_; }
+    /** Packets that switched to the escape VC at a dateline. */
+    std::uint64_t datelineCrossings() const { return datelines_; }
+
+  private:
+    enum Port : std::uint8_t
+    {
+        north = 0,
+        south = 1,
+        east = 2,
+        west = 3,
+        local = 4,
+        portCount = 5,
+    };
+
+    /** Shortest-direction XY output toward @p dst. */
+    Port routeOutput(Coord here, Coord dst) const;
+    NodeId neighbor(NodeId id, Port out) const;
+    /** Does leaving @p id through @p out cross that ring's dateline? */
+    bool crossesDateline(NodeId id, Port out) const;
+
+    struct RouterState
+    {
+        /** [port][vc] input queues. */
+        std::vector<std::array<std::deque<Packet>, portCount>> vcs;
+        /** Round-robin pointer per output over (port, vc) requesters. */
+        std::array<std::uint32_t, portCount> rr{};
+    };
+
+    NocConfig config_;
+    std::uint32_t n_;
+    std::uint32_t vcCount_;
+    std::uint32_t fifoDepth_;
+    std::vector<RouterState> routers_;
+    std::vector<std::optional<Packet>> offers_;
+    NocStats stats_;
+    DeliverFn deliver_;
+    Cycle cycle_ = 0;
+    std::uint64_t inFlight_ = 0;
+    std::uint64_t pendingOffers_ = 0;
+    std::uint64_t datelines_ = 0;
+};
+
+} // namespace fasttrack
+
+#endif // FT_NOC_VC_TORUS_HPP

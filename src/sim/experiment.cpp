@@ -1,0 +1,98 @@
+#include "sim/experiment.hpp"
+
+#include "common/parallel.hpp"
+
+namespace fasttrack {
+
+std::vector<NocUnderTest>
+standardLineup(std::uint32_t n)
+{
+    return {
+        {"FT(" + std::to_string(n * n) + ",2,1)",
+         NocConfig::fastTrack(n, 2, 1), 1},
+        {"FT(" + std::to_string(n * n) + ",2,2)",
+         NocConfig::fastTrack(n, 2, 2), 1},
+        {"Hoplite", NocConfig::hoplite(n), 1},
+    };
+}
+
+std::vector<NocUnderTest>
+isoWiringLineup(std::uint32_t n)
+{
+    return {
+        {"Hoplite-3x", NocConfig::hoplite(n), 3},
+        {"Hoplite", NocConfig::hoplite(n), 1},
+        {"FT(" + std::to_string(n * n) + ",2,2)",
+         NocConfig::fastTrack(n, 2, 2), 1},
+        {"FT(" + std::to_string(n * n) + ",2,1)",
+         NocConfig::fastTrack(n, 2, 1), 1},
+    };
+}
+
+std::vector<double>
+injectionRateGrid()
+{
+    return {0.01, 0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00};
+}
+
+std::vector<SweepPoint>
+injectionSweep(const NocUnderTest &nut, TrafficPattern pattern,
+               const std::vector<double> &rates,
+               std::uint32_t packets_per_pe, std::uint64_t seed)
+{
+    // Each rate point simulates an independent network instance, so
+    // the sweep parallelizes across cores with identical results.
+    return parallelMap(rates, [&](double rate) {
+        SyntheticWorkload workload;
+        workload.pattern = pattern;
+        workload.injectionRate = rate;
+        workload.packetsPerPe = packets_per_pe;
+        workload.seed = seed;
+        return SweepPoint{
+            rate, runSynthetic(nut.config, nut.channels, workload)};
+    });
+}
+
+SynthResult
+saturationRun(const NocUnderTest &nut, TrafficPattern pattern,
+              std::uint32_t packets_per_pe, std::uint64_t seed)
+{
+    SyntheticWorkload workload;
+    workload.pattern = pattern;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = packets_per_pe;
+    workload.seed = seed;
+    return runSynthetic(nut.config, nut.channels, workload);
+}
+
+double
+RepeatedResult::rateCv() const
+{
+    return rate.mean() > 0.0 ? rate.stddev() / rate.mean() : 0.0;
+}
+
+RepeatedResult
+repeatedRuns(const NocUnderTest &nut, TrafficPattern pattern,
+             double rate, std::uint32_t packets_per_pe,
+             const std::vector<std::uint64_t> &seeds)
+{
+    RepeatedResult out;
+    for (std::uint64_t seed : seeds) {
+        SyntheticWorkload workload;
+        workload.pattern = pattern;
+        workload.injectionRate = rate;
+        workload.packetsPerPe = packets_per_pe;
+        workload.seed = seed;
+        const SynthResult res =
+            runSynthetic(nut.config, nut.channels, workload);
+        if (!res.completed)
+            continue;
+        ++out.completedRuns;
+        out.rate.add(res.sustainedRate());
+        out.avgLatency.add(res.avgLatency());
+        out.worstLatency.add(static_cast<double>(res.worstLatency()));
+    }
+    return out;
+}
+
+} // namespace fasttrack

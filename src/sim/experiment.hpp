@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Experiment-sweep helpers shared by the bench harnesses: injection
+ * rate grids, per-configuration sweeps, and speedup computation.
+ */
+
+#ifndef FT_SIM_EXPERIMENT_HPP
+#define FT_SIM_EXPERIMENT_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/simulation.hpp"
+
+namespace fasttrack {
+
+/** One NoC under test: configuration plus channel replication. */
+struct NocUnderTest
+{
+    std::string label;
+    NocConfig config;
+    std::uint32_t channels = 1;
+};
+
+/** The standard competitors of the paper's synthetic plots. */
+std::vector<NocUnderTest> standardLineup(std::uint32_t n);
+/** The iso-wiring lineup of Fig 13/14 (adds Hoplite-2x/3x). */
+std::vector<NocUnderTest> isoWiringLineup(std::uint32_t n);
+
+/** The paper's log-spaced injection-rate grid (Figs 11-13). */
+std::vector<double> injectionRateGrid();
+
+/** One point of an injection sweep. */
+struct SweepPoint
+{
+    double rate = 0.0;
+    SynthResult result;
+};
+
+/**
+ * Sweep a configuration over injection rates for one traffic pattern.
+ * @param packets_per_pe closed-workload budget (paper: 1K).
+ */
+std::vector<SweepPoint> injectionSweep(const NocUnderTest &nut,
+                                       TrafficPattern pattern,
+                                       const std::vector<double> &rates,
+                                       std::uint32_t packets_per_pe = 1024,
+                                       std::uint64_t seed = 1);
+
+/**
+ * Saturation throughput: sustained rate at 100% offered load
+ * (Fig 14/17/19 operating point).
+ */
+SynthResult saturationRun(const NocUnderTest &nut, TrafficPattern pattern,
+                          std::uint32_t packets_per_pe = 1024,
+                          std::uint64_t seed = 1);
+
+/** Seed-replicated measurement with dispersion statistics. */
+struct RepeatedResult
+{
+    /** Sustained rate across seeds (pkt/cycle/PE). */
+    RunningStat rate;
+    /** Mean total latency across seeds (cycles). */
+    RunningStat avgLatency;
+    /** Worst-case latency across seeds (cycles). */
+    RunningStat worstLatency;
+    std::uint32_t completedRuns = 0;
+
+    /** Coefficient of variation of the sustained rate; small values
+     *  mean a single seed is representative. */
+    double rateCv() const;
+};
+
+/**
+ * Run the same workload under several seeds and aggregate; used to
+ * check that single-seed bench results are seed-stable.
+ */
+RepeatedResult repeatedRuns(const NocUnderTest &nut,
+                            TrafficPattern pattern, double rate,
+                            std::uint32_t packets_per_pe,
+                            const std::vector<std::uint64_t> &seeds);
+
+} // namespace fasttrack
+
+#endif // FT_SIM_EXPERIMENT_HPP

@@ -1,0 +1,66 @@
+#include "sim/simulation.hpp"
+
+#include "common/logging.hpp"
+#include "traffic/trace_replay.hpp"
+
+namespace fasttrack {
+
+double
+SynthResult::sustainedRate() const
+{
+    return stats.sustainedRate(pes, cycles);
+}
+
+double
+SynthResult::avgLatency() const
+{
+    return stats.totalLatency.mean();
+}
+
+std::uint64_t
+SynthResult::worstLatency() const
+{
+    return stats.totalLatency.max();
+}
+
+SynthResult
+runSynthetic(NocDevice &noc, const SyntheticWorkload &workload,
+             Cycle max_cycles)
+{
+    SyntheticInjector injector(noc, workload);
+    const Cycle start = noc.now();
+    while (!injector.done() && noc.now() - start < max_cycles) {
+        injector.tick();
+        noc.step();
+    }
+    SynthResult result;
+    result.stats = noc.statsSnapshot();
+    result.cycles = noc.now() - start;
+    result.pes = noc.config().pes();
+    result.offeredRate = workload.injectionRate;
+    result.completed = injector.done();
+    return result;
+}
+
+SynthResult
+runSynthetic(const NocConfig &config, std::uint32_t channels,
+             const SyntheticWorkload &workload, Cycle max_cycles)
+{
+    auto noc = makeNoc(config, channels);
+    return runSynthetic(*noc, workload, max_cycles);
+}
+
+TraceResult
+runTrace(const NocConfig &config, std::uint32_t channels,
+         const Trace &trace, Cycle max_cycles)
+{
+    auto noc = makeNoc(config, channels);
+    TraceReplayer replayer(*noc, trace);
+    TraceResult result;
+    result.completion = replayer.run(max_cycles);
+    result.stats = noc->statsSnapshot();
+    result.pes = config.pes();
+    return result;
+}
+
+} // namespace fasttrack

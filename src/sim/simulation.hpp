@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Top-level simulation drivers: run a synthetic workload or a trace on
+ * a configured NoC and collect the paper's metrics.
+ */
+
+#ifndef FT_SIM_SIMULATION_HPP
+#define FT_SIM_SIMULATION_HPP
+
+#include <memory>
+
+#include "noc/noc_device.hpp"
+#include "traffic/injector.hpp"
+#include "traffic/trace.hpp"
+
+namespace fasttrack {
+
+/** Result of one synthetic-workload run. */
+struct SynthResult
+{
+    NocStats stats;
+    Cycle cycles = 0;
+    std::uint32_t pes = 0;
+    /** Configured generation rate (packets/cycle/PE). */
+    double offeredRate = 0.0;
+    /** False when the run hit the cycle guard before draining (e.g.
+     *  the livelock ablation). */
+    bool completed = false;
+
+    /** Delivered packets per cycle per PE (Fig 11 metric). */
+    double sustainedRate() const;
+    /** Mean source-to-delivery latency in cycles (Fig 12 metric). */
+    double avgLatency() const;
+    /** Worst-case packet latency (Fig 16 tail). */
+    std::uint64_t worstLatency() const;
+};
+
+/** Default cycle guard for synthetic runs. */
+inline constexpr Cycle kDefaultMaxCycles = 20'000'000;
+
+/**
+ * Run @p workload on an existing device until every generated packet
+ * is delivered (or @p max_cycles elapse).
+ */
+SynthResult runSynthetic(NocDevice &noc, const SyntheticWorkload &workload,
+                         Cycle max_cycles = kDefaultMaxCycles);
+
+/** Convenience: build the device (with channels) and run. */
+SynthResult runSynthetic(const NocConfig &config, std::uint32_t channels,
+                         const SyntheticWorkload &workload,
+                         Cycle max_cycles = kDefaultMaxCycles);
+
+/** Result of one trace-replay run. */
+struct TraceResult
+{
+    NocStats stats;
+    /** Cycle the last message was delivered (workload makespan). */
+    Cycle completion = 0;
+    std::uint32_t pes = 0;
+};
+
+/** Replay @p trace on a fresh device built from @p config. */
+TraceResult runTrace(const NocConfig &config, std::uint32_t channels,
+                     const Trace &trace,
+                     Cycle max_cycles = kDefaultMaxCycles);
+
+} // namespace fasttrack
+
+#endif // FT_SIM_SIMULATION_HPP

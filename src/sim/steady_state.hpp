@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Open-loop steady-state measurement: the standard NoC methodology of
+ * warming the network up, then measuring throughput/latency over a
+ * window while generation continues (as opposed to the paper's closed
+ * 1K-packets/PE runs, which include ramp-up and drain). Useful for
+ * saturation studies where drain tails would bias the estimate.
+ */
+
+#ifndef FT_SIM_STEADY_STATE_HPP
+#define FT_SIM_STEADY_STATE_HPP
+
+#include "noc/noc_device.hpp"
+#include "traffic/pattern.hpp"
+
+namespace fasttrack {
+
+/** Parameters of a steady-state measurement. */
+struct SteadyStateConfig
+{
+    TrafficPattern pattern = TrafficPattern::random;
+    /** Generation probability per PE per cycle. */
+    double injectionRate = 0.1;
+    /** Cycles to run before measuring. */
+    Cycle warmupCycles = 2000;
+    /** Cycles of the measurement window. */
+    Cycle measureCycles = 8000;
+    std::uint32_t localRadius = 2;
+    std::uint64_t seed = 1;
+    /** Cap on per-node source queues; generation pauses at the cap so
+     *  saturated runs do not accumulate unbounded backlog. */
+    std::uint32_t maxQueue = 64;
+};
+
+/** Window-only measurement results. */
+struct SteadyStateResult
+{
+    /** Packets delivered in the window per cycle per PE. */
+    double throughput = 0.0;
+    /** Mean total latency of packets *created* in the window and
+     *  delivered before the run ended. */
+    double avgLatency = 0.0;
+    std::uint64_t windowDelivered = 0;
+    std::uint64_t windowCreated = 0;
+    /** True when offered load exceeded what the NoC accepted (the
+     *  source queues were persistently saturated). */
+    bool saturated = false;
+};
+
+/** Run the warmup + window protocol on @p noc (device state is
+ *  consumed; pass a fresh instance). */
+SteadyStateResult measureSteadyState(NocDevice &noc,
+                                     const SteadyStateConfig &config);
+
+} // namespace fasttrack
+
+#endif // FT_SIM_STEADY_STATE_HPP

@@ -1,0 +1,59 @@
+#include "traffic/injector.hpp"
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+SyntheticInjector::SyntheticInjector(NocDevice &noc,
+                                     const SyntheticWorkload &workload)
+    : noc_(noc),
+      workload_(workload),
+      destGen_(workload.pattern, noc.config().n, workload.localRadius),
+      rng_(workload.seed)
+{
+    FT_ASSERT(workload_.injectionRate > 0.0 &&
+                  workload_.injectionRate <= 1.0,
+              "injection rate must be in (0, 1]: ",
+              workload_.injectionRate);
+    const std::uint32_t nodes = noc_.config().pes();
+    remaining_.assign(nodes, workload_.packetsPerPe);
+    queues_.resize(nodes);
+    budgetTotal_ =
+        static_cast<std::uint64_t>(nodes) * workload_.packetsPerPe;
+}
+
+void
+SyntheticInjector::tick()
+{
+    const Cycle now = noc_.now();
+    const std::uint32_t nodes = static_cast<std::uint32_t>(
+        queues_.size());
+    for (NodeId node = 0; node < nodes; ++node) {
+        if (remaining_[node] > 0 &&
+            rng_.nextBool(workload_.injectionRate)) {
+            Packet p;
+            p.id = nextId_++;
+            p.src = node;
+            p.dst = destGen_.dest(node, rng_);
+            p.created = now;
+            --remaining_[node];
+            ++generatedTotal_;
+            queues_[node].push_back(p);
+            ++queuedTotal_;
+        }
+        if (!queues_[node].empty() && !noc_.hasPendingOffer(node)) {
+            noc_.offer(queues_[node].front());
+            queues_[node].pop_front();
+            --queuedTotal_;
+        }
+    }
+}
+
+bool
+SyntheticInjector::done() const
+{
+    return generatedTotal_ == budgetTotal_ && queuedTotal_ == 0 &&
+           noc_.quiescent();
+}
+
+} // namespace fasttrack

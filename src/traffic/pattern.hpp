@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic statistical traffic patterns used throughout the paper's
+ * evaluation: RANDOM, LOCAL, BITCOMPL and TRANSPOSE (Section VI).
+ */
+
+#ifndef FT_TRAFFIC_PATTERN_HPP
+#define FT_TRAFFIC_PATTERN_HPP
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fasttrack {
+
+/** The four synthetic patterns of Figs 11/12. */
+enum class TrafficPattern
+{
+    /** Uniform random destination (excluding self). */
+    random,
+    /** Uniform destination within a small forward routing
+     *  neighbourhood (dx + dy <= radius on the unidirectional torus). */
+    local,
+    /** dst = bitwise complement of src id (needs power-of-two PEs). */
+    bitComplement,
+    /** (x, y) -> (y, x); diagonal nodes talk to themselves. */
+    transpose,
+};
+
+const char *toString(TrafficPattern pattern);
+TrafficPattern patternFromString(const std::string &name);
+
+/** All four patterns, in the paper's plotting order. */
+inline constexpr TrafficPattern kAllPatterns[] = {
+    TrafficPattern::bitComplement,
+    TrafficPattern::local,
+    TrafficPattern::random,
+    TrafficPattern::transpose,
+};
+
+/**
+ * Destination generator for one pattern on an N x N torus.
+ * Deterministic patterns ignore the Rng.
+ */
+class DestinationGenerator
+{
+  public:
+    DestinationGenerator(TrafficPattern pattern, std::uint32_t n,
+                         std::uint32_t local_radius = 2);
+
+    /** Destination for a packet sourced at @p src. May equal @p src
+     *  only for deterministic self-mapping patterns (transpose
+     *  diagonal); such packets are delivered locally by the NoC. */
+    NodeId dest(NodeId src, Rng &rng) const;
+
+    TrafficPattern pattern() const { return pattern_; }
+
+  private:
+    TrafficPattern pattern_;
+    std::uint32_t n_;
+    std::uint32_t localRadius_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_TRAFFIC_PATTERN_HPP

@@ -1,0 +1,56 @@
+#include "traffic/segmentation.hpp"
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+std::uint32_t
+fragmentsPerMessage(std::uint32_t message_bits, std::uint32_t datawidth)
+{
+    FT_ASSERT(message_bits >= 1 && datawidth >= 1,
+              "bad segmentation sizes");
+    return (message_bits + datawidth - 1) / datawidth;
+}
+
+Trace
+segmentTrace(const Trace &trace, std::uint32_t message_bits,
+             std::uint32_t datawidth)
+{
+    trace.validate();
+    const std::uint32_t frags =
+        fragmentsPerMessage(message_bits, datawidth);
+    if (frags == 1)
+        return trace;
+
+    Trace out;
+    out.name = trace.name + "@" + std::to_string(datawidth) + "b";
+    out.n = trace.n;
+    out.messages.reserve(trace.messages.size() * frags);
+
+    // Fragment ids of each original message, filled in order.
+    std::vector<std::vector<std::uint64_t>> fragment_ids(
+        trace.messages.size());
+
+    for (const TraceMessage &m : trace.messages) {
+        for (std::uint32_t f = 0; f < frags; ++f) {
+            TraceMessage frag;
+            frag.id = out.messages.size();
+            frag.src = m.src;
+            frag.dst = m.dst;
+            frag.earliest = m.earliest;
+            // The producer computes once, then streams fragments.
+            frag.delayAfterDeps = m.delayAfterDeps;
+            for (std::uint64_t dep : m.deps) {
+                frag.deps.insert(frag.deps.end(),
+                                 fragment_ids[dep].begin(),
+                                 fragment_ids[dep].end());
+            }
+            fragment_ids[m.id].push_back(frag.id);
+            out.messages.push_back(std::move(frag));
+        }
+    }
+    out.validate();
+    return out;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Message segmentation (Section VI-B): when the NoC datawidth is
+ * narrower than the application's transfer unit (e.g. a 512b
+ * cacheline), each message is serialized into multiple single-flit
+ * packets. This converts a message-level trace into the packet-level
+ * trace a given datawidth actually routes, preserving dependency
+ * semantics (a dependent fires only after *all* fragments of its
+ * dependency arrive).
+ */
+
+#ifndef FT_TRAFFIC_SEGMENTATION_HPP
+#define FT_TRAFFIC_SEGMENTATION_HPP
+
+#include "traffic/trace.hpp"
+
+namespace fasttrack {
+
+/** Packets needed to carry one @p message_bits transfer at
+ *  @p datawidth bits per packet. */
+std::uint32_t fragmentsPerMessage(std::uint32_t message_bits,
+                                  std::uint32_t datawidth);
+
+/**
+ * Expand @p trace so every message becomes the fragment train a
+ * @p datawidth NoC must route for @p message_bits transfers.
+ * Fragment ids stay topologically ordered; every dependent of an
+ * original message depends on all of its fragments.
+ */
+Trace segmentTrace(const Trace &trace, std::uint32_t message_bits,
+                   std::uint32_t datawidth);
+
+} // namespace fasttrack
+
+#endif // FT_TRAFFIC_SEGMENTATION_HPP

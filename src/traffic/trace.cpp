@@ -1,0 +1,93 @@
+#include "traffic/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+void
+Trace::validate() const
+{
+    FT_ASSERT(n >= 2, "trace torus side must be >= 2");
+    const std::uint32_t nodes = n * n;
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+        const TraceMessage &m = messages[i];
+        if (m.id != i)
+            FT_FATAL("trace ", name, ": message ", i, " has id ", m.id);
+        if (m.src >= nodes || m.dst >= nodes) {
+            FT_FATAL("trace ", name, ": message ", i,
+                     " references node outside ", n, "x", n);
+        }
+        for (std::uint64_t dep : m.deps) {
+            if (dep >= m.id) {
+                FT_FATAL("trace ", name, ": message ", i,
+                         " depends on id ", dep,
+                         " (deps must reference earlier messages)");
+            }
+        }
+    }
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    os << "# fasttrack-trace v1\n";
+    os << "name " << (name.empty() ? "unnamed" : name) << "\n";
+    os << "n " << n << "\n";
+    os << "messages " << messages.size() << "\n";
+    for (const TraceMessage &m : messages) {
+        os << m.id << " " << m.src << " " << m.dst << " " << m.earliest
+           << " " << m.delayAfterDeps << " " << m.deps.size();
+        for (std::uint64_t dep : m.deps)
+            os << " " << dep;
+        os << "\n";
+    }
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    Trace trace;
+    std::string line;
+    std::size_t expected = 0;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string word;
+        ls >> word;
+        if (word == "name") {
+            ls >> trace.name;
+        } else if (word == "n") {
+            ls >> trace.n;
+        } else if (word == "messages") {
+            ls >> expected;
+            trace.messages.reserve(expected);
+        } else {
+            TraceMessage m;
+            std::size_t ndeps = 0;
+            std::istringstream ms(line);
+            if (!(ms >> m.id >> m.src >> m.dst >> m.earliest >>
+                  m.delayAfterDeps >> ndeps)) {
+                FT_FATAL("malformed trace line: ", line);
+            }
+            m.deps.resize(ndeps);
+            for (std::size_t i = 0; i < ndeps; ++i) {
+                if (!(ms >> m.deps[i]))
+                    FT_FATAL("malformed trace deps: ", line);
+            }
+            trace.messages.push_back(std::move(m));
+        }
+    }
+    if (expected != 0 && trace.messages.size() != expected) {
+        FT_FATAL("trace declared ", expected, " messages but contains ",
+                 trace.messages.size());
+    }
+    trace.validate();
+    return trace;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Communication-trace format for replaying FPGA-accelerator workloads
+ * (Fig 15): timestamped messages with optional dependencies, the
+ * common denominator of the SpMV, graph, dataflow and multiprocessor
+ * case studies.
+ */
+
+#ifndef FT_TRAFFIC_TRACE_HPP
+#define FT_TRAFFIC_TRACE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fasttrack {
+
+/** One message in a workload trace. */
+struct TraceMessage
+{
+    /** Dense id, equal to the message's index in Trace::messages. */
+    std::uint64_t id = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    /** Do not inject before this cycle (phase/timestamp semantics). */
+    Cycle earliest = 0;
+    /** Source-PE compute delay after the last dependency delivers. */
+    Cycle delayAfterDeps = 0;
+    /** Messages that must be *delivered* before this one may inject
+     *  (dataflow token semantics). */
+    std::vector<std::uint64_t> deps;
+};
+
+/** A full workload trace for an N x N NoC. */
+struct Trace
+{
+    std::string name;
+    std::uint32_t n = 0;
+    std::vector<TraceMessage> messages;
+
+    /** Sanity-check ids, node ranges and dependency acyclicity
+     *  (deps must reference lower ids). Aborts on violation. */
+    void validate() const;
+
+    /** Plain-text round trip (one message per line). */
+    void save(std::ostream &os) const;
+    static Trace load(std::istream &is);
+};
+
+} // namespace fasttrack
+
+#endif // FT_TRAFFIC_TRACE_HPP

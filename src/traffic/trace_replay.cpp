@@ -1,0 +1,97 @@
+#include "traffic/trace_replay.hpp"
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+TraceReplayer::TraceReplayer(NocDevice &noc, const Trace &trace)
+    : noc_(noc), trace_(trace)
+{
+    trace_.validate();
+    FT_ASSERT(trace_.n == noc_.config().n, "trace is for a ", trace_.n,
+              "x", trace_.n, " NoC, device is ", noc_.config().n, "x",
+              noc_.config().n);
+
+    const std::size_t count = trace_.messages.size();
+    pendingDeps_.resize(count);
+    dependents_.resize(count);
+    sourceQueues_.resize(noc_.config().pes());
+
+    for (const TraceMessage &m : trace_.messages) {
+        pendingDeps_[m.id] = static_cast<std::uint32_t>(m.deps.size());
+        for (std::uint64_t dep : m.deps)
+            dependents_[dep].push_back(m.id);
+        if (m.deps.empty())
+            readyAt_.emplace(m.earliest, m.id);
+    }
+
+    noc_.setDeliverCallback(
+        [this](const Packet &p, Cycle when) { onDeliver(p, when); });
+}
+
+void
+TraceReplayer::onDeliver(const Packet &p, Cycle when)
+{
+    ++deliveredCount_;
+    lastDelivery_ = when;
+    const std::uint64_t id = p.tag;
+    FT_ASSERT(id < trace_.messages.size(), "unknown trace message");
+    for (std::uint64_t dependent : dependents_[id]) {
+        FT_ASSERT(pendingDeps_[dependent] > 0, "dependency underflow");
+        if (--pendingDeps_[dependent] == 0) {
+            const TraceMessage &m = trace_.messages[dependent];
+            const Cycle ready =
+                std::max(m.earliest, when + 1 + m.delayAfterDeps);
+            readyAt_.emplace(ready, dependent);
+        }
+    }
+}
+
+void
+TraceReplayer::tick()
+{
+    const Cycle now = noc_.now();
+    while (!readyAt_.empty() && readyAt_.top().first <= now) {
+        const std::uint64_t id = readyAt_.top().second;
+        readyAt_.pop();
+        sourceQueues_[trace_.messages[id].src].push_back(id);
+    }
+    for (NodeId node = 0;
+         node < static_cast<NodeId>(sourceQueues_.size()); ++node) {
+        auto &q = sourceQueues_[node];
+        if (q.empty() || noc_.hasPendingOffer(node))
+            continue;
+        const TraceMessage &m = trace_.messages[q.front()];
+        Packet p;
+        p.id = injectedCount_ + 1;
+        p.src = m.src;
+        p.dst = m.dst;
+        p.created = std::max(m.earliest, now);
+        p.tag = m.id;
+        noc_.offer(p);
+        ++injectedCount_;
+        q.pop_front();
+    }
+}
+
+bool
+TraceReplayer::finished() const
+{
+    return deliveredCount_ == trace_.messages.size();
+}
+
+Cycle
+TraceReplayer::run(Cycle max_cycles)
+{
+    const Cycle limit = noc_.now() + max_cycles;
+    while (!finished() && noc_.now() < limit) {
+        tick();
+        noc_.step();
+    }
+    FT_ASSERT(finished(), "trace replay did not finish within ",
+              max_cycles, " cycles (", deliveredCount_, "/",
+              trace_.messages.size(), " delivered)");
+    return lastDelivery_;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Dependency-aware trace replay engine: injects trace messages once
+ * their timestamp has passed and all their dependencies have been
+ * delivered, modelling PEs that consume tokens, compute, and emit.
+ */
+
+#ifndef FT_TRAFFIC_TRACE_REPLAY_HPP
+#define FT_TRAFFIC_TRACE_REPLAY_HPP
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "noc/noc_device.hpp"
+#include "traffic/trace.hpp"
+
+namespace fasttrack {
+
+/**
+ * Replays one Trace on one NocDevice. Wiring: the replayer installs a
+ * delivery callback on the device (chaining to any previous callback
+ * is the caller's concern), so construct it before running and do not
+ * replace the callback afterwards.
+ *
+ * Per cycle, call tick() then the device's step(); finished() reports
+ * completion. run() does the whole loop.
+ */
+class TraceReplayer
+{
+  public:
+    TraceReplayer(NocDevice &noc, const Trace &trace);
+
+    void tick();
+    bool finished() const;
+
+    /**
+     * Run to completion.
+     * @param max_cycles abort guard.
+     * @return completion cycle (makespan).
+     */
+    Cycle run(Cycle max_cycles);
+
+    std::uint64_t deliveredMessages() const { return deliveredCount_; }
+
+  private:
+    void onDeliver(const Packet &p, Cycle when);
+
+    NocDevice &noc_;
+    const Trace &trace_;
+    /** Outstanding undelivered dependencies per message. */
+    std::vector<std::uint32_t> pendingDeps_;
+    /** Messages whose deps resolved, keyed by earliest-inject cycle. */
+    std::priority_queue<std::pair<Cycle, std::uint64_t>,
+                        std::vector<std::pair<Cycle, std::uint64_t>>,
+                        std::greater<>>
+        readyAt_;
+    /** Per-source FIFO of ready messages. */
+    std::vector<std::deque<std::uint64_t>> sourceQueues_;
+    /** Reverse dependency index: message -> dependents. */
+    std::vector<std::vector<std::uint64_t>> dependents_;
+    std::uint64_t deliveredCount_ = 0;
+    std::uint64_t injectedCount_ = 0;
+    Cycle lastDelivery_ = 0;
+};
+
+} // namespace fasttrack
+
+#endif // FT_TRAFFIC_TRACE_REPLAY_HPP

@@ -1,0 +1,122 @@
+#include "workloads/graph.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace fasttrack {
+
+std::vector<std::uint32_t>
+Graph::outDegrees() const
+{
+    std::vector<std::uint32_t> deg(nodes, 0);
+    for (const auto &[u, v] : edges) {
+        FT_ASSERT(u < nodes && v < nodes, "edge outside graph");
+        ++deg[u];
+    }
+    return deg;
+}
+
+Graph
+rmat(std::uint32_t scale, std::uint64_t edge_count, double a, double b,
+     double c, std::uint64_t seed, const std::string &name)
+{
+    FT_ASSERT(scale >= 2 && scale <= 24, "unreasonable R-MAT scale");
+    FT_ASSERT(a + b + c <= 1.0 + 1e-9, "R-MAT probabilities exceed 1");
+    Rng rng(seed);
+
+    Graph g;
+    g.name = name;
+    g.nodes = 1u << scale;
+    g.edges.reserve(edge_count);
+    for (std::uint64_t e = 0; e < edge_count; ++e) {
+        std::uint32_t u = 0, v = 0;
+        for (std::uint32_t bit = 0; bit < scale; ++bit) {
+            const double p = rng.nextDouble();
+            std::uint32_t ubit = 0, vbit = 0;
+            if (p < a) {
+                // top-left: (0,0)
+            } else if (p < a + b) {
+                vbit = 1;
+            } else if (p < a + b + c) {
+                ubit = 1;
+            } else {
+                ubit = vbit = 1;
+            }
+            u = (u << 1) | ubit;
+            v = (v << 1) | vbit;
+        }
+        if (u == v)
+            continue; // self loops carry no NoC traffic
+        g.edges.emplace_back(u, v);
+    }
+    return g;
+}
+
+Graph
+roadNetwork(std::uint32_t side, double shortcut_fraction,
+            std::uint64_t seed, const std::string &name)
+{
+    FT_ASSERT(side >= 2, "lattice too small");
+    Rng rng(seed);
+
+    Graph g;
+    g.name = name;
+    g.nodes = side * side;
+    auto at = [side](std::uint32_t x, std::uint32_t y) {
+        return y * side + x;
+    };
+    for (std::uint32_t y = 0; y < side; ++y) {
+        for (std::uint32_t x = 0; x < side; ++x) {
+            if (x + 1 < side) {
+                g.edges.emplace_back(at(x, y), at(x + 1, y));
+                g.edges.emplace_back(at(x + 1, y), at(x, y));
+            }
+            if (y + 1 < side) {
+                g.edges.emplace_back(at(x, y), at(x, y + 1));
+                g.edges.emplace_back(at(x, y + 1), at(x, y));
+            }
+        }
+    }
+    const auto shortcuts = static_cast<std::uint64_t>(
+        shortcut_fraction * static_cast<double>(g.edges.size()));
+    for (std::uint64_t s = 0; s < shortcuts; ++s) {
+        const auto u = static_cast<std::uint32_t>(
+            rng.nextBelow(g.nodes));
+        const auto v = static_cast<std::uint32_t>(
+            rng.nextBelow(g.nodes));
+        if (u != v)
+            g.edges.emplace_back(u, v);
+    }
+    return g;
+}
+
+Graph
+GraphBenchmark::build() const
+{
+    if (isRoad)
+        return roadNetwork(scaleOrSide, 0.01, seed, name);
+    // Split the remaining probability between b and c slightly
+    // asymmetrically, the standard R-MAT practice.
+    const double rest = 1.0 - skew;
+    return rmat(scaleOrSide, edges, skew, rest * 0.4, rest * 0.4, seed,
+                name);
+}
+
+const std::vector<GraphBenchmark> &
+graphCatalog()
+{
+    // Scaled-down analogs: node/edge counts chosen so traces stay in
+    // the 30-150k message range, skew mirrors the original degree
+    // distributions.
+    static const std::vector<GraphBenchmark> catalog = {
+        {"amazon0302", false, 13, 49152, 0.50, 21},
+        {"roadNet-CA", true, 120, 0, 0.0, 22},
+        {"soc-Slashdot0902", false, 13, 65536, 0.60, 23},
+        {"web-Google", false, 14, 81920, 0.57, 24},
+        {"web-Stanford", false, 13, 57344, 0.59, 25},
+        {"wiki-Vote", false, 12, 40960, 0.62, 26},
+    };
+    return catalog;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Synthetic graph generators standing in for the SNAP datasets of the
+ * graph-analytics case study (Fig 15b): an R-MAT generator for the
+ * power-law web/social graphs and a planar lattice generator for road
+ * networks. Vertex-push traffic depends on the degree distribution and
+ * the partition locality, both of which these control.
+ */
+
+#ifndef FT_WORKLOADS_GRAPH_HPP
+#define FT_WORKLOADS_GRAPH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fasttrack {
+
+/** Directed edge list. */
+struct Graph
+{
+    std::string name;
+    std::uint32_t nodes = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+    std::vector<std::uint32_t> outDegrees() const;
+};
+
+/**
+ * R-MAT recursive matrix generator (Chakrabarti et al.): power-law
+ * degree graphs like web crawls and social networks.
+ * @param scale graph has 2^scale vertices.
+ */
+Graph rmat(std::uint32_t scale, std::uint64_t edge_count, double a,
+           double b, double c, std::uint64_t seed,
+           const std::string &name = "rmat");
+
+/**
+ * Road-network-like graph: a @p side x @p side lattice with
+ * bidirectional street edges plus a sprinkle of diagonal shortcuts;
+ * nearly all edges are spatially local.
+ */
+Graph roadNetwork(std::uint32_t side, double shortcut_fraction,
+                  std::uint64_t seed,
+                  const std::string &name = "road");
+
+/** Parameters of one Fig 15b benchmark analog. */
+struct GraphBenchmark
+{
+    std::string name;
+    bool isRoad = false;
+    std::uint32_t scaleOrSide = 12; ///< R-MAT scale, or lattice side
+    std::uint64_t edges = 0;        ///< 0 means lattice-defined
+    double skew = 0.57;             ///< R-MAT 'a' parameter
+    std::uint64_t seed = 1;
+
+    Graph build() const;
+};
+
+/** The Fig 15b catalog (wiki-Vote, web-Stanford, web-Google,
+ *  soc-Slashdot0902, roadNet-CA, amazon0302 analogs). */
+const std::vector<GraphBenchmark> &graphCatalog();
+
+} // namespace fasttrack
+
+#endif // FT_WORKLOADS_GRAPH_HPP

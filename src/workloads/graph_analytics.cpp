@@ -1,0 +1,91 @@
+#include "workloads/graph_analytics.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+namespace {
+
+std::uint32_t
+hashVertex(std::uint32_t v)
+{
+    // Fibonacci hashing: cheap, well-spread, deterministic.
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ull) >> 32);
+}
+
+NodeId
+assign(std::uint32_t vertex, const Graph &graph, std::uint32_t n,
+       VertexPartition partition)
+{
+    const std::uint32_t pes = n * n;
+    if (partition == VertexPartition::spatialBlocks) {
+        const auto side = static_cast<std::uint32_t>(
+            std::lround(std::sqrt(static_cast<double>(graph.nodes))));
+        if (side * side == graph.nodes) {
+            // Map lattice blocks onto the PE grid so street neighbours
+            // stay on the same or adjacent PEs.
+            const std::uint32_t vx = vertex % side;
+            const std::uint32_t vy = vertex / side;
+            const std::uint32_t px =
+                std::min(vx * n / side, n - 1);
+            const std::uint32_t py =
+                std::min(vy * n / side, n - 1);
+            return py * n + px;
+        }
+    }
+    return hashVertex(vertex) % pes;
+}
+
+} // namespace
+
+Trace
+graphPushTrace(const Graph &graph, std::uint32_t n,
+               VertexPartition partition, std::uint32_t supersteps)
+{
+    FT_ASSERT(supersteps >= 1, "need at least one superstep");
+    const std::uint32_t pes = n * n;
+
+    // Precompute vertex owners once.
+    std::vector<NodeId> owner(graph.nodes);
+    for (std::uint32_t v = 0; v < graph.nodes; ++v)
+        owner[v] = assign(v, graph, n, partition);
+
+    Trace trace;
+    trace.name = "graph:" + graph.name;
+    trace.n = n;
+
+    // Coarse BSP phasing: each round's messages depend on the last
+    // previous-round update that arrived at their source PE.
+    std::vector<std::int64_t> last_incoming(pes, -1);
+    for (std::uint32_t s = 0; s < supersteps; ++s) {
+        std::vector<std::int64_t> round_incoming(pes, -1);
+        for (const auto &[u, v] : graph.edges) {
+            TraceMessage m;
+            m.id = trace.messages.size();
+            m.src = owner[u];
+            m.dst = owner[v];
+            if (s > 0 && last_incoming[m.src] >= 0) {
+                m.deps.push_back(
+                    static_cast<std::uint64_t>(last_incoming[m.src]));
+            }
+            round_incoming[m.dst] = static_cast<std::int64_t>(m.id);
+            trace.messages.push_back(std::move(m));
+        }
+        last_incoming.swap(round_incoming);
+    }
+    trace.validate();
+    return trace;
+}
+
+VertexPartition
+defaultPartition(const GraphBenchmark &bench)
+{
+    return bench.isRoad ? VertexPartition::spatialBlocks
+                        : VertexPartition::hashed;
+}
+
+} // namespace fasttrack

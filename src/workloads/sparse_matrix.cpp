@@ -1,0 +1,116 @@
+#include "workloads/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+double
+SparseMatrix::bandedFraction(std::uint32_t band) const
+{
+    if (nnz() == 0)
+        return 0.0;
+    std::uint64_t inside = 0;
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        for (std::uint32_t k = rowPtr[i]; k < rowPtr[i + 1]; ++k) {
+            const std::int64_t off =
+                static_cast<std::int64_t>(colIdx[k]) - i;
+            if (std::llabs(off) <= band)
+                ++inside;
+        }
+    }
+    return static_cast<double>(inside) / static_cast<double>(nnz());
+}
+
+SparseMatrix
+generateMatrix(const MatrixParams &params)
+{
+    FT_ASSERT(params.rows >= 4, "matrix too small");
+    FT_ASSERT(params.avgNnzPerRow >= 1.0, "need at least the diagonal");
+    Rng rng(params.seed);
+
+    SparseMatrix m;
+    m.name = params.name;
+    m.rows = m.cols = params.rows;
+    m.rowPtr.reserve(params.rows + 1);
+    m.rowPtr.push_back(0);
+
+    const auto band = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(params.bandFraction * params.rows));
+
+    std::vector<std::uint32_t> row_cols;
+    for (std::uint32_t i = 0; i < params.rows; ++i) {
+        row_cols.clear();
+        row_cols.push_back(i); // diagonal
+
+        // Row population: geometric-ish spread around the mean, which
+        // matches the long-tailed row counts of circuit matrices.
+        const double extra_mean = params.avgNnzPerRow - 1.0;
+        std::uint32_t extra = 0;
+        if (extra_mean > 0.0) {
+            // Draw from [0, 2*mean] with triangular weighting.
+            const double u = rng.nextDouble() + rng.nextDouble();
+            extra = static_cast<std::uint32_t>(
+                std::llround(u * extra_mean));
+        }
+        if (params.kind == MatrixKind::gene) {
+            // Gene networks: a few hub rows are an order denser.
+            if (rng.nextBool(0.02))
+                extra *= 8;
+        }
+
+        for (std::uint32_t e = 0; e < extra; ++e) {
+            std::uint32_t j;
+            if (rng.nextBool(params.localFraction)) {
+                // Banded placement around the diagonal.
+                const std::int64_t off =
+                    rng.nextRange(-static_cast<std::int64_t>(band),
+                                  static_cast<std::int64_t>(band));
+                std::int64_t col = static_cast<std::int64_t>(i) + off;
+                col = std::clamp<std::int64_t>(col, 0, params.rows - 1);
+                j = static_cast<std::uint32_t>(col);
+            } else {
+                j = static_cast<std::uint32_t>(
+                    rng.nextBelow(params.rows));
+            }
+            row_cols.push_back(j);
+        }
+        std::sort(row_cols.begin(), row_cols.end());
+        row_cols.erase(std::unique(row_cols.begin(), row_cols.end()),
+                       row_cols.end());
+        m.colIdx.insert(m.colIdx.end(), row_cols.begin(),
+                        row_cols.end());
+        m.rowPtr.push_back(static_cast<std::uint32_t>(m.colIdx.size()));
+    }
+    return m;
+}
+
+const std::vector<MatrixParams> &
+spmvCatalog()
+{
+    // Sizes are scaled to keep traces in the tens of thousands of
+    // messages; locality mirrors each original's structure.
+    static const std::vector<MatrixParams> catalog = {
+        {"add20", MatrixKind::circuit, 2395, 5.5, 0.55, 0.03, 11},
+        {"bomhof_circuit_1", MatrixKind::circuit, 2624, 9.0, 0.60,
+         0.02, 12},
+        {"bomhof_circuit_2", MatrixKind::circuit, 4510, 5.0, 0.92,
+         0.01, 13},
+        {"bomhof_circuit_3", MatrixKind::circuit, 12127, 4.0, 0.65,
+         0.015, 14},
+        {"hamm_memplus", MatrixKind::circuit, 17758, 5.6, 0.95, 0.008,
+         15},
+        {"human_gene2", MatrixKind::gene, 3000, 28.0, 0.15, 0.05, 16},
+        {"sandia_12944", MatrixKind::mesh, 12944, 4.5, 0.70, 0.02, 17},
+        {"sandia_20105", MatrixKind::mesh, 20105, 4.2, 0.72, 0.02, 18},
+        {"simucad_dac", MatrixKind::circuit, 6882, 5.0, 0.58, 0.025,
+         19},
+        {"simucad_ram2k", MatrixKind::circuit, 4875, 6.5, 0.62, 0.02,
+         20},
+    };
+    return catalog;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generator standing in for the Matrix Market
+ * datasets of the paper's SpMV case study (Fig 15a). SpMV NoC traffic
+ * depends on the sparsity *pattern* statistics -- row populations and
+ * how far off-diagonal the nonzeros reach -- which the generator
+ * controls directly; see DESIGN.md "Substitutions".
+ */
+
+#ifndef FT_WORKLOADS_SPARSE_MATRIX_HPP
+#define FT_WORKLOADS_SPARSE_MATRIX_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fasttrack {
+
+/** CSR sparsity pattern (values are irrelevant to NoC traffic). */
+struct SparseMatrix
+{
+    std::string name;
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<std::uint32_t> rowPtr; ///< rows + 1 entries
+    std::vector<std::uint32_t> colIdx; ///< nnz entries, sorted per row
+
+    std::uint64_t nnz() const { return colIdx.size(); }
+    /** Fraction of nonzeros within @p band of the diagonal. */
+    double bandedFraction(std::uint32_t band) const;
+};
+
+/** Structural family of a synthetic matrix. */
+enum class MatrixKind
+{
+    /** Circuit/SPICE-like: strongly banded, few long-range couplings. */
+    circuit,
+    /** Mesh/FEM-like: banded with regular medium-range stencils. */
+    mesh,
+    /** Gene-network-like: dense rows with near-uniform column reach. */
+    gene,
+};
+
+/** Generation parameters for one synthetic matrix. */
+struct MatrixParams
+{
+    std::string name;
+    MatrixKind kind = MatrixKind::circuit;
+    std::uint32_t rows = 4096;
+    double avgNnzPerRow = 6.0;
+    /** Fraction of nonzeros constrained near the diagonal. */
+    double localFraction = 0.8;
+    /** Half-width of the diagonal band, as a fraction of rows. */
+    double bandFraction = 0.02;
+    std::uint64_t seed = 7;
+};
+
+/** Generate a square matrix with the requested statistics. Always
+ *  includes the diagonal (SpMV self-contribution). */
+SparseMatrix generateMatrix(const MatrixParams &params);
+
+/**
+ * The Fig 15a benchmark catalog: synthetic analogs named after the
+ * paper's Matrix Market datasets, with size/locality parameters chosen
+ * to mimic each original's traffic character (e.g. hamm_memplus is
+ * predominantly local and should see little FastTrack benefit).
+ */
+const std::vector<MatrixParams> &spmvCatalog();
+
+} // namespace fasttrack
+
+#endif // FT_WORKLOADS_SPARSE_MATRIX_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the worst-case in-flight latency bounds: closed-form
+ * values, and the property that saturated simulations never exceed
+ * them (the forward-progress guarantee of Section IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/analysis.hpp"
+#include "sim/simulation.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(Analysis, ClosedFormValues)
+{
+    const NocConfig cfg = NocConfig::hoplite(8);
+    // Adjacent East neighbour: 1 hop, no southward step -> 1 + 2*8.
+    EXPECT_EQ(hopliteWorstCaseInFlight(cfg, {0, 0}, {1, 0}), 1u + 8);
+    // Full diagonal: (N-1)+(N-1) hops + (dy+1)*N lap cycles.
+    EXPECT_EQ(hopliteWorstCaseInFlight(cfg, {0, 0}, {7, 7}),
+              14u + 8 * 8);
+    EXPECT_EQ(hopliteWorstCaseInFlight(cfg), 14u + 64);
+    // Self traffic never enters the NoC.
+    EXPECT_EQ(hopliteWorstCaseInFlight(cfg, {3, 3}, {3, 3}), 0u);
+}
+
+TEST(Analysis, BoundScalesWithLinkStages)
+{
+    NocConfig cfg = NocConfig::hoplite(4);
+    const Cycle base = hopliteWorstCaseInFlight(cfg);
+    cfg.shortLinkStages = 2;
+    EXPECT_EQ(hopliteWorstCaseInFlight(cfg), base * 3);
+}
+
+TEST(AnalysisDeathTest, WrongVariantRejected)
+{
+    EXPECT_DEATH(
+        hopliteWorstCaseInFlight(NocConfig::fastTrack(8, 2, 1)),
+        "Hoplite");
+    EXPECT_DEATH(fastTrackWorstCaseInFlight(NocConfig::hoplite(8)),
+                 "Hoplite bound");
+}
+
+class BoundHoldsTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BoundHoldsTest, SaturatedHopliteNeverExceedsBound)
+{
+    const auto n = static_cast<std::uint32_t>(GetParam());
+    const NocConfig cfg = NocConfig::hoplite(n);
+    const Cycle bound = hopliteWorstCaseInFlight(cfg);
+
+    for (TrafficPattern pattern :
+         {TrafficPattern::random, TrafficPattern::transpose}) {
+        SyntheticWorkload workload;
+        workload.pattern = pattern;
+        workload.injectionRate = 1.0;
+        workload.packetsPerPe = 300;
+        workload.seed = 17 + n;
+        const SynthResult res =
+            runSynthetic(cfg, 1, workload, 10'000'000);
+        ASSERT_TRUE(res.completed);
+        EXPECT_LE(res.stats.networkLatency.max(), bound)
+            << "N=" << n << " " << toString(pattern);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoundHoldsTest,
+                         ::testing::Values(2, 4, 6, 8));
+
+class FtBoundHoldsTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(FtBoundHoldsTest, SaturatedFastTrackStaysUnderBound)
+{
+    const auto [n, d, r] = GetParam();
+    const NocConfig cfg = NocConfig::fastTrack(n, d, r);
+    const Cycle bound = fastTrackWorstCaseInFlight(cfg);
+
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 300;
+    const SynthResult res = runSynthetic(cfg, 1, workload, 10'000'000);
+    ASSERT_TRUE(res.completed);
+    EXPECT_LE(res.stats.networkLatency.max(), bound)
+        << cfg.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FtBoundHoldsTest,
+    ::testing::Values(std::tuple{4, 2, 1}, std::tuple{8, 2, 1},
+                      std::tuple{8, 2, 2}, std::tuple{8, 3, 1},
+                      std::tuple{8, 4, 4}));
+
+TEST(Analysis, FastTrackBoundAboveHoplite)
+{
+    EXPECT_GT(fastTrackWorstCaseInFlight(NocConfig::fastTrack(8, 2, 1)),
+              hopliteWorstCaseInFlight(NocConfig::hoplite(8)));
+}
+
+} // namespace
+} // namespace fasttrack

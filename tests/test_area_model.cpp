@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the FPGA area/frequency model against the paper's
+ * Table I (32b routers) and Table II (8x8 256b NoCs) anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/area_model.hpp"
+#include "noc/config.hpp"
+
+namespace fasttrack {
+namespace {
+
+class AreaModelTest : public ::testing::Test
+{
+  protected:
+    AreaModel area;
+};
+
+TEST_F(AreaModelTest, HopliteRouterMatchesTableI)
+{
+    const RouterCost rc = area.routerCost(RouterArch::hoplite, 32);
+    EXPECT_NEAR(rc.luts, 78.0, 10.0);
+}
+
+TEST_F(AreaModelTest, FastTrackRouterInsideTableIRange)
+{
+    const RouterCost lite = area.routerCost(RouterArch::ftInject, 32);
+    const RouterCost full = area.routerCost(RouterArch::ftFull, 32);
+    EXPECT_GE(lite.luts, 170u);
+    EXPECT_LE(full.luts, 310u);
+    EXPECT_LT(lite.luts, full.luts);
+}
+
+TEST_F(AreaModelTest, TableIITotalsWithinTenPercent)
+{
+    struct Anchor
+    {
+        NocConfig cfg;
+        double luts, ffs, mhz;
+    };
+    const Anchor anchors[] = {
+        {NocConfig::hoplite(8), 34e3, 83e3, 344},
+        {NocConfig::fastTrack(8, 2, 1), 104e3, 150e3, 320},
+        {NocConfig::fastTrack(8, 2, 2), 69e3, 117e3, 323},
+    };
+    for (const Anchor &a : anchors) {
+        const NocCost cost = area.nocCost(a.cfg.toSpec(256));
+        EXPECT_NEAR(cost.luts, a.luts, a.luts * 0.10)
+            << a.cfg.describe();
+        EXPECT_NEAR(cost.ffs, a.ffs, a.ffs * 0.10) << a.cfg.describe();
+        EXPECT_NEAR(cost.frequencyMhz, a.mhz, a.mhz * 0.05)
+            << a.cfg.describe();
+    }
+}
+
+TEST_F(AreaModelTest, FastTrackAreaRatioMatchesPaper)
+{
+    // Paper Table II: FT(64,2,1)/Hoplite ~3.1x in LUTs, FT(64,2,2)
+    // ~2.0x (the abstract quotes 1.7-2.5x across configs).
+    const double hop = static_cast<double>(
+        area.nocCost(NocConfig::hoplite(8).toSpec(256)).luts);
+    const double full = static_cast<double>(
+        area.nocCost(NocConfig::fastTrack(8, 2, 1).toSpec(256)).luts);
+    const double depop = static_cast<double>(
+        area.nocCost(NocConfig::fastTrack(8, 2, 2).toSpec(256)).luts);
+    EXPECT_NEAR(full / hop, 3.0, 0.35);
+    EXPECT_NEAR(depop / hop, 2.0, 0.30);
+}
+
+TEST_F(AreaModelTest, CostsScaleWithWidth)
+{
+    for (RouterArch arch : {RouterArch::hoplite, RouterArch::ftFull,
+                            RouterArch::ftGrey, RouterArch::ftInject}) {
+        std::uint32_t prev_luts = 0, prev_ffs = 0;
+        for (std::uint32_t w : {32u, 64u, 128u, 256u, 512u}) {
+            const RouterCost rc = area.routerCost(arch, w);
+            EXPECT_GT(rc.luts, prev_luts);
+            EXPECT_GT(rc.ffs, prev_ffs);
+            prev_luts = rc.luts;
+            prev_ffs = rc.ffs;
+        }
+    }
+}
+
+TEST_F(AreaModelTest, KindCountsSumToAllRouters)
+{
+    for (std::uint32_t n : {4u, 8u, 16u}) {
+        for (std::uint32_t d : {2u, 4u}) {
+            for (std::uint32_t r = 1; r <= d; ++r) {
+                if (d % r != 0 || n % r != 0)
+                    continue;
+                const auto k = AreaModel::kindCounts(n, d, r);
+                EXPECT_EQ(k.black + k.grey + k.white, n * n)
+                    << "n=" << n << " d=" << d << " r=" << r;
+            }
+        }
+    }
+}
+
+TEST_F(AreaModelTest, FullyPopulatedIsAllBlack)
+{
+    const auto k = AreaModel::kindCounts(8, 2, 1);
+    EXPECT_EQ(k.black, 64u);
+    EXPECT_EQ(k.grey, 0u);
+    EXPECT_EQ(k.white, 0u);
+}
+
+TEST_F(AreaModelTest, DepopulatedHasExpectedMix)
+{
+    // FT(16, 2, 2) on a 4x4: express columns/rows at even positions.
+    const auto k = AreaModel::kindCounts(4, 2, 2);
+    EXPECT_EQ(k.black, 4u);
+    EXPECT_EQ(k.grey, 8u);
+    EXPECT_EQ(k.white, 4u);
+}
+
+TEST_F(AreaModelTest, HopliteKindCountsAllWhite)
+{
+    const auto k = AreaModel::kindCounts(8, 0, 1);
+    EXPECT_EQ(k.white, 64u);
+    EXPECT_EQ(k.black + k.grey, 0u);
+}
+
+TEST_F(AreaModelTest, WireCountMatchesTrackFormula)
+{
+    // Fig 14b iso-wiring anchors: FT(64,2,1) == Hoplite-3x == 48;
+    // FT(64,2,2) == Hoplite-2x == 32.
+    EXPECT_EQ(area.nocCost(NocConfig::fastTrack(8, 2, 1).toSpec(256))
+                  .wireCount, 48u);
+    EXPECT_EQ(area.nocCost(NocConfig::hoplite(8).toSpec(256, 3))
+                  .wireCount, 48u);
+    EXPECT_EQ(area.nocCost(NocConfig::fastTrack(8, 2, 2).toSpec(256))
+                  .wireCount, 32u);
+    EXPECT_EQ(area.nocCost(NocConfig::hoplite(8).toSpec(256, 2))
+                  .wireCount, 32u);
+}
+
+TEST_F(AreaModelTest, MultiChannelScalesLinearly)
+{
+    const NocCost one =
+        area.nocCost(NocConfig::hoplite(8).toSpec(256, 1));
+    const NocCost three =
+        area.nocCost(NocConfig::hoplite(8).toSpec(256, 3));
+    EXPECT_EQ(three.luts, one.luts * 3);
+    EXPECT_EQ(three.ffs, one.ffs * 3);
+}
+
+TEST_F(AreaModelTest, FrequencyFallsWithSizeAndWidth)
+{
+    const double f_small = area.frequencyMhz(NocSpec{4, 64, 0, 1,
+                                                     false, 1});
+    const double f_big = area.frequencyMhz(NocSpec{16, 64, 0, 1,
+                                                   false, 1});
+    const double f_wide = area.frequencyMhz(NocSpec{4, 512, 0, 1,
+                                                    false, 1});
+    EXPECT_GT(f_small, f_big);
+    EXPECT_GT(f_small, f_wide);
+}
+
+TEST_F(AreaModelTest, FastTrackFrequencyCloseToHoplite)
+{
+    // Key paper claim: FastTrack runs at "almost the same" clock.
+    const double hop = area.frequencyMhz(
+        NocConfig::hoplite(8).toSpec(256));
+    const double ft = area.frequencyMhz(
+        NocConfig::fastTrack(8, 2, 1).toSpec(256));
+    EXPECT_GT(ft, hop * 0.85);
+    EXPECT_LE(ft, hop);
+}
+
+TEST_F(AreaModelTest, SpecDescribeNames)
+{
+    EXPECT_EQ(NocConfig::hoplite(8).describe(), "Hoplite 8x8");
+    EXPECT_EQ(NocConfig::fastTrack(8, 2, 1).describe(), "FT(64,2,1)");
+    EXPECT_EQ(NocConfig::fastTrack(8, 2, 2,
+                                   NocVariant::ftInject).describe(),
+              "FTlite(64,2,2)");
+    EXPECT_EQ(NocConfig::hoplite(8).toSpec(256, 3).describe(),
+              "Hoplite-3x 8x8");
+}
+
+} // namespace
+} // namespace fasttrack

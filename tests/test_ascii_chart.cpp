@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the ASCII chart renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/ascii_chart.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(AsciiChart, RendersGlyphsAndLegend)
+{
+    AsciiChart chart("demo", 20, 6);
+    chart.addSeries("up", {{0, 0}, {1, 1}});
+    chart.addSeries("down", {{0, 1}, {1, 0}});
+    std::ostringstream os;
+    chart.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find("*=up"), std::string::npos);
+    EXPECT_NE(out.find("o=down"), std::string::npos);
+}
+
+TEST(AsciiChart, ExtremesLandOnCorners)
+{
+    AsciiChart chart("", 20, 5);
+    chart.addSeries("s", {{0, 0}, {10, 100}});
+    std::ostringstream os;
+    chart.print(os);
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream is(os.str());
+    while (std::getline(is, line))
+        lines.push_back(line);
+    // First plot row (after the y-max header) has the max point at
+    // the right edge; last plot row has the min at the left edge.
+    EXPECT_EQ(lines[1].back(), '*');
+    EXPECT_EQ(lines[5][3], '*'); // after the "  |" prefix
+}
+
+TEST(AsciiChart, EmptyChartPrintsNothing)
+{
+    AsciiChart chart("empty");
+    std::ostringstream os;
+    chart.print(os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiChart, DegenerateRangesDoNotDivideByZero)
+{
+    AsciiChart chart("flat", 20, 5);
+    chart.addSeries("s", {{1, 5}, {1, 5}, {1, 5}});
+    std::ostringstream os;
+    chart.print(os);
+    EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, LogScalesAcceptZeros)
+{
+    AsciiChart chart("log", 30, 6);
+    chart.setLogX(true);
+    chart.setLogY(true);
+    chart.addSeries("s", {{0.01, 0.0}, {1.0, 100.0}});
+    std::ostringstream os;
+    chart.print(os);
+    EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiChartDeathTest, RejectsTinyCanvas)
+{
+    EXPECT_DEATH(AsciiChart("x", 2, 2), "chart area");
+}
+
+} // namespace
+} // namespace fasttrack

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Coverage for the small shared utilities: coordinates, logging
+ * switches, and NocStats helper arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "noc/noc_stats.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(Types, CoordRoundTrip)
+{
+    for (std::uint32_t n : {2u, 5u, 8u, 16u}) {
+        for (NodeId id = 0; id < n * n; ++id) {
+            const Coord c = toCoord(id, n);
+            EXPECT_LT(c.x, n);
+            EXPECT_LT(c.y, n);
+            EXPECT_EQ(toNodeId(c, n), id);
+        }
+    }
+}
+
+TEST(Types, RingDistance)
+{
+    EXPECT_EQ(ringDistance(0, 0, 8), 0u);
+    EXPECT_EQ(ringDistance(0, 3, 8), 3u);
+    EXPECT_EQ(ringDistance(3, 0, 8), 5u); // unidirectional wrap
+    EXPECT_EQ(ringDistance(7, 0, 8), 1u);
+    EXPECT_EQ(ringDistance(5, 5, 8), 0u);
+}
+
+TEST(Types, CoordToString)
+{
+    EXPECT_EQ(coordToString({3, 7}), "(3,7)");
+}
+
+TEST(Types, CoordHashDistinguishes)
+{
+    std::unordered_set<std::size_t> hashes;
+    std::hash<Coord> h;
+    for (std::uint16_t x = 0; x < 16; ++x)
+        for (std::uint16_t y = 0; y < 16; ++y)
+            hashes.insert(h(Coord{x, y}));
+    EXPECT_EQ(hashes.size(), 256u);
+}
+
+TEST(Logging, QuietSuppressesWarnings)
+{
+    // warn/inform respect the quiet flag (no crash, flag round trip).
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    FT_WARN("this should be suppressed");
+    FT_INFORM("so should this");
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+}
+
+TEST(NocStatsHelpers, Totals)
+{
+    NocStats s;
+    s.deflectionsByPort[0] = 3;
+    s.deflectionsByPort[3] = 4;
+    s.misroutesByPort[1] = 2;
+    EXPECT_EQ(s.totalDeflections(), 7u);
+    EXPECT_EQ(s.totalMisroutes(), 2u);
+}
+
+TEST(NocStatsHelpers, SustainedRateAndActivity)
+{
+    NocStats s;
+    s.delivered = 640;
+    EXPECT_DOUBLE_EQ(s.sustainedRate(64, 100), 0.1);
+    EXPECT_DOUBLE_EQ(s.sustainedRate(64, 0), 0.0);
+
+    s.shortHopTraversals = 150;
+    s.expressHopTraversals = 50;
+    EXPECT_DOUBLE_EQ(s.linkActivity(100, 10), 0.2);
+    EXPECT_DOUBLE_EQ(s.linkActivity(0, 10), 0.0);
+}
+
+TEST(NocStatsHelpers, MergeAddsEverything)
+{
+    NocStats a, b;
+    a.injected = 1;
+    a.laneDeflections = 2;
+    a.totalLatency.add(10);
+    b.injected = 3;
+    b.exitBlocked = 5;
+    b.totalLatency.add(20);
+    a.merge(b);
+    EXPECT_EQ(a.injected, 4u);
+    EXPECT_EQ(a.laneDeflections, 2u);
+    EXPECT_EQ(a.exitBlocked, 5u);
+    EXPECT_EQ(a.totalLatency.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.totalLatency.mean(), 15.0);
+}
+
+TEST(NocStatsHelpers, ResetClears)
+{
+    NocStats s;
+    s.injected = 7;
+    s.hopCount.add(3);
+    s.reset();
+    EXPECT_EQ(s.injected, 0u);
+    EXPECT_EQ(s.hopCount.count(), 0u);
+}
+
+TEST(Parallel, MapPreservesOrderAndValues)
+{
+    std::vector<int> items;
+    for (int i = 0; i < 257; ++i)
+        items.push_back(i);
+    const auto out = parallelMap(
+        items, [](int x) { return x * x; }, 8);
+    ASSERT_EQ(out.size(), items.size());
+    for (int i = 0; i < 257; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, HandlesEmptyAndSingle)
+{
+    const std::vector<int> empty;
+    EXPECT_TRUE(parallelMap(empty, [](int x) { return x; }).empty());
+    const std::vector<int> one{7};
+    EXPECT_EQ(parallelMap(one, [](int x) { return x + 1; })[0], 8);
+}
+
+TEST(Parallel, MatchesSerialForSimResults)
+{
+    // Thread count must not change simulation outputs.
+    std::vector<std::uint64_t> seeds{1, 2, 3, 4};
+    auto run = [&](unsigned threads) {
+        return parallelMap(
+            seeds,
+            [](std::uint64_t seed) {
+                Rng rng(seed);
+                std::uint64_t acc = 0;
+                for (int i = 0; i < 1000; ++i)
+                    acc ^= rng.next();
+                return acc;
+            },
+            threads);
+    };
+    EXPECT_EQ(run(1), run(4));
+}
+
+} // namespace
+} // namespace fasttrack

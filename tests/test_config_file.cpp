@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the key=value configuration parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config_file.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(ConfigFile, ParsesTypedValues)
+{
+    std::istringstream is(
+        "# comment line\n"
+        "n = 8\n"
+        "rate = 0.25   # trailing comment\n"
+        "name = ft-full\n"
+        "flag = true\n"
+        "\n");
+    const KeyValueFile kv = KeyValueFile::parse(is);
+    EXPECT_EQ(kv.size(), 4u);
+    EXPECT_EQ(kv.getInt("n"), 8);
+    EXPECT_DOUBLE_EQ(kv.getDouble("rate"), 0.25);
+    EXPECT_EQ(kv.getString("name"), "ft-full");
+    EXPECT_TRUE(kv.getBool("flag"));
+}
+
+TEST(ConfigFile, FallbacksForMissingKeys)
+{
+    std::istringstream is("a = 1\n");
+    const KeyValueFile kv = KeyValueFile::parse(is);
+    EXPECT_FALSE(kv.has("missing"));
+    EXPECT_EQ(kv.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(kv.getDouble("missing", 2.5), 2.5);
+    EXPECT_EQ(kv.getString("missing", "x"), "x");
+    EXPECT_TRUE(kv.getBool("missing", true));
+}
+
+TEST(ConfigFile, LaterKeysOverride)
+{
+    std::istringstream is("a = 1\na = 2\n");
+    EXPECT_EQ(KeyValueFile::parse(is).getInt("a"), 2);
+}
+
+TEST(ConfigFile, BooleanSpellings)
+{
+    std::istringstream is(
+        "a = YES\nb = off\nc = 1\nd = False\n");
+    const KeyValueFile kv = KeyValueFile::parse(is);
+    EXPECT_TRUE(kv.getBool("a"));
+    EXPECT_FALSE(kv.getBool("b"));
+    EXPECT_TRUE(kv.getBool("c"));
+    EXPECT_FALSE(kv.getBool("d"));
+}
+
+TEST(ConfigFileDeathTest, RejectsMalformedInput)
+{
+    {
+        std::istringstream is("not a key value line\n");
+        EXPECT_EXIT(KeyValueFile::parse(is),
+                    ::testing::ExitedWithCode(1), "key = value");
+    }
+    {
+        std::istringstream is("n = twelve\n");
+        const KeyValueFile kv = KeyValueFile::parse(is);
+        EXPECT_EXIT(kv.getInt("n"), ::testing::ExitedWithCode(1),
+                    "not an integer");
+    }
+    {
+        std::istringstream is("b = maybe\n");
+        const KeyValueFile kv = KeyValueFile::parse(is);
+        EXPECT_EXIT(kv.getBool("b"), ::testing::ExitedWithCode(1),
+                    "not a boolean");
+    }
+    EXPECT_EXIT(KeyValueFile::parseFile("/nonexistent/path.cfg"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace fasttrack

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Failure-injection tests: adversarial exit gates, offer churn, and
+ * other hostile conditions the bufferless core must survive without
+ * losing or duplicating packets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+
+namespace fasttrack {
+namespace {
+
+Packet
+pkt(NodeId src, NodeId dst, std::uint64_t id)
+{
+    Packet p;
+    p.id = id;
+    p.src = src;
+    p.dst = dst;
+    return p;
+}
+
+TEST(FailureInjection, ClosedExitGateCirculatesWithoutLoss)
+{
+    // A client that refuses every delivery: packets must keep
+    // circulating (bufferless networks cannot drop), and open the
+    // gate later to drain them all.
+    Network noc(NocConfig::fastTrack(8, 2, 1));
+    bool gate_open = false;
+    noc.setExitGate([&](NodeId, const Packet &) { return gate_open; });
+    std::uint64_t delivered = 0;
+    noc.setDeliverCallback(
+        [&](const Packet &, Cycle) { ++delivered; });
+
+    for (NodeId s = 0; s < 32; ++s)
+        noc.offer(pkt(s, 63 - s, s + 1));
+    for (int i = 0; i < 500; ++i)
+        noc.step();
+    EXPECT_EQ(delivered, 0u);
+    EXPECT_EQ(noc.inFlight(), 32u); // nothing lost, nothing delivered
+
+    gate_open = true;
+    ASSERT_TRUE(noc.drain(10000));
+    EXPECT_EQ(delivered, 32u);
+}
+
+TEST(FailureInjection, FlappingExitGateEventuallyDelivers)
+{
+    Network noc(NocConfig::hoplite(8));
+    Rng rng(41);
+    noc.setExitGate(
+        [&](NodeId, const Packet &) { return rng.nextBool(0.2); });
+    std::map<std::uint64_t, int> seen;
+    noc.setDeliverCallback(
+        [&](const Packet &p, Cycle) { ++seen[p.id]; });
+
+    Rng traffic(42);
+    std::uint64_t id = 0;
+    for (int cycle = 0; cycle < 300; ++cycle) {
+        for (NodeId s = 0; s < 64; ++s) {
+            if (!noc.hasPendingOffer(s) && traffic.nextBool(0.3)) {
+                NodeId d = static_cast<NodeId>(traffic.nextBelow(63));
+                if (d >= s)
+                    ++d;
+                noc.offer(pkt(s, d, ++id));
+            }
+        }
+        noc.step();
+    }
+    ASSERT_TRUE(noc.drain(200000));
+    EXPECT_EQ(seen.size(), id);
+    for (const auto &[packet_id, count] : seen)
+        EXPECT_EQ(count, 1) << packet_id;
+}
+
+TEST(FailureInjection, OfferChurnDoesNotLeak)
+{
+    // Repeatedly withdraw and re-offer packets before acceptance;
+    // accounting must stay exact.
+    Network noc(NocConfig::hoplite(4));
+    std::uint64_t delivered = 0;
+    noc.setDeliverCallback(
+        [&](const Packet &, Cycle) { ++delivered; });
+
+    Rng rng(43);
+    std::uint64_t id = 0;
+    std::uint64_t churns = 0;
+    for (int cycle = 0; cycle < 400; ++cycle) {
+        for (NodeId s = 0; s < 16; ++s) {
+            if (noc.hasPendingOffer(s) && rng.nextBool(0.5)) {
+                Packet p = noc.withdrawOffer(s);
+                noc.offer(p); // immediately re-offered
+                ++churns;
+            } else if (!noc.hasPendingOffer(s) && rng.nextBool(0.4)) {
+                NodeId d = static_cast<NodeId>(rng.nextBelow(15));
+                if (d >= s)
+                    ++d;
+                noc.offer(pkt(s, d, ++id));
+            }
+        }
+        noc.step();
+    }
+    EXPECT_GT(churns, 0u);
+    ASSERT_TRUE(noc.drain(100000));
+    EXPECT_EQ(delivered, id);
+}
+
+TEST(FailureInjection, HotspotDestinationSurvives)
+{
+    // Every node hammers a single destination: exit bandwidth is one
+    // packet per cycle, so the network runs fully congested; all
+    // packets must still arrive exactly once.
+    Network noc(NocConfig::fastTrack(8, 2, 2));
+    std::map<std::uint64_t, int> seen;
+    noc.setDeliverCallback(
+        [&](const Packet &p, Cycle) { ++seen[p.id]; });
+    std::uint64_t id = 0;
+    for (int round = 0; round < 30; ++round) {
+        for (NodeId s = 0; s < 64; ++s) {
+            if (s != 27 && !noc.hasPendingOffer(s))
+                noc.offer(pkt(s, 27, ++id));
+        }
+        noc.step();
+    }
+    ASSERT_TRUE(noc.drain(200000));
+    EXPECT_EQ(seen.size(), id);
+}
+
+TEST(FailureInjection, AdversarialDiagonalBurst)
+{
+    // All nodes fire simultaneously at their transpose partner: a
+    // one-shot burst with maximal turn contention on the diagonal.
+    Network noc(NocConfig::fastTrack(8, 4, 1));
+    std::uint64_t delivered = 0;
+    noc.setDeliverCallback(
+        [&](const Packet &, Cycle) { ++delivered; });
+    std::uint64_t expected = 0;
+    for (NodeId s = 0; s < 64; ++s) {
+        const Coord c = toCoord(s, 8);
+        const NodeId d = toNodeId({c.y, c.x}, 8);
+        noc.offer(pkt(s, d, s + 1));
+        if (d != s)
+            ++expected;
+    }
+    ASSERT_TRUE(noc.drain(100000));
+    EXPECT_EQ(delivered, 64u); // self-deliveries included in callback
+    EXPECT_EQ(noc.stats().delivered, expected);
+}
+
+} // namespace
+} // namespace fasttrack

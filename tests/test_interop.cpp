@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Cross-cutting interoperability tests: every NoC device class runs
+ * every workload machinery (traces, segmentation, steady state),
+ * link counters reconcile with global stats, and unusual but legal
+ * compositions (replicated FastTrack channels) behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/buffered.hpp"
+#include "noc/network.hpp"
+#include "noc/smart.hpp"
+#include "noc/vc_torus.hpp"
+#include "sim/simulation.hpp"
+#include "sim/steady_state.hpp"
+#include "traffic/segmentation.hpp"
+#include "traffic/trace_replay.hpp"
+#include "workloads/dataflow.hpp"
+
+namespace fasttrack {
+namespace {
+
+Trace
+sampleTrace(std::uint32_t n)
+{
+    LuDagParams params{"interop", 500, 6.0, 1.8, 2, 99};
+    return dataflowTrace(sparseLuDag(params), n);
+}
+
+TEST(Interop, EveryDeviceReplaysTheSameTrace)
+{
+    const Trace trace = sampleTrace(4);
+    std::vector<std::unique_ptr<NocDevice>> devices;
+    devices.push_back(makeNoc(NocConfig::hoplite(4), 1));
+    devices.push_back(makeNoc(NocConfig::fastTrack(4, 2, 1), 1));
+    devices.push_back(makeNoc(NocConfig::hoplite(4), 2));
+    devices.emplace_back(new SmartNetwork(4, 4));
+    devices.emplace_back(new BufferedNetwork(4, 4));
+    devices.emplace_back(new VcTorusNetwork(4, 2, 4));
+
+    for (auto &dev : devices) {
+        TraceReplayer replayer(*dev, trace);
+        replayer.run(1'000'000);
+        EXPECT_TRUE(replayer.finished());
+    }
+}
+
+TEST(Interop, SegmentedTraceOnFastTrack)
+{
+    const Trace trace =
+        segmentTrace(sampleTrace(4), /*message_bits=*/512,
+                     /*datawidth=*/128);
+    auto noc = makeNoc(NocConfig::fastTrack(4, 2, 2), 1);
+    TraceReplayer replayer(*noc, trace);
+    replayer.run(2'000'000);
+    EXPECT_TRUE(replayer.finished());
+}
+
+TEST(Interop, LinkCountersReconcileWithStats)
+{
+    Network noc(NocConfig::fastTrack(8, 2, 1));
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 0.6;
+    workload.packetsPerPe = 64;
+    ASSERT_TRUE(runSynthetic(noc, workload, 1'000'000).completed);
+
+    std::uint64_t short_links = 0, express_links = 0;
+    for (const auto &per_router : noc.linkTraversals()) {
+        express_links +=
+            per_router[static_cast<int>(OutPort::eEx)] +
+            per_router[static_cast<int>(OutPort::sEx)];
+        short_links += per_router[static_cast<int>(OutPort::eSh)] +
+                       per_router[static_cast<int>(OutPort::sSh)];
+    }
+    // Exits consume an output port but traverse no link; both the
+    // per-link counters and the global hop counters exclude them, so
+    // the two views must agree exactly.
+    EXPECT_EQ(short_links, noc.stats().shortHopTraversals);
+    EXPECT_EQ(express_links, noc.stats().expressHopTraversals);
+}
+
+TEST(Interop, ReplicatedFastTrackChannels)
+{
+    // Not a paper configuration, but the composition must be sound:
+    // two independent FastTrack channels behind one client interface.
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 128;
+    const SynthResult two =
+        runSynthetic(NocConfig::fastTrack(8, 2, 1), 2, workload,
+                     2'000'000);
+    const SynthResult one =
+        runSynthetic(NocConfig::fastTrack(8, 2, 1), 1, workload,
+                     2'000'000);
+    ASSERT_TRUE(two.completed && one.completed);
+    EXPECT_GT(two.sustainedRate(), one.sustainedRate());
+}
+
+TEST(Interop, SteadyStateAcrossDeviceClasses)
+{
+    SteadyStateConfig cfg;
+    cfg.injectionRate = 0.05;
+    cfg.warmupCycles = 500;
+    cfg.measureCycles = 3000;
+
+    for (int kind = 0; kind < 3; ++kind) {
+        std::unique_ptr<NocDevice> dev;
+        switch (kind) {
+          case 0: dev = makeNoc(NocConfig::fastTrack(8, 2, 1), 1); break;
+          case 1: dev.reset(new BufferedNetwork(8, 4)); break;
+          default: dev.reset(new VcTorusNetwork(8, 2, 4)); break;
+        }
+        const SteadyStateResult res = measureSteadyState(*dev, cfg);
+        EXPECT_NEAR(res.throughput, 0.05, 0.008) << kind;
+        EXPECT_FALSE(res.saturated) << kind;
+    }
+}
+
+TEST(Interop, ZeroLoadLatencyOrderingAcrossClasses)
+{
+    // At near-zero load: FastTrack < Hoplite (express shortcuts);
+    // VC torus < buffered mesh (wraparound halves distances).
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 0.02;
+    workload.packetsPerPe = 128;
+
+    const double ft = runSynthetic(NocConfig::fastTrack(8, 2, 1), 1,
+                                   workload).avgLatency();
+    const double hop =
+        runSynthetic(NocConfig::hoplite(8), 1, workload).avgLatency();
+    BufferedNetwork mesh(8, 4);
+    const double mesh_lat = runSynthetic(mesh, workload).avgLatency();
+    VcTorusNetwork torus(8, 2, 4);
+    const double torus_lat =
+        runSynthetic(torus, workload).avgLatency();
+
+    EXPECT_LT(ft, hop);
+    EXPECT_LT(torus_lat, mesh_lat);
+}
+
+} // namespace
+} // namespace fasttrack

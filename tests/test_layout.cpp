@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the folded-vs-linear torus layout model (Section V).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fpga/layout.hpp"
+#include "noc/config.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(Layout, SlotsArePermutations)
+{
+    for (std::uint32_t n : {2u, 5u, 8u, 16u}) {
+        for (TorusLayout layout :
+             {TorusLayout::linear, TorusLayout::folded}) {
+            std::set<std::uint32_t> slots;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const std::uint32_t s =
+                    LayoutModel::slotOf(i, n, layout);
+                EXPECT_LT(s, n);
+                slots.insert(s);
+            }
+            EXPECT_EQ(slots.size(), n)
+                << "n=" << n << " " << toString(layout);
+        }
+    }
+}
+
+TEST(Layout, FoldedOrderingForEight)
+{
+    // 0,1,...,7 land on physical slots 0,2,4,6,7,5,3,1.
+    const std::uint32_t expect[] = {0, 2, 4, 6, 7, 5, 3, 1};
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(LayoutModel::slotOf(i, 8, TorusLayout::folded),
+                  expect[i]);
+    }
+}
+
+TEST(Layout, FoldedBoundsEveryHopByTwoTiles)
+{
+    LayoutModel layout;
+    for (std::uint32_t n : {4u, 8u, 16u}) {
+        const double tile = 256.0 / n;
+        EXPECT_LE(layout.maxShortSpan(n, TorusLayout::folded),
+                  2.0 * tile + 1e-9);
+    }
+}
+
+TEST(Layout, LinearWraparoundDominates)
+{
+    LayoutModel layout;
+    // Linear layout: the wraparound wire spans N-1 tiles.
+    EXPECT_NEAR(layout.maxShortSpan(8, TorusLayout::linear),
+                7.0 * 32.0, 1e-9);
+    EXPECT_GT(layout.maxShortSpan(8, TorusLayout::linear),
+              3.0 * layout.maxShortSpan(8, TorusLayout::folded));
+}
+
+TEST(Layout, ExpressSpanScalesWithD)
+{
+    LayoutModel layout;
+    const double d2 = layout.maxExpressSpan(8, 2, TorusLayout::folded);
+    const double d4 = layout.maxExpressSpan(8, 4, TorusLayout::folded);
+    EXPECT_GT(d4, d2);
+    // Folded express hop of D spans at most 2D tiles.
+    EXPECT_LE(d2, 4.0 * 32.0 + 1e-9);
+}
+
+TEST(Layout, FoldedClocksFasterThanLinear)
+{
+    LayoutModel layout;
+    const NocSpec hoplite = NocConfig::hoplite(8).toSpec(256);
+    const NocSpec ft = NocConfig::fastTrack(8, 2, 1).toSpec(256);
+    EXPECT_GT(layout.frequencyCapMhz(hoplite, TorusLayout::folded),
+              layout.frequencyCapMhz(hoplite, TorusLayout::linear) *
+                  1.5);
+    EXPECT_GT(layout.frequencyCapMhz(ft, TorusLayout::folded),
+              layout.frequencyCapMhz(ft, TorusLayout::linear));
+}
+
+TEST(Layout, CapRespectsClockCeiling)
+{
+    LayoutModel layout;
+    const NocSpec tiny = NocConfig::hoplite(32).toSpec(32);
+    EXPECT_LE(layout.frequencyCapMhz(tiny, TorusLayout::folded),
+              virtex7_485t().clockCeilingMhz);
+}
+
+} // namespace
+} // namespace fasttrack

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the link-pipelining extension: multi-cycle links must
+ * preserve every delivery guarantee, scale zero-load latency by the
+ * per-hop latency, and be reflected by the cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/area_model.hpp"
+#include "noc/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace fasttrack {
+namespace {
+
+Packet
+pkt(NodeId src, NodeId dst, std::uint64_t id = 1)
+{
+    Packet p;
+    p.id = id;
+    p.src = src;
+    p.dst = dst;
+    return p;
+}
+
+TEST(Pipelining, ZeroLoadLatencyScalesWithStages)
+{
+    for (std::uint32_t stages : {0u, 1u, 3u}) {
+        NocConfig cfg = NocConfig::hoplite(4);
+        cfg.shortLinkStages = stages;
+        Network noc(cfg);
+        Cycle delivered_at = 0;
+        noc.setDeliverCallback(
+            [&](const Packet &, Cycle c) { delivered_at = c; });
+        noc.offer(pkt(0, 3)); // 3 hops East
+        ASSERT_TRUE(noc.drain(1000));
+        EXPECT_EQ(delivered_at, 3u * (1 + stages)) << stages;
+    }
+}
+
+TEST(Pipelining, ExpressStagesOnlyAffectExpressHops)
+{
+    NocConfig cfg = NocConfig::fastTrack(8, 2, 1);
+    cfg.expressLinkStages = 2;
+    Network noc(cfg);
+    Cycle delivered_at = 0;
+    noc.setDeliverCallback(
+        [&](const Packet &, Cycle c) { delivered_at = c; });
+    // (0,0)->(4,0): two express hops, each 3 cycles.
+    noc.offer(pkt(toNodeId({0, 0}, 8), toNodeId({4, 0}, 8)));
+    ASSERT_TRUE(noc.drain(1000));
+    EXPECT_EQ(delivered_at, 6u);
+}
+
+TEST(Pipelining, MixedStagesChangeRoutePreferenceEconomics)
+{
+    // Stages do not change the routing decision (the router is
+    // latency-oblivious), but deliveries must still all happen.
+    NocConfig cfg = NocConfig::fastTrack(8, 2, 2);
+    cfg.shortLinkStages = 1;
+    cfg.expressLinkStages = 2;
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 100;
+    const SynthResult res = runSynthetic(cfg, 1, workload, 5'000'000);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.stats.delivered + res.stats.selfDelivered,
+              100ull * 64);
+}
+
+TEST(Pipelining, SaturatedDrainAcrossVariantsAndStages)
+{
+    for (std::uint32_t stages : {1u, 2u}) {
+        for (const NocConfig &base :
+             {NocConfig::hoplite(4), NocConfig::fastTrack(8, 2, 1),
+              NocConfig::fastTrack(8, 2, 2, NocVariant::ftInject)}) {
+            NocConfig cfg = base;
+            cfg.shortLinkStages = stages;
+            cfg.expressLinkStages = stages;
+            SyntheticWorkload workload;
+            workload.pattern = TrafficPattern::random;
+            workload.injectionRate = 1.0;
+            workload.packetsPerPe = 100;
+            const SynthResult res =
+                runSynthetic(cfg, 1, workload, 5'000'000);
+            EXPECT_TRUE(res.completed)
+                << cfg.describe() << " stages=" << stages;
+        }
+    }
+}
+
+TEST(Pipelining, ThroughputInPacketsPerCycleUnharmed)
+{
+    // Pipeline registers are wires, not contention points: packets
+    // per cycle at saturation should stay within ~15% of unpipelined.
+    auto rate = [](std::uint32_t stages) {
+        NocConfig cfg = NocConfig::fastTrack(8, 2, 1);
+        cfg.shortLinkStages = stages;
+        cfg.expressLinkStages = stages;
+        SyntheticWorkload workload;
+        workload.pattern = TrafficPattern::random;
+        workload.injectionRate = 1.0;
+        workload.packetsPerPe = 256;
+        return runSynthetic(cfg, 1, workload).sustainedRate();
+    };
+    const double base = rate(0);
+    EXPECT_NEAR(rate(2), base, base * 0.20);
+}
+
+TEST(Pipelining, AreaModelAddsLinkRegisters)
+{
+    AreaModel area;
+    NocConfig base = NocConfig::hoplite(8);
+    NocConfig piped = base;
+    piped.shortLinkStages = 2;
+    const NocCost c0 = area.nocCost(base.toSpec(256));
+    const NocCost c2 = area.nocCost(piped.toSpec(256));
+    // 2N*N short links x 2 stages x 256 bits extra flops.
+    EXPECT_EQ(c2.ffs - c0.ffs, 2ull * 8 * 8 * 2 * 256);
+    EXPECT_EQ(c2.luts, c0.luts);
+}
+
+TEST(Pipelining, FrequencyRisesTowardRouterLimit)
+{
+    AreaModel area;
+    NocConfig cfg = NocConfig::hoplite(8);
+    double prev = area.frequencyMhz(cfg.toSpec(256));
+    const double limit = 1000.0 / (0.60 * (1000.0 / prev));
+    for (std::uint32_t stages : {1u, 2u, 4u}) {
+        cfg.shortLinkStages = stages;
+        const double f = area.frequencyMhz(cfg.toSpec(256));
+        EXPECT_GT(f, prev);
+        EXPECT_LT(f, limit + 1.0);
+        prev = f;
+    }
+}
+
+TEST(Pipelining, UnpipelinedExpressBindsTheClock)
+{
+    // Pipelining only the short links of a FastTrack NoC leaves the
+    // express wires as the critical path: no clock gain.
+    AreaModel area;
+    NocConfig cfg = NocConfig::fastTrack(8, 2, 1);
+    const double f0 = area.frequencyMhz(cfg.toSpec(256));
+    cfg.shortLinkStages = 2;
+    EXPECT_NEAR(area.frequencyMhz(cfg.toSpec(256)), f0, 1e-9);
+    cfg.expressLinkStages = 2;
+    EXPECT_GT(area.frequencyMhz(cfg.toSpec(256)), f0);
+}
+
+TEST(PipeliningDeathTest, RejectsAbsurdStageCounts)
+{
+    NocConfig cfg = NocConfig::hoplite(8);
+    cfg.shortLinkStages = 9;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "link stages");
+}
+
+} // namespace
+} // namespace fasttrack

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the dynamic power/energy model against Table II anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/power_model.hpp"
+#include "noc/config.hpp"
+
+namespace fasttrack {
+namespace {
+
+class PowerModelTest : public ::testing::Test
+{
+  protected:
+    AreaModel area;
+    PowerModel power{area};
+};
+
+TEST_F(PowerModelTest, TableIIAnchorsWithinFifteenPercent)
+{
+    struct Anchor
+    {
+        NocConfig cfg;
+        double watts;
+    };
+    const Anchor anchors[] = {
+        {NocConfig::hoplite(8), 9.8},
+        {NocConfig::fastTrack(8, 2, 1), 25.1},
+        {NocConfig::fastTrack(8, 2, 2), 19.9},
+    };
+    for (const Anchor &a : anchors) {
+        EXPECT_NEAR(power.dynamicPowerW(a.cfg.toSpec(256)), a.watts,
+                    a.watts * 0.15)
+            << a.cfg.describe();
+    }
+}
+
+TEST_F(PowerModelTest, PaperPowerRatioHolds)
+{
+    // Paper: FastTrack is 2-2.5x more power hungry than Hoplite.
+    const double hop =
+        power.dynamicPowerW(NocConfig::hoplite(8).toSpec(256));
+    const double ft =
+        power.dynamicPowerW(NocConfig::fastTrack(8, 2, 1).toSpec(256));
+    EXPECT_GT(ft / hop, 2.0);
+    EXPECT_LT(ft / hop, 2.8);
+}
+
+TEST_F(PowerModelTest, PowerLinearInActivity)
+{
+    const NocSpec spec = NocConfig::hoplite(8).toSpec(256);
+    const double half = power.dynamicPowerW(spec, 0.25);
+    const double full = power.dynamicPowerW(spec, 0.50);
+    EXPECT_NEAR(full, 2.0 * half, 1e-9);
+}
+
+TEST_F(PowerModelTest, ZeroActivityZeroPower)
+{
+    EXPECT_EQ(power.dynamicPowerW(NocConfig::hoplite(8).toSpec(256),
+                                  0.0), 0.0);
+}
+
+TEST_F(PowerModelTest, EnergyIsPowerTimesTime)
+{
+    const NocSpec spec = NocConfig::fastTrack(8, 2, 1).toSpec(256);
+    const NocCost cost = area.nocCost(spec);
+    const double cycles = 1e6;
+    const double expect = power.dynamicPowerW(spec, 0.4) * cycles /
+                          (cost.frequencyMhz * 1e6);
+    EXPECT_NEAR(power.energyJ(spec, cycles, 0.4), expect, 1e-12);
+}
+
+TEST_F(PowerModelTest, WiderNoCsBurnMore)
+{
+    const double narrow =
+        power.dynamicPowerW(NocConfig::hoplite(8).toSpec(64));
+    const double wide =
+        power.dynamicPowerW(NocConfig::hoplite(8).toSpec(512));
+    EXPECT_GT(wide, narrow * 2.0);
+}
+
+TEST_F(PowerModelTest, ActivityOutOfRangePanics)
+{
+    EXPECT_DEATH(power.dynamicPowerW(NocConfig::hoplite(4).toSpec(32),
+                                     1.5),
+                 "activity");
+}
+
+} // namespace
+} // namespace fasttrack

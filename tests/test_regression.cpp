@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Pinned-value regression tests: exact results for fixed seeds. The
+ * simulator is deterministic and platform-independent (portable RNG,
+ * ordered evaluation), so these values must never drift silently. If
+ * an intentional routing/model change moves them, re-pin the values
+ * in the same commit and justify the delta in EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "workloads/dataflow.hpp"
+#include "workloads/spmv.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(Regression, HopliteSaturationPoint)
+{
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 256;
+    workload.seed = 1;
+    const SynthResult res =
+        runSynthetic(NocConfig::hoplite(8), 1, workload);
+    ASSERT_TRUE(res.completed);
+    // Saturation throughput of the bufferless torus: the single most
+    // load-bearing number in the whole reproduction.
+    EXPECT_NEAR(res.sustainedRate(), 0.110, 0.010);
+}
+
+TEST(Regression, FastTrackHeadlineRatioPinned)
+{
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 256;
+    workload.seed = 1;
+    const SynthResult ft =
+        runSynthetic(NocConfig::fastTrack(8, 2, 1), 1, workload);
+    const SynthResult hop =
+        runSynthetic(NocConfig::hoplite(8), 1, workload);
+    EXPECT_NEAR(ft.sustainedRate() / hop.sustainedRate(), 2.9, 0.3);
+}
+
+TEST(Regression, DataflowTraceExactCompletion)
+{
+    // Bit-exact pin: same DAG seed, same NoC, same completion cycle.
+    LuDagParams params{"pin", 2000, 10.0, 1.8, 3, 77};
+    const DataflowDag dag = sparseLuDag(params);
+    const Trace trace = dataflowTrace(dag, 8);
+    const TraceResult hop = runTrace(NocConfig::hoplite(8), 1, trace);
+    const TraceResult ft =
+        runTrace(NocConfig::fastTrack(8, 2, 1), 1, trace);
+    const TraceResult rerun =
+        runTrace(NocConfig::fastTrack(8, 2, 1), 1, trace);
+    EXPECT_EQ(ft.completion, rerun.completion);
+    // The speedup direction and rough size must hold.
+    const double speedup = static_cast<double>(hop.completion) /
+                           static_cast<double>(ft.completion);
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 2.2);
+}
+
+TEST(Regression, SpmvTraceSizePinned)
+{
+    // Generator regression: exact trace size for a fixed seed.
+    const SparseMatrix m = generateMatrix(spmvCatalog().front());
+    EXPECT_EQ(m.rows, 2395u);
+    const Trace t = spmvTrace(m, 8);
+    const Trace t2 = spmvTrace(generateMatrix(spmvCatalog().front()), 8);
+    EXPECT_EQ(t.messages.size(), t2.messages.size());
+    EXPECT_GT(t.messages.size(), 1000u);
+}
+
+TEST(Regression, ScalesTo1024ProcessingElements)
+{
+    // 32x32 torus: beyond anything the paper maps, but the simulator
+    // must stay correct and tractable at this scale.
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 0.3;
+    workload.packetsPerPe = 16;
+    const SynthResult res = runSynthetic(
+        NocConfig::fastTrack(32, 4, 2), 1, workload, 1'000'000);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.stats.delivered + res.stats.selfDelivered,
+              16ull * 1024);
+}
+
+TEST(Regression, MultiChannelTraceReplay)
+{
+    // Trace replay over a replicated-channel device (exercises the
+    // delivery-arbitration + dependency interaction).
+    LuDagParams params{"mc", 600, 8.0, 1.8, 2, 78};
+    const Trace trace = dataflowTrace(sparseLuDag(params), 4);
+    const TraceResult one = runTrace(NocConfig::hoplite(4), 1, trace);
+    const TraceResult two = runTrace(NocConfig::hoplite(4), 2, trace);
+    EXPECT_EQ(one.stats.delivered + one.stats.selfDelivered,
+              trace.messages.size());
+    EXPECT_EQ(two.stats.delivered + two.stats.selfDelivered,
+              trace.messages.size());
+    // Extra channels cannot make a latency-bound workload slower by
+    // more than noise.
+    EXPECT_LE(two.completion, one.completion * 11 / 10);
+}
+
+} // namespace
+} // namespace fasttrack

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the device routability model (Fig 10 behavior).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/routability.hpp"
+#include "noc/config.hpp"
+
+namespace fasttrack {
+namespace {
+
+class RoutabilityTest : public ::testing::Test
+{
+  protected:
+    AreaModel area;
+    RoutabilityModel model{area};
+};
+
+TEST_F(RoutabilityTest, PaperAnchor4x4D2Supports512NotMore)
+{
+    // Section VI-B: "For 4x4 NoC, with D=2, we are able to support
+    // 512b datawidths" (a full cacheline per packet).
+    const NocConfig cfg = NocConfig::fastTrack(4, 2, 1);
+    EXPECT_TRUE(model.map(cfg.toSpec(512)).feasible);
+    EXPECT_FALSE(model.map(cfg.toSpec(1024)).feasible);
+    EXPECT_EQ(model.peakDatawidth(cfg.toSpec(8)).value_or(0), 512u);
+}
+
+TEST_F(RoutabilityTest, FeasibilityMonotoneInWidth)
+{
+    for (const NocConfig &cfg :
+         {NocConfig::hoplite(8), NocConfig::fastTrack(8, 2, 1),
+          NocConfig::fastTrack(16, 2, 1)}) {
+        bool was_feasible = true;
+        for (std::uint32_t w : RoutabilityModel::datawidthSweep()) {
+            const bool ok = model.map(cfg.toSpec(w)).feasible;
+            if (!was_feasible)
+                EXPECT_FALSE(ok) << cfg.describe() << " w=" << w;
+            was_feasible = ok;
+        }
+    }
+}
+
+TEST_F(RoutabilityTest, PeakWidthShrinksWithSystemSize)
+{
+    const auto peak4 = model.peakDatawidth(
+        NocConfig::fastTrack(4, 2, 1).toSpec(8));
+    const auto peak8 = model.peakDatawidth(
+        NocConfig::fastTrack(8, 2, 1).toSpec(8));
+    const auto peak16 = model.peakDatawidth(
+        NocConfig::fastTrack(16, 2, 1).toSpec(8));
+    ASSERT_TRUE(peak4 && peak8 && peak16);
+    EXPECT_GT(*peak4, *peak8);
+    EXPECT_GT(*peak8, *peak16);
+}
+
+TEST_F(RoutabilityTest, PeakWidthShrinksWithExpressTracks)
+{
+    const auto hoplite = model.peakDatawidth(
+        NocConfig::hoplite(8).toSpec(8));
+    const auto d2 = model.peakDatawidth(
+        NocConfig::fastTrack(8, 2, 1).toSpec(8));
+    const auto d4 = model.peakDatawidth(
+        NocConfig::fastTrack(8, 4, 1).toSpec(8));
+    ASSERT_TRUE(hoplite && d2 && d4);
+    EXPECT_GT(*hoplite, *d2);
+    EXPECT_GT(*d2, *d4);
+}
+
+TEST_F(RoutabilityTest, InfeasibleReportsLimitingResource)
+{
+    const MappingResult res = model.map(
+        NocConfig::fastTrack(8, 4, 1).toSpec(1024));
+    EXPECT_FALSE(res.feasible);
+    EXPECT_NE(res.limit, MappingResult::Limit::none);
+}
+
+TEST_F(RoutabilityTest, CongestionDeratesFrequency)
+{
+    // A nearly-full device must clock below the uncongested estimate.
+    const NocConfig cfg = NocConfig::fastTrack(8, 2, 1);
+    const MappingResult tight = model.map(cfg.toSpec(256));
+    const NocCost raw = area.nocCost(cfg.toSpec(256));
+    ASSERT_TRUE(tight.feasible);
+    EXPECT_LT(tight.frequencyMhz, raw.frequencyMhz);
+}
+
+TEST_F(RoutabilityTest, DepopulationRecoversWiring)
+{
+    // R=D halves the express tracks, so it should route wider.
+    const auto full = model.peakDatawidth(
+        NocConfig::fastTrack(8, 4, 1).toSpec(8));
+    const auto depop = model.peakDatawidth(
+        NocConfig::fastTrack(8, 4, 4).toSpec(8));
+    ASSERT_TRUE(full && depop);
+    EXPECT_GT(*depop, *full);
+}
+
+} // namespace
+} // namespace fasttrack

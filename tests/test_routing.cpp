@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the routing policy: candidate-list construction, the
+ * paper's sanctioned lane transitions, express eligibility, and the
+ * physical reachability matrix of each router variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/routing.hpp"
+
+namespace fasttrack {
+namespace {
+
+RouterSite
+fullSite(std::uint32_t n = 8, std::uint32_t d = 2, bool ex = true,
+         bool ey = true)
+{
+    RouterSite s;
+    s.n = n;
+    s.d = d;
+    s.variant = NocVariant::ftFull;
+    s.hasEx = ex;
+    s.hasEy = ey;
+    s.wrapAligned = n % d == 0;
+    return s;
+}
+
+TEST(Reachability, HopliteOnlyShortLanes)
+{
+    RouterSite s;
+    s.n = 8;
+    s.variant = NocVariant::hoplite;
+    for (InPort in : {InPort::wSh, InPort::nSh, InPort::pe}) {
+        EXPECT_TRUE(physicallyReachable(s, in, OutPort::eSh));
+        EXPECT_TRUE(physicallyReachable(s, in, OutPort::sSh));
+        EXPECT_FALSE(physicallyReachable(s, in, OutPort::eEx));
+        EXPECT_FALSE(physicallyReachable(s, in, OutPort::sEx));
+    }
+}
+
+TEST(Reachability, FullVariantSanctionedTransitionsOnly)
+{
+    const RouterSite s = fullSite();
+    // W_EX can turn to S_SH (sanctioned) but never go E_SH straight.
+    EXPECT_TRUE(physicallyReachable(s, InPort::wEx, OutPort::sSh));
+    EXPECT_FALSE(physicallyReachable(s, InPort::wEx, OutPort::eSh));
+    // N_EX can turn to E_SH (sanctioned) but never go S_SH straight.
+    EXPECT_TRUE(physicallyReachable(s, InPort::nEx, OutPort::eSh));
+    EXPECT_FALSE(physicallyReachable(s, InPort::nEx, OutPort::sSh));
+    // Short inputs have full lane-change freedom in the Full router.
+    for (OutPort out : {OutPort::eEx, OutPort::eSh, OutPort::sEx,
+                        OutPort::sSh}) {
+        EXPECT_TRUE(physicallyReachable(s, InPort::wSh, out));
+        EXPECT_TRUE(physicallyReachable(s, InPort::nSh, out));
+        EXPECT_TRUE(physicallyReachable(s, InPort::pe, out));
+    }
+}
+
+TEST(Reachability, InjectVariantForbidsLaneCrossing)
+{
+    RouterSite s = fullSite();
+    s.variant = NocVariant::ftInject;
+    EXPECT_TRUE(physicallyReachable(s, InPort::wEx, OutPort::eEx));
+    EXPECT_TRUE(physicallyReachable(s, InPort::wEx, OutPort::sEx));
+    EXPECT_FALSE(physicallyReachable(s, InPort::wEx, OutPort::sSh));
+    EXPECT_FALSE(physicallyReachable(s, InPort::wSh, OutPort::eEx));
+    EXPECT_TRUE(physicallyReachable(s, InPort::pe, OutPort::eEx));
+    EXPECT_TRUE(physicallyReachable(s, InPort::pe, OutPort::eSh));
+}
+
+TEST(Reachability, DepopulationRemovesPorts)
+{
+    const RouterSite s = fullSite(8, 2, /*ex=*/false, /*ey=*/true);
+    EXPECT_FALSE(physicallyReachable(s, InPort::wSh, OutPort::eEx));
+    EXPECT_TRUE(physicallyReachable(s, InPort::wSh, OutPort::sEx));
+    EXPECT_FALSE(physicallyReachable(s, InPort::wEx, OutPort::sSh));
+}
+
+TEST(ExpressEligibility, AlignmentRule)
+{
+    const RouterSite s = fullSite(8, 2);
+    EXPECT_TRUE(expressEligible(s, true, 2));
+    EXPECT_TRUE(expressEligible(s, true, 4));
+    EXPECT_TRUE(expressEligible(s, true, 6));
+    EXPECT_FALSE(expressEligible(s, true, 1));
+    EXPECT_FALSE(expressEligible(s, true, 3)); // misaligned
+    EXPECT_FALSE(expressEligible(s, true, 0)); // nothing left
+}
+
+TEST(ExpressEligibility, RequiresPorts)
+{
+    const RouterSite s = fullSite(8, 2, /*ex=*/false, /*ey=*/true);
+    EXPECT_FALSE(expressEligible(s, true, 4));
+    EXPECT_TRUE(expressEligible(s, false, 4));
+}
+
+TEST(Candidates, WexContinuesOnExpress)
+{
+    const auto c = routeCandidates(fullSite(), InPort::wEx, 4, 3,
+                                   false);
+    ASSERT_GE(c.size(), 1u);
+    EXPECT_EQ(c[0].out, OutPort::eEx);
+    EXPECT_FALSE(c[0].exit);
+}
+
+TEST(Candidates, WexTurnsAtColumnViaSanctionedMux)
+{
+    // dx == 0, dy misaligned: express turn unavailable -> S_SH.
+    const auto c = routeCandidates(fullSite(), InPort::wEx, 0, 3,
+                                   false);
+    EXPECT_EQ(c[0].out, OutPort::sSh);
+}
+
+TEST(Candidates, WexExpressTurnWhenAligned)
+{
+    const auto c = routeCandidates(fullSite(), InPort::wEx, 0, 4,
+                                   false);
+    EXPECT_EQ(c[0].out, OutPort::sEx);
+}
+
+TEST(Candidates, WexExpressTurnSuppressedByPolicyFlag)
+{
+    RouterSite s = fullSite();
+    s.allowExpressTurn = false;
+    const auto c = routeCandidates(s, InPort::wEx, 0, 4, false);
+    EXPECT_EQ(c[0].out, OutPort::sSh);
+}
+
+TEST(Candidates, WexExitAtDestination)
+{
+    const auto c = routeCandidates(fullSite(), InPort::wEx, 0, 0,
+                                   false);
+    EXPECT_EQ(c[0].out, OutPort::sSh);
+    EXPECT_TRUE(c[0].exit);
+}
+
+TEST(Candidates, NexExitUsesExpressTap)
+{
+    const auto c = routeCandidates(fullSite(), InPort::nEx, 0, 0,
+                                   false);
+    EXPECT_EQ(c[0].out, OutPort::sEx);
+    EXPECT_TRUE(c[0].exit);
+}
+
+TEST(Candidates, NexEscapesMisalignedViaEastShort)
+{
+    const auto c = routeCandidates(fullSite(), InPort::nEx, 0, 3,
+                                   false);
+    EXPECT_EQ(c[0].out, OutPort::eSh);
+}
+
+TEST(Candidates, WshUpgradesWhenAligned)
+{
+    const auto c = routeCandidates(fullSite(), InPort::wSh, 4, 0,
+                                   false);
+    EXPECT_EQ(c[0].out, OutPort::eEx);
+    // And not when the upgrade flag is off.
+    RouterSite s = fullSite();
+    s.allowUpgrade = false;
+    const auto c2 = routeCandidates(s, InPort::wSh, 4, 0, false);
+    EXPECT_EQ(c2[0].out, OutPort::eSh);
+}
+
+TEST(Candidates, WshPrefersShortWhenMisaligned)
+{
+    const auto c = routeCandidates(fullSite(), InPort::wSh, 3, 0,
+                                   false);
+    EXPECT_EQ(c[0].out, OutPort::eSh);
+}
+
+TEST(Candidates, ListsAlwaysEndWithEveryPhysicalOutput)
+{
+    // Property: whatever the packet state, the candidate list covers
+    // all physically reachable outputs (bufferless totality).
+    for (std::uint32_t dx : {0u, 1u, 2u, 3u, 4u, 7u}) {
+        for (std::uint32_t dy : {0u, 1u, 2u, 3u, 4u, 7u}) {
+            for (InPort in : {InPort::wEx, InPort::nEx, InPort::wSh,
+                              InPort::nSh}) {
+                const RouterSite s = fullSite();
+                const auto c = routeCandidates(s, in, dx, dy, false);
+                for (OutPort out : {OutPort::eEx, OutPort::eSh,
+                                    OutPort::sEx, OutPort::sSh}) {
+                    if (physicallyReachable(s, in, out)) {
+                        EXPECT_TRUE(c.contains(out))
+                            << toString(in) << " dx=" << dx
+                            << " dy=" << dy << " missing "
+                            << toString(out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Candidates, HopliteDeflectionOrder)
+{
+    RouterSite s;
+    s.n = 8;
+    s.variant = NocVariant::hoplite;
+    // N wanting S falls back to E (the classic deflection).
+    const auto c = routeCandidates(s, InPort::nSh, 0, 3, false);
+    ASSERT_GE(c.size(), 2u);
+    EXPECT_EQ(c[0].out, OutPort::sSh);
+    EXPECT_EQ(c[1].out, OutPort::eSh);
+}
+
+TEST(Inject, ProductiveOnlyNoDeflectionEntries)
+{
+    bool express = false;
+    const auto c = injectCandidates(fullSite(), 3, 2, express);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        // All entries route East (the DOR direction for dx > 0).
+        EXPECT_TRUE(c[i].out == OutPort::eEx || c[i].out == OutPort::eSh);
+    }
+}
+
+TEST(Inject, InjectVariantWholeTripRule)
+{
+    RouterSite s = fullSite(8, 2);
+    s.variant = NocVariant::ftInject;
+    bool express = false;
+
+    // Fully aligned both dims -> express class.
+    auto c = injectCandidates(s, 4, 2, express);
+    EXPECT_TRUE(express);
+    EXPECT_EQ(c[0].out, OutPort::eEx);
+
+    // Misaligned dx -> short class.
+    c = injectCandidates(s, 3, 2, express);
+    EXPECT_FALSE(express);
+    EXPECT_EQ(c[0].out, OutPort::eSh);
+
+    // Pure-Y aligned trip -> express via S.
+    c = injectCandidates(s, 0, 4, express);
+    EXPECT_TRUE(express);
+    EXPECT_EQ(c[0].out, OutPort::sEx);
+
+    // No Y express at this router -> short (exit tap unreachable).
+    RouterSite grey = s;
+    grey.hasEy = false;
+    c = injectCandidates(grey, 4, 0, express);
+    EXPECT_FALSE(express);
+}
+
+TEST(InjectDeathTest, SelfAddressedPacketsRejected)
+{
+    RouterSite s = fullSite();
+    bool express = false;
+    EXPECT_DEATH(injectCandidates(s, 0, 0, express), "self-addressed");
+}
+
+TEST(Candidates, PortNamesRoundTrip)
+{
+    EXPECT_STREQ(toString(InPort::wEx), "W_EX");
+    EXPECT_STREQ(toString(OutPort::sSh), "S_SH");
+    EXPECT_STREQ(toString(InPort::pe), "PE");
+}
+
+} // namespace
+} // namespace fasttrack

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Integration tests of the simulation drivers, including the paper's
+ * headline comparisons as regression checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "workloads/dataflow.hpp"
+#include "workloads/spmv.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(Sim, HeadlineFastTrackBeatsHopliteOnRandom)
+{
+    // Paper abstract: 2.5x throughput on statistical workloads. Allow
+    // a generous band but require a clear win.
+    const SynthResult ft = saturationRun(
+        {"ft", NocConfig::fastTrack(8, 2, 1), 1},
+        TrafficPattern::random, 512);
+    const SynthResult hop = saturationRun(
+        {"hop", NocConfig::hoplite(8), 1}, TrafficPattern::random,
+        512);
+    ASSERT_TRUE(ft.completed && hop.completed);
+    const double ratio = ft.sustainedRate() / hop.sustainedRate();
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Sim, DepopulatedSitsBetween)
+{
+    const SynthResult full = saturationRun(
+        {"", NocConfig::fastTrack(8, 2, 1), 1},
+        TrafficPattern::random, 256);
+    const SynthResult depop = saturationRun(
+        {"", NocConfig::fastTrack(8, 2, 2), 1},
+        TrafficPattern::random, 256);
+    const SynthResult hop = saturationRun(
+        {"", NocConfig::hoplite(8), 1}, TrafficPattern::random, 256);
+    EXPECT_GT(full.sustainedRate(), depop.sustainedRate());
+    EXPECT_GT(depop.sustainedRate(), hop.sustainedRate());
+}
+
+TEST(Sim, NoWinBelowTenPercentInjection)
+{
+    // Paper: performance wins vanish at injection rates below 10%.
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 0.05;
+    workload.packetsPerPe = 256;
+    const SynthResult ft =
+        runSynthetic(NocConfig::fastTrack(8, 2, 1), 1, workload);
+    const SynthResult hop =
+        runSynthetic(NocConfig::hoplite(8), 1, workload);
+    EXPECT_NEAR(ft.sustainedRate(), hop.sustainedRate(),
+                hop.sustainedRate() * 0.05);
+}
+
+TEST(Sim, FastTrackCutsZeroLoadLatency)
+{
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 0.02;
+    workload.packetsPerPe = 128;
+    const SynthResult ft =
+        runSynthetic(NocConfig::fastTrack(8, 2, 1), 1, workload);
+    const SynthResult hop =
+        runSynthetic(NocConfig::hoplite(8), 1, workload);
+    EXPECT_LT(ft.avgLatency(), hop.avgLatency() * 0.75);
+}
+
+TEST(Sim, IsoWiringFastTrackBeatsHoplite3x)
+{
+    // Fig 13/14: FT(64,2,1) vs Hoplite-3x at identical ring tracks.
+    const SynthResult ft = saturationRun(
+        {"", NocConfig::fastTrack(8, 2, 1), 1},
+        TrafficPattern::random, 512);
+    const SynthResult h3 = saturationRun(
+        {"", NocConfig::hoplite(8), 3}, TrafficPattern::random, 512);
+    EXPECT_GT(ft.sustainedRate(), h3.sustainedRate());
+}
+
+TEST(Sim, WorstCaseLatencyShrinksWithExpress)
+{
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 0.08;
+    workload.packetsPerPe = 1024;
+    const SynthResult ft =
+        runSynthetic(NocConfig::fastTrack(8, 2, 1), 1, workload);
+    const SynthResult hop =
+        runSynthetic(NocConfig::hoplite(8), 1, workload);
+    EXPECT_LT(ft.worstLatency() * 2, hop.worstLatency());
+}
+
+TEST(Sim, VaryDHasInteriorOptimum)
+{
+    // Fig 17: D=2 or 3 beats both D=1 and D=4 on an 8x8 at 50%.
+    auto rate = [](std::uint32_t d) {
+        SyntheticWorkload workload;
+        workload.pattern = TrafficPattern::random;
+        workload.injectionRate = 0.5;
+        workload.packetsPerPe = 512;
+        return runSynthetic(NocConfig::fastTrack(8, d, 1), 1,
+                            workload).sustainedRate();
+    };
+    const double d1 = rate(1), d2 = rate(2), d4 = rate(4);
+    EXPECT_GT(d2, d1);
+    EXPECT_GT(d2, d4);
+}
+
+TEST(Sim, TraceRunnerProducesConsistentResults)
+{
+    LuDagParams params{"t", 800, 8.0, 1.8, 3, 13};
+    const DataflowDag dag = sparseLuDag(params);
+    const Trace trace = dataflowTrace(dag, 4);
+    const TraceResult a = runTrace(NocConfig::hoplite(4), 1, trace);
+    const TraceResult b = runTrace(NocConfig::hoplite(4), 1, trace);
+    EXPECT_EQ(a.completion, b.completion); // deterministic
+    EXPECT_EQ(a.stats.delivered + a.stats.selfDelivered,
+              trace.messages.size());
+
+    const TraceResult ft =
+        runTrace(NocConfig::fastTrack(4, 2, 1), 1, trace);
+    EXPECT_LT(ft.completion, a.completion); // express helps
+}
+
+TEST(Sim, SpmvTraceFasterOnFastTrack)
+{
+    MatrixParams params;
+    params.rows = 2000;
+    params.localFraction = 0.3;
+    const SparseMatrix m = generateMatrix(params);
+    const Trace trace = spmvTrace(m, 8);
+    const TraceResult hop = runTrace(NocConfig::hoplite(8), 1, trace);
+    const TraceResult ft =
+        runTrace(NocConfig::fastTrack(8, 2, 1), 1, trace);
+    EXPECT_LT(ft.completion, hop.completion);
+}
+
+TEST(Sim, LineupsAreWellFormed)
+{
+    EXPECT_EQ(standardLineup(8).size(), 3u);
+    EXPECT_EQ(isoWiringLineup(8).size(), 4u);
+    for (const auto &nut : isoWiringLineup(8))
+        nut.config.validate();
+    EXPECT_FALSE(injectionRateGrid().empty());
+}
+
+TEST(Sim, IncompleteRunReportsHonestly)
+{
+    // A guard of 10 cycles cannot finish 64 packets/PE.
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 64;
+    const SynthResult res =
+        runSynthetic(NocConfig::hoplite(8), 1, workload, 10);
+    EXPECT_FALSE(res.completed);
+    EXPECT_EQ(res.cycles, 10u);
+}
+
+} // namespace
+} // namespace fasttrack

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for RunningStat and Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    // Sample variance of the classic sequence: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    Rng rng(5);
+    RunningStat whole, a, b;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.nextDouble() * 100.0;
+        whole.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, MeanMinMax)
+{
+    Histogram h;
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(3);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.25);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 3u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h;
+    h.add(10, 5);
+    h.add(20, 5);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(Histogram, ExactPercentiles)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(1), 1u);
+    EXPECT_EQ(h.percentile(50), 50u);
+    EXPECT_EQ(h.percentile(99), 99u);
+    EXPECT_EQ(h.percentile(100), 100u);
+    EXPECT_EQ(h.percentile(0), 1u);
+}
+
+TEST(Histogram, PercentileOnSkewedData)
+{
+    Histogram h;
+    h.add(1, 99);
+    h.add(1000, 1);
+    EXPECT_EQ(h.percentile(50), 1u);
+    EXPECT_EQ(h.percentile(99), 1u);
+    EXPECT_EQ(h.percentile(100), 1000u);
+}
+
+TEST(Histogram, MergeAccumulates)
+{
+    Histogram a, b;
+    a.add(1, 3);
+    b.add(1, 2);
+    b.add(7);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 6u);
+    EXPECT_EQ(a.bins().at(1), 5u);
+    EXPECT_EQ(a.bins().at(7), 1u);
+}
+
+TEST(Histogram, LogBucketsCoverEverything)
+{
+    Histogram h;
+    for (std::uint64_t v : {1ull, 2ull, 3ull, 6ull, 100ull, 1000ull})
+        h.add(v);
+    const auto buckets = h.logBuckets();
+    std::uint64_t total = 0;
+    std::uint64_t prev_bound = 0;
+    for (const auto &[bound, count] : buckets) {
+        EXPECT_GT(bound, prev_bound);
+        prev_bound = bound;
+        total += count;
+    }
+    EXPECT_EQ(total, h.count());
+    // Upper bound of the last bucket must exceed the max sample.
+    EXPECT_GT(buckets.back().first, h.max());
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.add(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(h.bins().empty());
+}
+
+} // namespace
+} // namespace fasttrack

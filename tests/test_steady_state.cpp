@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the open-loop steady-state measurement protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "sim/steady_state.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(SteadyState, BelowSaturationThroughputTracksOffered)
+{
+    auto noc = makeNoc(NocConfig::hoplite(8), 1);
+    SteadyStateConfig cfg;
+    cfg.injectionRate = 0.05;
+    const SteadyStateResult res = measureSteadyState(*noc, cfg);
+    EXPECT_FALSE(res.saturated);
+    EXPECT_NEAR(res.throughput, 0.05, 0.006);
+    EXPECT_GT(res.avgLatency, 4.0);
+    EXPECT_LT(res.avgLatency, 20.0);
+}
+
+TEST(SteadyState, SaturationFlagAndPlateau)
+{
+    auto noc = makeNoc(NocConfig::hoplite(8), 1);
+    SteadyStateConfig cfg;
+    cfg.injectionRate = 1.0;
+    const SteadyStateResult res = measureSteadyState(*noc, cfg);
+    EXPECT_TRUE(res.saturated);
+    // The window estimate of Hoplite saturation matches the closed-
+    // workload estimate used everywhere else.
+    EXPECT_NEAR(res.throughput, 0.11, 0.02);
+}
+
+TEST(SteadyState, AgreesWithClosedRunsAtSaturation)
+{
+    auto noc = makeNoc(NocConfig::fastTrack(8, 2, 1), 1);
+    SteadyStateConfig cfg;
+    cfg.injectionRate = 1.0;
+    const SteadyStateResult open = measureSteadyState(*noc, cfg);
+
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 512;
+    const SynthResult closed =
+        runSynthetic(NocConfig::fastTrack(8, 2, 1), 1, workload);
+
+    EXPECT_NEAR(open.throughput, closed.sustainedRate(),
+                closed.sustainedRate() * 0.10);
+}
+
+TEST(SteadyState, WindowAccountingConsistent)
+{
+    auto noc = makeNoc(NocConfig::hoplite(4), 1);
+    SteadyStateConfig cfg;
+    cfg.injectionRate = 0.2;
+    cfg.warmupCycles = 500;
+    cfg.measureCycles = 2000;
+    const SteadyStateResult res = measureSteadyState(*noc, cfg);
+    EXPECT_GT(res.windowCreated, 0u);
+    // Below saturation nearly everything created in the window also
+    // delivers in it.
+    EXPECT_GE(res.windowDelivered + res.windowCreated / 10,
+              res.windowCreated);
+}
+
+TEST(SteadyStateDeathTest, RequiresFreshDevice)
+{
+    auto noc = makeNoc(NocConfig::hoplite(4), 1);
+    noc->step();
+    SteadyStateConfig cfg;
+    EXPECT_DEATH(measureSteadyState(*noc, cfg), "fresh device");
+}
+
+} // namespace
+} // namespace fasttrack

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the ASCII table / CSV emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t("demo");
+    t.setHeader({"a", "long-header"});
+    t.addRow({"12345", "x"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t("csv");
+    t.setHeader({"x", "y"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "# csv\nx,y\n1,2\n3,4\n");
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.14159, 0), "3");
+    EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(Table::na(), "NA");
+}
+
+TEST(Table, RowCountTracksRows)
+{
+    Table t;
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.setHeader({"only"});
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, GlobalCsvModeSwitchesPrint)
+{
+    Table t("mode");
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    Table::setCsvMode(true);
+    std::ostringstream os;
+    t.print(os);
+    Table::setCsvMode(false);
+    EXPECT_EQ(os.str(), "# mode\na\n1\n");
+    std::ostringstream os2;
+    t.print(os2);
+    EXPECT_NE(os2.str().find("=="), std::string::npos);
+}
+
+TEST(TableDeathTest, MismatchedRowWidthPanics)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace fasttrack

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for FT(N^2, D, R) topology geometry: express-port placement,
+ * link landing sites, wiring bill and the minimal-hop golden model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/topology.hpp"
+
+namespace fasttrack {
+namespace {
+
+TEST(Topology, HopliteHasNoExpress)
+{
+    Topology t(NocConfig::hoplite(8));
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        EXPECT_FALSE(t.hasExpressX(i));
+        EXPECT_FALSE(t.hasExpressY(i));
+    }
+    EXPECT_EQ(t.tracksPerRing(), 1u);
+    EXPECT_EQ(t.expressLinksPerRing(), 0u);
+}
+
+TEST(Topology, FullyPopulatedExpressEverywhere)
+{
+    Topology t(NocConfig::fastTrack(8, 2, 1));
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(t.hasExpressX(i));
+        EXPECT_TRUE(t.hasExpressY(i));
+    }
+    EXPECT_EQ(t.tracksPerRing(), 3u); // D/R + 1
+    EXPECT_EQ(t.expressLinksPerRing(), 8u);
+}
+
+TEST(Topology, DepopulatedExpressAtMultiplesOfR)
+{
+    Topology t(NocConfig::fastTrack(8, 2, 2));
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(t.hasExpressX(i), i % 2 == 0);
+        EXPECT_EQ(t.hasExpressY(i), i % 2 == 0);
+    }
+    EXPECT_EQ(t.tracksPerRing(), 2u);
+    EXPECT_EQ(t.expressLinksPerRing(), 4u);
+}
+
+TEST(Topology, RouterKindsMatchFig7)
+{
+    // FT(16,2,2) on a 4x4: Black at (even,even), Grey at mixed,
+    // White at (odd,odd) - Fig 7b.
+    Topology t(NocConfig::fastTrack(4, 2, 2));
+    EXPECT_EQ(t.kindAt({0, 0}), RouterArch::ftFull);
+    EXPECT_EQ(t.kindAt({2, 2}), RouterArch::ftFull);
+    EXPECT_EQ(t.kindAt({1, 0}), RouterArch::ftGrey);
+    EXPECT_EQ(t.kindAt({0, 3}), RouterArch::ftGrey);
+    EXPECT_EQ(t.kindAt({1, 1}), RouterArch::hoplite);
+    EXPECT_EQ(t.kindAt({3, 3}), RouterArch::hoplite);
+}
+
+TEST(Topology, InjectVariantBlackRoutersAreInjectKind)
+{
+    Topology t(NocConfig::fastTrack(8, 2, 2, NocVariant::ftInject));
+    EXPECT_EQ(t.kindAt({0, 0}), RouterArch::ftInject);
+    EXPECT_EQ(t.kindAt({1, 1}), RouterArch::hoplite);
+}
+
+TEST(Topology, LinkLandingSites)
+{
+    Topology t(NocConfig::fastTrack(8, 2, 1));
+    EXPECT_EQ(t.eastShort({7, 3}), (Coord{0, 3}));   // wraps
+    EXPECT_EQ(t.southShort({2, 7}), (Coord{2, 0}));  // wraps
+    EXPECT_EQ(t.eastExpress({6, 1}), (Coord{0, 1})); // D=2 wrap
+    EXPECT_EQ(t.southExpress({5, 6}), (Coord{5, 0}));
+}
+
+TEST(Topology, ExpressLandingSitesStayOnExpressRouters)
+{
+    for (auto [n, d, r] : {std::tuple{8u, 2u, 2u}, {8u, 4u, 2u},
+                           {16u, 4u, 4u}, {12u, 3u, 3u}}) {
+        Topology t(NocConfig::fastTrack(n, d, r));
+        for (std::uint32_t x = 0; x < n; ++x) {
+            if (!t.hasExpressX(x))
+                continue;
+            const Coord land = t.eastExpress(
+                {static_cast<std::uint16_t>(x), 0});
+            EXPECT_TRUE(t.hasExpressX(land.x))
+                << "n=" << n << " d=" << d << " r=" << r << " x=" << x;
+        }
+    }
+}
+
+TEST(TopologyDeathTest, ExpressLinkQueriesRequirePorts)
+{
+    Topology t(NocConfig::fastTrack(8, 2, 2));
+    EXPECT_DEATH(t.eastExpress({1, 0}), "no X express");
+    EXPECT_DEATH(t.southExpress({0, 1}), "no Y express");
+}
+
+TEST(Topology, WrapAlignment)
+{
+    EXPECT_TRUE(Topology(NocConfig::fastTrack(8, 2, 1)).wrapAligned());
+    EXPECT_TRUE(Topology(NocConfig::fastTrack(8, 4, 1)).wrapAligned());
+    EXPECT_FALSE(Topology(NocConfig::fastTrack(8, 3, 1)).wrapAligned());
+    EXPECT_FALSE(Topology(NocConfig::hoplite(8)).wrapAligned());
+}
+
+TEST(Topology, MinimalHopsHopliteIsManhattan)
+{
+    Topology t(NocConfig::hoplite(8));
+    EXPECT_EQ(t.minimalHops({0, 0}, {3, 5}), 8u);
+    EXPECT_EQ(t.minimalHops({7, 7}, {0, 0}), 2u); // wraps
+    EXPECT_EQ(t.minimalHops({2, 2}, {2, 2}), 0u);
+}
+
+TEST(Topology, MinimalHopsUsesExpress)
+{
+    Topology t(NocConfig::fastTrack(8, 2, 1));
+    // dx=4 aligned: 2 express hops; dy=4: 2 express hops.
+    EXPECT_EQ(t.minimalHops({0, 0}, {4, 4}), 4u);
+    // dx=3: 1 short + 1 express; dy=3 same (Fig 8).
+    EXPECT_EQ(t.minimalHops({0, 0}, {3, 3}), 4u);
+    // dx=1: short only.
+    EXPECT_EQ(t.minimalHops({0, 0}, {1, 0}), 1u);
+}
+
+TEST(Topology, MinimalHopsRespectsDepopulation)
+{
+    Topology t(NocConfig::fastTrack(8, 2, 2));
+    // From x=1 (no express) with dx=4: ride short to x=3? x=1+k with
+    // (1+k)%2==0 and rem%2==0: k=1 rem=3 no; k=3, rem=1 no... so all
+    // short in the worst case: check against the golden rule directly.
+    const std::uint32_t hops = t.minimalHops({1, 0}, {5, 0});
+    EXPECT_EQ(hops, 4u); // dx=4 but never express-aligned from odd x
+    // From x=0, dx=4: two express hops.
+    EXPECT_EQ(t.minimalHops({0, 0}, {4, 0}), 2u);
+}
+
+TEST(Topology, MinimalHopsNeverWorseThanManhattan)
+{
+    Topology t(NocConfig::fastTrack(8, 3, 1));
+    for (std::uint16_t sx = 0; sx < 8; ++sx) {
+        for (std::uint16_t dx = 0; dx < 8; ++dx) {
+            const std::uint32_t manhattan =
+                ringDistance(sx, dx, 8) + ringDistance(0, 5, 8);
+            EXPECT_LE(t.minimalHops({sx, 0}, {dx, 5}), manhattan);
+        }
+    }
+}
+
+TEST(TopologyDeathTest, InvalidConfigsRejected)
+{
+    EXPECT_EXIT(NocConfig::fastTrack(8, 5, 1),
+                ::testing::ExitedWithCode(1), "express length");
+    EXPECT_EXIT(NocConfig::fastTrack(8, 4, 3),
+                ::testing::ExitedWithCode(1), "R must divide D");
+    EXPECT_EXIT(NocConfig::fastTrack(10, 4, 4),
+                ::testing::ExitedWithCode(1), "R | N");
+    EXPECT_EXIT(NocConfig::fastTrack(8, 3, 1, NocVariant::ftInject),
+                ::testing::ExitedWithCode(1), "D | N");
+    EXPECT_EXIT(NocConfig::hoplite(1), ::testing::ExitedWithCode(1),
+                "side");
+}
+
+} // namespace
+} // namespace fasttrack

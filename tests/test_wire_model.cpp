@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the FPGA wire-delay model against the paper's Section III
+ * characterization anchors (Figs 4 and 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/wire_model.hpp"
+
+namespace fasttrack {
+namespace {
+
+class WireModelTest : public ::testing::Test
+{
+  protected:
+    WireModel wires;
+};
+
+TEST_F(WireModelTest, FullChipTraversalNearPaperAnchor)
+{
+    // Paper: ~250 MHz at 256 SLICEs with no LUT hops.
+    const double mhz = wires.virtualExpressMhz(256, 0);
+    EXPECT_GT(mhz, 220.0);
+    EXPECT_LT(mhz, 320.0);
+}
+
+TEST_F(WireModelTest, ShortWireIsVeryFast)
+{
+    // Paper plots ~2 GHz theoretical at distance 1-2, hops 0.
+    EXPECT_GT(wires.virtualExpressMhz(2, 0), 1500.0);
+}
+
+TEST_F(WireModelTest, SingleHopCostsHeavily)
+{
+    // Any LUT hop drops frequency far below the wire-only path.
+    const double no_hop = wires.virtualExpressMhz(16, 0);
+    const double one_hop = wires.virtualExpressMhz(16, 1);
+    EXPECT_LT(one_hop, no_hop * 0.6);
+}
+
+TEST_F(WireModelTest, MultiHopFloorsBelow250)
+{
+    // Paper: "with more LUT hops, ~200 MHz at almost all distances".
+    for (std::uint32_t d : {4u, 16u, 64u})
+        EXPECT_LT(wires.virtualExpressMhz(d, 4), 260.0);
+}
+
+TEST_F(WireModelTest, VirtualFrequencyMonotoneInDistance)
+{
+    for (std::uint32_t h : {0u, 1u, 2u, 4u}) {
+        double prev = 1e12;
+        for (std::uint32_t d = 1; d <= 256; d *= 2) {
+            const double f = wires.virtualExpressMhz(d, h);
+            EXPECT_LE(f, prev) << "d=" << d << " h=" << h;
+            prev = f;
+        }
+    }
+}
+
+TEST_F(WireModelTest, VirtualFrequencyMonotoneInHops)
+{
+    for (std::uint32_t d : {2u, 32u, 256u}) {
+        double prev = 1e12;
+        for (std::uint32_t h = 0; h <= 8; ++h) {
+            const double f = wires.virtualExpressMhz(d, h);
+            EXPECT_LE(f, prev) << "d=" << d << " h=" << h;
+            prev = f;
+        }
+    }
+}
+
+TEST_F(WireModelTest, ExpressBeatsVirtualForMultiHop)
+{
+    // The whole point of physical express links: bypassing multiple
+    // stages is much faster than tunnelling through their LUTs.
+    for (std::uint32_t d : {4u, 8u, 16u}) {
+        for (std::uint32_t h : {2u, 4u, 8u}) {
+            EXPECT_GT(wires.physicalExpressMhz(d, h),
+                      wires.virtualExpressMhz(d * h, h))
+                << "d=" << d << " h=" << h;
+        }
+    }
+}
+
+TEST_F(WireModelTest, ExpressDegradationIsGraceful)
+{
+    // Paper: express frequency falls roughly linearly with span
+    // instead of collapsing; 32-64 SLICE spans stay fast.
+    const double at32 = wires.physicalExpressMhz(16, 2);  // span 32
+    const double at64 = wires.physicalExpressMhz(16, 4);  // span 64
+    EXPECT_GT(at32, 300.0);
+    EXPECT_GT(at64, 250.0);
+}
+
+TEST_F(WireModelTest, MaxExpressSpanInvertsTheModel)
+{
+    for (double target : {250.0, 400.0, 600.0}) {
+        const std::uint32_t span = wires.maxExpressSpan(target);
+        if (span == 0 || span >= wires.device().sliceSpan)
+            continue;
+        // The returned span meets the target; span+8 must not.
+        EXPECT_GE(wires.physicalExpressMhz(span, 1) + 1e-9, target);
+        EXPECT_LT(wires.physicalExpressMhz(span + 8, 1), target);
+    }
+}
+
+TEST_F(WireModelTest, RealizableFrequencyRespectsClockCeiling)
+{
+    EXPECT_LE(wires.toRealizableMhz(wires.virtualPathNs(1, 0)),
+              wires.device().clockCeilingMhz);
+}
+
+TEST_F(WireModelTest, PathDelayComposition)
+{
+    // Delay must be tReg + hops*tLutHop + per-segment wire time.
+    const FpgaDevice &dev = wires.device();
+    const double expect = dev.tReg + 2 * dev.tLutHop +
+                          3 * (dev.tWireBase + dev.tWirePerSlice * 10.0);
+    EXPECT_NEAR(wires.virtualPathNs(30, 2), expect, 1e-9);
+}
+
+} // namespace
+} // namespace fasttrack

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parameterized zero-load sweep: for a grid of (N, D, R, variant,
+ * link-stage) configurations, every source/destination pair routed in
+ * isolation must match the topology's minimal-hop golden model (full
+ * variant) or the lane-partition golden model (inject variant), with
+ * latency scaled by the per-lane link stages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "noc/network.hpp"
+
+namespace fasttrack {
+namespace {
+
+/** (n, d, r, injectVariant, shortStages, expressStages). */
+using Param = std::tuple<int, int, int, bool, int, int>;
+
+class ZeroLoadSweep : public ::testing::TestWithParam<Param>
+{};
+
+/** Golden zero-load hop split for the inject variant: express only
+ *  when the whole trip is express-eligible from the source. */
+std::pair<std::uint32_t, std::uint32_t>
+injectGoldenHops(const Topology &topo, Coord src, Coord dst)
+{
+    const std::uint32_t n = topo.n();
+    const std::uint32_t d = topo.d();
+    const std::uint32_t dx = ringDistance(src.x, dst.x, n);
+    const std::uint32_t dy = ringDistance(src.y, dst.y, n);
+    const bool ok_x =
+        dx == 0 || (topo.hasExpressX(src.x) && dx % d == 0);
+    const bool express = topo.hasExpressY(src.y) && ok_x &&
+                         dy % d == 0 && dx % d == 0;
+    if (express)
+        return {0, dx / d + dy / d};
+    return {dx + dy, 0};
+}
+
+TEST_P(ZeroLoadSweep, EveryPairTakesTheGoldenPath)
+{
+    const auto [n_i, d_i, r_i, inject, ss, es] = GetParam();
+    const auto n = static_cast<std::uint32_t>(n_i);
+    NocConfig cfg =
+        d_i == 0 ? NocConfig::hoplite(n)
+                 : NocConfig::fastTrack(
+                       n, d_i, r_i,
+                       inject ? NocVariant::ftInject
+                              : NocVariant::ftFull);
+    cfg.shortLinkStages = static_cast<std::uint32_t>(ss);
+    cfg.expressLinkStages = static_cast<std::uint32_t>(es);
+    Network noc(cfg);
+
+    std::optional<Packet> got;
+    Cycle when = 0;
+    noc.setDeliverCallback([&](const Packet &p, Cycle c) {
+        got = p;
+        when = c;
+    });
+
+    std::uint64_t id = 0;
+    for (NodeId s = 0; s < cfg.pes(); ++s) {
+        for (NodeId t = 0; t < cfg.pes(); ++t) {
+            if (s == t)
+                continue;
+            got.reset();
+            Packet p;
+            p.id = ++id;
+            p.src = s;
+            p.dst = t;
+            p.created = noc.now();
+            noc.offer(p);
+            ASSERT_TRUE(noc.drain(100000)) << s << "->" << t;
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(got->deflections, 0u) << s << "->" << t;
+
+            const Coord sc = toCoord(s, n);
+            const Coord tc = toCoord(t, n);
+            if (cfg.variant == NocVariant::ftInject) {
+                const auto [sh, ex] =
+                    injectGoldenHops(noc.topology(), sc, tc);
+                EXPECT_EQ(got->shortHops, sh) << s << "->" << t;
+                EXPECT_EQ(got->expressHops, ex) << s << "->" << t;
+            } else {
+                EXPECT_EQ(got->totalHops(),
+                          noc.topology().minimalHops(sc, tc))
+                    << s << "->" << t;
+            }
+            // Latency = sum of per-hop link latencies.
+            const Cycle expect =
+                static_cast<Cycle>(got->shortHops) * (1 + ss) +
+                static_cast<Cycle>(got->expressHops) * (1 + es);
+            EXPECT_EQ(when - p.created, expect) << s << "->" << t;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZeroLoadSweep,
+    ::testing::Values(
+        Param{5, 0, 1, false, 0, 0},  // odd-size Hoplite
+        Param{6, 2, 1, false, 0, 0},  // D | N
+        Param{8, 3, 1, false, 0, 0},  // D does not divide N
+        Param{8, 4, 2, false, 0, 0},  // depopulated
+        Param{6, 3, 3, false, 0, 0},  // fully depopulated
+        Param{8, 2, 1, true, 0, 0},   // inject variant
+        Param{8, 4, 2, true, 0, 0},   // inject, depopulated
+        Param{4, 2, 1, false, 1, 2},  // pipelined links
+        Param{4, 0, 1, false, 2, 0}   // pipelined Hoplite
+        ));
+
+} // namespace
+} // namespace fasttrack
