@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_datawidth.dir/bench_ablation_datawidth.cpp.o"
+  "CMakeFiles/bench_ablation_datawidth.dir/bench_ablation_datawidth.cpp.o.d"
+  "bench_ablation_datawidth"
+  "bench_ablation_datawidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_datawidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_core_speed.dir/bench_core_speed.cpp.o"
+  "CMakeFiles/bench_core_speed.dir/bench_core_speed.cpp.o.d"
+  "bench_core_speed"
+  "bench_core_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_core_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_virtual_express.dir/bench_fig04_virtual_express.cpp.o"
+  "CMakeFiles/bench_fig04_virtual_express.dir/bench_fig04_virtual_express.cpp.o.d"
+  "bench_fig04_virtual_express"
+  "bench_fig04_virtual_express.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_virtual_express.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

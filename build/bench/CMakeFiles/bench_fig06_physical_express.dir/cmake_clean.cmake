@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_physical_express.dir/bench_fig06_physical_express.cpp.o"
+  "CMakeFiles/bench_fig06_physical_express.dir/bench_fig06_physical_express.cpp.o.d"
+  "bench_fig06_physical_express"
+  "bench_fig06_physical_express.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_physical_express.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

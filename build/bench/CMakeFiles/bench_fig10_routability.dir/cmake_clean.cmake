@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_routability.dir/bench_fig10_routability.cpp.o"
+  "CMakeFiles/bench_fig10_routability.dir/bench_fig10_routability.cpp.o.d"
+  "bench_fig10_routability"
+  "bench_fig10_routability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_routability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_multichannel.dir/bench_fig13_multichannel.cpp.o"
+  "CMakeFiles/bench_fig13_multichannel.dir/bench_fig13_multichannel.cpp.o.d"
+  "bench_fig13_multichannel"
+  "bench_fig13_multichannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15c_dataflow.dir/bench_fig15c_dataflow.cpp.o"
+  "CMakeFiles/bench_fig15c_dataflow.dir/bench_fig15c_dataflow.cpp.o.d"
+  "bench_fig15c_dataflow"
+  "bench_fig15c_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15c_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

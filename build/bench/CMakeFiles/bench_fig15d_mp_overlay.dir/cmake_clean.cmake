@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15d_mp_overlay.dir/bench_fig15d_mp_overlay.cpp.o"
+  "CMakeFiles/bench_fig15d_mp_overlay.dir/bench_fig15d_mp_overlay.cpp.o.d"
+  "bench_fig15d_mp_overlay"
+  "bench_fig15d_mp_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15d_mp_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smart_comparison.dir/bench_smart_comparison.cpp.o"
+  "CMakeFiles/bench_smart_comparison.dir/bench_smart_comparison.cpp.o.d"
+  "bench_smart_comparison"
+  "bench_smart_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smart_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

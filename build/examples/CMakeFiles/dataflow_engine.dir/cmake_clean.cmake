@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_engine.dir/dataflow_engine.cpp.o"
+  "CMakeFiles/dataflow_engine.dir/dataflow_engine.cpp.o.d"
+  "dataflow_engine"
+  "dataflow_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_heatmap.dir/noc_heatmap.cpp.o"
+  "CMakeFiles/noc_heatmap.dir/noc_heatmap.cpp.o.d"
+  "noc_heatmap"
+  "noc_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

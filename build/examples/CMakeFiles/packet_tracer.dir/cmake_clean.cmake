@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_tracer.dir/packet_tracer.cpp.o"
+  "CMakeFiles/packet_tracer.dir/packet_tracer.cpp.o.d"
+  "packet_tracer"
+  "packet_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_accelerator.dir/spmv_accelerator.cpp.o"
+  "CMakeFiles/spmv_accelerator.dir/spmv_accelerator.cpp.o.d"
+  "spmv_accelerator"
+  "spmv_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

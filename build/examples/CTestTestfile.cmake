@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "4" "0.5")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spmv "/root/repo/build/examples/spmv_accelerator" "1500" "4" "0.5")
+set_tests_properties(example_spmv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dataflow "/root/repo/build/examples/dataflow_engine" "1200" "4" "2")
+set_tests_properties(example_dataflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heatmap "/root/repo/build/examples/noc_heatmap" "RANDOM" "4" "2" "1")
+set_tests_properties(example_heatmap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tracer "/root/repo/build/examples/packet_tracer" "8" "2" "1")
+set_tests_properties(example_tracer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_experiment "/root/repo/build/examples/run_experiment" "/root/repo/build/example.cfg")
+set_tests_properties(example_run_experiment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_topology "/root/repo/build/examples/topology_viewer" "8" "4" "2")
+set_tests_properties(example_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explorer "/root/repo/build/examples/design_space_explorer" "4" "64")
+set_tests_properties(example_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_gen "/root/repo/build/examples/trace_tool" "gen" "dataflow" "4" "/root/repo/build/ex.trace")
+set_tests_properties(example_trace_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_info "/root/repo/build/examples/trace_tool" "info" "/root/repo/build/ex.trace")
+set_tests_properties(example_trace_info PROPERTIES  DEPENDS "example_trace_gen" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_replay "/root/repo/build/examples/trace_tool" "replay" "/root/repo/build/ex.trace" "ft-full" "2" "1")
+set_tests_properties(example_trace_replay PROPERTIES  DEPENDS "example_trace_gen" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")

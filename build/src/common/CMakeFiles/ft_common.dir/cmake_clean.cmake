@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_common.dir/ascii_chart.cpp.o"
+  "CMakeFiles/ft_common.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/ft_common.dir/config_file.cpp.o"
+  "CMakeFiles/ft_common.dir/config_file.cpp.o.d"
+  "CMakeFiles/ft_common.dir/logging.cpp.o"
+  "CMakeFiles/ft_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ft_common.dir/rng.cpp.o"
+  "CMakeFiles/ft_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ft_common.dir/stats.cpp.o"
+  "CMakeFiles/ft_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ft_common.dir/table.cpp.o"
+  "CMakeFiles/ft_common.dir/table.cpp.o.d"
+  "libft_common.a"
+  "libft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

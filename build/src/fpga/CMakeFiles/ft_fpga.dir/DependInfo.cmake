@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/area_model.cpp" "src/fpga/CMakeFiles/ft_fpga.dir/area_model.cpp.o" "gcc" "src/fpga/CMakeFiles/ft_fpga.dir/area_model.cpp.o.d"
+  "/root/repo/src/fpga/layout.cpp" "src/fpga/CMakeFiles/ft_fpga.dir/layout.cpp.o" "gcc" "src/fpga/CMakeFiles/ft_fpga.dir/layout.cpp.o.d"
+  "/root/repo/src/fpga/power_model.cpp" "src/fpga/CMakeFiles/ft_fpga.dir/power_model.cpp.o" "gcc" "src/fpga/CMakeFiles/ft_fpga.dir/power_model.cpp.o.d"
+  "/root/repo/src/fpga/routability.cpp" "src/fpga/CMakeFiles/ft_fpga.dir/routability.cpp.o" "gcc" "src/fpga/CMakeFiles/ft_fpga.dir/routability.cpp.o.d"
+  "/root/repo/src/fpga/wire_model.cpp" "src/fpga/CMakeFiles/ft_fpga.dir/wire_model.cpp.o" "gcc" "src/fpga/CMakeFiles/ft_fpga.dir/wire_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_fpga.dir/area_model.cpp.o"
+  "CMakeFiles/ft_fpga.dir/area_model.cpp.o.d"
+  "CMakeFiles/ft_fpga.dir/layout.cpp.o"
+  "CMakeFiles/ft_fpga.dir/layout.cpp.o.d"
+  "CMakeFiles/ft_fpga.dir/power_model.cpp.o"
+  "CMakeFiles/ft_fpga.dir/power_model.cpp.o.d"
+  "CMakeFiles/ft_fpga.dir/routability.cpp.o"
+  "CMakeFiles/ft_fpga.dir/routability.cpp.o.d"
+  "CMakeFiles/ft_fpga.dir/wire_model.cpp.o"
+  "CMakeFiles/ft_fpga.dir/wire_model.cpp.o.d"
+  "libft_fpga.a"
+  "libft_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

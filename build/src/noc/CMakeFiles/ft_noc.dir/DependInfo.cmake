@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/analysis.cpp" "src/noc/CMakeFiles/ft_noc.dir/analysis.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/analysis.cpp.o.d"
+  "/root/repo/src/noc/buffered.cpp" "src/noc/CMakeFiles/ft_noc.dir/buffered.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/buffered.cpp.o.d"
+  "/root/repo/src/noc/config.cpp" "src/noc/CMakeFiles/ft_noc.dir/config.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/config.cpp.o.d"
+  "/root/repo/src/noc/multichannel.cpp" "src/noc/CMakeFiles/ft_noc.dir/multichannel.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/multichannel.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/ft_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/noc_stats.cpp" "src/noc/CMakeFiles/ft_noc.dir/noc_stats.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/noc_stats.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/ft_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/noc/CMakeFiles/ft_noc.dir/routing.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/routing.cpp.o.d"
+  "/root/repo/src/noc/smart.cpp" "src/noc/CMakeFiles/ft_noc.dir/smart.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/smart.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/noc/CMakeFiles/ft_noc.dir/topology.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/topology.cpp.o.d"
+  "/root/repo/src/noc/vc_torus.cpp" "src/noc/CMakeFiles/ft_noc.dir/vc_torus.cpp.o" "gcc" "src/noc/CMakeFiles/ft_noc.dir/vc_torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ft_fpga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_noc.dir/analysis.cpp.o"
+  "CMakeFiles/ft_noc.dir/analysis.cpp.o.d"
+  "CMakeFiles/ft_noc.dir/buffered.cpp.o"
+  "CMakeFiles/ft_noc.dir/buffered.cpp.o.d"
+  "CMakeFiles/ft_noc.dir/config.cpp.o"
+  "CMakeFiles/ft_noc.dir/config.cpp.o.d"
+  "CMakeFiles/ft_noc.dir/multichannel.cpp.o"
+  "CMakeFiles/ft_noc.dir/multichannel.cpp.o.d"
+  "CMakeFiles/ft_noc.dir/network.cpp.o"
+  "CMakeFiles/ft_noc.dir/network.cpp.o.d"
+  "CMakeFiles/ft_noc.dir/noc_stats.cpp.o"
+  "CMakeFiles/ft_noc.dir/noc_stats.cpp.o.d"
+  "CMakeFiles/ft_noc.dir/router.cpp.o"
+  "CMakeFiles/ft_noc.dir/router.cpp.o.d"
+  "CMakeFiles/ft_noc.dir/routing.cpp.o"
+  "CMakeFiles/ft_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/ft_noc.dir/smart.cpp.o"
+  "CMakeFiles/ft_noc.dir/smart.cpp.o.d"
+  "CMakeFiles/ft_noc.dir/topology.cpp.o"
+  "CMakeFiles/ft_noc.dir/topology.cpp.o.d"
+  "CMakeFiles/ft_noc.dir/vc_torus.cpp.o"
+  "CMakeFiles/ft_noc.dir/vc_torus.cpp.o.d"
+  "libft_noc.a"
+  "libft_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/ft_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/ft_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/ft_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/ft_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/steady_state.cpp" "src/sim/CMakeFiles/ft_sim.dir/steady_state.cpp.o" "gcc" "src/sim/CMakeFiles/ft_sim.dir/steady_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traffic/CMakeFiles/ft_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ft_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ft_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_sim.dir/experiment.cpp.o"
+  "CMakeFiles/ft_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/ft_sim.dir/simulation.cpp.o"
+  "CMakeFiles/ft_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/ft_sim.dir/steady_state.cpp.o"
+  "CMakeFiles/ft_sim.dir/steady_state.cpp.o.d"
+  "libft_sim.a"
+  "libft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/injector.cpp" "src/traffic/CMakeFiles/ft_traffic.dir/injector.cpp.o" "gcc" "src/traffic/CMakeFiles/ft_traffic.dir/injector.cpp.o.d"
+  "/root/repo/src/traffic/pattern.cpp" "src/traffic/CMakeFiles/ft_traffic.dir/pattern.cpp.o" "gcc" "src/traffic/CMakeFiles/ft_traffic.dir/pattern.cpp.o.d"
+  "/root/repo/src/traffic/segmentation.cpp" "src/traffic/CMakeFiles/ft_traffic.dir/segmentation.cpp.o" "gcc" "src/traffic/CMakeFiles/ft_traffic.dir/segmentation.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/traffic/CMakeFiles/ft_traffic.dir/trace.cpp.o" "gcc" "src/traffic/CMakeFiles/ft_traffic.dir/trace.cpp.o.d"
+  "/root/repo/src/traffic/trace_replay.cpp" "src/traffic/CMakeFiles/ft_traffic.dir/trace_replay.cpp.o" "gcc" "src/traffic/CMakeFiles/ft_traffic.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/ft_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ft_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_traffic.dir/injector.cpp.o"
+  "CMakeFiles/ft_traffic.dir/injector.cpp.o.d"
+  "CMakeFiles/ft_traffic.dir/pattern.cpp.o"
+  "CMakeFiles/ft_traffic.dir/pattern.cpp.o.d"
+  "CMakeFiles/ft_traffic.dir/segmentation.cpp.o"
+  "CMakeFiles/ft_traffic.dir/segmentation.cpp.o.d"
+  "CMakeFiles/ft_traffic.dir/trace.cpp.o"
+  "CMakeFiles/ft_traffic.dir/trace.cpp.o.d"
+  "CMakeFiles/ft_traffic.dir/trace_replay.cpp.o"
+  "CMakeFiles/ft_traffic.dir/trace_replay.cpp.o.d"
+  "libft_traffic.a"
+  "libft_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

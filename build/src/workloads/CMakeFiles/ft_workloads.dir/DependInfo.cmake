@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/dataflow.cpp" "src/workloads/CMakeFiles/ft_workloads.dir/dataflow.cpp.o" "gcc" "src/workloads/CMakeFiles/ft_workloads.dir/dataflow.cpp.o.d"
+  "/root/repo/src/workloads/graph.cpp" "src/workloads/CMakeFiles/ft_workloads.dir/graph.cpp.o" "gcc" "src/workloads/CMakeFiles/ft_workloads.dir/graph.cpp.o.d"
+  "/root/repo/src/workloads/graph_analytics.cpp" "src/workloads/CMakeFiles/ft_workloads.dir/graph_analytics.cpp.o" "gcc" "src/workloads/CMakeFiles/ft_workloads.dir/graph_analytics.cpp.o.d"
+  "/root/repo/src/workloads/mp_overlay.cpp" "src/workloads/CMakeFiles/ft_workloads.dir/mp_overlay.cpp.o" "gcc" "src/workloads/CMakeFiles/ft_workloads.dir/mp_overlay.cpp.o.d"
+  "/root/repo/src/workloads/sparse_matrix.cpp" "src/workloads/CMakeFiles/ft_workloads.dir/sparse_matrix.cpp.o" "gcc" "src/workloads/CMakeFiles/ft_workloads.dir/sparse_matrix.cpp.o.d"
+  "/root/repo/src/workloads/spmv.cpp" "src/workloads/CMakeFiles/ft_workloads.dir/spmv.cpp.o" "gcc" "src/workloads/CMakeFiles/ft_workloads.dir/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traffic/CMakeFiles/ft_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ft_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ft_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_workloads.dir/dataflow.cpp.o"
+  "CMakeFiles/ft_workloads.dir/dataflow.cpp.o.d"
+  "CMakeFiles/ft_workloads.dir/graph.cpp.o"
+  "CMakeFiles/ft_workloads.dir/graph.cpp.o.d"
+  "CMakeFiles/ft_workloads.dir/graph_analytics.cpp.o"
+  "CMakeFiles/ft_workloads.dir/graph_analytics.cpp.o.d"
+  "CMakeFiles/ft_workloads.dir/mp_overlay.cpp.o"
+  "CMakeFiles/ft_workloads.dir/mp_overlay.cpp.o.d"
+  "CMakeFiles/ft_workloads.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/ft_workloads.dir/sparse_matrix.cpp.o.d"
+  "CMakeFiles/ft_workloads.dir/spmv.cpp.o"
+  "CMakeFiles/ft_workloads.dir/spmv.cpp.o.d"
+  "libft_workloads.a"
+  "libft_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/ft_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_area_model.cpp" "tests/CMakeFiles/ft_tests.dir/test_area_model.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_area_model.cpp.o.d"
+  "/root/repo/tests/test_ascii_chart.cpp" "tests/CMakeFiles/ft_tests.dir/test_ascii_chart.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_ascii_chart.cpp.o.d"
+  "/root/repo/tests/test_buffered.cpp" "tests/CMakeFiles/ft_tests.dir/test_buffered.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_buffered.cpp.o.d"
+  "/root/repo/tests/test_common_misc.cpp" "tests/CMakeFiles/ft_tests.dir/test_common_misc.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_common_misc.cpp.o.d"
+  "/root/repo/tests/test_config_file.cpp" "tests/CMakeFiles/ft_tests.dir/test_config_file.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_config_file.cpp.o.d"
+  "/root/repo/tests/test_device_contract.cpp" "tests/CMakeFiles/ft_tests.dir/test_device_contract.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_device_contract.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/ft_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/ft_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_interop.cpp" "tests/CMakeFiles/ft_tests.dir/test_interop.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_interop.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/ft_tests.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_livelock.cpp" "tests/CMakeFiles/ft_tests.dir/test_livelock.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_livelock.cpp.o.d"
+  "/root/repo/tests/test_multichannel.cpp" "tests/CMakeFiles/ft_tests.dir/test_multichannel.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_multichannel.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/ft_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/ft_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_pipelining.cpp" "tests/CMakeFiles/ft_tests.dir/test_pipelining.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_pipelining.cpp.o.d"
+  "/root/repo/tests/test_power_model.cpp" "tests/CMakeFiles/ft_tests.dir/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_power_model.cpp.o.d"
+  "/root/repo/tests/test_regression.cpp" "tests/CMakeFiles/ft_tests.dir/test_regression.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_regression.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/ft_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routability.cpp" "tests/CMakeFiles/ft_tests.dir/test_routability.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_routability.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/ft_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/ft_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_section4d.cpp" "tests/CMakeFiles/ft_tests.dir/test_section4d.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_section4d.cpp.o.d"
+  "/root/repo/tests/test_segmentation.cpp" "tests/CMakeFiles/ft_tests.dir/test_segmentation.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_segmentation.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/ft_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_smart.cpp" "tests/CMakeFiles/ft_tests.dir/test_smart.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_smart.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/ft_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/ft_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_steady_state.cpp" "tests/CMakeFiles/ft_tests.dir/test_steady_state.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_steady_state.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/ft_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/ft_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/ft_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/ft_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_vc_torus.cpp" "tests/CMakeFiles/ft_tests.dir/test_vc_torus.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_vc_torus.cpp.o.d"
+  "/root/repo/tests/test_wire_model.cpp" "tests/CMakeFiles/ft_tests.dir/test_wire_model.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_wire_model.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/ft_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_workloads.cpp.o.d"
+  "/root/repo/tests/test_zero_load_sweep.cpp" "tests/CMakeFiles/ft_tests.dir/test_zero_load_sweep.cpp.o" "gcc" "tests/CMakeFiles/ft_tests.dir/test_zero_load_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ft_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ft_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ft_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ft_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
