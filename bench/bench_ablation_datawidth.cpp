@@ -59,7 +59,8 @@ main(int argc, char **argv)
              Table::num(static_cast<std::uint64_t>(
                  packet_trace.messages.size())),
              Table::num(res.completion), Table::num(mhz, 0),
-             fit.feasible ? Table::num(res.completion / mhz, 1)
+             fit.feasible ? Table::num(
+                 static_cast<double>(res.completion) / mhz, 1)
                           : Table::na(),
              fit.feasible ? "yes" : "NO"});
     }

@@ -62,7 +62,9 @@ main(int argc, char **argv)
         table.addRow({v.label, Table::num(res.sustainedRate(), 4),
                       Table::num(res.avgLatency(), 1),
                       Table::num(res.worstLatency()),
-                      Table::num(hops ? 100.0 * s.expressHopTraversals /
+                      Table::num(hops ? 100.0 *
+                                            static_cast<double>(
+                                                s.expressHopTraversals) /
                                             hops
                                       : 0.0, 1),
                       Table::num(s.totalDeflections())});

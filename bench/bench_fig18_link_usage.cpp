@@ -44,7 +44,9 @@ main(int argc, char **argv)
         usage.addRow({ordered[i].label,
                       Table::num(s.shortHopTraversals),
                       Table::num(s.expressHopTraversals),
-                      Table::num(total ? 100.0 * s.expressHopTraversals /
+                      Table::num(total ? 100.0 *
+                                             static_cast<double>(
+                                                 s.expressHopTraversals) /
                                              total
                                        : 0.0, 1)});
     }

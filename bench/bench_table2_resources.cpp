@@ -60,10 +60,14 @@ main(int argc, char **argv)
     const double hop_luts =
         static_cast<double>(area.nocCost(rows[0].cfg.toSpec(256)).luts);
     std::cout << "\narea ratios over Hoplite: FT(64,2,1) "
-              << Table::num(area.nocCost(rows[1].cfg.toSpec(256)).luts /
+              << Table::num(static_cast<double>(
+                                area.nocCost(rows[1].cfg.toSpec(256))
+                                    .luts) /
                                 hop_luts, 2)
               << "x, FT(64,2,2) "
-              << Table::num(area.nocCost(rows[2].cfg.toSpec(256)).luts /
+              << Table::num(static_cast<double>(
+                                area.nocCost(rows[2].cfg.toSpec(256))
+                                    .luts) /
                                 hop_luts, 2)
               << "x (paper: 2.6x / 1.7x)\n";
     return 0;

@@ -65,7 +65,9 @@ main(int argc, char **argv)
             baseline = static_cast<double>(res.completion);
         table.addRow({cand.label, Table::num(res.completion),
                       Table::num(res.stats.totalLatency.mean(), 1),
-                      Table::num(baseline / res.completion, 2) + "x"});
+                      Table::num(baseline /
+                                     static_cast<double>(res.completion),
+                                 2) + "x"});
     }
     table.print(std::cout);
 

@@ -88,8 +88,10 @@ main(int argc, char **argv)
         const double total = static_cast<double>(
             s.shortHopTraversals + s.expressHopTraversals);
         std::cout << "express share of all traversals: "
-                  << Table::num(100.0 * s.expressHopTraversals / total,
-                                1)
+                  << Table::num(
+                         100.0 *
+                             static_cast<double>(s.expressHopTraversals) /
+                             total, 1)
                   << "%\n";
     }
     return 0;

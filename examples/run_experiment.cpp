@@ -103,9 +103,12 @@ main(int argc, char **argv)
                   Table::num(
                       res.stats.shortHopTraversals +
                               res.stats.expressHopTraversals
-                          ? 100.0 * res.stats.expressHopTraversals /
-                                (res.stats.shortHopTraversals +
-                                 res.stats.expressHopTraversals)
+                          ? 100.0 *
+                                static_cast<double>(
+                                    res.stats.expressHopTraversals) /
+                                static_cast<double>(
+                                    res.stats.shortHopTraversals +
+                                    res.stats.expressHopTraversals)
                           : 0.0, 1)});
     table.addRow({"LUTs", Table::num(cost.luts)});
     table.addRow({"FFs", Table::num(cost.ffs)});

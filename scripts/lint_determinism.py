@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Determinism and header-hygiene lint for the FastTrack sources.
+
+The simulator's contract is bit-identical results across runs, thread
+counts and platforms (ROADMAP tier-1; docs/correctness.md). This lint
+statically bans the constructs that silently break that contract:
+
+  nondeterminism sources (rule ``nondet``)
+    ``rand()`` / ``srand()``, ``std::random_device``, wall-clock reads
+    (``time()``, ``clock()``, ``std::chrono::*_clock::now``) anywhere
+    except the sanctioned deterministic generator in ``common/rng``.
+
+  unordered iteration (rule ``unordered-iter``)
+    Iterating an ``std::unordered_map`` / ``std::unordered_set`` in a
+    way that can feed results (range-for, ``.begin()``), because the
+    visit order is implementation-defined. Keyed lookups are fine.
+
+  header hygiene (rules ``include-guard`` / ``using-namespace``)
+    Every header carries an include guard named after its path
+    (``src/noc/packet.hpp`` -> ``FT_NOC_PACKET_HPP``) and headers
+    never contain top-level ``using namespace``.
+
+A finding can be suppressed for one line with a trailing comment:
+``// det-lint: allow(<rule>)``. Exit status is 1 when findings remain.
+
+Usage:
+    lint_determinism.py [--self-test] [ROOT...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+HEADER_SUFFIXES = {".hpp", ".hh", ".h"}
+
+# Files allowed to touch raw entropy: the deterministic RNG itself.
+RNG_ALLOWLIST = re.compile(r"(^|/)common/rng\.(cpp|hpp)$")
+
+SUPPRESS_RE = re.compile(r"//\s*det-lint:\s*allow\(([a-z-]+)\)")
+
+NONDET_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "wall-clock time()"),
+    (re.compile(r"(?<![\w:])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(
+        r"std::chrono::(system|steady|high_resolution)_clock::now"),
+     "std::chrono clock read"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)\s*[;({=]")
+RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*:\s*&?\s*(\w+(?:\.\w+)*)\s*\)")
+DIRECT_UNORDERED_FOR_RE = re.compile(
+    r"for\s*\([^)]*:\s*[^)]*unordered_(?:map|set)")
+
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
+
+LINE_COMMENT_RE = re.compile(r"//(?!\s*det-lint:).*$")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literals so their contents never match."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+def suppressed(line: str, rule: str) -> bool:
+    m = SUPPRESS_RE.search(line)
+    return bool(m) and m.group(1) == rule
+
+
+def expected_guard(path: Path, root: Path) -> str:
+    """Guard name derived from the path below src/ (or the root)."""
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        rel = Path(path.name)
+    parts = [p for p in rel.parts if p != "src"]
+    stem = "_".join(parts)
+    return "FT_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper()
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    try:
+        text = path.read_text(errors="replace")
+    except OSError as err:
+        return [Finding(path, 0, "io", f"unreadable: {err}")]
+    lines = text.splitlines()
+    rel = path.as_posix()
+
+    # --- nondeterminism sources ---
+    if not RNG_ALLOWLIST.search(rel):
+        for lineno, raw in enumerate(lines, 1):
+            line = LINE_COMMENT_RE.sub("", strip_strings(raw))
+            for pattern, what in NONDET_PATTERNS:
+                if pattern.search(line) and not suppressed(raw, "nondet"):
+                    findings.append(Finding(
+                        path, lineno, "nondet",
+                        f"{what} is nondeterministic; draw from "
+                        f"common/rng (Rng) instead"))
+
+    # --- unordered-container iteration ---
+    unordered_names: set[str] = set()
+    for raw in lines:
+        line = strip_strings(raw)
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(m.group(1))
+    for lineno, raw in enumerate(lines, 1):
+        line = LINE_COMMENT_RE.sub("", strip_strings(raw))
+        if suppressed(raw, "unordered-iter"):
+            continue
+        hit = None
+        if DIRECT_UNORDERED_FOR_RE.search(line):
+            hit = "range-for over an unordered container"
+        else:
+            m = RANGE_FOR_RE.search(line)
+            if m and m.group(1).split(".")[-1] in unordered_names:
+                hit = f"range-for over unordered container " \
+                      f"'{m.group(1)}'"
+            else:
+                for name in unordered_names:
+                    if re.search(rf"\b{re.escape(name)}\s*\.\s*c?begin\s*\(",
+                                 line):
+                        hit = f"iterator walk over unordered " \
+                              f"container '{name}'"
+                        break
+        if hit:
+            findings.append(Finding(
+                path, lineno, "unordered-iter",
+                f"{hit}: visit order is implementation-defined and "
+                f"can leak into results; use an ordered container or "
+                f"sort first"))
+
+    # --- header hygiene ---
+    if path.suffix in HEADER_SUFFIXES:
+        guard = expected_guard(path, root)
+        if not re.search(rf"^\s*#ifndef\s+{guard}\b", text, re.M) or \
+           not re.search(rf"^\s*#define\s+{guard}\b", text, re.M):
+            findings.append(Finding(
+                path, 1, "include-guard",
+                f"missing or misnamed include guard (expected "
+                f"{guard})"))
+        for lineno, raw in enumerate(lines, 1):
+            line = LINE_COMMENT_RE.sub("", strip_strings(raw))
+            if USING_NAMESPACE_RE.search(line) and \
+               not suppressed(raw, "using-namespace"):
+                findings.append(Finding(
+                    path, lineno, "using-namespace",
+                    "'using namespace' in a header pollutes every "
+                    "includer; qualify names instead"))
+
+    return findings
+
+
+def lint_roots(roots: list[Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for root in roots:
+        base = root if root.is_dir() else root.parent
+        files = [root] if root.is_file() else sorted(
+            p for p in root.rglob("*") if p.suffix in SOURCE_SUFFIXES)
+        for path in files:
+            findings.extend(lint_file(path, base))
+    return findings
+
+
+# --- self-test ---------------------------------------------------------
+
+BAD_HEADER = """\
+#ifndef WRONG_GUARD
+#define WRONG_GUARD
+using namespace std;
+#include <unordered_map>
+inline int draw() { return rand(); }
+#endif
+"""
+
+BAD_SOURCE = """\
+#include <unordered_map>
+#include <ctime>
+std::unordered_map<int, int> table;
+long stamp() { return time(nullptr); }
+int total() {
+    int sum = 0;
+    for (const auto &kv : table)
+        sum += kv.second;
+    for (auto it = table.begin(); it != table.end(); ++it)
+        sum += it->second;
+    return sum;
+}
+"""
+
+CLEAN_HEADER = """\
+#ifndef FT_SUB_CLEAN_HPP
+#define FT_SUB_CLEAN_HPP
+#include <map>
+inline int follow(const std::map<int, int> &m) {
+    int sum = 0;
+    for (const auto &kv : m)
+        sum += kv.second;
+    return sum;
+}
+#endif // FT_SUB_CLEAN_HPP
+"""
+
+SUPPRESSED_SOURCE = """\
+#include <unordered_map>
+std::unordered_map<int, int> cache;
+int peek() {
+    int n = 0;
+    for (const auto &kv : cache) // det-lint: allow(unordered-iter)
+        n += kv.second;
+    return n;
+}
+"""
+
+
+def self_test() -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        (root / "sub").mkdir()
+        (root / "sub" / "bad.hpp").write_text(BAD_HEADER)
+        (root / "sub" / "bad.cpp").write_text(BAD_SOURCE)
+        (root / "sub" / "clean.hpp").write_text(CLEAN_HEADER)
+        (root / "sub" / "ok.cpp").write_text(SUPPRESSED_SOURCE)
+        found = lint_roots([root])
+        got = {(f.path.name, f.rule) for f in found}
+
+        def expect(name: str, rule: str, present: bool = True) -> None:
+            if ((name, rule) in got) != present:
+                want = "expected" if present else "did not expect"
+                failures.append(f"{want} {rule} in {name}")
+
+        expect("bad.hpp", "include-guard")
+        expect("bad.hpp", "using-namespace")
+        expect("bad.hpp", "nondet")
+        expect("bad.cpp", "nondet")
+        expect("bad.cpp", "unordered-iter")
+        expect("clean.hpp", "include-guard", present=False)
+        expect("clean.hpp", "unordered-iter", present=False)
+        expect("ok.cpp", "unordered-iter", present=False)
+        iter_hits = [f for f in found
+                     if f.path.name == "bad.cpp"
+                     and f.rule == "unordered-iter"]
+        if len(iter_hits) != 2:
+            failures.append(
+                f"expected 2 unordered-iter findings in bad.cpp, "
+                f"got {len(iter_hits)}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("roots", nargs="*", default=["src"],
+                    help="files or directories to lint (default: src)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in fixture tests and exit")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+
+    roots = [Path(r) for r in args.roots]
+    for r in roots:
+        if not r.exists():
+            print(f"error: no such path: {r}", file=sys.stderr)
+            return 2
+    findings = lint_roots(roots)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

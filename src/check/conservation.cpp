@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Per-event conservation, link-exclusivity and express-legality
+ * checks: every packet is tracked from injection to delivery, each
+ * hop is validated against the wire it claims to ride, and the
+ * network's own counters are cross-checked at every cycle end.
+ */
+
+#include "check/invariants.hpp"
+
+#include "common/logging.hpp"
+
+namespace fasttrack::check {
+namespace {
+
+/** Local port name (the noc library's toString lives in ft_noc; the
+ *  check library links only ft_common). */
+const char *
+wireName(OutPort p)
+{
+    switch (p) {
+    case OutPort::eEx:
+        return "E_EX";
+    case OutPort::eSh:
+        return "E_SH";
+    case OutPort::sEx:
+        return "S_EX";
+    case OutPort::sSh:
+        return "S_SH";
+    case OutPort::none:
+        break;
+    }
+    return "none";
+}
+
+} // namespace
+
+NodeId
+InvariantChecker::landingSite(NodeId router, OutPort out, Cycle now)
+{
+    const Coord c = toCoord(router, geo_.n);
+    switch (out) {
+    case OutPort::eSh:
+        return toNodeId(Coord{static_cast<std::uint16_t>((c.x + 1) %
+                                                         geo_.n),
+                              c.y},
+                        geo_.n);
+    case OutPort::sSh:
+        return toNodeId(Coord{c.x, static_cast<std::uint16_t>(
+                                       (c.y + 1) % geo_.n)},
+                        geo_.n);
+    case OutPort::eEx:
+        if (!geo_.hasExpressX(c.x)) {
+            fail(Violation::expressLegality, now,
+                 detail::concat("east express hop from ",
+                                coordToString(c),
+                                " which has no X express port"));
+            return kInvalidNode;
+        }
+        return toNodeId(Coord{static_cast<std::uint16_t>(
+                                  (c.x + geo_.d) % geo_.n),
+                              c.y},
+                        geo_.n);
+    case OutPort::sEx:
+        if (!geo_.hasExpressY(c.y)) {
+            fail(Violation::expressLegality, now,
+                 detail::concat("south express hop from ",
+                                coordToString(c),
+                                " which has no Y express port"));
+            return kInvalidNode;
+        }
+        return toNodeId(Coord{c.x, static_cast<std::uint16_t>(
+                                       (c.y + geo_.d) % geo_.n)},
+                        geo_.n);
+    case OutPort::none:
+        break;
+    }
+    fail(Violation::protocol, now,
+         detail::concat("traversal on invalid port from router ",
+                        router));
+    return kInvalidNode;
+}
+
+void
+InvariantChecker::onInject(const Packet &p, NodeId at, Cycle now)
+{
+    ++eventsChecked_;
+    if (at >= geo_.nodes() || p.src != at) {
+        fail(Violation::protocol, now,
+             detail::concat("packet ", p.id, " injected at node ", at,
+                            " but has source ", p.src));
+        return;
+    }
+    if (!offerPending_[at]) {
+        fail(Violation::protocol, now,
+             detail::concat("injection at node ", at,
+                            " without a pending offer"));
+    } else {
+        offerPending_[at] = 0;
+        --pendingOffers_;
+    }
+    auto [it, inserted] =
+        inFlight_.try_emplace(p.id, PacketState{at, now, kNever, false});
+    if (!inserted) {
+        fail(Violation::conservation, now,
+             detail::concat("packet id ", p.id,
+                            " injected while already in flight "
+                            "(duplicated packet)"));
+        // Keep going in record mode: restart tracking from here.
+        it->second = PacketState{at, now, kNever, false};
+        return;
+    }
+    ++injected_;
+}
+
+void
+InvariantChecker::onTraversal(const Packet &p, NodeId router,
+                              OutPort out, Cycle now)
+{
+    ++eventsChecked_;
+    if (router >= geo_.nodes()) {
+        fail(Violation::protocol, now,
+             detail::concat("traversal from out-of-range router ",
+                            router));
+        return;
+    }
+
+    // Single-driver rule: one packet per physical wire per cycle.
+    const std::size_t wire =
+        static_cast<std::size_t>(router) * kNumOutPorts +
+        static_cast<std::size_t>(out);
+    if (wire < linkLastUsed_.size()) {
+        if (linkLastUsed_[wire] == now) {
+            fail(Violation::linkExclusivity, now,
+                 detail::concat("wire ", wireName(out), " of router ",
+                                router,
+                                " driven twice in one cycle (second "
+                                "packet id ",
+                                p.id, ")"));
+        }
+        linkLastUsed_[wire] = now;
+    }
+
+    const NodeId landing = landingSite(router, out, now);
+
+    auto it = inFlight_.find(p.id);
+    if (it == inFlight_.end()) {
+        fail(Violation::conservation, now,
+             detail::concat("packet id ", p.id, " traversed router ",
+                            router,
+                            " but is not in flight (phantom or "
+                            "duplicated packet)"));
+        // Track it from here so one bad event does not cascade.
+        it = inFlight_
+                 .try_emplace(p.id, PacketState{landing, now, now, false})
+                 .first;
+        return;
+    }
+    PacketState &st = it->second;
+
+    if (st.lastMove == now) {
+        fail(Violation::conservation, now,
+             detail::concat("packet id ", p.id,
+                            " moved twice in cycle ", now,
+                            " (duplicated packet)"));
+    }
+    st.lastMove = now;
+
+    if (st.expectedAt != kInvalidNode && router != st.expectedAt) {
+        fail(Violation::expressLegality, now,
+             detail::concat("packet id ", p.id, " hopped to router ",
+                            router, " but its last hop landed at ",
+                            st.expectedAt,
+                            " (hop length does not match link)"));
+    }
+    st.expectedAt = landing;
+    checkPacketAge(st, p, now);
+}
+
+void
+InvariantChecker::onDelivery(const Packet &p, NodeId at, Cycle now)
+{
+    ++eventsChecked_;
+    if (p.dst != at) {
+        fail(Violation::protocol, now,
+             detail::concat("packet id ", p.id, " delivered at node ",
+                            at, " but is addressed to ", p.dst));
+    }
+    auto it = inFlight_.find(p.id);
+    if (it == inFlight_.end()) {
+        fail(Violation::conservation, now,
+             detail::concat("packet id ", p.id, " delivered at node ",
+                            at,
+                            " but is not in flight (double delivery "
+                            "or phantom packet)"));
+        return;
+    }
+    if (it->second.expectedAt != kInvalidNode &&
+        at != it->second.expectedAt) {
+        fail(Violation::expressLegality, now,
+             detail::concat("packet id ", p.id, " delivered at node ",
+                            at, " but its last hop landed at ",
+                            it->second.expectedAt));
+    }
+    inFlight_.erase(it);
+    ++delivered_;
+    lastProgress_ = now;
+}
+
+void
+InvariantChecker::onCycleEnd(Cycle now, std::uint64_t reported_in_flight,
+                             std::uint64_t reported_pending)
+{
+    ++eventsChecked_;
+    if (reported_in_flight != inFlight_.size()) {
+        fail(Violation::conservation, now,
+             detail::concat("network reports ", reported_in_flight,
+                            " packet(s) in flight but the event "
+                            "stream implies ",
+                            inFlight_.size(), " (injected=", injected_,
+                            " delivered=", delivered_, ")"));
+    }
+    if (reported_pending != pendingOffers_) {
+        fail(Violation::conservation, now,
+             detail::concat("network reports ", reported_pending,
+                            " pending offer(s) but the event stream "
+                            "implies ",
+                            pendingOffers_));
+    }
+    checkGlobalProgress(now);
+}
+
+} // namespace fasttrack::check

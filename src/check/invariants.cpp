@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Checker plumbing: construction, geometry validation, failure
+ * dispatch, offer-protocol events, and the free engine-side verifiers.
+ * The per-event invariant logic lives in conservation.cpp; the
+ * progress detector in livelock.cpp.
+ */
+
+#include "check/invariants.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+#include "noc/config.hpp"
+
+namespace fasttrack::check {
+
+const char *
+toString(Violation v)
+{
+    switch (v) {
+    case Violation::conservation:
+        return "conservation";
+    case Violation::linkExclusivity:
+        return "link-exclusivity";
+    case Violation::expressLegality:
+        return "express-legality";
+    case Violation::livelock:
+        return "livelock";
+    case Violation::protocol:
+        return "protocol";
+    }
+    return "unknown";
+}
+
+Geometry
+geometryOf(const NocConfig &config)
+{
+    Geometry g;
+    g.n = config.n;
+    g.d = config.d;
+    g.r = config.r;
+    g.fastTrack = config.isFastTrack();
+    return g;
+}
+
+InvariantChecker::InvariantChecker(const Geometry &geometry,
+                                   FailMode mode)
+    : geo_(geometry), mode_(mode),
+      livelockBound_(std::max<Cycle>(100'000, 4'000ull * geometry.n)),
+      offerPending_(geometry.nodes(), 0),
+      linkLastUsed_(static_cast<std::size_t>(geometry.nodes()) *
+                        kNumOutPorts,
+                    kNever)
+{
+    if (geo_.n < 2)
+        fail(Violation::protocol, 0,
+             detail::concat("degenerate geometry: n=", geo_.n));
+    if (geo_.fastTrack) {
+        if (geo_.r == 0 || geo_.d == 0)
+            fail(Violation::expressLegality, 0,
+                 detail::concat("bad express parameters d=", geo_.d,
+                                " r=", geo_.r));
+        else if (geo_.d % geo_.r != 0)
+            fail(Violation::expressLegality, 0,
+                 detail::concat("R must divide D: d=", geo_.d,
+                                " r=", geo_.r));
+    }
+}
+
+void
+InvariantChecker::fail(Violation kind, Cycle now, std::string detail)
+{
+    if (mode_ == FailMode::panic) {
+        FT_PANIC("invariant violation [", toString(kind), "] at cycle ",
+                 now, ": ", detail);
+    }
+    violations_.push_back(Record{kind, now, std::move(detail)});
+}
+
+void
+InvariantChecker::onOffer(const Packet &p, Cycle now)
+{
+    ++eventsChecked_;
+    if (p.src >= geo_.nodes() || p.dst >= geo_.nodes()) {
+        fail(Violation::protocol, now,
+             detail::concat("offer with out-of-range endpoints ", p.src,
+                            " -> ", p.dst));
+        return;
+    }
+    if (offerPending_[p.src]) {
+        fail(Violation::protocol, now,
+             detail::concat("node ", p.src,
+                            " offered while an offer is pending"));
+        return;
+    }
+    offerPending_[p.src] = 1;
+    ++pendingOffers_;
+}
+
+void
+InvariantChecker::onWithdraw(NodeId node, Cycle now)
+{
+    ++eventsChecked_;
+    if (node >= geo_.nodes() || !offerPending_[node]) {
+        fail(Violation::protocol, now,
+             detail::concat("withdraw at node ", node,
+                            " without a pending offer"));
+        return;
+    }
+    offerPending_[node] = 0;
+    --pendingOffers_;
+}
+
+void
+InvariantChecker::onSelfDelivery(const Packet &p, Cycle now)
+{
+    ++eventsChecked_;
+    if (p.src != p.dst)
+        fail(Violation::protocol, now,
+             detail::concat("self-delivery of non-local packet ", p.id,
+                            " (", p.src, " -> ", p.dst, ")"));
+    ++selfDelivered_;
+}
+
+void
+InvariantChecker::verifyQuiescent(Cycle now)
+{
+    ++eventsChecked_;
+    if (!inFlight_.empty()) {
+        fail(Violation::conservation, now,
+             detail::concat("network claims quiescence with ",
+                            inFlight_.size(), " packet(s) tracked in "
+                            "flight (first id ",
+                            inFlight_.begin()->first, ")"));
+    }
+    if (pendingOffers_ != 0)
+        fail(Violation::conservation, now,
+             detail::concat("network claims quiescence with ",
+                            pendingOffers_, " pending offer(s)"));
+    if (injected_ != delivered_)
+        fail(Violation::conservation, now,
+             detail::concat("quiescent but injected=", injected_,
+                            " != delivered=", delivered_));
+}
+
+// --- free engine-side verifiers ---------------------------------------
+
+void
+verifyRouterResult(Coord pos, std::size_t inputs_present,
+                   bool had_offer, bool pe_accepted,
+                   std::size_t outputs_assigned, bool delivered,
+                   bool illegal_express_x, bool illegal_express_y)
+{
+    const std::size_t in_count = inputs_present + (pe_accepted ? 1 : 0);
+    const std::size_t out_count =
+        outputs_assigned + (delivered ? 1 : 0);
+    FT_ASSERT(in_count == out_count,
+              "router conservation broken at ", coordToString(pos),
+              ": ", inputs_present, " input(s) + ",
+              pe_accepted ? 1 : 0, " accepted != ", outputs_assigned,
+              " output(s) + ", delivered ? 1 : 0, " delivered");
+    FT_ASSERT(!pe_accepted || had_offer,
+              "router at ", coordToString(pos),
+              " accepted an injection without an offer");
+    FT_ASSERT(!illegal_express_x,
+              "router at ", coordToString(pos),
+              " drove an east express port it does not have");
+    FT_ASSERT(!illegal_express_y,
+              "router at ", coordToString(pos),
+              " drove a south express port it does not have");
+}
+
+void
+verifyExitExclusivity(bool exit_already_used, NodeId node, Cycle now)
+{
+    FT_ASSERT(!exit_already_used,
+              "invariant violation [exit-exclusivity] at cycle ", now,
+              ": node ", node,
+              " accepted two deliveries in one cycle");
+}
+
+void
+verifyDrainedStats(std::uint64_t injected, std::uint64_t delivered,
+                   bool quiescent)
+{
+    if (!quiescent)
+        return;
+    FT_ASSERT(injected == delivered,
+              "invariant violation [conservation] at end of run: ",
+              injected, " injected but ", delivered, " delivered");
+}
+
+} // namespace fasttrack::check

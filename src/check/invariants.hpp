@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Runtime NoC invariant checker (the FT_CHECK layer).
+ *
+ * A cycle-accurate bufferless NoC rests on a handful of machine-
+ * checkable properties; this module re-derives each one from the raw
+ * event stream of a Network, independently of the simulator's own
+ * bookkeeping, so a bug in either side shows up as a disagreement:
+ *
+ *  - conservation: injected == delivered + in-flight at every cycle
+ *    (no packet duplicated, dropped, or delivered twice);
+ *  - link exclusivity: one packet per physical wire per cycle
+ *    (single-driver semantics of an FPGA routing track);
+ *  - express legality: express ports exist only at depopulated
+ *    positions (x % R == 0), R | D, and an express hop lands exactly
+ *    D routers downstream;
+ *  - livelock bound: deflection routing must keep making progress;
+ *    a packet in flight beyond a configurable age, or a non-empty
+ *    network with no delivery for that long, is flagged.
+ *
+ * The checker is compiled into the simulators only when the build sets
+ * FT_CHECK_ENABLED (CMake option FT_CHECK); the library itself is
+ * always built so tests can drive it directly in any configuration.
+ * FailMode::record collects violations for inspection (used by the
+ * negative tests); FailMode::panic aborts on the first violation.
+ */
+
+#ifndef FT_CHECK_INVARIANTS_HPP
+#define FT_CHECK_INVARIANTS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/packet.hpp"
+#include "noc/routing.hpp"
+
+#ifndef FT_CHECK_ENABLED
+#define FT_CHECK_ENABLED 0
+#endif
+
+namespace fasttrack {
+struct NocConfig;
+}
+
+namespace fasttrack::check {
+
+/** True when the simulators were compiled with invariant hooks. */
+inline constexpr bool kHooksEnabled = FT_CHECK_ENABLED != 0;
+
+/** Invariant classes the checker can flag. */
+enum class Violation
+{
+    /** Packet count bookkeeping broke (duplicate, loss, double
+     *  delivery, or desync with the network's own counters). */
+    conservation,
+    /** Two packets drove one physical wire in the same cycle. */
+    linkExclusivity,
+    /** Express geometry broken: express port at a non-express site,
+     *  R does not divide D, or a hop that does not skip exactly D. */
+    expressLegality,
+    /** Progress bound exceeded (livelock suspect). */
+    livelock,
+    /** Event-protocol misuse (offer/inject/deliver sequencing). */
+    protocol,
+};
+
+const char *toString(Violation v);
+
+/**
+ * Geometry facts the checker needs, decoupled from NocConfig so the
+ * check library depends only on header-level types (tests can also
+ * fabricate impossible geometries to exercise the detector).
+ */
+struct Geometry
+{
+    std::uint32_t n = 0;
+    std::uint32_t d = 0;
+    std::uint32_t r = 1;
+    bool fastTrack = false;
+
+    std::uint32_t nodes() const { return n * n; }
+    bool hasExpressX(std::uint32_t x) const
+    {
+        return fastTrack && x % r == 0;
+    }
+    bool hasExpressY(std::uint32_t y) const
+    {
+        return fastTrack && y % r == 0;
+    }
+};
+
+/** Extract checker geometry from a NoC configuration. */
+Geometry geometryOf(const NocConfig &config);
+
+/** What to do when an invariant fails. */
+enum class FailMode
+{
+    /** FT_PANIC immediately (default inside the simulators). */
+    panic,
+    /** Append to violations() and keep going (for tests). */
+    record,
+};
+
+/**
+ * Tracks every packet from injection to delivery and validates the
+ * invariants above against each event. One checker instance observes
+ * exactly one Network (each channel of a multi-channel NoC has its
+ * own). Events must be reported in simulation order.
+ */
+class InvariantChecker
+{
+  public:
+    struct Record
+    {
+        Violation kind;
+        Cycle cycle;
+        std::string detail;
+    };
+
+    explicit InvariantChecker(const Geometry &geometry,
+                              FailMode mode = FailMode::panic);
+
+    // --- event stream from the network ---
+    /** A client offered @p p for injection at p.src. */
+    void onOffer(const Packet &p, Cycle now);
+    /** An un-injected offer was withdrawn (channel retargeting). */
+    void onWithdraw(NodeId node, Cycle now);
+    /** A self-addressed packet bypassed the network. */
+    void onSelfDelivery(const Packet &p, Cycle now);
+    /** The router at @p at accepted the pending offer @p p. */
+    void onInject(const Packet &p, NodeId at, Cycle now);
+    /** @p p left router @p router on output @p out this cycle. */
+    void onTraversal(const Packet &p, NodeId router, OutPort out,
+                     Cycle now);
+    /** @p p exited to the client at node @p at. */
+    void onDelivery(const Packet &p, NodeId at, Cycle now);
+    /** End of a network step(): cross-check the network's own
+     *  accounting and run the progress detector. */
+    void onCycleEnd(Cycle now, std::uint64_t reported_in_flight,
+                    std::uint64_t reported_pending);
+    /** The network claims quiescence: nothing may remain tracked. */
+    void verifyQuiescent(Cycle now);
+
+    /** Progress bound in cycles for the livelock detector. */
+    void setLivelockBound(Cycle bound) { livelockBound_ = bound; }
+    Cycle livelockBound() const { return livelockBound_; }
+
+    const Geometry &geometry() const { return geo_; }
+    const std::vector<Record> &violations() const { return violations_; }
+    /** Count of per-event validations that ran (tests use this to
+     *  prove the hooks actually fired). */
+    std::uint64_t eventsChecked() const { return eventsChecked_; }
+    std::uint64_t trackedInFlight() const { return inFlight_.size(); }
+
+  private:
+    /** Per-packet tracking state, keyed by Packet::id. */
+    struct PacketState
+    {
+        /** Router the next traversal/delivery must occur at. */
+        NodeId expectedAt = kInvalidNode;
+        Cycle injectedAt = 0;
+        /** Cycle of the packet's last traversal (duplicate guard). */
+        Cycle lastMove = kNever;
+        bool livelockReported = false;
+    };
+
+    static constexpr Cycle kNever = ~Cycle{0};
+
+    void fail(Violation kind, Cycle now, std::string detail);
+    /** Validate + compute where a hop from @p router on @p out lands. */
+    NodeId landingSite(NodeId router, OutPort out, Cycle now);
+    /** Per-packet age check against the livelock bound. */
+    void checkPacketAge(PacketState &st, const Packet &p, Cycle now);
+    /** Global no-delivery progress check (runs at cycle end). */
+    void checkGlobalProgress(Cycle now);
+
+    Geometry geo_;
+    FailMode mode_;
+    Cycle livelockBound_;
+
+    std::map<std::uint64_t, PacketState> inFlight_;
+    /** One-pending-offer-per-node rule. */
+    std::vector<std::uint8_t> offerPending_;
+    /** Last cycle each physical wire carried a packet, indexed by
+     *  router * kNumOutPorts + port. */
+    std::vector<Cycle> linkLastUsed_;
+
+    std::uint64_t injected_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t selfDelivered_ = 0;
+    std::uint64_t pendingOffers_ = 0;
+    Cycle lastProgress_ = 0;
+
+    std::vector<Record> violations_;
+    std::uint64_t eventsChecked_ = 0;
+};
+
+// --- free verifiers hooked into the engine (always panic) -------------
+
+/**
+ * Router-local conservation after one arbitration cycle: every input
+ * packet (plus an accepted injection) must appear on exactly one
+ * output or the exit; acceptance requires an offer; express outputs
+ * require express ports at the site.
+ */
+void verifyRouterResult(Coord pos, std::size_t inputs_present,
+                        bool had_offer, bool pe_accepted,
+                        std::size_t outputs_assigned, bool delivered,
+                        bool illegal_express_x, bool illegal_express_y);
+
+/** Multi-channel single-delivery rule: the shared client exit must not
+ *  be driven twice in one cycle. */
+void verifyExitExclusivity(bool exit_already_used, NodeId node,
+                           Cycle now);
+
+/** End-of-run conservation: a quiescent device must have delivered
+ *  exactly what it injected. */
+void verifyDrainedStats(std::uint64_t injected, std::uint64_t delivered,
+                        bool quiescent);
+
+} // namespace fasttrack::check
+
+#endif // FT_CHECK_INVARIANTS_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Livelock / forward-progress detection. Deflection routing has no
+ * buffers to deadlock, but a bad priority rule lets packets orbit the
+ * torus forever (the paper's Section IV-D turn-priority argument).
+ * Two complementary detectors, both bounded by livelockBound():
+ *
+ *  - per-packet age: a packet still in flight after the bound has
+ *    been deflected without progress for far longer than any legal
+ *    saturated run allows (tier-1 asserts max network latency under
+ *    400 * N cycles; the default bound is at least 4000 * N);
+ *  - global progress: a non-empty network that delivers nothing for
+ *    a whole bound window is orbiting, even if individual event
+ *    streams look fresh.
+ *
+ * Both flag long before test_livelock.cpp's 5M-cycle drain guard, so
+ * an FT_CHECK build turns a multi-minute timeout into an immediate
+ * diagnostic naming the stuck packet.
+ */
+
+#include "check/invariants.hpp"
+
+#include "common/logging.hpp"
+
+namespace fasttrack::check {
+
+void
+InvariantChecker::checkPacketAge(PacketState &st, const Packet &p,
+                                 Cycle now)
+{
+    if (st.livelockReported || now - st.injectedAt <= livelockBound_)
+        return;
+    st.livelockReported = true;
+    fail(Violation::livelock, now,
+         detail::concat("packet id ", p.id, " (", p.src, " -> ", p.dst,
+                        ") in flight for ", now - st.injectedAt,
+                        " cycles with ", p.deflections,
+                        " deflection(s); livelock bound is ",
+                        livelockBound_));
+}
+
+void
+InvariantChecker::checkGlobalProgress(Cycle now)
+{
+    if (inFlight_.empty()) {
+        lastProgress_ = now;
+        return;
+    }
+    if (now - lastProgress_ <= livelockBound_)
+        return;
+    fail(Violation::livelock, now,
+         detail::concat("no delivery for ", now - lastProgress_,
+                        " cycles with ", inFlight_.size(),
+                        " packet(s) in flight (oldest id ",
+                        inFlight_.begin()->first,
+                        "); livelock bound is ", livelockBound_));
+    // Rearm so record mode reports once per stalled window instead of
+    // once per subsequent cycle.
+    lastProgress_ = now;
+}
+
+} // namespace fasttrack::check

@@ -38,9 +38,9 @@ BufferedNetwork::neighbor(NodeId id, Port out) const
       case north:
         return c.y == 0 ? kInvalidNode : id - n_;
       case south:
-        return c.y + 1 == n_ ? kInvalidNode : id + n_;
+        return c.y + 1u == n_ ? kInvalidNode : id + n_;
       case east:
-        return c.x + 1 == n_ ? kInvalidNode : id + 1;
+        return c.x + 1u == n_ ? kInvalidNode : id + 1;
       case west:
         return c.x == 0 ? kInvalidNode : id - 1;
       default:

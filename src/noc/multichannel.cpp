@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.hpp"
 #include "common/logging.hpp"
 
 namespace fasttrack {
@@ -31,7 +32,17 @@ MultiChannelNoc::MultiChannelNoc(const NocConfig &config,
             return !exitUsed_[node];
         });
         net->setDeliverCallback([this](const Packet &p, Cycle when) {
-            exitUsed_[p.dst] = true;
+            // Self-addressed packets bypass the NoC and do not occupy
+            // the shared client exit (mirrors single-channel Network
+            // semantics, where self-delivery skips exit arbitration).
+            if (p.src != p.dst) {
+#if FT_CHECK_ENABLED
+                // One delivery per client per cycle across channels.
+                check::verifyExitExclusivity(exitUsed_[p.dst], p.dst,
+                                             when);
+#endif
+                exitUsed_[p.dst] = true;
+            }
             if (deliver_)
                 deliver_(p, when);
         });
@@ -109,6 +120,14 @@ MultiChannelNoc::drain(Cycle max_cycles)
     const Cycle limit = cycle_ + max_cycles;
     while (!quiescent() && cycle_ < limit)
         step();
+#if FT_CHECK_ENABLED
+    if (quiescent()) {
+        for (const auto &ch : channels_) {
+            if (ch->checker())
+                ch->checker()->verifyQuiescent(ch->now());
+        }
+    }
+#endif
     return quiescent();
 }
 

@@ -8,6 +8,10 @@ namespace fasttrack {
 
 Network::Network(const NocConfig &config) : topo_(config)
 {
+#if FT_CHECK_ENABLED
+    checker_ = std::make_unique<check::InvariantChecker>(
+        check::geometryOf(topo_.config()));
+#endif
     const std::uint32_t n = topo_.n();
     const std::uint32_t count = topo_.nodeCount();
     routers_.reserve(count);
@@ -56,6 +60,10 @@ Network::offer(const Packet &packet)
         ++stats_.selfDelivered;
         Packet p = packet;
         p.injected = cycle_;
+#if FT_CHECK_ENABLED
+        if (checker_)
+            checker_->onSelfDelivery(p, cycle_);
+#endif
         if (deliver_)
             deliver_(p, cycle_);
         return;
@@ -64,6 +72,10 @@ Network::offer(const Packet &packet)
     FT_ASSERT(!slot, "node ", packet.src, " already has a pending offer");
     slot = packet;
     ++pendingOffers_;
+#if FT_CHECK_ENABLED
+    if (checker_)
+        checker_->onOffer(packet, cycle_);
+#endif
 }
 
 bool
@@ -82,6 +94,10 @@ Network::withdrawOffer(NodeId node)
     Packet p = *slot;
     slot.reset();
     --pendingOffers_;
+#if FT_CHECK_ENABLED
+    if (checker_)
+        checker_->onWithdraw(node, cycle_);
+#endif
     return p;
 }
 
@@ -114,6 +130,10 @@ Network::step()
 
         if (res.peAccepted) {
             FT_ASSERT(offer, "acceptance without an offer");
+#if FT_CHECK_ENABLED
+            if (checker_)
+                checker_->onInject(*offer, id, cycle_);
+#endif
             --pendingOffers_;
             ++inFlight_;
             ++nodeCounters_[id].injected;
@@ -133,6 +153,10 @@ Network::step()
             stats_.networkLatency.add(cycle_ - p.injected);
             stats_.hopCount.add(p.totalHops());
             stats_.deflectionCount.add(p.deflections);
+#if FT_CHECK_ENABLED
+            if (checker_)
+                checker_->onDelivery(p, id, cycle_);
+#endif
             if (tracer_)
                 tracer_(p, id, OutPort::none, cycle_);
             if (deliver_)
@@ -145,6 +169,12 @@ Network::step()
             const TransferTarget &t = targets_[id][port];
             FT_ASSERT(t.router != kInvalidNode,
                       "forward onto a non-existent link");
+#if FT_CHECK_ENABLED
+            if (checker_)
+                checker_->onTraversal(*res.out[port], id,
+                                      static_cast<OutPort>(port),
+                                      cycle_);
+#endif
             if (tracer_)
                 tracer_(*res.out[port], id,
                         static_cast<OutPort>(port), cycle_);
@@ -166,6 +196,11 @@ Network::step()
         dst_slot = std::move(a.packet);
     }
     due.clear();
+
+#if FT_CHECK_ENABLED
+    if (checker_)
+        checker_->onCycleEnd(cycle_, inFlight_, pendingOffers_);
+#endif
 }
 
 Cycle
@@ -182,6 +217,10 @@ Network::drain(Cycle max_cycles)
     const Cycle limit = cycle_ + max_cycles;
     while (!quiescent() && cycle_ < limit)
         step();
+#if FT_CHECK_ENABLED
+    if (checker_ && quiescent())
+        checker_->verifyQuiescent(cycle_);
+#endif
     return quiescent();
 }
 

@@ -8,9 +8,11 @@
 #define FT_NOC_NETWORK_HPP
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "noc/config.hpp"
 #include "noc/noc_device.hpp"
 #include "noc/noc_stats.hpp"
@@ -99,6 +101,19 @@ class Network : public NocDevice
         return linkTraversals_;
     }
 
+    /**
+     * Runtime invariant checker observing this network, or nullptr.
+     * FT_CHECK builds attach one automatically at construction; tests
+     * may swap in a FailMode::record instance. The hooks that feed it
+     * are compiled only when FT_CHECK_ENABLED is set, so attaching a
+     * checker in a non-FT_CHECK build sees no events.
+     */
+    check::InvariantChecker *checker() const { return checker_.get(); }
+    void attachChecker(std::unique_ptr<check::InvariantChecker> c)
+    {
+        checker_ = std::move(c);
+    }
+
     /** Per-node fairness counters. */
     struct NodeCounters
     {
@@ -146,6 +161,7 @@ class Network : public NocDevice
     std::vector<std::array<std::uint64_t, kNumOutPorts>> linkTraversals_;
     std::vector<NodeCounters> nodeCounters_;
     NocStats stats_;
+    std::unique_ptr<check::InvariantChecker> checker_;
     DeliverFn deliver_;
     TraceFn tracer_;
     ExitGate exitGate_;

@@ -1,5 +1,6 @@
 #include "noc/router.hpp"
 
+#include "check/invariants.hpp"
 #include "common/logging.hpp"
 
 namespace fasttrack {
@@ -26,6 +27,14 @@ Router::route(Inputs &inputs, const std::optional<Packet> &pe_offer,
     Result result;
     std::array<bool, kNumOutPorts> taken{};
     bool exit_granted = false;
+
+#if FT_CHECK_ENABLED
+    std::size_t check_inputs = 0;
+    for (const auto &slot : inputs) {
+        if (slot)
+            ++check_inputs;
+    }
+#endif
 
     auto distances = [&](const Packet &p, std::uint32_t &dx,
                          std::uint32_t &dy) {
@@ -152,6 +161,21 @@ Router::route(Inputs &inputs, const std::optional<Packet> &pe_offer,
         if (!result.peAccepted)
             ++stats.injectionBlockedCycles;
     }
+
+#if FT_CHECK_ENABLED
+    std::size_t check_outputs = 0;
+    for (const auto &o : result.out) {
+        if (o)
+            ++check_outputs;
+    }
+    check::verifyRouterResult(
+        pos_, check_inputs, pe_offer.has_value(), result.peAccepted,
+        check_outputs, result.delivered.has_value(),
+        result.out[static_cast<std::size_t>(OutPort::eEx)].has_value() &&
+            !site_.hasEx,
+        result.out[static_cast<std::size_t>(OutPort::sEx)].has_value() &&
+            !site_.hasEy);
+#endif
 
     return result;
 }

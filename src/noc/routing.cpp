@@ -260,17 +260,21 @@ injectVariantCandidates(const RouterSite &site, InPort in,
             c.push(OutPort::eEx);
         } else if (dy == 0 && dx == 0) {
             c.push(OutPort::sEx, /*exit=*/true); // express exit tap
-        } else {
+        } else if (site.hasEy) {
             c.push(OutPort::sEx); // turn within the express network
         }
         break;
       case InPort::nEx:
+        // The East express deflection exists only where the router
+        // actually has X express ports (depopulated sites do not).
         if (dy >= d && dy % d == 0) {
             c.push(OutPort::sEx);
-            c.push(OutPort::eEx);
+            if (site.hasEx)
+                c.push(OutPort::eEx);
         } else {
             c.push(OutPort::sEx, /*exit=*/dy == 0);
-            c.push(OutPort::eEx);
+            if (site.hasEx)
+                c.push(OutPort::eEx);
         }
         break;
       case InPort::wSh:

@@ -63,11 +63,11 @@ VcTorusNetwork::crossesDateline(NodeId id, Port out) const
     const Coord c = toCoord(id, n_);
     switch (out) {
       case east:
-        return c.x + 1 == n_; // wrap n-1 -> 0
+        return c.x + 1u == n_; // wrap n-1 -> 0
       case west:
         return c.x == 0; // wrap 0 -> n-1
       case south:
-        return c.y + 1 == n_;
+        return c.y + 1u == n_;
       case north:
         return c.y == 0;
       default:

@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include "check/invariants.hpp"
 #include "common/logging.hpp"
 #include "traffic/trace_replay.hpp"
 
@@ -39,6 +40,10 @@ runSynthetic(NocDevice &noc, const SyntheticWorkload &workload,
     result.pes = noc.config().pes();
     result.offeredRate = workload.injectionRate;
     result.completed = injector.done();
+#if FT_CHECK_ENABLED
+    check::verifyDrainedStats(result.stats.injected,
+                              result.stats.delivered, noc.quiescent());
+#endif
     return result;
 }
 
@@ -60,6 +65,10 @@ runTrace(const NocConfig &config, std::uint32_t channels,
     result.completion = replayer.run(max_cycles);
     result.stats = noc->statsSnapshot();
     result.pes = config.pes();
+#if FT_CHECK_ENABLED
+    check::verifyDrainedStats(result.stats.injected,
+                              result.stats.delivered, noc->quiescent());
+#endif
     return result;
 }
 

@@ -47,9 +47,11 @@ TEST_F(AreaModelTest, TableIITotalsWithinTenPercent)
     };
     for (const Anchor &a : anchors) {
         const NocCost cost = area.nocCost(a.cfg.toSpec(256));
-        EXPECT_NEAR(cost.luts, a.luts, a.luts * 0.10)
+        EXPECT_NEAR(static_cast<double>(cost.luts), a.luts,
+                    a.luts * 0.10)
             << a.cfg.describe();
-        EXPECT_NEAR(cost.ffs, a.ffs, a.ffs * 0.10) << a.cfg.describe();
+        EXPECT_NEAR(static_cast<double>(cost.ffs), a.ffs, a.ffs * 0.10)
+            << a.cfg.describe();
         EXPECT_NEAR(cost.frequencyMhz, a.mhz, a.mhz * 0.05)
             << a.cfg.describe();
     }

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Invariant-checker tests. A deliberately broken toy router drives
+ * the checker's event API the way a buggy engine would - duplicating
+ * a packet, driving one wire twice, teleporting, delivering twice,
+ * livelocking - and every break must be flagged with the right
+ * violation class, while a faithful replay of legal behavior stays
+ * silent. In FT_CHECK builds an end-to-end test also proves the
+ * hooks inside Network fire.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/invariants.hpp"
+#include "noc/config.hpp"
+#include "noc/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace fasttrack {
+namespace {
+
+using check::FailMode;
+using check::Geometry;
+using check::InvariantChecker;
+using check::Violation;
+
+Geometry
+hopliteGeo(std::uint32_t n)
+{
+    Geometry g;
+    g.n = n;
+    return g;
+}
+
+Geometry
+fastTrackGeo(std::uint32_t n, std::uint32_t d, std::uint32_t r)
+{
+    Geometry g;
+    g.n = n;
+    g.d = d;
+    g.r = r;
+    g.fastTrack = true;
+    return g;
+}
+
+Packet
+pkt(std::uint64_t id, NodeId src, NodeId dst)
+{
+    Packet p;
+    p.id = id;
+    p.src = src;
+    p.dst = dst;
+    return p;
+}
+
+bool
+flagged(const InvariantChecker &c, Violation kind)
+{
+    return std::any_of(c.violations().begin(), c.violations().end(),
+                       [&](const InvariantChecker::Record &r) {
+                           return r.kind == kind;
+                       });
+}
+
+/**
+ * A toy "router cycle" harness: replays a scripted sequence of events
+ * against a record-mode checker, standing in for an engine whose
+ * router logic may be broken in controlled ways.
+ */
+struct ToyNet
+{
+    explicit ToyNet(const Geometry &g)
+        : checker(g, FailMode::record), geo(g)
+    {
+    }
+
+    void offerAndInject(const Packet &p, Cycle now)
+    {
+        checker.onOffer(p, now);
+        checker.onInject(p, p.src, now);
+    }
+
+    InvariantChecker checker;
+    Geometry geo;
+};
+
+// --- legal behavior stays silent --------------------------------------
+
+TEST(Invariants, FaithfulHopliteRouteIsClean)
+{
+    // 0 -> 2 on a 4x4 torus: two east short hops, then exit.
+    ToyNet net(hopliteGeo(4));
+    const Packet p = pkt(1, 0, 2);
+    net.offerAndInject(p, 0);
+    net.checker.onTraversal(p, 0, OutPort::eSh, 0);
+    net.checker.onCycleEnd(0, 1, 0);
+    net.checker.onTraversal(p, 1, OutPort::eSh, 1);
+    net.checker.onCycleEnd(1, 1, 0);
+    net.checker.onDelivery(p, 2, 2);
+    net.checker.onCycleEnd(2, 0, 0);
+    net.checker.verifyQuiescent(2);
+    EXPECT_TRUE(net.checker.violations().empty())
+        << net.checker.violations().front().detail;
+    EXPECT_GT(net.checker.eventsChecked(), 0u);
+}
+
+TEST(Invariants, FaithfulExpressRideIsClean)
+{
+    // FT(64, 2, 1): 0 -> 4 via two express hops along the top row.
+    ToyNet net(fastTrackGeo(8, 2, 1));
+    const Packet p = pkt(7, 0, 4);
+    net.offerAndInject(p, 0);
+    net.checker.onTraversal(p, 0, OutPort::eEx, 0);
+    net.checker.onTraversal(p, 2, OutPort::eEx, 1);
+    net.checker.onDelivery(p, 4, 2);
+    net.checker.verifyQuiescent(2);
+    EXPECT_TRUE(net.checker.violations().empty())
+        << net.checker.violations().front().detail;
+}
+
+// --- the broken toy router --------------------------------------------
+
+TEST(Invariants, DuplicatedPacketTripsConservation)
+{
+    // Broken router forwards the same packet onto two different
+    // wires in one cycle (fan-out duplication).
+    ToyNet net(hopliteGeo(4));
+    const Packet p = pkt(9, 0, 5);
+    net.offerAndInject(p, 0);
+    net.checker.onTraversal(p, 0, OutPort::eSh, 0);
+    net.checker.onTraversal(p, 0, OutPort::sSh, 0);
+    EXPECT_TRUE(flagged(net.checker, Violation::conservation));
+}
+
+TEST(Invariants, DoubleDrivenWireTripsLinkExclusivity)
+{
+    // Broken router drives one physical wire with two packets in the
+    // same cycle (single-driver violation).
+    ToyNet net(hopliteGeo(4));
+    const Packet a = pkt(1, 0, 2);
+    const Packet b = pkt(2, 4, 2);
+    net.offerAndInject(a, 0);
+    net.offerAndInject(b, 0);
+    net.checker.onTraversal(a, 0, OutPort::eSh, 0);
+    net.checker.onTraversal(b, 0, OutPort::eSh, 0);
+    EXPECT_TRUE(flagged(net.checker, Violation::linkExclusivity));
+}
+
+TEST(Invariants, PhantomPacketTripsConservation)
+{
+    // A packet that was never injected appears on a wire.
+    ToyNet net(hopliteGeo(4));
+    net.checker.onTraversal(pkt(42, 0, 3), 0, OutPort::eSh, 0);
+    EXPECT_TRUE(flagged(net.checker, Violation::conservation));
+}
+
+TEST(Invariants, DoubleDeliveryTripsConservation)
+{
+    ToyNet net(hopliteGeo(4));
+    const Packet p = pkt(5, 0, 1);
+    net.offerAndInject(p, 0);
+    net.checker.onTraversal(p, 0, OutPort::eSh, 0);
+    net.checker.onDelivery(p, 1, 1);
+    net.checker.onDelivery(p, 1, 1);
+    EXPECT_TRUE(flagged(net.checker, Violation::conservation));
+}
+
+TEST(Invariants, DroppedPacketTripsCycleEndCrossCheck)
+{
+    // Router silently drops a packet: the engine decrements its own
+    // in-flight count without a delivery event.
+    ToyNet net(hopliteGeo(4));
+    const Packet p = pkt(3, 0, 2);
+    net.offerAndInject(p, 0);
+    net.checker.onTraversal(p, 0, OutPort::eSh, 0);
+    net.checker.onCycleEnd(0, /*reported_in_flight=*/0,
+                           /*reported_pending=*/0);
+    EXPECT_TRUE(flagged(net.checker, Violation::conservation));
+}
+
+TEST(Invariants, ExpressPortAtDepopulatedSiteTripsLegality)
+{
+    // FT(64, 2, 2): router x=1 is depopulated (1 % 2 != 0) and has no
+    // X express port, yet the broken router drives one.
+    ToyNet net(fastTrackGeo(8, 2, 2));
+    const Packet p = pkt(11, 1, 5);
+    net.offerAndInject(p, 0);
+    net.checker.onTraversal(p, 1, OutPort::eEx, 0);
+    EXPECT_TRUE(flagged(net.checker, Violation::expressLegality));
+}
+
+TEST(Invariants, WrongHopLengthTripsLegality)
+{
+    // An express hop must land exactly D routers downstream; the
+    // broken router lands the packet D-1 routers away instead.
+    ToyNet net(fastTrackGeo(8, 4, 1));
+    const Packet p = pkt(12, 0, 6);
+    net.offerAndInject(p, 0);
+    net.checker.onTraversal(p, 0, OutPort::eEx, 0);
+    // Next event claims the packet is at router 3, not 0 + D = 4.
+    net.checker.onTraversal(p, 3, OutPort::eSh, 1);
+    EXPECT_TRUE(flagged(net.checker, Violation::expressLegality));
+}
+
+TEST(Invariants, RDoesNotDivideDTripsLegalityAtConstruction)
+{
+    InvariantChecker c(fastTrackGeo(8, 3, 2), FailMode::record);
+    EXPECT_TRUE(flagged(c, Violation::expressLegality));
+}
+
+TEST(Invariants, MisdeliveryTripsProtocol)
+{
+    ToyNet net(hopliteGeo(4));
+    const Packet p = pkt(6, 0, 2);
+    net.offerAndInject(p, 0);
+    net.checker.onTraversal(p, 0, OutPort::eSh, 0);
+    net.checker.onDelivery(p, 1, 1); // addressed to 2, handed to 1
+    EXPECT_TRUE(flagged(net.checker, Violation::protocol));
+}
+
+TEST(Invariants, InjectWithoutOfferTripsProtocol)
+{
+    ToyNet net(hopliteGeo(4));
+    net.checker.onInject(pkt(7, 0, 3), 0, 0);
+    EXPECT_TRUE(flagged(net.checker, Violation::protocol));
+}
+
+// --- livelock detection ------------------------------------------------
+
+TEST(Invariants, OrbitingPacketTripsLivelockBound)
+{
+    ToyNet net(hopliteGeo(4));
+    net.checker.setLivelockBound(100);
+    Packet p = pkt(21, 0, 2);
+    net.offerAndInject(p, 0);
+    // The packet orbits the x-ring forever, deflected every cycle.
+    NodeId at = 0;
+    for (Cycle c = 0; c < 200 &&
+                      !flagged(net.checker, Violation::livelock);
+         ++c) {
+        net.checker.onTraversal(p, at, OutPort::eSh, c);
+        at = (at + 1) % 4;
+        ++p.deflections;
+        net.checker.onCycleEnd(c, 1, 0);
+    }
+    EXPECT_TRUE(flagged(net.checker, Violation::livelock));
+}
+
+TEST(Invariants, StalledNetworkTripsGlobalProgressBound)
+{
+    // In-flight packets exist but no event stream advances them and
+    // nothing is delivered: the global progress detector must fire.
+    ToyNet net(hopliteGeo(4));
+    net.checker.setLivelockBound(50);
+    net.offerAndInject(pkt(31, 0, 2), 0);
+    for (Cycle c = 0; c < 60; ++c)
+        net.checker.onCycleEnd(c, 1, 0);
+    EXPECT_TRUE(flagged(net.checker, Violation::livelock));
+}
+
+TEST(Invariants, DeliveredTrafficNeverTripsLivelock)
+{
+    ToyNet net(hopliteGeo(4));
+    net.checker.setLivelockBound(50);
+    for (Cycle c = 0; c < 500; ++c) {
+        const Packet p = pkt(100 + c, 0, 1);
+        net.offerAndInject(p, c);
+        net.checker.onTraversal(p, 0, OutPort::eSh, c);
+        net.checker.onDelivery(p, 1, c + 1);
+        net.checker.onCycleEnd(c, 0, 0);
+    }
+    EXPECT_FALSE(flagged(net.checker, Violation::livelock));
+}
+
+// --- quiescence and geometry ------------------------------------------
+
+TEST(Invariants, LeakedPacketTripsQuiescenceCheck)
+{
+    ToyNet net(hopliteGeo(4));
+    const Packet p = pkt(51, 0, 3);
+    net.offerAndInject(p, 0);
+    net.checker.onTraversal(p, 0, OutPort::eSh, 0);
+    net.checker.verifyQuiescent(10); // packet still tracked
+    EXPECT_TRUE(flagged(net.checker, Violation::conservation));
+}
+
+TEST(Invariants, GeometryOfExtractsConfig)
+{
+    const Geometry g = check::geometryOf(NocConfig::fastTrack(8, 4, 2));
+    EXPECT_EQ(g.n, 8u);
+    EXPECT_EQ(g.d, 4u);
+    EXPECT_EQ(g.r, 2u);
+    EXPECT_TRUE(g.fastTrack);
+    EXPECT_TRUE(g.hasExpressX(0));
+    EXPECT_FALSE(g.hasExpressX(1));
+    const Geometry h = check::geometryOf(NocConfig::hoplite(4));
+    EXPECT_FALSE(h.fastTrack);
+    EXPECT_FALSE(h.hasExpressX(0));
+}
+
+// --- end-to-end: hooks inside the real Network ------------------------
+
+TEST(Invariants, NetworkHooksObserveRealTraffic)
+{
+    if (!check::kHooksEnabled)
+        GTEST_SKIP() << "build without FT_CHECK";
+    Network noc(NocConfig::fastTrack(8, 2, 1));
+    ASSERT_NE(noc.checker(), nullptr);
+
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 0.5;
+    workload.packetsPerPe = 50;
+    const SynthResult res = runSynthetic(noc, workload);
+    ASSERT_TRUE(res.completed);
+    EXPECT_GT(noc.checker()->eventsChecked(), 0u);
+    EXPECT_EQ(noc.checker()->trackedInFlight(), 0u);
+}
+
+TEST(Invariants, RecordModeCheckerCanBeAttached)
+{
+    Network noc(NocConfig::hoplite(4));
+    auto recorder = std::make_unique<InvariantChecker>(
+        hopliteGeo(4), FailMode::record);
+    InvariantChecker *raw = recorder.get();
+    noc.attachChecker(std::move(recorder));
+    EXPECT_EQ(noc.checker(), raw);
+
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::local;
+    workload.injectionRate = 0.3;
+    workload.packetsPerPe = 10;
+    const SynthResult res = runSynthetic(noc, workload);
+    ASSERT_TRUE(res.completed);
+    // A correct engine must produce a silent checker (and in builds
+    // without FT_CHECK the hooks never fire at all).
+    EXPECT_TRUE(raw->violations().empty());
+    if (check::kHooksEnabled)
+        EXPECT_GT(raw->eventsChecked(), 0u);
+    else
+        EXPECT_EQ(raw->eventsChecked(), 0u);
+}
+
+} // namespace
+} // namespace fasttrack

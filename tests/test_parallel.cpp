@@ -1,0 +1,122 @@
+/**
+ * @file
+ * parallelMap determinism contract: the sweep engine must return
+ * bit-identical, input-ordered results for every thread count,
+ * including the degenerate empty-input and single-item paths. Sweep
+ * reproducibility (EXPERIMENTS.md) rests on exactly this property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "noc/config.hpp"
+#include "sim/simulation.hpp"
+
+namespace fasttrack {
+namespace {
+
+std::vector<unsigned>
+threadCounts()
+{
+    std::vector<unsigned> counts{1, 2};
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 2)
+        counts.push_back(hw);
+    return counts;
+}
+
+TEST(ParallelMap, EmptyInputReturnsEmpty)
+{
+    const std::vector<int> empty;
+    for (unsigned t : threadCounts()) {
+        const auto out =
+            parallelMap(empty, [](int v) { return v * 2; }, t);
+        EXPECT_TRUE(out.empty()) << "threads=" << t;
+    }
+}
+
+TEST(ParallelMap, ResultsMatchSerialForEveryThreadCount)
+{
+    std::vector<std::uint64_t> items(257);
+    std::iota(items.begin(), items.end(), 1);
+
+    // Work whose cost varies per item, so threads finish out of order
+    // and any order-dependence in the result placement would show.
+    auto fn = [](std::uint64_t v) {
+        Rng rng(v);
+        std::uint64_t acc = v;
+        for (std::uint64_t i = 0; i < (v % 97) * 50; ++i)
+            acc ^= rng.next();
+        return acc;
+    };
+
+    const auto serial = parallelMap(items, fn, 1);
+    ASSERT_EQ(serial.size(), items.size());
+    for (unsigned t : threadCounts()) {
+        const auto out = parallelMap(items, fn, t);
+        EXPECT_EQ(out, serial) << "threads=" << t;
+    }
+}
+
+TEST(ParallelMap, MoreThreadsThanItemsIsSafe)
+{
+    const std::vector<int> items{3};
+    const auto out = parallelMap(
+        items, [](int v) { return v + 1; }, 64);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 4);
+}
+
+TEST(ParallelMap, ZeroThreadsClampsToOne)
+{
+    const std::vector<int> items{1, 2, 3};
+    const auto out = parallelMap(
+        items, [](int v) { return v * v; }, 0);
+    EXPECT_EQ(out, (std::vector<int>{1, 4, 9}));
+}
+
+TEST(ParallelMap, NonTrivialResultTypesKeepInputOrder)
+{
+    std::vector<int> items(64);
+    std::iota(items.begin(), items.end(), 0);
+    for (unsigned t : threadCounts()) {
+        const auto out = parallelMap(
+            items, [](int v) { return std::to_string(v); }, t);
+        ASSERT_EQ(out.size(), items.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], std::to_string(i)) << "threads=" << t;
+    }
+}
+
+TEST(ParallelMap, SimulationSweepIsThreadCountInvariant)
+{
+    // The real use case: a rate sweep must produce identical metrics
+    // no matter how it is parallelized.
+    std::vector<double> rates{0.05, 0.1, 0.2, 0.3};
+    auto run = [](double rate) {
+        SyntheticWorkload workload;
+        workload.pattern = TrafficPattern::random;
+        workload.injectionRate = rate;
+        workload.packetsPerPe = 20;
+        const SynthResult res =
+            runSynthetic(NocConfig::fastTrack(4, 2, 1), 1, workload);
+        return std::make_tuple(res.cycles,
+                               res.stats.totalLatency.count(),
+                               res.stats.totalLatency.mean());
+    };
+    const auto serial = parallelMap(rates, run, 1);
+    for (unsigned t : threadCounts()) {
+        const auto out = parallelMap(rates, run, t);
+        EXPECT_EQ(out, serial) << "threads=" << t;
+    }
+}
+
+} // namespace
+} // namespace fasttrack

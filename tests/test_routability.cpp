@@ -36,8 +36,9 @@ TEST_F(RoutabilityTest, FeasibilityMonotoneInWidth)
         bool was_feasible = true;
         for (std::uint32_t w : RoutabilityModel::datawidthSweep()) {
             const bool ok = model.map(cfg.toSpec(w)).feasible;
-            if (!was_feasible)
+            if (!was_feasible) {
                 EXPECT_FALSE(ok) << cfg.describe() << " w=" << w;
+            }
             was_feasible = ok;
         }
     }

@@ -209,8 +209,9 @@ TEST(Dataflow, EveryNonRootHasPredecessor)
     const DataflowDag dag = sparseLuDag(params);
     const auto indeg = dag.inDegrees();
     for (std::uint32_t v = 0; v < dag.nodeCount; ++v) {
-        if (dag.level[v] > 0)
+        if (dag.level[v] > 0) {
             EXPECT_GE(indeg[v], 1u) << "node " << v;
+        }
     }
 }
 
@@ -293,7 +294,7 @@ TEST(MpOverlay, HubTrafficShare)
     std::sort(counts.rbegin(), counts.rend());
     const double top4 = static_cast<double>(
         counts[0] + counts[1] + counts[2] + counts[3]);
-    EXPECT_GT(top4 / trace.messages.size(), 0.35);
+    EXPECT_GT(top4 / static_cast<double>(trace.messages.size()), 0.35);
 }
 
 } // namespace
