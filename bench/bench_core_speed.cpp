@@ -38,6 +38,35 @@ BM_NetworkStep(benchmark::State &state)
     state.counters["routers"] = cfg.pes();
 }
 
+/**
+ * Same stepping loop with a journey tracer attached: exercises the
+ * tracer-enabled stepImpl instantiation, whose per-event std::function
+ * cost the devirtualized no-tracer path avoids entirely.
+ */
+void
+BM_NetworkStepTraced(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    Network noc(NocConfig::fastTrack(n, 2, 1));
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 0xffffffffu; // endless generation
+    SyntheticInjector injector(noc, workload);
+
+    std::uint64_t events = 0;
+    noc.setJourneyTracer(
+        [&events](const Packet &, NodeId, OutPort, Cycle) { ++events; });
+
+    for (auto _ : state) {
+        injector.tick();
+        noc.step();
+    }
+    benchmark::DoNotOptimize(events);
+    state.SetItemsProcessed(state.iterations() * noc.config().pes());
+    state.counters["routers"] = noc.config().pes();
+}
+
 void
 BM_TraceReplay(benchmark::State &state)
 {
@@ -59,5 +88,7 @@ BENCHMARK(BM_NetworkStep)
     ->Args({4, 1})
     ->Args({8, 0})
     ->Args({8, 1})
-    ->Args({16, 1});
+    ->Args({16, 1})
+    ->Args({32, 1});
+BENCHMARK(BM_NetworkStepTraced)->Arg(16);
 BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/parallel.hpp"
 #include "sim/simulation.hpp"
 
@@ -59,10 +60,12 @@ traceSpeedup(const Trace &trace, Cycle max_cycles = 50'000'000)
     for (const NocConfig &cfg : fastTrackCandidates(trace.n))
         configs.push_back(cfg);
 
-    const std::vector<Cycle> cycles =
-        parallelMap(configs, [&](const NocConfig &cfg) {
+    const std::vector<Cycle> cycles = parallelMap(
+        configs,
+        [&](const NocConfig &cfg) {
             return runTrace(cfg, 1, trace, max_cycles).completion;
-        });
+        },
+        workerThreads());
 
     TraceSpeedup out;
     out.hopliteCycles = cycles[0];

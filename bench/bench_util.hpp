@@ -6,22 +6,73 @@
 #ifndef FT_BENCH_BENCH_UTIL_HPP
 #define FT_BENCH_BENCH_UTIL_HPP
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "common/table.hpp"
 
 namespace fasttrack::bench {
 
+/**
+ * Worker-thread count for harnesses that fan out over parallelMap:
+ * the --threads override when given, hardware concurrency otherwise.
+ */
+inline unsigned &
+threadOverride()
+{
+    static unsigned threads = 0; // 0 = use hardware concurrency
+    return threads;
+}
+
+inline unsigned
+workerThreads()
+{
+    return threadOverride() ? threadOverride()
+                            : std::thread::hardware_concurrency();
+}
+
+inline void
+usage(const char *prog)
+{
+    std::cerr << "usage: " << prog << " [--csv] [--threads N]\n"
+              << "  --csv        emit tables as CSV (for scripting)\n"
+              << "  --threads N  cap parallel sweep workers at N\n";
+}
+
 /** Parse shared harness flags: --csv switches every table to CSV
- *  output (for scripting the figure data). Call first in main(). */
+ *  output (for scripting the figure data); --threads N caps the
+ *  parallelMap worker count. Unknown flags are an error (exit 2), so
+ *  a typo cannot silently run the default configuration. Call first
+ *  in main(). */
 inline void
 parseArgs(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0)
+        if (std::strcmp(argv[i], "--csv") == 0) {
             Table::setCsvMode(true);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            char *end = nullptr;
+            const long n =
+                i + 1 < argc ? std::strtol(argv[i + 1], &end, 10) : 0;
+            if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' ||
+                n < 1) {
+                std::cerr << argv[0]
+                          << ": --threads needs a positive integer\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            threadOverride() = static_cast<unsigned>(n);
+            ++i;
+            continue;
+        }
+        std::cerr << argv[0] << ": unknown flag '" << argv[i] << "'\n";
+        usage(argv[0]);
+        std::exit(2);
     }
 }
 

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Run bench_core_speed and record a perf baseline as JSON.
+
+Executes the google-benchmark core-speed harness with JSON output,
+extracts the BM_NetworkStep* results, compares them against the
+recorded pre-refactor baseline, and writes BENCH_core_speed.json so a
+perf regression (or claimed win) is a diffable artifact instead of a
+number in a PR description.
+
+Noise handling: each case runs --benchmark_repetitions times and the
+median repetition is recorded (single-core CI boxes and shared VMs
+jitter far too much for one-shot numbers). For a drift-immune speedup
+ratio, pass --baseline-bench with a binary built from the pre-refactor
+tree; both binaries then run interleaved in the same host window and
+the recorded ratio compares those medians. Without it, the frozen
+BASELINE table below is used.
+
+Usage:
+    python3 scripts/bench_record.py --bench build/bench/bench_core_speed \
+        [--baseline-bench path/to/old/bench_core_speed] \
+        [--out BENCH_core_speed.json] [--min-time 1] [--repetitions 3]
+
+Exit status is non-zero when the benchmark binary fails to run or
+produces no BM_NetworkStep results.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+# Pre-refactor numbers (optional-slot state + virtual hot loop) at
+# -O2/-DNDEBUG, re-measured as median-of-repetitions interleaved with
+# the post-refactor build on the same host window. The 2x speedup
+# target of the engine-core refactor is measured against
+# BM_NetworkStep/16/1.
+BASELINE = {
+    "BM_NetworkStep/4/0": {"ns_per_iter": 2868, "items_per_second": 5.63e6},
+    "BM_NetworkStep/4/1": {"ns_per_iter": 4895, "items_per_second": 3.36e6},
+    "BM_NetworkStep/8/0": {"ns_per_iter": 8756, "items_per_second": 7.59e6},
+    "BM_NetworkStep/8/1": {"ns_per_iter": 17928, "items_per_second": 3.58e6},
+    "BM_NetworkStep/16/1": {"ns_per_iter": 70472, "items_per_second": 3.70e6},
+}
+
+HEADLINE = "BM_NetworkStep/16/1"
+
+
+def run_bench(bench, min_time, repetitions):
+    cmd = [
+        bench,
+        "--benchmark_filter=BM_NetworkStep",
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+        f"--benchmark_repetitions={repetitions}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark failed with exit {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def extract(raw, repetitions):
+    """BM_NetworkStep results keyed by case name (median repetition)."""
+    results = {}
+    for b in raw.get("benchmarks", []):
+        name = b["name"]
+        if not name.startswith("BM_NetworkStep"):
+            continue
+        if repetitions > 1:
+            if b.get("aggregate_name") != "median":
+                continue
+            name = name.removesuffix("_median")
+        elif b.get("run_type") == "aggregate":
+            continue
+        results[name] = {
+            "ns_per_iter": round(b["real_time"], 1),
+            "items_per_second": round(b.get("items_per_second", 0.0), 1),
+        }
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", required=True,
+                        help="path to the bench_core_speed binary")
+    parser.add_argument("--baseline-bench", default=None,
+                        help="pre-refactor bench binary to measure "
+                             "in-window instead of the frozen table")
+    parser.add_argument("--out", default="BENCH_core_speed.json",
+                        help="output JSON path")
+    parser.add_argument("--min-time", default="1",
+                        help="--benchmark_min_time per case (seconds)")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="repetitions per case; the median is "
+                             "recorded")
+    args = parser.parse_args()
+
+    raw = run_bench(args.bench, args.min_time, args.repetitions)
+    current = extract(raw, args.repetitions)
+    if not current:
+        raise SystemExit("no BM_NetworkStep results in benchmark output")
+
+    if args.baseline_bench:
+        base_raw = run_bench(args.baseline_bench, args.min_time,
+                             args.repetitions)
+        baseline = extract(base_raw, args.repetitions)
+        if not baseline:
+            raise SystemExit("no BM_NetworkStep results from the "
+                             "baseline binary")
+        baseline_source = "measured in-window from --baseline-bench"
+    else:
+        baseline = BASELINE
+        baseline_source = "frozen pre-refactor table"
+
+    speedups = {}
+    for name, base in baseline.items():
+        cur = current.get(name)
+        if cur and base["items_per_second"] > 0:
+            speedups[name] = round(
+                cur["items_per_second"] / base["items_per_second"], 3)
+
+    record = {
+        "benchmark": "bench_core_speed",
+        "context": raw.get("context", {}),
+        "protocol": {
+            "repetitions": args.repetitions,
+            "statistic": "median" if args.repetitions > 1 else "single",
+            "min_time_s": args.min_time,
+            "baseline_source": baseline_source,
+        },
+        "baseline_pre_refactor": baseline,
+        "current": current,
+        "speedup_vs_baseline": speedups,
+        "headline": {
+            "case": HEADLINE,
+            "speedup": speedups.get(HEADLINE),
+            "target": 2.0,
+        },
+    }
+
+    with open(args.out, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    headline = speedups.get(HEADLINE)
+    print(f"wrote {args.out}")
+    if headline is not None:
+        print(f"{HEADLINE}: {headline}x vs pre-refactor baseline "
+              f"(target 2.0x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <thread>
 #include <vector>
 
@@ -22,6 +23,12 @@ namespace fasttrack {
  *
  * @p fn must be safe to call concurrently on distinct items (the
  * simulators here share no mutable state between instances).
+ *
+ * If @p fn throws, the exception is captured per item and the one
+ * belonging to the *earliest input index* is rethrown after all
+ * workers join — the same exception a serial loop would surface, so
+ * failures are deterministic regardless of thread interleaving.
+ * (A thread escaping with an exception would otherwise terminate.)
  */
 template <typename In, typename Fn>
 auto
@@ -43,13 +50,18 @@ parallelMap(const std::vector<In> &items, Fn fn,
         return results;
     }
 
+    std::vector<std::exception_ptr> errors(items.size());
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= items.size())
                 return;
-            results[i] = fn(items[i]);
+            try {
+                results[i] = fn(items[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
         }
     };
     std::vector<std::thread> pool;
@@ -58,6 +70,10 @@ parallelMap(const std::vector<In> &items, Fn fn,
         pool.emplace_back(worker);
     for (std::thread &t : pool)
         t.join();
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
     return results;
 }
 

@@ -16,12 +16,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -32,26 +26,13 @@ Rng::Rng(std::uint64_t seed)
 }
 
 std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
-}
-
-std::uint64_t
 Rng::nextBelow(std::uint64_t bound)
 {
     FT_ASSERT(bound > 0, "nextBelow(0)");
-    // Lemire-style rejection for unbiased draws.
+    // Lemire-style rejection for unbiased draws. Callers with a fixed
+    // bound on a hot path can precompute this threshold and an exact
+    // reciprocal modulus (see DestinationGenerator) to draw the same
+    // stream without the two hardware divides.
     const std::uint64_t threshold = (0 - bound) % bound;
     for (;;) {
         const std::uint64_t r = next();
@@ -66,18 +47,6 @@ Rng::nextRange(std::int64_t lo, std::int64_t hi)
     FT_ASSERT(lo <= hi, "nextRange(", lo, ",", hi, ")");
     const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(nextBelow(span));
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
 }
 
 Rng

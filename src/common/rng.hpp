@@ -21,6 +21,10 @@ namespace fasttrack {
  * Not a std-style engine on purpose: the simulator needs only a handful
  * of draw shapes and we want identical streams on every platform
  * (std::uniform_int_distribution is implementation-defined).
+ *
+ * The raw draw and the shapes built directly on it are defined inline:
+ * traffic generators call them once per node per cycle, which makes
+ * the call overhead itself measurable at scale.
  */
 class Rng
 {
@@ -29,7 +33,20 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
     /** Next raw 64-bit draw. */
-    std::uint64_t next();
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound), bound > 0. Unbiased (rejection). */
     std::uint64_t nextBelow(std::uint64_t bound);
@@ -38,15 +55,23 @@ class Rng
     std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability @p p. */
-    bool nextBool(double p);
+    bool nextBool(double p) { return nextDouble() < p; }
 
     /** Fork an independent stream (hash-mixed from this stream). */
     Rng split();
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 };
 

@@ -64,16 +64,31 @@ RunningStat::stddev() const
 }
 
 void
-Histogram::add(std::uint64_t value, std::uint64_t weight)
+Histogram::growDense(std::uint64_t value)
 {
-    bins_[value] += weight;
-    count_ += weight;
-    sum_ += static_cast<double>(value) * static_cast<double>(weight);
+    const std::uint64_t want = std::max(value + 1, 2 * dense_.size());
+    dense_.resize(std::min(want, kDenseCap), 0);
+}
+
+void
+Histogram::flush() const
+{
+    if (!dirty_)
+        return;
+    for (std::uint64_t v = 0; v < dense_.size(); ++v) {
+        if (dense_[v]) {
+            bins_[v] += dense_[v];
+            dense_[v] = 0;
+        }
+    }
+    dirty_ = false;
 }
 
 void
 Histogram::merge(const Histogram &other)
 {
+    flush();
+    other.flush();
     for (const auto &[value, n] : other.bins_)
         bins_[value] += n;
     count_ += other.count_;
@@ -84,25 +99,31 @@ void
 Histogram::reset()
 {
     bins_.clear();
+    dense_.clear();
+    dirty_ = false;
     count_ = 0;
-    sum_ = 0.0;
+    sum_ = 0;
 }
 
 double
 Histogram::mean() const
 {
-    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    return count_ ? static_cast<double>(sum_) /
+                        static_cast<double>(count_)
+                  : 0.0;
 }
 
 std::uint64_t
 Histogram::min() const
 {
+    flush();
     return bins_.empty() ? 0 : bins_.begin()->first;
 }
 
 std::uint64_t
 Histogram::max() const
 {
+    flush();
     return bins_.empty() ? 0 : bins_.rbegin()->first;
 }
 
@@ -112,6 +133,7 @@ Histogram::percentile(double p) const
     FT_ASSERT(p >= 0.0 && p <= 100.0, "percentile(", p, ")");
     if (count_ == 0)
         return 0;
+    flush();
     const auto target = static_cast<std::uint64_t>(
         std::ceil(p / 100.0 * static_cast<double>(count_)));
     std::uint64_t seen = 0;
@@ -127,6 +149,7 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>>
 Histogram::logBuckets() const
 {
     std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    flush();
     if (bins_.empty())
         return out;
     std::uint64_t bound = 1;

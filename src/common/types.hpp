@@ -50,12 +50,115 @@ toNodeId(Coord c, std::uint32_t n)
     return static_cast<NodeId>(c.y) * n + c.x;
 }
 
-/** Eastward (positive-x) distance from @p from to @p to on an N-ring. */
+/** Eastward (positive-x) distance from @p from to @p to on an N-ring.
+ *  Both positions must already be ring coordinates (< n). */
 constexpr std::uint32_t
 ringDistance(std::uint32_t from, std::uint32_t to, std::uint32_t n)
 {
-    return (to + n - from) % n;
+    // from, to < n makes to + n - from < 2n, so one conditional
+    // subtract replaces the hardware modulo.
+    const std::uint32_t t = to + n - from;
+    return t >= n ? t - n : t;
 }
+
+/**
+ * Division and modulo by a fixed runtime divisor using Lemire's
+ * round-up reciprocal multiply: one widening multiplication replaces
+ * the hardware divide (exact for all 32-bit dividends). Used on the
+ * simulator's hot path to turn flat node ids into torus coordinates.
+ */
+class FastDiv
+{
+  public:
+    FastDiv() = default;
+    explicit FastDiv(std::uint32_t divisor) { init(divisor); }
+
+    void init(std::uint32_t divisor)
+    {
+        d_ = divisor;
+        // ceil(2^64 / d): floor((2^64 - 1) / d) + 1, which is also
+        // exact when d is a power of two.
+        c_ = ~std::uint64_t{0} / divisor + 1;
+    }
+
+    std::uint32_t div(std::uint32_t v) const
+    {
+#ifdef __SIZEOF_INT128__
+        if (d_ == 1)
+            return v;
+        return static_cast<std::uint32_t>(
+            (static_cast<unsigned __int128>(c_) * v) >> 64);
+#else
+        return v / d_;
+#endif
+    }
+
+    std::uint32_t mod(std::uint32_t v) const
+    {
+#ifdef __SIZEOF_INT128__
+        if (d_ == 1)
+            return 0;
+        const std::uint64_t low = c_ * v;
+        return static_cast<std::uint32_t>(
+            (static_cast<unsigned __int128>(low) * d_) >> 64);
+#else
+        return v % d_;
+#endif
+    }
+
+    std::uint32_t divisor() const { return d_; }
+
+  private:
+    std::uint64_t c_ = 0;
+    std::uint32_t d_ = 1;
+};
+
+/**
+ * Exact v % d for a full 64-bit v against a fixed divisor, without the
+ * hardware divider: a round-down reciprocal gives a quotient estimate
+ * at most two short, fixed up with conditional subtractions. Traffic
+ * generators use it to reduce raw 64-bit RNG draws modulo a constant
+ * bound, where the result must be bit-identical to v % d (the draw
+ * stream is pinned by golden-stats tests).
+ */
+class FastMod64
+{
+  public:
+    FastMod64() = default;
+    explicit FastMod64(std::uint64_t divisor) { init(divisor); }
+
+    void init(std::uint64_t divisor)
+    {
+        d_ = divisor;
+        // floor(2^64 / d) up to one short (exact unless d divides
+        // 2^64); any shortfall only widens the fix-up below.
+        m_ = ~std::uint64_t{0} / divisor;
+    }
+
+    std::uint64_t mod(std::uint64_t v) const
+    {
+#ifdef __SIZEOF_INT128__
+        if (d_ == 1)
+            return 0;
+        // q <= floor(v/d) and misses it by at most 2, so the remainder
+        // estimate needs at most two subtractions of d.
+        const auto q = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(m_) * v) >> 64);
+        std::uint64_t r = v - q * d_;
+        while (r >= d_)
+            r -= d_;
+        return r;
+#else
+        return v % d_;
+#endif
+    }
+
+    std::uint64_t divisor() const { return d_; }
+
+  private:
+    std::uint64_t m_ = 0;
+    std::uint64_t d_ = 1;
+};
 
 /** Render a coordinate as "(x,y)" for logs and tables. */
 std::string inline

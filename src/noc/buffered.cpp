@@ -6,13 +6,12 @@ namespace fasttrack {
 
 BufferedNetwork::BufferedNetwork(std::uint32_t n,
                                  std::uint32_t fifo_depth)
-    : n_(n), fifoDepth_(fifo_depth)
+    : EngineCore(n * n), n_(n), fifoDepth_(fifo_depth)
 {
     FT_ASSERT(n >= 2, "mesh side must be >= 2");
     FT_ASSERT(fifo_depth >= 1, "FIFO depth must be >= 1");
     config_ = NocConfig::hoplite(n); // size carrier for NocDevice
     routers_.resize(n * n);
-    offers_.resize(n * n);
 }
 
 BufferedNetwork::Port
@@ -46,32 +45,6 @@ BufferedNetwork::neighbor(NodeId id, Port out) const
       default:
         return kInvalidNode;
     }
-}
-
-void
-BufferedNetwork::offer(const Packet &packet)
-{
-    FT_ASSERT(packet.src < routers_.size(), "bad source node");
-    FT_ASSERT(packet.dst < routers_.size(), "bad destination node");
-    if (packet.src == packet.dst) {
-        ++stats_.selfDelivered;
-        Packet p = packet;
-        p.injected = cycle_;
-        if (deliver_)
-            deliver_(p, cycle_);
-        return;
-    }
-    auto &slot = offers_[packet.src];
-    FT_ASSERT(!slot, "node ", packet.src, " already has a pending offer");
-    slot = packet;
-    ++pendingOffers_;
-}
-
-bool
-BufferedNetwork::hasPendingOffer(NodeId node) const
-{
-    FT_ASSERT(node < offers_.size(), "bad node");
-    return offers_[node].has_value();
 }
 
 void
@@ -137,14 +110,8 @@ BufferedNetwork::step()
         Packet p = std::move(fifo.front());
         fifo.pop_front();
         if (m.to == kInvalidNode) {
-            --inFlight_;
-            ++stats_.delivered;
-            stats_.totalLatency.add(cycle_ - p.created);
-            stats_.networkLatency.add(cycle_ - p.injected);
-            stats_.hopCount.add(p.totalHops());
-            stats_.deflectionCount.add(p.deflections);
-            if (deliver_)
-                deliver_(p, cycle_);
+            recordDeliveryStats(p, cycle_);
+            deliverToClient(p, cycle_);
         } else {
             ++p.shortHops;
             ++stats_.shortHopTraversals;
@@ -154,39 +121,23 @@ BufferedNetwork::step()
 
     // Phase 3: client injection into the local FIFOs.
     for (NodeId id = 0; id < routers_.size(); ++id) {
-        auto &offer = offers_[id];
-        if (!offer)
+        if (!offerMask_[id])
             continue;
         auto &fifo = routers_[id].fifo[local];
         if (fifo.size() >= fifoDepth_) {
             ++stats_.injectionBlockedCycles;
             continue;
         }
-        Packet p = *offer;
+        Packet p = offerSlab_[id];
         p.injected = cycle_;
         fifo.push_back(std::move(p));
-        offer.reset();
+        offerMask_[id] = 0;
         --pendingOffers_;
         ++inFlight_;
         ++stats_.injected;
     }
 
     ++cycle_;
-}
-
-bool
-BufferedNetwork::quiescent() const
-{
-    return inFlight_ == 0 && pendingOffers_ == 0;
-}
-
-bool
-BufferedNetwork::drain(Cycle max_cycles)
-{
-    const Cycle limit = cycle_ + max_cycles;
-    while (!quiescent() && cycle_ < limit)
-        step();
-    return quiescent();
 }
 
 std::uint64_t

@@ -19,15 +19,15 @@
 
 #include <array>
 #include <deque>
-#include <optional>
 #include <vector>
 
-#include "noc/noc_device.hpp"
+#include "noc/engine_core.hpp"
 
 namespace fasttrack {
 
-/** Input-buffered mesh NoC implementing the NocDevice interface. */
-class BufferedNetwork : public NocDevice
+/** Input-buffered mesh NoC implementing the NocDevice interface
+ *  through EngineCore's shared offer/drain/measurement scaffolding. */
+class BufferedNetwork : public EngineCore
 {
   public:
     /**
@@ -36,17 +36,7 @@ class BufferedNetwork : public NocDevice
      */
     BufferedNetwork(std::uint32_t n, std::uint32_t fifo_depth);
 
-    void setDeliverCallback(DeliverFn fn) override
-    {
-        deliver_ = std::move(fn);
-    }
-    void offer(const Packet &packet) override;
-    bool hasPendingOffer(NodeId node) const override;
     void step() override;
-    bool drain(Cycle max_cycles) override;
-    Cycle now() const override { return cycle_; }
-    bool quiescent() const override;
-    NocStats statsSnapshot() const override { return stats_; }
     const NocConfig &config() const override { return config_; }
     std::uint64_t linkCount() const override;
     std::uint32_t channelCount() const override { return 1; }
@@ -83,12 +73,6 @@ class BufferedNetwork : public NocDevice
     std::uint32_t n_;
     std::uint32_t fifoDepth_;
     std::vector<RouterState> routers_;
-    std::vector<std::optional<Packet>> offers_;
-    NocStats stats_;
-    DeliverFn deliver_;
-    Cycle cycle_ = 0;
-    std::uint64_t inFlight_ = 0;
-    std::uint64_t pendingOffers_ = 0;
 };
 
 } // namespace fasttrack

@@ -1,0 +1,84 @@
+#include "noc/engine_core.hpp"
+
+#include "common/logging.hpp"
+
+namespace fasttrack {
+
+EngineCore::EngineCore(std::uint32_t nodes) : nodes_(nodes)
+{
+    offerSlab_.resize(nodes);
+    offerMask_.assign(nodes, 0);
+}
+
+void
+EngineCore::offer(const Packet &packet)
+{
+    FT_ASSERT(packet.src < nodes_, "bad source node");
+    FT_ASSERT(packet.dst < nodes_, "bad destination node");
+    if (packet.src == packet.dst) {
+        // Local traffic bypasses the NoC entirely.
+        ++stats_.selfDelivered;
+        Packet p = packet;
+        p.injected = cycle_;
+#if FT_CHECK_ENABLED
+        if (checker_)
+            checker_->onSelfDelivery(p, cycle_);
+#endif
+        deliverToClient(p, cycle_);
+        return;
+    }
+    FT_ASSERT(!offerMask_[packet.src], "node ", packet.src,
+              " already has a pending offer");
+    offerSlab_[packet.src] = packet;
+    offerMask_[packet.src] = 1;
+    ++pendingOffers_;
+#if FT_CHECK_ENABLED
+    if (checker_)
+        checker_->onOffer(packet, cycle_);
+#endif
+}
+
+bool
+EngineCore::hasPendingOffer(NodeId node) const
+{
+    FT_ASSERT(node < nodes_, "bad node");
+    return offerMask_[node] != 0;
+}
+
+Packet
+EngineCore::withdrawOffer(NodeId node)
+{
+    FT_ASSERT(node < nodes_, "bad node");
+    FT_ASSERT(offerMask_[node], "no pending offer at node ", node);
+    offerMask_[node] = 0;
+    --pendingOffers_;
+#if FT_CHECK_ENABLED
+    if (checker_)
+        checker_->onWithdraw(node, cycle_);
+#endif
+    return offerSlab_[node];
+}
+
+bool
+EngineCore::drain(Cycle max_cycles)
+{
+    const Cycle limit = cycle_ + max_cycles;
+    while (!quiescent() && cycle_ < limit)
+        step();
+    if (quiescent())
+        onDrainedQuiescent();
+    return quiescent();
+}
+
+void
+EngineCore::recordDeliveryStats(const Packet &p, Cycle now)
+{
+    --inFlight_;
+    ++stats_.delivered;
+    stats_.totalLatency.add(now - p.created);
+    stats_.networkLatency.add(now - p.injected);
+    stats_.hopCount.add(p.totalHops());
+    stats_.deflectionCount.add(p.deflections);
+}
+
+} // namespace fasttrack

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Dense link-register storage for the cycle engine.
+ *
+ * The link registers of all routers live in one contiguous packet
+ * array plus per-router occupancy bitmasks, organized as a ring of
+ * "frames" indexed by arrival cycle modulo the ring depth. Frame
+ * `cycle % depth` holds the packets arriving at the routers' inputs
+ * at `cycle`; a router forwarding on a link of latency L writes the
+ * packet directly into frame `(cycle + L) % depth` at the landing
+ * (router, port) slot. This subsumes the former per-cycle Arrival
+ * vectors (the "pipe") and the std::optional<Packet> input registers:
+ * stepping streams over flat memory, moves each packet exactly once,
+ * and never constructs or destructs optionals.
+ *
+ * Depth must exceed the largest link latency so an in-flight write can
+ * never land in the frame currently being consumed.
+ */
+
+#ifndef FT_NOC_LINK_SLAB_HPP
+#define FT_NOC_LINK_SLAB_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+#include "noc/packet.hpp"
+#include "noc/routing.hpp"
+
+namespace fasttrack {
+
+/** Contiguous (frame, router, port)-indexed packet registers. */
+class LinkSlab
+{
+  public:
+    /** Input ports per router (wEx, nEx, wSh, nSh). */
+    static constexpr std::uint32_t kPorts = 4;
+
+    void init(std::uint32_t routers, std::uint32_t depth)
+    {
+        FT_ASSERT(depth >= 2, "slab needs at least a double buffer");
+        routers_ = routers;
+        depth_ = depth;
+        slots_.resize(static_cast<std::size_t>(routers) * kPorts *
+                      depth);
+        masks_.assign(static_cast<std::size_t>(routers) * depth, 0);
+    }
+
+    std::uint32_t depth() const { return depth_; }
+
+    /** Frame index holding arrivals for @p cycle. */
+    std::uint32_t frameOf(Cycle cycle) const
+    {
+        return static_cast<std::uint32_t>(cycle % depth_);
+    }
+
+    /** The four input-port slots of @p router in @p frame. */
+    Packet *row(std::uint32_t frame, std::uint32_t router)
+    {
+        return slots_.data() +
+               (static_cast<std::size_t>(frame) * routers_ + router) *
+                   kPorts;
+    }
+    const Packet *row(std::uint32_t frame, std::uint32_t router) const
+    {
+        return slots_.data() +
+               (static_cast<std::size_t>(frame) * routers_ + router) *
+                   kPorts;
+    }
+
+    /** Occupancy bits of @p router in @p frame (bit i = InPort i). */
+    std::uint8_t mask(std::uint32_t frame, std::uint32_t router) const
+    {
+        return masks_[static_cast<std::size_t>(frame) * routers_ +
+                      router];
+    }
+    void clearMask(std::uint32_t frame, std::uint32_t router)
+    {
+        masks_[static_cast<std::size_t>(frame) * routers_ + router] = 0;
+    }
+
+    /**
+     * Land @p p on (@p frame, @p router, @p port), asserting the
+     * single-driver rule (the slot must be empty). Returns the placed
+     * slot so callers can emit trace/checker events from it.
+     */
+    Packet *place(std::uint32_t frame, std::uint32_t router, InPort port,
+                  const Packet &p)
+    {
+        std::uint8_t &m =
+            masks_[static_cast<std::size_t>(frame) * routers_ + router];
+        const auto bit = static_cast<std::uint8_t>(
+            1u << static_cast<unsigned>(port));
+        FT_ASSERT(!(m & bit), "link register collision");
+        m = static_cast<std::uint8_t>(m | bit);
+        Packet *slot = row(frame, router) + static_cast<unsigned>(port);
+        *slot = p;
+        return slot;
+    }
+
+    /** Total occupied slots across all frames (debug aid). */
+    std::uint64_t occupied() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint8_t m : masks_)
+            total += static_cast<unsigned>(__builtin_popcount(m));
+        return total;
+    }
+
+  private:
+    std::vector<Packet> slots_;
+    std::vector<std::uint8_t> masks_;
+    std::uint32_t routers_ = 0;
+    std::uint32_t depth_ = 0;
+};
+
+} // namespace fasttrack
+
+#endif // FT_NOC_LINK_SLAB_HPP

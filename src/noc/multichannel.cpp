@@ -17,7 +17,7 @@ makeNoc(const NocConfig &config, std::uint32_t channels)
 
 MultiChannelNoc::MultiChannelNoc(const NocConfig &config,
                                  std::uint32_t channels)
-    : config_(config)
+    : EngineCore(config.pes()), config_(config)
 {
     FT_ASSERT(channels >= 1, "need at least one channel");
     config_.validate();
@@ -43,17 +43,10 @@ MultiChannelNoc::MultiChannelNoc(const NocConfig &config,
 #endif
                 exitUsed_[p.dst] = true;
             }
-            if (deliver_)
-                deliver_(p, when);
+            deliverToClient(p, when);
         });
         channels_.push_back(std::move(net));
     }
-}
-
-void
-MultiChannelNoc::setDeliverCallback(DeliverFn fn)
-{
-    deliver_ = std::move(fn);
 }
 
 void
@@ -114,21 +107,15 @@ MultiChannelNoc::step()
     ++cycle_;
 }
 
-bool
-MultiChannelNoc::drain(Cycle max_cycles)
+void
+MultiChannelNoc::onDrainedQuiescent()
 {
-    const Cycle limit = cycle_ + max_cycles;
-    while (!quiescent() && cycle_ < limit)
-        step();
 #if FT_CHECK_ENABLED
-    if (quiescent()) {
-        for (const auto &ch : channels_) {
-            if (ch->checker())
-                ch->checker()->verifyQuiescent(ch->now());
-        }
+    for (const auto &ch : channels_) {
+        if (ch->checker())
+            ch->checker()->verifyQuiescent(ch->now());
     }
 #endif
-    return quiescent();
 }
 
 bool

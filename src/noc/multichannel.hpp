@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "noc/engine_core.hpp"
 #include "noc/network.hpp"
 
 namespace fasttrack {
@@ -20,24 +21,30 @@ namespace fasttrack {
 /**
  * Replicated-channel NoC with single-injection / single-delivery
  * client semantics. Presents the same offer/step interface as Network.
+ * Packets live inside the channels, so the EngineCore offer slab is
+ * bypassed: offer bookkeeping delegates to the owning channel and the
+ * aggregate queries sum over channels.
  */
-class MultiChannelNoc : public NocDevice
+class MultiChannelNoc : public EngineCore
 {
   public:
     MultiChannelNoc(const NocConfig &config, std::uint32_t channels);
 
     using DeliverFn = Network::DeliverFn;
-    void setDeliverCallback(DeliverFn fn) override;
 
     /** Offer a packet at its source (one pending per node). */
     void offer(const Packet &packet) override;
     bool hasPendingOffer(NodeId node) const override;
+    /** Pending offers live inside the channels, not the EngineCore
+     *  slab: there is no dense view to expose. */
+    const std::uint8_t *pendingOfferMask() const override
+    {
+        return nullptr;
+    }
 
     /** Advance all channels one cycle with shared exit arbitration. */
     void step() override;
-    bool drain(Cycle max_cycles) override;
 
-    Cycle now() const override { return cycle_; }
     bool quiescent() const override;
     std::uint32_t channelCount() const override
     {
@@ -52,6 +59,8 @@ class MultiChannelNoc : public NocDevice
     std::uint64_t linkCount() const override;
 
   private:
+    void onDrainedQuiescent() override;
+
     NocConfig config_;
     std::vector<std::unique_ptr<Network>> channels_;
     /** Which channel currently holds each node's pending offer, or -1. */
@@ -60,8 +69,6 @@ class MultiChannelNoc : public NocDevice
     std::vector<std::uint32_t> nextChannel_;
     /** Per-cycle exit-used marks (one delivery per node per cycle). */
     std::vector<bool> exitUsed_;
-    DeliverFn deliver_;
-    Cycle cycle_ = 0;
     std::uint32_t stepOrigin_ = 0;
 };
 

@@ -6,7 +6,8 @@
 
 namespace fasttrack {
 
-Network::Network(const NocConfig &config) : topo_(config)
+Network::Network(const NocConfig &config)
+    : EngineCore(config.pes()), topo_(config)
 {
 #if FT_CHECK_ENABLED
     checker_ = std::make_unique<check::InvariantChecker>(
@@ -15,18 +16,41 @@ Network::Network(const NocConfig &config) : topo_(config)
     const std::uint32_t n = topo_.n();
     const std::uint32_t count = topo_.nodeCount();
     routers_.reserve(count);
-    inputs_.resize(count);
-    offers_.resize(count);
     targets_.resize(count);
-    const Cycle max_latency =
-        1 + std::max(config.shortLinkStages, config.expressLinkStages);
-    pipe_.resize(max_latency + 1);
     linkTraversals_.resize(count);
     nodeCounters_.resize(count);
 
+    const Cycle short_lat = 1 + config.shortLinkStages;
+    const Cycle express_lat = 1 + config.expressLinkStages;
+    portLatency_[static_cast<std::size_t>(OutPort::eEx)] = express_lat;
+    portLatency_[static_cast<std::size_t>(OutPort::sEx)] = express_lat;
+    portLatency_[static_cast<std::size_t>(OutPort::eSh)] = short_lat;
+    portLatency_[static_cast<std::size_t>(OutPort::sSh)] = short_lat;
+    // One frame per distinct landing offset plus the frame being
+    // consumed; an in-flight write can then never alias the current
+    // frame (matches the former pipe_ depth of max_latency + 1).
+    slab_.init(count, static_cast<std::uint32_t>(
+                          std::max(short_lat, express_lat) + 1));
+
+    // At most four distinct sites exist on the torus (express-x and
+    // express-y presence); all routers of a kind share one candidate
+    // table instead of each building its own.
+    std::array<std::shared_ptr<const CandidateTable>, 4> tables{};
+    const auto tableFor = [&](Coord c) {
+        const std::size_t kind =
+            (topo_.hasExpressX(c.x) ? 2u : 0u) +
+            (topo_.hasExpressY(c.y) ? 1u : 0u);
+        if (!tables[kind]) {
+            auto t = std::make_shared<CandidateTable>();
+            t->build(Router::siteFor(topo_, c));
+            tables[kind] = std::move(t);
+        }
+        return tables[kind];
+    };
+
     for (std::uint32_t id = 0; id < count; ++id) {
         const Coord c = toCoord(id, n);
-        routers_.emplace_back(topo_, c);
+        routers_.emplace_back(topo_, c, tableFor(c));
 
         auto &t = targets_[id];
         t[static_cast<std::size_t>(OutPort::eSh)] = {
@@ -50,178 +74,163 @@ Network::Network(const NocConfig &config) : topo_(config)
     }
 }
 
+template <bool HasGate, bool HasTracer>
 void
-Network::offer(const Packet &packet)
-{
-    FT_ASSERT(packet.src < topo_.nodeCount(), "bad source node");
-    FT_ASSERT(packet.dst < topo_.nodeCount(), "bad destination node");
-    if (packet.src == packet.dst) {
-        // Local traffic bypasses the NoC entirely.
-        ++stats_.selfDelivered;
-        Packet p = packet;
-        p.injected = cycle_;
-#if FT_CHECK_ENABLED
-        if (checker_)
-            checker_->onSelfDelivery(p, cycle_);
-#endif
-        if (deliver_)
-            deliver_(p, cycle_);
-        return;
-    }
-    auto &slot = offers_[packet.src];
-    FT_ASSERT(!slot, "node ", packet.src, " already has a pending offer");
-    slot = packet;
-    ++pendingOffers_;
-#if FT_CHECK_ENABLED
-    if (checker_)
-        checker_->onOffer(packet, cycle_);
-#endif
-}
-
-bool
-Network::hasPendingOffer(NodeId node) const
-{
-    FT_ASSERT(node < offers_.size(), "bad node");
-    return offers_[node].has_value();
-}
-
-Packet
-Network::withdrawOffer(NodeId node)
-{
-    FT_ASSERT(node < offers_.size(), "bad node");
-    auto &slot = offers_[node];
-    FT_ASSERT(slot, "no pending offer at node ", node);
-    Packet p = *slot;
-    slot.reset();
-    --pendingOffers_;
-#if FT_CHECK_ENABLED
-    if (checker_)
-        checker_->onWithdraw(node, cycle_);
-#endif
-    return p;
-}
-
-void
-Network::step()
+Network::stepImpl()
 {
     const std::uint32_t count = topo_.nodeCount();
-    for (std::uint32_t id = 0; id < count; ++id) {
-        auto &in = inputs_[id];
-        auto &offer = offers_[id];
+    const std::uint32_t cur = slab_.frameOf(cycle_);
+    // Landing frame per output lane, computed once per cycle.
+    std::array<std::uint32_t, kNumOutPorts> dest_frame;
+    for (std::size_t port = 0; port < kNumOutPorts; ++port)
+        dest_frame[port] = slab_.frameOf(cycle_ + portLatency_[port]);
 
-        // Consult the external exit gate (multi-channel delivery
-        // arbitration) once per router-cycle, using the first
-        // at-destination packet as the candidate.
-        bool gate = true;
-        if (exitGate_) {
-            for (const auto &slot : in) {
-                if (slot && slot->dst == id) {
-                    gate = exitGate_(id, *slot);
-                    break;
-                }
-            }
+    /** Collects routeCore's outcome so the engine can emit checker,
+     *  tracer and measurement events in the architected order
+     *  (injection, delivery, then traversals by port index). */
+    struct Sink
+    {
+        Network *net;
+        std::uint32_t id;
+        const std::uint32_t *dest_frame;
+        /** Slab slot each forwarded packet landed in, by OutPort. */
+        std::array<Packet *, kNumOutPorts> placed{};
+        /** Delivered packet (points into the current slab row). */
+        const Packet *delivered = nullptr;
+
+        void forward(OutPort out, const Packet &p)
+        {
+            const auto idx = static_cast<std::size_t>(out);
+            const TransferTarget &t = net->targets_[id][idx];
+            FT_ASSERT(t.router != kInvalidNode,
+                      "forward onto a non-existent link");
+            placed[idx] = net->slab_.place(dest_frame[idx], t.router,
+                                           t.port, p);
         }
+        void deliver(InPort, const Packet &p) { delivered = &p; }
+    };
 
-        Router::Result res =
-            routers_[id].route(in, offer, gate, cycle_, stats_);
-        // Inputs were consumed by the router this cycle.
-        for (auto &slot : in)
-            slot.reset();
+    for (std::uint32_t id = 0; id < count; ++id) {
+        const std::uint8_t in_mask = slab_.mask(cur, id);
+        const bool has_offer = offerMask_[id] != 0;
+        if (in_mask == 0 && !has_offer)
+            continue; // idle router: nothing to arbitrate
 
-        if (res.peAccepted) {
-            FT_ASSERT(offer, "acceptance without an offer");
+        Sink sink{this, id, dest_frame.data(), {}, nullptr};
+        const auto gate = [&](const Packet &p) {
+            if constexpr (HasGate)
+                return exitGate_(id, p);
+            (void)p;
+            return true;
+        };
+
+        const bool pe_accepted = routers_[id].routeCore(
+            slab_.row(cur, id), in_mask,
+            has_offer ? &offerSlab_[id] : nullptr, cycle_, stats_, gate,
+            sink);
+
 #if FT_CHECK_ENABLED
-            if (checker_)
-                checker_->onInject(*offer, id, cycle_);
+        {
+            std::size_t check_inputs = 0;
+            for (std::uint8_t m = in_mask; m;
+                 m &= static_cast<std::uint8_t>(m - 1))
+                ++check_inputs;
+            std::size_t check_outputs = 0;
+            for (const Packet *p : sink.placed) {
+                if (p)
+                    ++check_outputs;
+            }
+            const RouterSite &site = routers_[id].site();
+            check::verifyRouterResult(
+                toCoord(id, topo_.n()), check_inputs, has_offer,
+                pe_accepted, check_outputs, sink.delivered != nullptr,
+                sink.placed[static_cast<std::size_t>(OutPort::eEx)] &&
+                    !site.hasEx,
+                sink.placed[static_cast<std::size_t>(OutPort::sEx)] &&
+                    !site.hasEy);
+        }
 #endif
+
+        if (pe_accepted) {
+#if FT_CHECK_ENABLED
+            // The checker sees the original offer, before the router
+            // stamped the injection cycle onto its copy.
+            if (checker_)
+                checker_->onInject(offerSlab_[id], id, cycle_);
+#endif
+            offerMask_[id] = 0;
             --pendingOffers_;
             ++inFlight_;
             ++nodeCounters_[id].injected;
-            offer.reset();
-        } else if (offer) {
+        } else if (has_offer) {
             // Offer keeps waiting; latency accrues via created time.
             ++nodeCounters_[id].blockedCycles;
         }
 
-        if (res.delivered) {
-            Packet p = *res.delivered;
+        if (sink.delivered) {
+            const Packet &p = *sink.delivered;
             FT_ASSERT(p.dst == id, "delivery at wrong node");
-            --inFlight_;
-            ++stats_.delivered;
+            recordDeliveryStats(p, cycle_);
             ++nodeCounters_[id].delivered;
-            stats_.totalLatency.add(cycle_ - p.created);
-            stats_.networkLatency.add(cycle_ - p.injected);
-            stats_.hopCount.add(p.totalHops());
-            stats_.deflectionCount.add(p.deflections);
 #if FT_CHECK_ENABLED
             if (checker_)
                 checker_->onDelivery(p, id, cycle_);
 #endif
-            if (tracer_)
+            if constexpr (HasTracer)
                 tracer_(p, id, OutPort::none, cycle_);
-            if (deliver_)
-                deliver_(p, cycle_);
+            deliverToClient(p, cycle_);
         }
 
         for (std::size_t port = 0; port < kNumOutPorts; ++port) {
-            if (!res.out[port])
+            const Packet *p = sink.placed[port];
+            if (!p)
                 continue;
-            const TransferTarget &t = targets_[id][port];
-            FT_ASSERT(t.router != kInvalidNode,
-                      "forward onto a non-existent link");
 #if FT_CHECK_ENABLED
             if (checker_)
-                checker_->onTraversal(*res.out[port], id,
+                checker_->onTraversal(*p, id,
                                       static_cast<OutPort>(port),
                                       cycle_);
 #endif
-            if (tracer_)
-                tracer_(*res.out[port], id,
-                        static_cast<OutPort>(port), cycle_);
+            if constexpr (HasTracer)
+                tracer_(*p, id, static_cast<OutPort>(port), cycle_);
             ++linkTraversals_[id][port];
-            const Cycle lat = linkLatency(static_cast<OutPort>(port));
-            auto &slot = pipe_[(cycle_ + lat) % pipe_.size()];
-            slot.push_back(Arrival{t.router, t.port,
-                                   std::move(*res.out[port])});
         }
+
+        // This router's inputs are consumed; forwards all landed in
+        // future frames, so clearing cannot erase a new arrival.
+        slab_.clearMask(cur, id);
     }
 
-    // Land next cycle's arrivals in the routers' input registers.
     ++cycle_;
-    auto &due = pipe_[cycle_ % pipe_.size()];
-    for (Arrival &a : due) {
-        auto &dst_slot =
-            inputs_[a.router][static_cast<std::size_t>(a.port)];
-        FT_ASSERT(!dst_slot, "link register collision");
-        dst_slot = std::move(a.packet);
-    }
-    due.clear();
-
 #if FT_CHECK_ENABLED
     if (checker_)
         checker_->onCycleEnd(cycle_, inFlight_, pendingOffers_);
 #endif
 }
 
-Cycle
-Network::linkLatency(OutPort out) const
+void
+Network::step()
 {
-    const NocConfig &cfg = topo_.config();
-    return isExpress(out) ? 1 + cfg.expressLinkStages
-                          : 1 + cfg.shortLinkStages;
+    if (exitGate_) {
+        if (tracer_)
+            stepImpl<true, true>();
+        else
+            stepImpl<true, false>();
+    } else {
+        if (tracer_)
+            stepImpl<false, true>();
+        else
+            stepImpl<false, false>();
+    }
 }
 
-bool
-Network::drain(Cycle max_cycles)
+void
+Network::onDrainedQuiescent()
 {
-    const Cycle limit = cycle_ + max_cycles;
-    while (!quiescent() && cycle_ < limit)
-        step();
 #if FT_CHECK_ENABLED
-    if (checker_ && quiescent())
+    if (checker_)
         checker_->verifyQuiescent(cycle_);
 #endif
-    return quiescent();
 }
 
 std::uint64_t

@@ -8,13 +8,11 @@
 #define FT_NOC_NETWORK_HPP
 
 #include <functional>
-#include <memory>
-#include <optional>
 #include <vector>
 
-#include "check/invariants.hpp"
 #include "noc/config.hpp"
-#include "noc/noc_device.hpp"
+#include "noc/engine_core.hpp"
+#include "noc/link_slab.hpp"
 #include "noc/noc_stats.hpp"
 #include "noc/packet.hpp"
 #include "noc/router.hpp"
@@ -30,14 +28,23 @@ namespace fasttrack {
  * Accepted offers disappear from the pending set; deliveries invoke
  * the delivery callback. Bit-identical across runs: no internal
  * randomness, fixed router evaluation order.
+ *
+ * Engine layout: offer/accounting/measurement scaffolding comes from
+ * EngineCore; the link registers live in a dense LinkSlab frame ring
+ * rather than per-router std::optional slots, and step() dispatches to
+ * a stepping core templated on whether an exit gate and a journey
+ * tracer are attached, so the common no-hook path compiles with both
+ * folded out entirely (see docs/engine.md).
  */
-class Network : public NocDevice
+class Network : public EngineCore
 {
   public:
     explicit Network(const NocConfig &config);
 
     using DeliverFn = NocDevice::DeliverFn;
-    /** External per-cycle exit permission (multi-channel arbitration);
+    /** External per-cycle exit permission (multi-channel arbitration).
+     *  Consulted when a specific packet attempts to exit, so the
+     *  queried packet is always the one arbitration actually chose;
      *  must be pure within a cycle. */
     using ExitGate = std::function<bool(NodeId, const Packet &)>;
     /** Observer of every router traversal: (packet, router, output
@@ -46,46 +53,12 @@ class Network : public NocDevice
     using TraceFn = std::function<void(const Packet &, NodeId, OutPort,
                                        Cycle)>;
 
-    void setDeliverCallback(DeliverFn fn) override
-    {
-        deliver_ = std::move(fn);
-    }
     void setExitGate(ExitGate gate) { exitGate_ = std::move(gate); }
     void setJourneyTracer(TraceFn fn) { tracer_ = std::move(fn); }
-
-    /**
-     * Offer a packet for injection at its source node. Self-addressed
-     * packets are delivered immediately without entering the network.
-     * A node can hold only one pending offer; the offer persists
-     * across cycles until the router accepts it.
-     */
-    void offer(const Packet &packet) override;
-
-    /** Whether @p node still has an un-injected pending offer. */
-    bool hasPendingOffer(NodeId node) const override;
-
-    /** Withdraw an un-injected offer (multi-channel retargeting).
-     *  Returns the packet; panics if no offer is pending. */
-    Packet withdrawOffer(NodeId node);
 
     /** Advance one clock cycle. */
     void step() override;
 
-    /** Run until no packets are in flight or pending, or @p max_cycles
-     *  elapse. Returns true when fully drained. */
-    bool drain(Cycle max_cycles) override;
-
-    Cycle now() const override { return cycle_; }
-    std::uint64_t inFlight() const { return inFlight_; }
-    std::uint64_t pendingOffers() const { return pendingOffers_; }
-    bool quiescent() const override
-    {
-        return inFlight_ == 0 && pendingOffers_ == 0;
-    }
-
-    NocStats &stats() { return stats_; }
-    const NocStats &stats() const { return stats_; }
-    NocStats statsSnapshot() const override { return stats_; }
     const Topology &topology() const { return topo_; }
     const NocConfig &config() const override { return topo_.config(); }
 
@@ -99,19 +72,6 @@ class Network : public NocDevice
     linkTraversals() const
     {
         return linkTraversals_;
-    }
-
-    /**
-     * Runtime invariant checker observing this network, or nullptr.
-     * FT_CHECK builds attach one automatically at construction; tests
-     * may swap in a FailMode::record instance. The hooks that feed it
-     * are compiled only when FT_CHECK_ENABLED is set, so attaching a
-     * checker in a non-FT_CHECK build sees no events.
-     */
-    check::InvariantChecker *checker() const { return checker_.get(); }
-    void attachChecker(std::unique_ptr<check::InvariantChecker> c)
-    {
-        checker_ = std::move(c);
     }
 
     /** Per-node fairness counters. */
@@ -134,40 +94,25 @@ class Network : public NocDevice
         InPort port;
     };
 
-    /** One in-flight link transfer, landing at a future cycle. */
-    struct Arrival
-    {
-        std::uint32_t router;
-        InPort port;
-        Packet packet;
-    };
+    /** The stepping core; step() picks the instantiation matching the
+     *  attached hooks so the hot path pays for none it doesn't use. */
+    template <bool HasGate, bool HasTracer> void stepImpl();
 
-    /** Link latency in cycles for an output lane (1 + extra stages). */
-    Cycle linkLatency(OutPort out) const;
+    void onDrainedQuiescent() override;
 
     Topology topo_;
     std::vector<Router> routers_;
-    /** Link registers: packet sitting at each router input. */
-    std::vector<Router::Inputs> inputs_;
-    /** Pipeline slots for multi-cycle links, indexed by
-     *  cycle % pipe_.size(). Slot 0 depth is unused when all links
-     *  are single-cycle. */
-    std::vector<std::vector<Arrival>> pipe_;
-    /** Pending injection offer per node. */
-    std::vector<std::optional<Packet>> offers_;
+    /** Dense link registers: ring of frames indexed by arrival cycle. */
+    LinkSlab slab_;
     /** Precomputed landing site for each (router, OutPort). */
     std::vector<std::array<TransferTarget, kNumOutPorts>> targets_;
+    /** Link latency in cycles per output lane (1 + extra stages). */
+    std::array<Cycle, kNumOutPorts> portLatency_{};
 
     std::vector<std::array<std::uint64_t, kNumOutPorts>> linkTraversals_;
     std::vector<NodeCounters> nodeCounters_;
-    NocStats stats_;
-    std::unique_ptr<check::InvariantChecker> checker_;
-    DeliverFn deliver_;
     TraceFn tracer_;
     ExitGate exitGate_;
-    Cycle cycle_ = 0;
-    std::uint64_t inFlight_ = 0;
-    std::uint64_t pendingOffers_ = 0;
 };
 
 } // namespace fasttrack

@@ -29,6 +29,18 @@ class NocDevice
     /** Offer a packet at its source; at most one pending per node. */
     virtual void offer(const Packet &packet) = 0;
     virtual bool hasPendingOffer(NodeId node) const = 0;
+    /**
+     * Dense per-node pending-offer occupancy (entry non-zero = that
+     * node's offer slot is taken), or nullptr when the device cannot
+     * expose one (multi-channel devices track pending offers per
+     * channel). Injectors probe every node every cycle; reading this
+     * view replaces a virtual hasPendingOffer call per node. The
+     * pointer is invalidated by device destruction only.
+     */
+    virtual const std::uint8_t *pendingOfferMask() const
+    {
+        return nullptr;
+    }
     virtual void step() = 0;
     virtual bool drain(Cycle max_cycles) = 0;
     virtual Cycle now() const = 0;

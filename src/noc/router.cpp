@@ -5,164 +5,78 @@
 
 namespace fasttrack {
 
-Router::Router(const Topology &topology, Coord pos)
-    : pos_(pos), n_(topology.n())
+RouterSite
+Router::siteFor(const Topology &topology, Coord pos)
 {
     const NocConfig &cfg = topology.config();
-    site_.n = cfg.n;
-    site_.d = cfg.isFastTrack() ? cfg.d : 0;
-    site_.variant = cfg.variant;
-    site_.hasEx = topology.hasExpressX(pos.x);
-    site_.hasEy = topology.hasExpressY(pos.y);
-    site_.wrapAligned = topology.wrapAligned();
-    site_.allowExpressTurn = cfg.allowExpressTurn;
-    site_.allowUpgrade = cfg.allowUpgrade;
-    turnPriority_ = cfg.turnPriority;
+    RouterSite site;
+    site.n = cfg.n;
+    site.d = cfg.isFastTrack() ? cfg.d : 0;
+    site.variant = cfg.variant;
+    site.hasEx = topology.hasExpressX(pos.x);
+    site.hasEy = topology.hasExpressY(pos.y);
+    site.wrapAligned = topology.wrapAligned();
+    site.allowExpressTurn = cfg.allowExpressTurn;
+    site.allowUpgrade = cfg.allowUpgrade;
+    return site;
+}
+
+Router::Router(const Topology &topology, Coord pos,
+               std::shared_ptr<const CandidateTable> table)
+    : pos_(pos), n_(topology.n()), site_(siteFor(topology, pos)),
+      turnPriority_(topology.config().turnPriority),
+      table_(std::move(table)), divN_(topology.n())
+{
+    if (!table_) {
+        auto own = std::make_shared<CandidateTable>();
+        own->build(site_);
+        table_ = std::move(own);
+    }
 }
 
 Router::Result
 Router::route(Inputs &inputs, const std::optional<Packet> &pe_offer,
               bool exit_ok, Cycle now, NocStats &stats) const
 {
+    // Adapter: marshal the optional-based interface into the dense
+    // registers routeCore expects, and collect its sink events back
+    // into a Result.
+    std::array<Packet, 4> regs{};
+    std::uint8_t mask = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (inputs[i]) {
+            regs[i] = *inputs[i];
+            mask = static_cast<std::uint8_t>(mask | (1u << i));
+        }
+    }
+
     Result result;
-    std::array<bool, kNumOutPorts> taken{};
-    bool exit_granted = false;
+    struct ResultSink
+    {
+        Result &r;
+        void forward(OutPort out, const Packet &p)
+        {
+            r.out[static_cast<std::size_t>(out)] = p;
+        }
+        void deliver(InPort in, const Packet &p)
+        {
+            r.delivered = p;
+            r.deliveredFrom = in;
+        }
+    } sink{result};
+
+    result.peAccepted = routeCore(
+        regs.data(), mask, pe_offer ? &*pe_offer : nullptr, now, stats,
+        [exit_ok](const Packet &) { return exit_ok; }, sink);
+
+    // Inputs were consumed by the router this cycle.
+    for (auto &slot : inputs)
+        slot.reset();
 
 #if FT_CHECK_ENABLED
     std::size_t check_inputs = 0;
-    for (const auto &slot : inputs) {
-        if (slot)
-            ++check_inputs;
-    }
-#endif
-
-    auto distances = [&](const Packet &p, std::uint32_t &dx,
-                         std::uint32_t &dy) {
-        const Coord dst = toCoord(p.dst, n_);
-        dx = ringDistance(pos_.x, dst.x, n_);
-        dy = ringDistance(pos_.y, dst.y, n_);
-    };
-
-    // DOR direction the packet ought to leave in; anything else is a
-    // misroute (Fig 18's deflection semantics).
-    enum class Dir { east, south, exit };
-    auto desiredDir = [](std::uint32_t dx, std::uint32_t dy) {
-        if (dx > 0)
-            return Dir::east;
-        return dy > 0 ? Dir::south : Dir::exit;
-    };
-    auto outDir = [](OutPort out) {
-        return (out == OutPort::eEx || out == OutPort::eSh)
-                   ? Dir::east
-                   : Dir::south;
-    };
-
-    auto assign = [&](InPort in, Packet &p, std::uint32_t dx,
-                      std::uint32_t dy, const CandidateList &cands) {
-        const Dir want = desiredDir(dx, dy);
-        for (std::size_t i = 0; i < cands.size(); ++i) {
-            const Candidate &c = cands[i];
-            if (c.exit) {
-                if (exit_granted || !exit_ok) {
-                    // Client exit unavailable: fall through to the
-                    // deflection candidates.
-                    ++stats.exitBlocked;
-                    continue;
-                }
-                const auto idx = static_cast<std::size_t>(c.out);
-                if (taken[idx])
-                    continue;
-                taken[idx] = true;
-                exit_granted = true;
-                if (i != 0) {
-                    ++p.deflections;
-                    ++stats.deflectionsByPort[static_cast<int>(in)];
-                }
-                result.delivered = p;
-                result.deliveredFrom = in;
-                return true;
-            }
-            const auto idx = static_cast<std::size_t>(c.out);
-            if (taken[idx])
-                continue;
-            taken[idx] = true;
-            if (i != 0) {
-                ++p.deflections;
-                ++stats.deflectionsByPort[static_cast<int>(in)];
-                if (isExpress(cands[0].out) && !isExpress(c.out))
-                    ++stats.laneDeflections;
-            }
-            if (outDir(c.out) != want)
-                ++stats.misroutesByPort[static_cast<int>(in)];
-            if (isExpress(c.out)) {
-                ++p.expressHops;
-                ++stats.expressHopTraversals;
-            } else {
-                ++p.shortHops;
-                ++stats.shortHopTraversals;
-            }
-            result.out[idx] = p;
-            return true;
-        }
-        return false;
-    };
-
-    // In-flight packets first, in livelock-avoidance priority order.
-    // With the paper's rule, turning W traffic beats ring (N) traffic;
-    // the naive ablation order lets ring traffic win instead.
-    static constexpr InPort kTurnFirst[] = {InPort::wEx, InPort::nEx,
-                                            InPort::wSh, InPort::nSh};
-    static constexpr InPort kRingFirst[] = {InPort::nEx, InPort::wEx,
-                                            InPort::nSh, InPort::wSh};
-    const auto &order = turnPriority_ ? kTurnFirst : kRingFirst;
-
-    for (InPort in : order) {
-        auto &slot = inputs[static_cast<std::size_t>(in)];
-        if (!slot)
-            continue;
-        Packet &p = *slot;
-        std::uint32_t dx = 0, dy = 0;
-        distances(p, dx, dy);
-        const CandidateList cands =
-            routeCandidates(site_, in, dx, dy, p.expressClass);
-        const bool ok = assign(in, p, dx, dy, cands);
-        FT_ASSERT(ok, "router at ", coordToString(pos_),
-                  " could not forward packet on ", toString(in));
-        slot.reset();
-    }
-
-    // PE injection last, and only onto a productive output.
-    if (pe_offer) {
-        Packet p = *pe_offer;
-        p.injected = now;
-        std::uint32_t dx = 0, dy = 0;
-        distances(p, dx, dy);
-        bool express_class = false;
-        const CandidateList cands =
-            injectCandidates(site_, dx, dy, express_class);
-        p.expressClass = express_class;
-        for (std::size_t i = 0; i < cands.size(); ++i) {
-            const auto idx = static_cast<std::size_t>(cands[i].out);
-            if (taken[idx])
-                continue;
-            taken[idx] = true;
-            if (isExpress(cands[i].out)) {
-                ++p.expressHops;
-                ++stats.expressHopTraversals;
-            } else {
-                ++p.shortHops;
-                ++stats.shortHopTraversals;
-            }
-            result.out[idx] = p;
-            result.peAccepted = true;
-            ++stats.injected;
-            break;
-        }
-        if (!result.peAccepted)
-            ++stats.injectionBlockedCycles;
-    }
-
-#if FT_CHECK_ENABLED
+    for (std::uint8_t m = mask; m; m &= static_cast<std::uint8_t>(m - 1))
+        ++check_inputs;
     std::size_t check_outputs = 0;
     for (const auto &o : result.out) {
         if (o)

@@ -1,8 +1,48 @@
 #include "noc/routing.hpp"
 
-#include "common/logging.hpp"
-
 namespace fasttrack {
+
+// The routing policy itself (candidate builders) lives inline in
+// routing.hpp so it can fold into the engine's stepping core; only the
+// cold table construction and diagnostic helpers stay out of line.
+
+void
+CandidateTable::build(const RouterSite &site)
+{
+    const std::uint32_t d = site.d;
+    // Representative distance per class. Classes 2/3 are unreachable
+    // when d == 0 and class 1 when d == 1; their placeholder entries
+    // are built but never indexed (classOf never yields them).
+    const std::uint32_t rep[4] = {0, 1, d > 0 ? d : 2,
+                                  d > 0 ? d + 1 : 3};
+
+    for (std::size_t in = 0; in < 4; ++in) {
+        for (std::uint8_t xc = 0; xc < 4; ++xc) {
+            for (std::uint8_t yc = 0; yc < 4; ++yc) {
+                route_[(in * 4 + xc) * 4 + yc] =
+                    routeCandidates(site, static_cast<InPort>(in),
+                                    rep[xc], rep[yc],
+                                    /*express_class=*/false);
+            }
+        }
+    }
+
+    for (std::uint8_t xc = 0; xc < 4; ++xc) {
+        for (std::uint8_t yc = 0; yc < 4; ++yc) {
+            if (xc == 0 && yc == 0)
+                continue; // self-addressed packets bypass the NoC
+            bool express = false;
+            inject_[static_cast<std::size_t>(xc) * 4 + yc] =
+                injectCandidates(site, rep[xc], rep[yc], express);
+            injectExpress_[static_cast<std::size_t>(xc) * 4 + yc] =
+                express;
+        }
+    }
+
+    cls_.resize(site.n);
+    for (std::uint32_t delta = 0; delta < site.n; ++delta)
+        cls_[delta] = classOf(delta, d);
+}
 
 const char *
 toString(InPort p)
@@ -28,349 +68,6 @@ toString(OutPort p)
       case OutPort::none: return "none";
     }
     return "?";
-}
-
-void
-CandidateList::push(OutPort out, bool exit)
-{
-    // Duplicate (port, exit) pairs are dropped, but an exit entry does
-    // not shadow a later plain-forwarding entry on the same port: when
-    // the client exit is unavailable the packet must still be able to
-    // continue through that port.
-    for (std::size_t i = 0; i < size_; ++i) {
-        if (v_[i].out == out && v_[i].exit == exit)
-            return;
-    }
-    FT_ASSERT(size_ < v_.size(), "candidate list overflow");
-    v_[size_++] = Candidate{out, exit};
-}
-
-bool
-CandidateList::contains(OutPort out) const
-{
-    for (std::size_t i = 0; i < size_; ++i) {
-        if (v_[i].out == out)
-            return true;
-    }
-    return false;
-}
-
-bool
-physicallyReachable(const RouterSite &site, InPort in, OutPort out)
-{
-    // Port existence from depopulation.
-    if ((out == OutPort::eEx && !site.hasEx) ||
-        (out == OutPort::sEx && !site.hasEy)) {
-        return false;
-    }
-    if ((in == InPort::wEx && !site.hasEx) ||
-        (in == InPort::nEx && !site.hasEy)) {
-        return false;
-    }
-
-    switch (site.variant) {
-      case NocVariant::hoplite:
-        return !isExpress(in) && !isExpress(out);
-
-      case NocVariant::ftFull:
-        switch (in) {
-          case InPort::wEx:
-            // Express continues E, or leaves at the turn (S_SH shared
-            // exit) or stays express through the turn (S_EX).
-            return out == OutPort::eEx || out == OutPort::sSh ||
-                   out == OutPort::sEx;
-          case InPort::nEx:
-            // Express continues S (also the express exit tap), or
-            // leaves/deflects East on either lane (N_EX -> E_SH is the
-            // sanctioned transition; E_EX is the express deflection).
-            return out == OutPort::sEx || out == OutPort::eSh ||
-                   out == OutPort::eEx;
-          case InPort::wSh:
-          case InPort::nSh:
-          case InPort::pe:
-            return true; // full lane-change freedom
-        }
-        return false;
-
-      case NocVariant::ftInject:
-        // No lane crossing: express stays express, short stays short;
-        // the PE can inject into either class.
-        if (in == InPort::pe)
-            return true;
-        return isExpress(in) == isExpress(out);
-    }
-    return false;
-}
-
-bool
-expressEligible(const RouterSite &site, bool x_dim, std::uint32_t delta)
-{
-    const bool ports = x_dim ? site.hasEx : site.hasEy;
-    return ports && site.d > 0 && delta >= site.d &&
-           delta % site.d == 0;
-}
-
-namespace {
-
-/** Deflecting East onto the express lane keeps the packet aligned with
- *  the express network (it will return as a high-priority W_EX). */
-bool
-deflectExpressOk(const RouterSite &site, std::uint32_t dx)
-{
-    return site.hasEx && site.wrapAligned && site.d > 0 &&
-           dx % site.d == 0;
-}
-
-/** Append every physically reachable output as a terminal fallback so
- *  the bufferless router can always forward. Short lanes first: they
- *  never break express alignment. */
-void
-appendPhysicalTail(const RouterSite &site, InPort in, CandidateList &c)
-{
-    static constexpr OutPort tail_order[] = {
-        OutPort::eSh, OutPort::sSh, OutPort::eEx, OutPort::sEx};
-    for (OutPort out : tail_order) {
-        if (physicallyReachable(site, in, out))
-            c.push(out);
-    }
-}
-
-CandidateList
-hopliteCandidates(InPort in, std::uint32_t dx, std::uint32_t dy)
-{
-    CandidateList c;
-    if (dx > 0) {
-        c.push(OutPort::eSh);
-    } else if (dy > 0) {
-        c.push(OutPort::sSh);
-        c.push(OutPort::eSh); // classic N/W deflection East
-    } else {
-        c.push(OutPort::sSh, /*exit=*/true); // shared exit on S
-        c.push(OutPort::eSh);
-    }
-    (void)in;
-    return c;
-}
-// Note: the terminal physical tail is appended uniformly by
-// routeCandidates so even exit-gated packets can always forward.
-
-CandidateList
-fullCandidates(const RouterSite &site, InPort in, std::uint32_t dx,
-               std::uint32_t dy)
-{
-    const std::uint32_t d = site.d;
-    CandidateList c;
-    switch (in) {
-      case InPort::wEx:
-        if (dx >= d) {
-            // Ride on (misaligned packets keep riding until the last
-            // possible hop, then escape below).
-            c.push(OutPort::eEx);
-        } else if (dx > 0) {
-            // Misaligned escape: early turn through the W_EX -> S_SH
-            // mux; the packet re-enters the X ring from the N port.
-            c.push(OutPort::sSh);
-        } else if (dy == 0) {
-            c.push(OutPort::sSh, /*exit=*/true);
-        } else {
-            if (site.allowExpressTurn && expressEligible(site, false, dy))
-                c.push(OutPort::sEx);
-            c.push(OutPort::sSh);
-        }
-        break;
-
-      case InPort::nEx:
-        if (dx > 0) {
-            // Fallback-placed packet that still needs X progress:
-            // rejoin the X ring (N_EX -> E_SH is the sanctioned turn).
-            if (expressEligible(site, true, dx))
-                c.push(OutPort::eEx);
-            c.push(OutPort::eSh);
-        } else if (dy == 0) {
-            // Express exit tap shares the S_EX port.
-            c.push(OutPort::sEx, /*exit=*/true);
-            if (deflectExpressOk(site, dx))
-                c.push(OutPort::eEx);
-            c.push(OutPort::eSh);
-        } else if (dy >= d && dy % d == 0) {
-            c.push(OutPort::sEx);
-            if (deflectExpressOk(site, dx))
-                c.push(OutPort::eEx);
-            c.push(OutPort::eSh);
-        } else {
-            // Misaligned or short remainder: sanctioned escape East on
-            // the short lane, realign, and come back.
-            c.push(OutPort::eSh);
-        }
-        break;
-
-      case InPort::wSh:
-        if (dx > 0) {
-            if (site.allowUpgrade && expressEligible(site, true, dx))
-                c.push(OutPort::eEx);
-            c.push(OutPort::eSh);
-        } else if (dy > 0) {
-            if (site.allowUpgrade && expressEligible(site, false, dy))
-                c.push(OutPort::sEx);
-            c.push(OutPort::sSh);
-            // Deflected turning W_SH may use E_EX and return as a
-            // high-priority W_EX (paper Section IV-D).
-            if (deflectExpressOk(site, dx))
-                c.push(OutPort::eEx);
-            c.push(OutPort::eSh);
-        } else {
-            c.push(OutPort::sSh, /*exit=*/true);
-            if (deflectExpressOk(site, dx))
-                c.push(OutPort::eEx);
-            c.push(OutPort::eSh);
-        }
-        break;
-
-      case InPort::nSh:
-        if (dx > 0) {
-            if (site.allowUpgrade && expressEligible(site, true, dx))
-                c.push(OutPort::eEx);
-            c.push(OutPort::eSh);
-        } else if (dy > 0) {
-            if (site.allowUpgrade && expressEligible(site, false, dy))
-                c.push(OutPort::sEx);
-            c.push(OutPort::sSh);
-            c.push(OutPort::eSh); // classic N deflection East
-        } else {
-            c.push(OutPort::sSh, /*exit=*/true);
-            c.push(OutPort::eSh);
-        }
-        break;
-
-      case InPort::pe:
-        FT_PANIC("PE handled by injectCandidates");
-    }
-    return c;
-}
-
-CandidateList
-injectVariantCandidates(const RouterSite &site, InPort in,
-                        std::uint32_t dx, std::uint32_t dy)
-{
-    const std::uint32_t d = site.d;
-    CandidateList c;
-    switch (in) {
-      case InPort::wEx:
-        if (dx >= d) {
-            c.push(OutPort::eEx);
-        } else if (dy == 0 && dx == 0) {
-            c.push(OutPort::sEx, /*exit=*/true); // express exit tap
-        } else if (site.hasEy) {
-            c.push(OutPort::sEx); // turn within the express network
-        }
-        break;
-      case InPort::nEx:
-        // The East express deflection exists only where the router
-        // actually has X express ports (depopulated sites do not).
-        if (dy >= d && dy % d == 0) {
-            c.push(OutPort::sEx);
-            if (site.hasEx)
-                c.push(OutPort::eEx);
-        } else {
-            c.push(OutPort::sEx, /*exit=*/dy == 0);
-            if (site.hasEx)
-                c.push(OutPort::eEx);
-        }
-        break;
-      case InPort::wSh:
-        if (dx > 0) {
-            c.push(OutPort::eSh);
-        } else if (dy > 0) {
-            c.push(OutPort::sSh);
-        } else {
-            c.push(OutPort::sSh, /*exit=*/true);
-            c.push(OutPort::eSh);
-        }
-        break;
-      case InPort::nSh:
-        if (dx > 0) {
-            c.push(OutPort::eSh);
-        } else if (dy > 0) {
-            c.push(OutPort::sSh);
-            c.push(OutPort::eSh);
-        } else {
-            c.push(OutPort::sSh, /*exit=*/true);
-            c.push(OutPort::eSh);
-        }
-        break;
-      case InPort::pe:
-        FT_PANIC("PE handled by injectCandidates");
-    }
-    return c;
-}
-
-} // namespace
-
-CandidateList
-routeCandidates(const RouterSite &site, InPort in, std::uint32_t dx,
-                std::uint32_t dy, bool express_class)
-{
-    FT_ASSERT(in != InPort::pe, "use injectCandidates for PE");
-    CandidateList c;
-    switch (site.variant) {
-      case NocVariant::hoplite:
-        c = hopliteCandidates(in, dx, dy);
-        break;
-      case NocVariant::ftFull:
-        c = fullCandidates(site, in, dx, dy);
-        break;
-      case NocVariant::ftInject:
-        (void)express_class;
-        c = injectVariantCandidates(site, in, dx, dy);
-        break;
-    }
-    appendPhysicalTail(site, in, c);
-    return c;
-}
-
-CandidateList
-injectCandidates(const RouterSite &site, std::uint32_t dx,
-                 std::uint32_t dy, bool &express_class)
-{
-    CandidateList c;
-    express_class = false;
-    FT_ASSERT(dx > 0 || dy > 0, "self-addressed packets bypass the NoC");
-
-    switch (site.variant) {
-      case NocVariant::hoplite:
-        c.push(dx > 0 ? OutPort::eSh : OutPort::sSh);
-        break;
-
-      case NocVariant::ftFull:
-        if (dx > 0) {
-            if (expressEligible(site, true, dx))
-                c.push(OutPort::eEx);
-            c.push(OutPort::eSh);
-        } else {
-            if (expressEligible(site, false, dy))
-                c.push(OutPort::sEx);
-            c.push(OutPort::sSh);
-        }
-        break;
-
-      case NocVariant::ftInject: {
-        // Express only when the whole journey, including the exit tap,
-        // stays inside the express network: both distances multiples
-        // of D, and the source row carries Y express links (the turn
-        // and exit rows inherit alignment because R | D).
-        const bool ok_x = dx == 0 || (site.hasEx && dx % site.d == 0);
-        const bool ok_y = dy % site.d == 0;
-        const bool whole_trip = site.hasEy && ok_x && ok_y;
-        if (whole_trip) {
-            express_class = true;
-            c.push(dx > 0 ? OutPort::eEx : OutPort::sEx);
-        } else {
-            c.push(dx > 0 ? OutPort::eSh : OutPort::sSh);
-        }
-        break;
-      }
-    }
-    return c;
 }
 
 } // namespace fasttrack

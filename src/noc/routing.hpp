@@ -3,7 +3,12 @@
  * Routing policy of Hoplite and FastTrack routers (Sections IV-C/D),
  * expressed as pure functions from packet state to an *ordered
  * candidate list* of output ports. The router arbitration engine
- * (router.cpp) walks these lists in input-priority order.
+ * (router.hpp's routeCore) walks these lists in input-priority order.
+ *
+ * The candidate builders are defined inline here: they run once per
+ * in-flight packet per cycle, squarely on the simulator's hottest
+ * path, and inlining them into the templated stepping core removes a
+ * cross-TU call and a by-value CandidateList return per traversal.
  *
  * Policy summary implemented here:
  *  - Dimension-ordered routing: X (East) before Y (South).
@@ -25,7 +30,9 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
+#include "common/logging.hpp"
 #include "noc/config.hpp"
 
 namespace fasttrack {
@@ -81,8 +88,29 @@ struct Candidate
 class CandidateList
 {
   public:
-    void push(OutPort out, bool exit = false);
-    bool contains(OutPort out) const;
+    void push(OutPort out, bool exit = false)
+    {
+        // Duplicate (port, exit) pairs are dropped, but an exit entry
+        // does not shadow a later plain-forwarding entry on the same
+        // port: when the client exit is unavailable the packet must
+        // still be able to continue through that port.
+        for (std::size_t i = 0; i < size_; ++i) {
+            if (v_[i].out == out && v_[i].exit == exit)
+                return;
+        }
+        FT_ASSERT(size_ < v_.size(), "candidate list overflow");
+        v_[size_++] = Candidate{out, exit};
+    }
+
+    bool contains(OutPort out) const
+    {
+        for (std::size_t i = 0; i < size_; ++i) {
+            if (v_[i].out == out)
+                return true;
+        }
+        return false;
+    }
+
     std::size_t size() const { return size_; }
     const Candidate &operator[](std::size_t i) const { return v_[i]; }
 
@@ -106,7 +134,261 @@ struct RouterSite
 
 /** Whether the hardware mux structure lets @p in drive @p out at this
  *  router (variant- and depopulation-aware). */
-bool physicallyReachable(const RouterSite &site, InPort in, OutPort out);
+inline bool
+physicallyReachable(const RouterSite &site, InPort in, OutPort out)
+{
+    // Port existence from depopulation.
+    if ((out == OutPort::eEx && !site.hasEx) ||
+        (out == OutPort::sEx && !site.hasEy)) {
+        return false;
+    }
+    if ((in == InPort::wEx && !site.hasEx) ||
+        (in == InPort::nEx && !site.hasEy)) {
+        return false;
+    }
+
+    switch (site.variant) {
+      case NocVariant::hoplite:
+        return !isExpress(in) && !isExpress(out);
+
+      case NocVariant::ftFull:
+        switch (in) {
+          case InPort::wEx:
+            // Express continues E, or leaves at the turn (S_SH shared
+            // exit) or stays express through the turn (S_EX).
+            return out == OutPort::eEx || out == OutPort::sSh ||
+                   out == OutPort::sEx;
+          case InPort::nEx:
+            // Express continues S (also the express exit tap), or
+            // leaves/deflects East on either lane (N_EX -> E_SH is the
+            // sanctioned transition; E_EX is the express deflection).
+            return out == OutPort::sEx || out == OutPort::eSh ||
+                   out == OutPort::eEx;
+          case InPort::wSh:
+          case InPort::nSh:
+          case InPort::pe:
+            return true; // full lane-change freedom
+        }
+        return false;
+
+      case NocVariant::ftInject:
+        // No lane crossing: express stays express, short stays short;
+        // the PE can inject into either class.
+        if (in == InPort::pe)
+            return true;
+        return isExpress(in) == isExpress(out);
+    }
+    return false;
+}
+
+/**
+ * True when the packet can enter an express lane in the given
+ * dimension: express ports present, and the remaining distance is an
+ * exact multiple of D (so the ride ends exactly at the turn/exit).
+ */
+inline bool
+expressEligible(const RouterSite &site, bool x_dim, std::uint32_t delta)
+{
+    const bool ports = x_dim ? site.hasEx : site.hasEy;
+    return ports && site.d > 0 && delta >= site.d &&
+           delta % site.d == 0;
+}
+
+namespace routing_detail {
+
+/** Deflecting East onto the express lane keeps the packet aligned with
+ *  the express network (it will return as a high-priority W_EX). */
+inline bool
+deflectExpressOk(const RouterSite &site, std::uint32_t dx)
+{
+    return site.hasEx && site.wrapAligned && site.d > 0 &&
+           dx % site.d == 0;
+}
+
+/** Append every physically reachable output as a terminal fallback so
+ *  the bufferless router can always forward. Short lanes first: they
+ *  never break express alignment. */
+inline void
+appendPhysicalTail(const RouterSite &site, InPort in, CandidateList &c)
+{
+    static constexpr OutPort tail_order[] = {
+        OutPort::eSh, OutPort::sSh, OutPort::eEx, OutPort::sEx};
+    for (OutPort out : tail_order) {
+        if (physicallyReachable(site, in, out))
+            c.push(out);
+    }
+}
+
+inline CandidateList
+hopliteCandidates(InPort in, std::uint32_t dx, std::uint32_t dy)
+{
+    CandidateList c;
+    if (dx > 0) {
+        c.push(OutPort::eSh);
+    } else if (dy > 0) {
+        c.push(OutPort::sSh);
+        c.push(OutPort::eSh); // classic N/W deflection East
+    } else {
+        c.push(OutPort::sSh, /*exit=*/true); // shared exit on S
+        c.push(OutPort::eSh);
+    }
+    (void)in;
+    return c;
+}
+// Note: the terminal physical tail is appended uniformly by
+// routeCandidates so even exit-gated packets can always forward.
+
+inline CandidateList
+fullCandidates(const RouterSite &site, InPort in, std::uint32_t dx,
+               std::uint32_t dy)
+{
+    const std::uint32_t d = site.d;
+    CandidateList c;
+    switch (in) {
+      case InPort::wEx:
+        if (dx >= d) {
+            // Ride on (misaligned packets keep riding until the last
+            // possible hop, then escape below).
+            c.push(OutPort::eEx);
+        } else if (dx > 0) {
+            // Misaligned escape: early turn through the W_EX -> S_SH
+            // mux; the packet re-enters the X ring from the N port.
+            c.push(OutPort::sSh);
+        } else if (dy == 0) {
+            c.push(OutPort::sSh, /*exit=*/true);
+        } else {
+            if (site.allowExpressTurn && expressEligible(site, false, dy))
+                c.push(OutPort::sEx);
+            c.push(OutPort::sSh);
+        }
+        break;
+
+      case InPort::nEx:
+        if (dx > 0) {
+            // Fallback-placed packet that still needs X progress:
+            // rejoin the X ring (N_EX -> E_SH is the sanctioned turn).
+            if (expressEligible(site, true, dx))
+                c.push(OutPort::eEx);
+            c.push(OutPort::eSh);
+        } else if (dy == 0) {
+            // Express exit tap shares the S_EX port.
+            c.push(OutPort::sEx, /*exit=*/true);
+            if (deflectExpressOk(site, dx))
+                c.push(OutPort::eEx);
+            c.push(OutPort::eSh);
+        } else if (dy >= d && dy % d == 0) {
+            c.push(OutPort::sEx);
+            if (deflectExpressOk(site, dx))
+                c.push(OutPort::eEx);
+            c.push(OutPort::eSh);
+        } else {
+            // Misaligned or short remainder: sanctioned escape East on
+            // the short lane, realign, and come back.
+            c.push(OutPort::eSh);
+        }
+        break;
+
+      case InPort::wSh:
+        if (dx > 0) {
+            if (site.allowUpgrade && expressEligible(site, true, dx))
+                c.push(OutPort::eEx);
+            c.push(OutPort::eSh);
+        } else if (dy > 0) {
+            if (site.allowUpgrade && expressEligible(site, false, dy))
+                c.push(OutPort::sEx);
+            c.push(OutPort::sSh);
+            // Deflected turning W_SH may use E_EX and return as a
+            // high-priority W_EX (paper Section IV-D).
+            if (deflectExpressOk(site, dx))
+                c.push(OutPort::eEx);
+            c.push(OutPort::eSh);
+        } else {
+            c.push(OutPort::sSh, /*exit=*/true);
+            if (deflectExpressOk(site, dx))
+                c.push(OutPort::eEx);
+            c.push(OutPort::eSh);
+        }
+        break;
+
+      case InPort::nSh:
+        if (dx > 0) {
+            if (site.allowUpgrade && expressEligible(site, true, dx))
+                c.push(OutPort::eEx);
+            c.push(OutPort::eSh);
+        } else if (dy > 0) {
+            if (site.allowUpgrade && expressEligible(site, false, dy))
+                c.push(OutPort::sEx);
+            c.push(OutPort::sSh);
+            c.push(OutPort::eSh); // classic N deflection East
+        } else {
+            c.push(OutPort::sSh, /*exit=*/true);
+            c.push(OutPort::eSh);
+        }
+        break;
+
+      case InPort::pe:
+        FT_PANIC("PE handled by injectCandidates");
+    }
+    return c;
+}
+
+inline CandidateList
+injectVariantCandidates(const RouterSite &site, InPort in,
+                        std::uint32_t dx, std::uint32_t dy)
+{
+    const std::uint32_t d = site.d;
+    CandidateList c;
+    switch (in) {
+      case InPort::wEx:
+        if (dx >= d) {
+            c.push(OutPort::eEx);
+        } else if (dy == 0 && dx == 0) {
+            c.push(OutPort::sEx, /*exit=*/true); // express exit tap
+        } else if (site.hasEy) {
+            c.push(OutPort::sEx); // turn within the express network
+        }
+        break;
+      case InPort::nEx:
+        // The East express deflection exists only where the router
+        // actually has X express ports (depopulated sites do not).
+        if (dy >= d && dy % d == 0) {
+            c.push(OutPort::sEx);
+            if (site.hasEx)
+                c.push(OutPort::eEx);
+        } else {
+            c.push(OutPort::sEx, /*exit=*/dy == 0);
+            if (site.hasEx)
+                c.push(OutPort::eEx);
+        }
+        break;
+      case InPort::wSh:
+        if (dx > 0) {
+            c.push(OutPort::eSh);
+        } else if (dy > 0) {
+            c.push(OutPort::sSh);
+        } else {
+            c.push(OutPort::sSh, /*exit=*/true);
+            c.push(OutPort::eSh);
+        }
+        break;
+      case InPort::nSh:
+        if (dx > 0) {
+            c.push(OutPort::eSh);
+        } else if (dy > 0) {
+            c.push(OutPort::sSh);
+            c.push(OutPort::eSh);
+        } else {
+            c.push(OutPort::sSh, /*exit=*/true);
+            c.push(OutPort::eSh);
+        }
+        break;
+      case InPort::pe:
+        FT_PANIC("PE handled by injectCandidates");
+    }
+    return c;
+}
+
+} // namespace routing_detail
 
 /**
  * Ordered candidates for an in-flight packet on @p in with remaining
@@ -115,9 +397,27 @@ bool physicallyReachable(const RouterSite &site, InPort in, OutPort out);
  * packet no matter what higher-priority traffic took.
  * @param express_class inject-variant lane class of the packet.
  */
-CandidateList routeCandidates(const RouterSite &site, InPort in,
-                              std::uint32_t dx, std::uint32_t dy,
-                              bool express_class);
+inline CandidateList
+routeCandidates(const RouterSite &site, InPort in, std::uint32_t dx,
+                std::uint32_t dy, bool express_class)
+{
+    FT_ASSERT(in != InPort::pe, "use injectCandidates for PE");
+    CandidateList c;
+    switch (site.variant) {
+      case NocVariant::hoplite:
+        c = routing_detail::hopliteCandidates(in, dx, dy);
+        break;
+      case NocVariant::ftFull:
+        c = routing_detail::fullCandidates(site, in, dx, dy);
+        break;
+      case NocVariant::ftInject:
+        (void)express_class;
+        c = routing_detail::injectVariantCandidates(site, in, dx, dy);
+        break;
+    }
+    routing_detail::appendPhysicalTail(site, in, c);
+    return c;
+}
 
 /**
  * Ordered *productive* candidates for PE injection (no deflection
@@ -125,16 +425,111 @@ CandidateList routeCandidates(const RouterSite &site, InPort in,
  * @param[out] express_class set when the inject variant admits the
  *             packet to the express class.
  */
-CandidateList injectCandidates(const RouterSite &site, std::uint32_t dx,
-                               std::uint32_t dy, bool &express_class);
+inline CandidateList
+injectCandidates(const RouterSite &site, std::uint32_t dx,
+                 std::uint32_t dy, bool &express_class)
+{
+    CandidateList c;
+    express_class = false;
+    FT_ASSERT(dx > 0 || dy > 0, "self-addressed packets bypass the NoC");
+
+    switch (site.variant) {
+      case NocVariant::hoplite:
+        c.push(dx > 0 ? OutPort::eSh : OutPort::sSh);
+        break;
+
+      case NocVariant::ftFull:
+        if (dx > 0) {
+            if (expressEligible(site, true, dx))
+                c.push(OutPort::eEx);
+            c.push(OutPort::eSh);
+        } else {
+            if (expressEligible(site, false, dy))
+                c.push(OutPort::sEx);
+            c.push(OutPort::sSh);
+        }
+        break;
+
+      case NocVariant::ftInject: {
+        // Express only when the whole journey, including the exit tap,
+        // stays inside the express network: both distances multiples
+        // of D, and the source row carries Y express links (the turn
+        // and exit rows inherit alignment because R | D).
+        const bool ok_x = dx == 0 || (site.hasEx && dx % site.d == 0);
+        const bool ok_y = dy % site.d == 0;
+        const bool whole_trip = site.hasEy && ok_x && ok_y;
+        if (whole_trip) {
+            express_class = true;
+            c.push(dx > 0 ? OutPort::eEx : OutPort::sEx);
+        } else {
+            c.push(dx > 0 ? OutPort::eSh : OutPort::sSh);
+        }
+        break;
+      }
+    }
+    return c;
+}
 
 /**
- * True when the packet can enter an express lane in the given
- * dimension: express ports present, and the remaining distance is an
- * exact multiple of D (so the ride ends exactly at the turn/exit).
+ * Precomputed candidate lists for one router site.
+ *
+ * Every candidate builder above depends on a ring distance only
+ * through four *distance classes* — zero, short-of-D, aligned
+ * multiple-of-D, misaligned beyond-D — never through the raw value, so
+ * the full routing policy of a site collapses into a (InPort x
+ * dx-class x dy-class) table plus a delta -> class lookup vector.
+ * Routers on the hot path index the table instead of re-running the
+ * builders per packet per cycle. Sites with identical geometry facts
+ * can share one table (a torus has at most four distinct sites:
+ * express-x and express-y presence).
  */
-bool expressEligible(const RouterSite &site, bool x_dim,
-                     std::uint32_t delta);
+class CandidateTable
+{
+  public:
+    /** Distance class of @p delta for express spacing @p d. */
+    static std::uint8_t classOf(std::uint32_t delta, std::uint32_t d)
+    {
+        if (delta == 0)
+            return 0;
+        if (d == 0 || delta < d)
+            return 1;
+        return delta % d == 0 ? 2 : 3;
+    }
+
+    /** Populate all entries for @p site (delta range [0, site.n)). */
+    void build(const RouterSite &site);
+
+    /** Distance class of a remaining ring distance (< n). */
+    std::uint8_t cls(std::uint32_t delta) const { return cls_[delta]; }
+
+    /** Candidates for an in-flight packet (same as routeCandidates). */
+    const CandidateList &route(InPort in, std::uint8_t dx_cls,
+                               std::uint8_t dy_cls) const
+    {
+        return route_[(static_cast<std::size_t>(in) * 4 + dx_cls) * 4 +
+                      dy_cls];
+    }
+
+    /** Candidates for PE injection (same as injectCandidates). */
+    const CandidateList &inject(std::uint8_t dx_cls,
+                                std::uint8_t dy_cls) const
+    {
+        return inject_[static_cast<std::size_t>(dx_cls) * 4 + dy_cls];
+    }
+
+    /** Inject-variant express-class admission for an injection. */
+    bool injectExpress(std::uint8_t dx_cls, std::uint8_t dy_cls) const
+    {
+        return injectExpress_[static_cast<std::size_t>(dx_cls) * 4 +
+                              dy_cls];
+    }
+
+  private:
+    std::array<CandidateList, kNumInPorts * 4 * 4> route_{};
+    std::array<CandidateList, 4 * 4> inject_{};
+    std::array<bool, 4 * 4> injectExpress_{};
+    std::vector<std::uint8_t> cls_;
+};
 
 } // namespace fasttrack
 

@@ -5,7 +5,8 @@
 namespace fasttrack {
 
 SmartNetwork::SmartNetwork(std::uint32_t n, std::uint32_t hpc_max)
-    : config_(NocConfig::hoplite(n)),
+    : EngineCore(n * n),
+      config_(NocConfig::hoplite(n)),
       topo_(config_),
       hpcMax_(hpc_max)
 {
@@ -14,7 +15,6 @@ SmartNetwork::SmartNetwork(std::uint32_t n, std::uint32_t hpc_max)
     routers_.reserve(count);
     inputs_.resize(count);
     next_.resize(count);
-    offers_.resize(count);
     bypassLengths_.assign(hpcMax_, 0);
     for (std::uint32_t id = 0; id < count; ++id)
         routers_.emplace_back(topo_, toCoord(id, n));
@@ -34,32 +34,6 @@ SmartNetwork::southOf(NodeId id) const
 }
 
 void
-SmartNetwork::offer(const Packet &packet)
-{
-    FT_ASSERT(packet.src < topo_.nodeCount(), "bad source node");
-    FT_ASSERT(packet.dst < topo_.nodeCount(), "bad destination node");
-    if (packet.src == packet.dst) {
-        ++stats_.selfDelivered;
-        Packet p = packet;
-        p.injected = cycle_;
-        if (deliver_)
-            deliver_(p, cycle_);
-        return;
-    }
-    auto &slot = offers_[packet.src];
-    FT_ASSERT(!slot, "node ", packet.src, " already has a pending offer");
-    slot = packet;
-    ++pendingOffers_;
-}
-
-bool
-SmartNetwork::hasPendingOffer(NodeId node) const
-{
-    FT_ASSERT(node < offers_.size(), "bad node");
-    return offers_[node].has_value();
-}
-
-void
 SmartNetwork::step()
 {
     const std::uint32_t count = topo_.nodeCount();
@@ -76,25 +50,21 @@ SmartNetwork::step()
 
     // Phase 1: ordinary Hoplite arbitration at every router.
     for (std::uint32_t id = 0; id < count; ++id) {
-        auto &offer = offers_[id];
+        std::optional<Packet> offer;
+        if (offerMask_[id])
+            offer = offerSlab_[id];
         Router::Result res =
             routers_[id].route(inputs_[id], offer, true, cycle_,
                                stats_);
         if (res.peAccepted) {
+            offerMask_[id] = 0;
             --pendingOffers_;
             ++inFlight_;
-            offer.reset();
         }
         if (res.delivered) {
-            Packet p = *res.delivered;
-            --inFlight_;
-            ++stats_.delivered;
-            stats_.totalLatency.add(cycle_ - p.created);
-            stats_.networkLatency.add(cycle_ - p.injected);
-            stats_.hopCount.add(p.totalHops());
-            stats_.deflectionCount.add(p.deflections);
-            if (deliver_)
-                deliver_(p, cycle_);
+            const Packet &p = *res.delivered;
+            recordDeliveryStats(p, cycle_);
+            deliverToClient(p, cycle_);
         }
         auto &e_slot = res.out[static_cast<std::size_t>(OutPort::eSh)];
         if (e_slot) {
@@ -148,15 +118,6 @@ SmartNetwork::step()
             slot.reset();
     }
     ++cycle_;
-}
-
-bool
-SmartNetwork::drain(Cycle max_cycles)
-{
-    const Cycle limit = cycle_ + max_cycles;
-    while (!quiescent() && cycle_ < limit)
-        step();
-    return quiescent();
 }
 
 std::uint64_t

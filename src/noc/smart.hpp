@@ -20,15 +20,17 @@
 
 #include <vector>
 
+#include "noc/engine_core.hpp"
 #include "noc/network.hpp"
 
 namespace fasttrack {
 
 /**
- * Hoplite network with SMART multi-hop bypass. Implements NocDevice,
- * so all traffic drivers work unchanged.
+ * Hoplite network with SMART multi-hop bypass. Implements NocDevice
+ * (via EngineCore's shared offer/drain/measurement scaffolding), so
+ * all traffic drivers work unchanged.
  */
-class SmartNetwork : public NocDevice
+class SmartNetwork : public EngineCore
 {
   public:
     /**
@@ -38,26 +40,12 @@ class SmartNetwork : public NocDevice
      */
     SmartNetwork(std::uint32_t n, std::uint32_t hpc_max);
 
-    void setDeliverCallback(DeliverFn fn) override
-    {
-        deliver_ = std::move(fn);
-    }
-    void offer(const Packet &packet) override;
-    bool hasPendingOffer(NodeId node) const override;
     void step() override;
-    bool drain(Cycle max_cycles) override;
-    Cycle now() const override { return cycle_; }
-    bool quiescent() const override
-    {
-        return inFlight_ == 0 && pendingOffers_ == 0;
-    }
-    NocStats statsSnapshot() const override { return stats_; }
     const NocConfig &config() const override { return config_; }
     std::uint64_t linkCount() const override;
     std::uint32_t channelCount() const override { return 1; }
 
     std::uint32_t hpcMax() const { return hpcMax_; }
-    const NocStats &stats() const { return stats_; }
     /** Multi-hop traversals realized, by chain length (1..HPC_max). */
     const std::vector<std::uint64_t> &bypassHistogram() const
     {
@@ -73,14 +61,8 @@ class SmartNetwork : public NocDevice
     std::vector<Router> routers_;
     std::vector<Router::Inputs> inputs_;
     std::vector<Router::Inputs> next_;
-    std::vector<std::optional<Packet>> offers_;
     std::uint32_t hpcMax_;
     std::vector<std::uint64_t> bypassLengths_;
-    NocStats stats_;
-    DeliverFn deliver_;
-    Cycle cycle_ = 0;
-    std::uint64_t inFlight_ = 0;
-    std::uint64_t pendingOffers_ = 0;
 };
 
 } // namespace fasttrack

@@ -1,12 +1,15 @@
 #include "noc/vc_torus.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace fasttrack {
 
 VcTorusNetwork::VcTorusNetwork(std::uint32_t n, std::uint32_t vc_count,
                                std::uint32_t fifo_depth)
-    : n_(n), vcCount_(vc_count), fifoDepth_(fifo_depth)
+    : EngineCore(n * n), n_(n), vcCount_(vc_count),
+      fifoDepth_(fifo_depth)
 {
     FT_ASSERT(n >= 2, "torus side must be >= 2");
     FT_ASSERT(vc_count >= 2,
@@ -16,7 +19,6 @@ VcTorusNetwork::VcTorusNetwork(std::uint32_t n, std::uint32_t vc_count,
     routers_.resize(n * n);
     for (RouterState &router : routers_)
         router.vcs.resize(vcCount_);
-    offers_.resize(n * n);
 }
 
 VcTorusNetwork::Port
@@ -73,32 +75,6 @@ VcTorusNetwork::crossesDateline(NodeId id, Port out) const
       default:
         return false;
     }
-}
-
-void
-VcTorusNetwork::offer(const Packet &packet)
-{
-    FT_ASSERT(packet.src < routers_.size(), "bad source node");
-    FT_ASSERT(packet.dst < routers_.size(), "bad destination node");
-    if (packet.src == packet.dst) {
-        ++stats_.selfDelivered;
-        Packet p = packet;
-        p.injected = cycle_;
-        if (deliver_)
-            deliver_(p, cycle_);
-        return;
-    }
-    auto &slot = offers_[packet.src];
-    FT_ASSERT(!slot, "node ", packet.src, " already has a pending offer");
-    slot = packet;
-    ++pendingOffers_;
-}
-
-bool
-VcTorusNetwork::hasPendingOffer(NodeId node) const
-{
-    FT_ASSERT(node < offers_.size(), "bad node");
-    return offers_[node].has_value();
 }
 
 void
@@ -173,14 +149,8 @@ VcTorusNetwork::step()
         Packet p = std::move(fifo.front());
         fifo.pop_front();
         if (m.to == kInvalidNode) {
-            --inFlight_;
-            ++stats_.delivered;
-            stats_.totalLatency.add(cycle_ - p.created);
-            stats_.networkLatency.add(cycle_ - p.injected);
-            stats_.hopCount.add(p.totalHops());
-            stats_.deflectionCount.add(p.deflections);
-            if (deliver_)
-                deliver_(p, cycle_);
+            recordDeliveryStats(p, cycle_);
+            deliverToClient(p, cycle_);
         } else {
             if (m.to_vc > m.vc)
                 ++datelines_;
@@ -193,33 +163,23 @@ VcTorusNetwork::step()
 
     // Client injection into VC0 of the local port.
     for (NodeId id = 0; id < routers_.size(); ++id) {
-        auto &offer = offers_[id];
-        if (!offer)
+        if (!offerMask_[id])
             continue;
         auto &fifo = routers_[id].vcs[0][local];
         if (fifo.size() >= fifoDepth_) {
             ++stats_.injectionBlockedCycles;
             continue;
         }
-        Packet p = *offer;
+        Packet p = offerSlab_[id];
         p.injected = cycle_;
         fifo.push_back(std::move(p));
-        offer.reset();
+        offerMask_[id] = 0;
         --pendingOffers_;
         ++inFlight_;
         ++stats_.injected;
     }
 
     ++cycle_;
-}
-
-bool
-VcTorusNetwork::drain(Cycle max_cycles)
-{
-    const Cycle limit = cycle_ + max_cycles;
-    while (!quiescent() && cycle_ < limit)
-        step();
-    return quiescent();
 }
 
 std::uint64_t

@@ -13,15 +13,15 @@
 
 #include <array>
 #include <deque>
-#include <optional>
 #include <vector>
 
-#include "noc/noc_device.hpp"
+#include "noc/engine_core.hpp"
 
 namespace fasttrack {
 
-/** VC-buffered bidirectional-torus NoC behind the NocDevice API. */
-class VcTorusNetwork : public NocDevice
+/** VC-buffered bidirectional-torus NoC behind the NocDevice API,
+ *  composed over EngineCore's shared device scaffolding. */
+class VcTorusNetwork : public EngineCore
 {
   public:
     /**
@@ -33,20 +33,7 @@ class VcTorusNetwork : public NocDevice
     VcTorusNetwork(std::uint32_t n, std::uint32_t vc_count,
                    std::uint32_t fifo_depth);
 
-    void setDeliverCallback(DeliverFn fn) override
-    {
-        deliver_ = std::move(fn);
-    }
-    void offer(const Packet &packet) override;
-    bool hasPendingOffer(NodeId node) const override;
     void step() override;
-    bool drain(Cycle max_cycles) override;
-    Cycle now() const override { return cycle_; }
-    bool quiescent() const override
-    {
-        return inFlight_ == 0 && pendingOffers_ == 0;
-    }
-    NocStats statsSnapshot() const override { return stats_; }
     const NocConfig &config() const override { return config_; }
     std::uint64_t linkCount() const override;
     std::uint32_t channelCount() const override { return 1; }
@@ -85,12 +72,6 @@ class VcTorusNetwork : public NocDevice
     std::uint32_t vcCount_;
     std::uint32_t fifoDepth_;
     std::vector<RouterState> routers_;
-    std::vector<std::optional<Packet>> offers_;
-    NocStats stats_;
-    DeliverFn deliver_;
-    Cycle cycle_ = 0;
-    std::uint64_t inFlight_ = 0;
-    std::uint64_t pendingOffers_ = 0;
     std::uint64_t datelines_ = 0;
 };
 

@@ -1,8 +1,27 @@
 #include "traffic/injector.hpp"
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 #include "common/logging.hpp"
 
 namespace fasttrack {
+
+void
+ChunkArena::grow()
+{
+    FT_ASSERT(slotBytes_ <= kBlockBytes, "arena slot larger than block");
+    void *b = std::aligned_alloc(kBlockBytes, kBlockBytes);
+    FT_ASSERT(b != nullptr, "arena block allocation failed");
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+    // Best-effort: fall back to 4 KiB pages when THP is unavailable.
+    (void)::madvise(b, kBlockBytes, MADV_HUGEPAGE);
+#endif
+    blocks_.push_back(b);
+    bump_ = static_cast<char *>(b);
+    remaining_ = kBlockBytes;
+}
 
 SyntheticInjector::SyntheticInjector(NocDevice &noc,
                                      const SyntheticWorkload &workload)
@@ -17,7 +36,9 @@ SyntheticInjector::SyntheticInjector(NocDevice &noc,
               workload_.injectionRate);
     const std::uint32_t nodes = noc_.config().pes();
     remaining_.assign(nodes, workload_.packetsPerPe);
-    queues_.resize(nodes);
+    queues_.reserve(nodes);
+    for (std::uint32_t i = 0; i < nodes; ++i)
+        queues_.emplace_back(&chunkArena_);
     budgetTotal_ =
         static_cast<std::uint64_t>(nodes) * workload_.packetsPerPe;
 }
@@ -28,21 +49,31 @@ SyntheticInjector::tick()
     const Cycle now = noc_.now();
     const std::uint32_t nodes = static_cast<std::uint32_t>(
         queues_.size());
+    // One virtual call per cycle instead of one per node: devices
+    // backed by the engine's offer slab expose its occupancy directly.
+    const std::uint8_t *pending = noc_.pendingOfferMask();
     for (NodeId node = 0; node < nodes; ++node) {
         if (remaining_[node] > 0 &&
             rng_.nextBool(workload_.injectionRate)) {
-            Packet p;
-            p.id = nextId_++;
-            p.src = node;
-            p.dst = destGen_.dest(node, rng_);
-            p.created = now;
+            Pending rec;
+            rec.id = nextId_++;
+            rec.dst = destGen_.dest(node, rng_);
+            rec.created = now;
             --remaining_[node];
             ++generatedTotal_;
-            queues_[node].push_back(p);
+            queues_[node].push_back(rec);
             ++queuedTotal_;
         }
-        if (!queues_[node].empty() && !noc_.hasPendingOffer(node)) {
-            noc_.offer(queues_[node].front());
+        const bool slot_busy = pending ? pending[node] != 0
+                                       : noc_.hasPendingOffer(node);
+        if (!queues_[node].empty() && !slot_busy) {
+            const Pending &rec = queues_[node].front();
+            Packet p;
+            p.id = rec.id;
+            p.src = node;
+            p.dst = rec.dst;
+            p.created = rec.created;
+            noc_.offer(p);
             queues_[node].pop_front();
             --queuedTotal_;
         }

@@ -46,57 +46,11 @@ DestinationGenerator::DestinationGenerator(TrafficPattern pattern,
     }
     if (pattern_ == TrafficPattern::local && localRadius_ < 1)
         FT_FATAL("LOCAL radius must be >= 1");
-}
-
-NodeId
-DestinationGenerator::dest(NodeId src, Rng &rng) const
-{
-    const std::uint32_t nodes = n_ * n_;
-    FT_ASSERT(src < nodes, "bad source node");
-    const Coord s = toCoord(src, n_);
-
-    switch (pattern_) {
-      case TrafficPattern::random: {
-        // Uniform over the other nodes.
-        NodeId d = static_cast<NodeId>(rng.nextBelow(nodes - 1));
-        if (d >= src)
-            ++d;
-        return d;
-      }
-
-      case TrafficPattern::local: {
-        // Uniform over forward neighbourhood 1 <= dx + dy <= radius
-        // (forward because the torus rings are unidirectional).
-        // Clamp so a wrapped displacement can never land back on the
-        // source (dx, dy < N).
-        const std::uint32_t radius = std::min(localRadius_, n_ - 1);
-        // Count of (dx, dy) pairs with dx + dy = k is k + 1; sample a
-        // pair directly instead of materializing the neighbourhood.
-        std::uint32_t total = 0;
-        for (std::uint32_t k = 1; k <= radius; ++k)
-            total += k + 1;
-        std::uint32_t pick =
-            static_cast<std::uint32_t>(rng.nextBelow(total));
-        std::uint32_t k = 1;
-        while (pick > k) {
-            pick -= k + 1;
-            ++k;
-        }
-        const std::uint32_t dx = pick; // 0..k
-        const std::uint32_t dy = k - dx;
-        const Coord d{
-            static_cast<std::uint16_t>((s.x + dx) % n_),
-            static_cast<std::uint16_t>((s.y + dy) % n_)};
-        return toNodeId(d, n_);
-      }
-
-      case TrafficPattern::bitComplement:
-        return (~src) & (nodes - 1);
-
-      case TrafficPattern::transpose:
-        return toNodeId(Coord{s.y, s.x}, n_);
+    if (pattern_ == TrafficPattern::random) {
+        const std::uint64_t bound = std::uint64_t{n_} * n_ - 1;
+        randomThreshold_ = (0 - bound) % bound;
+        randomMod_.init(bound);
     }
-    FT_PANIC("unknown pattern");
 }
 
 } // namespace fasttrack

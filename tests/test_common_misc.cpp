@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <unordered_set>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
@@ -16,6 +17,67 @@
 
 namespace fasttrack {
 namespace {
+
+TEST(Types, FastDivMatchesHardwareDivide)
+{
+    for (std::uint32_t d :
+         {1u, 2u, 3u, 5u, 7u, 8u, 12u, 16u, 31u, 32u, 33u, 255u, 256u,
+          1024u, 65535u}) {
+        const FastDiv f(d);
+        std::vector<std::uint32_t> probes;
+        for (std::uint32_t v = 0; v < 4 * d + 8; ++v)
+            probes.push_back(v);
+        for (std::uint32_t v :
+             {0x7fffffffu, 0x80000000u, 0xfffffffeu, 0xffffffffu})
+            probes.push_back(v);
+        for (std::uint32_t k = 1; k <= 4; ++k) {
+            probes.push_back(k * d - 1);
+            probes.push_back(k * d);
+            probes.push_back(k * d + 1);
+        }
+        for (std::uint32_t v : probes) {
+            EXPECT_EQ(f.div(v), v / d) << "v=" << v << " d=" << d;
+            EXPECT_EQ(f.mod(v), v % d) << "v=" << v << " d=" << d;
+        }
+    }
+}
+
+TEST(Types, FastMod64MatchesHardwareModulo)
+{
+    for (std::uint64_t d :
+         {1ull, 2ull, 3ull, 7ull, 8ull, 63ull, 64ull, 255ull, 1023ull,
+          4095ull, 65535ull, (1ull << 32) - 1, (1ull << 32) + 1}) {
+        const FastMod64 f(d);
+        std::vector<std::uint64_t> probes;
+        for (std::uint64_t v = 0; v < 3 * d + 4 && v < 1000; ++v)
+            probes.push_back(v);
+        for (std::uint64_t v :
+             {~0ull, ~0ull - 1, 1ull << 63, (1ull << 63) - 1,
+              0x123456789abcdefull})
+            probes.push_back(v);
+        for (std::uint64_t k = 1; k <= 4; ++k) {
+            probes.push_back(k * d - 1);
+            probes.push_back(k * d);
+            probes.push_back(k * d + 1);
+        }
+        for (std::uint64_t v : probes) {
+            EXPECT_EQ(f.mod(v), v % d) << "v=" << v << " d=" << d;
+        }
+    }
+}
+
+TEST(Types, RingDistanceMatchesModuloForm)
+{
+    for (std::uint32_t n : {1u, 2u, 3u, 8u, 13u, 16u}) {
+        for (std::uint32_t from = 0; from < n; ++from) {
+            for (std::uint32_t to = 0; to < n; ++to) {
+                EXPECT_EQ(ringDistance(from, to, n),
+                          (to + n - from) % n)
+                    << "from=" << from << " to=" << to << " n=" << n;
+            }
+        }
+    }
+}
 
 TEST(Types, CoordRoundTrip)
 {

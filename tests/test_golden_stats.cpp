@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Golden-stats equivalence pins for the cycle engine: fixed-seed runs
+ * of the standard lineup (Hoplite, FT(64,2,1), FT(64,2,2) and
+ * multi-channel Hoplite) must reproduce recorded NocStats and latency
+ * histograms bit for bit. Any engine refactor that changes routing
+ * decisions, arbitration order or measurement bookkeeping trips these
+ * hashes; an intentional behavior change must re-record them (run the
+ * suite and copy the "actual" values printed by the failures) and
+ * justify the delta in the commit message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "noc/multichannel.hpp"
+#include "noc/network.hpp"
+#include "sim/simulation.hpp"
+#include "traffic/injector.hpp"
+
+namespace fasttrack {
+namespace {
+
+/** FNV-1a over a stream of 64-bit words. */
+class StatHash
+{
+  public:
+    void add(std::uint64_t word)
+    {
+        hash_ ^= word;
+        hash_ *= 0x100000001b3ull;
+    }
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t
+hashStats(const NocStats &s)
+{
+    StatHash h;
+    h.add(s.injected);
+    h.add(s.delivered);
+    h.add(s.selfDelivered);
+    h.add(s.shortHopTraversals);
+    h.add(s.expressHopTraversals);
+    for (std::uint64_t v : s.deflectionsByPort)
+        h.add(v);
+    for (std::uint64_t v : s.misroutesByPort)
+        h.add(v);
+    h.add(s.laneDeflections);
+    h.add(s.exitBlocked);
+    h.add(s.injectionBlockedCycles);
+    for (const Histogram *hist :
+         {&s.totalLatency, &s.networkLatency, &s.hopCount,
+          &s.deflectionCount}) {
+        h.add(hist->count());
+        for (const auto &[value, count] : hist->bins()) {
+            h.add(value);
+            h.add(count);
+        }
+    }
+    return h.value();
+}
+
+/** Run the standard closed workload on @p noc and hash the result. */
+std::uint64_t
+runLineup(NocDevice &noc, TrafficPattern pattern, std::uint64_t seed)
+{
+    SyntheticWorkload workload;
+    workload.pattern = pattern;
+    workload.injectionRate = 0.35;
+    workload.packetsPerPe = 200;
+    workload.seed = seed;
+    SyntheticInjector injector(noc, workload);
+
+    const Cycle limit = 400000;
+    while (!injector.done() && noc.now() < limit) {
+        injector.tick();
+        noc.step();
+    }
+    EXPECT_TRUE(injector.done()) << "workload did not complete";
+    return hashStats(noc.statsSnapshot());
+}
+
+TEST(GoldenStats, Hoplite8Random)
+{
+    Network noc(NocConfig::hoplite(8));
+    EXPECT_EQ(runLineup(noc, TrafficPattern::random, 11),
+              6920804258037780977ull);
+}
+
+TEST(GoldenStats, FastTrack8D2R1Random)
+{
+    Network noc(NocConfig::fastTrack(8, 2, 1));
+    EXPECT_EQ(runLineup(noc, TrafficPattern::random, 12),
+              13018505667610585120ull);
+}
+
+TEST(GoldenStats, FastTrack8D2R2Random)
+{
+    Network noc(NocConfig::fastTrack(8, 2, 2));
+    EXPECT_EQ(runLineup(noc, TrafficPattern::random, 13),
+              1807215248422678562ull);
+}
+
+TEST(GoldenStats, FastTrack8D2R1Transpose)
+{
+    Network noc(NocConfig::fastTrack(8, 2, 1));
+    EXPECT_EQ(runLineup(noc, TrafficPattern::transpose, 14),
+              15785417443856874428ull);
+}
+
+TEST(GoldenStats, MultiChannel8x2Random)
+{
+    MultiChannelNoc noc(NocConfig::hoplite(8), 2);
+    EXPECT_EQ(runLineup(noc, TrafficPattern::random, 15),
+              11140384843414844015ull);
+}
+
+TEST(GoldenStats, InjectVariant8D2R2Random)
+{
+    Network noc(
+        NocConfig::fastTrack(8, 2, 2, NocVariant::ftInject));
+    EXPECT_EQ(runLineup(noc, TrafficPattern::random, 16),
+              17854748734557977273ull);
+}
+
+} // namespace
+} // namespace fasttrack

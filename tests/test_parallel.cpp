@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -93,6 +94,46 @@ TEST(ParallelMap, NonTrivialResultTypesKeepInputOrder)
         for (std::size_t i = 0; i < out.size(); ++i)
             EXPECT_EQ(out[i], std::to_string(i)) << "threads=" << t;
     }
+}
+
+TEST(ParallelMap, RethrowsEarliestInputOrderException)
+{
+    // Several items throw; no matter which worker hits one first, the
+    // surfaced exception must be the serial loop's: the one from the
+    // lowest input index.
+    std::vector<int> items(101);
+    std::iota(items.begin(), items.end(), 0);
+
+    auto fn = [](int v) -> int {
+        if (v % 10 == 7)
+            throw std::runtime_error("item " + std::to_string(v));
+        return v;
+    };
+
+    for (unsigned t : threadCounts()) {
+        try {
+            parallelMap(items, fn, t);
+            FAIL() << "expected an exception, threads=" << t;
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "item 7") << "threads=" << t;
+        }
+    }
+}
+
+TEST(ParallelMap, NoExceptionMeansAllResultsIntact)
+{
+    // A throwing sibling must not corrupt successfully computed slots
+    // (guards against e.g. joining before every worker finished).
+    std::vector<int> items(64);
+    std::iota(items.begin(), items.end(), 0);
+    auto fn = [](int v) -> int {
+        if (v == 63)
+            throw std::runtime_error("tail");
+        return v * 2;
+    };
+    for (unsigned t : threadCounts())
+        EXPECT_THROW(parallelMap(items, fn, t), std::runtime_error)
+            << "threads=" << t;
 }
 
 TEST(ParallelMap, SimulationSweepIsThreadCountInvariant)

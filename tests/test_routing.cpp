@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "noc/routing.hpp"
 
 namespace fasttrack {
@@ -255,6 +259,94 @@ TEST(Candidates, PortNamesRoundTrip)
     EXPECT_STREQ(toString(InPort::wEx), "W_EX");
     EXPECT_STREQ(toString(OutPort::sSh), "S_SH");
     EXPECT_STREQ(toString(InPort::pe), "PE");
+}
+
+void
+expectSameList(const CandidateList &want, const CandidateList &got,
+               const std::string &where)
+{
+    ASSERT_EQ(want.size(), got.size()) << where;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(static_cast<int>(want[i].out),
+                  static_cast<int>(got[i].out))
+            << where << " entry " << i;
+        EXPECT_EQ(want[i].exit, got[i].exit) << where << " entry " << i;
+    }
+}
+
+TEST(CandidateTable, MatchesDirectBuildersForEveryDistance)
+{
+    // The table claims the policy depends on a distance only through
+    // its class. Verify exhaustively: for representative sites of
+    // every variant and depopulation kind, the table entry equals the
+    // directly built list for every (in, dx, dy).
+    std::vector<RouterSite> sites;
+    {
+        RouterSite hoplite;
+        hoplite.n = 8;
+        hoplite.variant = NocVariant::hoplite;
+        sites.push_back(hoplite);
+    }
+    for (NocVariant variant :
+         {NocVariant::ftFull, NocVariant::ftInject}) {
+        // Aligned (D | N) and misaligned spacings, all four
+        // express-port depopulation kinds.
+        for (auto [n, d] : {std::pair<std::uint32_t, std::uint32_t>{8, 2},
+                            {12, 3},
+                            {10, 3},
+                            {9, 2}}) {
+            for (bool ex : {false, true}) {
+                for (bool ey : {false, true}) {
+                    RouterSite s;
+                    s.n = n;
+                    s.d = d;
+                    s.variant = variant;
+                    s.hasEx = ex;
+                    s.hasEy = ey;
+                    s.wrapAligned = n % d == 0;
+                    sites.push_back(s);
+                }
+            }
+        }
+    }
+
+    for (const RouterSite &s : sites) {
+        CandidateTable table;
+        table.build(s);
+        const std::string site_tag =
+            "variant=" + std::to_string(static_cast<int>(s.variant)) +
+            " n=" + std::to_string(s.n) + " d=" + std::to_string(s.d) +
+            " ex=" + std::to_string(s.hasEx) +
+            " ey=" + std::to_string(s.hasEy);
+        for (std::uint32_t dx = 0; dx < s.n; ++dx) {
+            for (std::uint32_t dy = 0; dy < s.n; ++dy) {
+                const std::string at = site_tag +
+                                       " dx=" + std::to_string(dx) +
+                                       " dy=" + std::to_string(dy);
+                for (int in = 0; in < 4; ++in) {
+                    const auto port = static_cast<InPort>(in);
+                    expectSameList(
+                        routeCandidates(s, port, dx, dy, false),
+                        table.route(port, table.cls(dx),
+                                    table.cls(dy)),
+                        at + " in=" + toString(port));
+                }
+                if (dx == 0 && dy == 0)
+                    continue; // injection of self-traffic is illegal
+                bool express = false;
+                const CandidateList direct =
+                    injectCandidates(s, dx, dy, express);
+                expectSameList(direct,
+                               table.inject(table.cls(dx),
+                                            table.cls(dy)),
+                               at + " inject");
+                EXPECT_EQ(express,
+                          table.injectExpress(table.cls(dx),
+                                              table.cls(dy)))
+                    << at;
+            }
+        }
+    }
 }
 
 } // namespace
