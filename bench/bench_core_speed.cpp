@@ -9,6 +9,7 @@
 
 #include "noc/network.hpp"
 #include "sim/simulation.hpp"
+#include "sim/telemetry_session.hpp"
 #include "traffic/trace_replay.hpp"
 #include "workloads/dataflow.hpp"
 
@@ -67,6 +68,41 @@ BM_NetworkStepTraced(benchmark::State &state)
     state.counters["routers"] = noc.config().pes();
 }
 
+/**
+ * Same stepping loop with an installed telemetry sink: exercises the
+ * HasTelem stepImpl instantiation (ring pushes + counter bumps per
+ * event). Deliberately *not* named under the BM_NetworkStep prefix:
+ * scripts/bench_record.py records that prefix as the no-hook perf
+ * baseline, which this flavor must not pollute. Compare against
+ * BM_NetworkStep/16/1 to measure telemetry overhead; the no-sink
+ * number itself must stay put (docs/observability.md).
+ */
+void
+BM_TelemetryStep(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    telemetry::TelemetryConfig tcfg; // in-memory, no artifact export
+    const bool trace_events = state.range(1) != 0;
+    tcfg.traceEvents = trace_events;
+    TelemetrySession session(std::move(tcfg));
+
+    Network noc(NocConfig::fastTrack(n, 2, 1));
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = 1.0;
+    workload.packetsPerPe = 0xffffffffu; // endless generation
+    SyntheticInjector injector(noc, workload);
+
+    for (auto _ : state) {
+        injector.tick();
+        noc.step();
+    }
+    state.SetItemsProcessed(state.iterations() * noc.config().pes());
+    state.counters["routers"] = noc.config().pes();
+    state.counters["dropped"] = static_cast<double>(
+        session.sink().totalDropped());
+}
+
 void
 BM_TraceReplay(benchmark::State &state)
 {
@@ -91,4 +127,6 @@ BENCHMARK(BM_NetworkStep)
     ->Args({16, 1})
     ->Args({32, 1});
 BENCHMARK(BM_NetworkStepTraced)->Arg(16);
+// {n, traceEvents}: counters-only vs full event tracing.
+BENCHMARK(BM_TelemetryStep)->Args({16, 0})->Args({16, 1});
 BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);

@@ -6,9 +6,11 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "bench_trace_util.hpp"
 #include "bench_util.hpp"
+#include "sim/telemetry_session.hpp"
 #include "workloads/spmv.hpp"
 
 using namespace fasttrack;
@@ -24,6 +26,18 @@ main(int argc, char **argv)
 
     const std::uint32_t sides[] = {2, 4, 8, 16}; // 4..256 PEs
 
+    // With --telemetry-dir the whole bench runs under one session:
+    // every parallelMap worker replaying a trace gets its own Chrome
+    // trace file, and each matrix shows up as a host phase span.
+    std::unique_ptr<TelemetrySession> session;
+    if (!bench::telemetryDir().empty()) {
+        telemetry::TelemetryConfig tcfg;
+        tcfg.dir = bench::telemetryDir();
+        tcfg.epoch = bench::telemetryEpoch();
+        tcfg.filePrefix = "fig15a_";
+        session = std::make_unique<TelemetrySession>(std::move(tcfg));
+    }
+
     Table table("speedup by matrix and PE count");
     std::vector<std::string> header{"matrix"};
     for (std::uint32_t n : sides)
@@ -32,6 +46,7 @@ main(int argc, char **argv)
     table.setHeader(header);
 
     for (const MatrixParams &params : spmvCatalog()) {
+        telemetry::PhaseTimer phase("spmv " + params.name);
         const SparseMatrix matrix = generateMatrix(params);
         std::vector<std::string> row{params.name};
         std::string best;
@@ -45,5 +60,11 @@ main(int argc, char **argv)
         table.addRow(row);
     }
     table.print(std::cout);
+
+    if (session) {
+        std::cout << "\n# telemetry artifacts:\n";
+        for (const std::string &p : session->finish())
+            std::cout << "#   " << p << "\n";
+    }
     return 0;
 }

@@ -3,12 +3,20 @@
  * Fig 18 reproduction: short vs express link traversals (a) and
  * per-input-port deflection counts (b) for a 64-PE NoC under RANDOM
  * traffic. Express links should *reduce* total deflections.
+ *
+ * Table (a) is sourced from the telemetry metrics registry (one
+ * TelemetrySession per lineup entry): the registry's events.route /
+ * events.expressHop counters are the sink's independent count of the
+ * same traversals NocStats tallies, and tests/test_telemetry.cpp pins
+ * the two paths to agree. With --telemetry-dir the session also
+ * exports Chrome traces, link heatmaps and metrics CSVs per config.
  */
 
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "sim/experiment.hpp"
+#include "sim/telemetry_session.hpp"
 
 using namespace fasttrack;
 
@@ -26,27 +34,46 @@ main(int argc, char **argv)
     std::vector<NocUnderTest> ordered{lineup[2], lineup[1], lineup[0]};
 
     std::vector<SynthResult> results;
+    std::vector<std::uint64_t> shortHops;
+    std::vector<std::uint64_t> expressHops;
+    std::vector<std::string> artifacts;
     for (const auto &nut : ordered) {
+        telemetry::TelemetryConfig tcfg;
+        tcfg.dir = bench::telemetryDir();
+        tcfg.epoch = bench::telemetryEpoch();
+        tcfg.filePrefix = bench::fileSafeLabel(nut.label) + "_";
+        TelemetrySession session(std::move(tcfg));
+
         SyntheticWorkload workload;
         workload.pattern = TrafficPattern::random;
         workload.injectionRate = 0.5;
+        SimConfig sim;
+        sim.telemetry = &session;
         results.push_back(
-            runSynthetic(nut.config, nut.channels, workload));
+            runSynthetic(nut.config, nut.channels, workload, sim));
+
+        // Link-class usage from the registry, not NocStats: route
+        // events are short-wire traversals, expressHop events express-
+        // wire traversals.
+        shortHops.push_back(
+            session.metrics().counterValue("events.route"));
+        expressHops.push_back(
+            session.metrics().counterValue("events.express_hop"));
+        for (const std::string &p : session.finish())
+            artifacts.push_back(p);
     }
 
-    Table usage("(a) link traversals by class");
+    Table usage("(a) link traversals by class (telemetry registry)");
     usage.setHeader({"NoC", "short hops", "express hops",
                      "express share %"});
     for (std::size_t i = 0; i < ordered.size(); ++i) {
-        const auto &s = results[i].stats;
-        const double total = static_cast<double>(
-            s.shortHopTraversals + s.expressHopTraversals);
-        usage.addRow({ordered[i].label,
-                      Table::num(s.shortHopTraversals),
-                      Table::num(s.expressHopTraversals),
+        const double total =
+            static_cast<double>(shortHops[i] + expressHops[i]);
+        usage.addRow({ordered[i].label, Table::num(shortHops[i]),
+                      Table::num(expressHops[i]),
                       Table::num(total ? 100.0 *
                                              static_cast<double>(
-                                                 s.expressHopTraversals) /
+                                                 expressHops[i]) /
                                              total
                                        : 0.0, 1)});
     }
@@ -68,5 +95,11 @@ main(int argc, char **argv)
     }
     std::cout << "\n";
     defl.print(std::cout);
+
+    if (!artifacts.empty() && !Table::csvMode()) {
+        std::cout << "\n# telemetry artifacts:\n";
+        for (const std::string &p : artifacts)
+            std::cout << "#   " << p << "\n";
+    }
     return 0;
 }

@@ -6,6 +6,7 @@
 #ifndef FT_BENCH_BENCH_UTIL_HPP
 #define FT_BENCH_BENCH_UTIL_HPP
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -34,12 +35,65 @@ workerThreads()
                             : std::thread::hardware_concurrency();
 }
 
+/**
+ * Telemetry artifact directory from --telemetry-dir; empty (the
+ * default) leaves artifact export off. Harnesses that support
+ * observability attach a TelemetrySession whose config().dir is this.
+ */
+inline std::string &
+telemetryDir()
+{
+    static std::string dir;
+    return dir;
+}
+
+/** Metrics snapshot period in cycles from --telemetry-epoch. */
+inline std::uint64_t &
+telemetryEpoch()
+{
+    static std::uint64_t epoch = 1024;
+    return epoch;
+}
+
+/** Turn a lineup label like "FT(64,2,2)" into a file-name-safe
+ *  artifact prefix like "FT_64_2_2". */
+inline std::string
+fileSafeLabel(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    bool last_sep = true;
+    for (char c : label) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '.';
+        if (ok) {
+            out.push_back(c);
+            last_sep = false;
+        } else if (!last_sep) {
+            out.push_back('_');
+            last_sep = true;
+        }
+    }
+    while (!out.empty() && out.back() == '_')
+        out.pop_back();
+    return out;
+}
+
 inline void
 usage(const char *prog)
 {
-    std::cerr << "usage: " << prog << " [--csv] [--threads N]\n"
-              << "  --csv        emit tables as CSV (for scripting)\n"
-              << "  --threads N  cap parallel sweep workers at N\n";
+    std::cerr
+        << "usage: " << prog
+        << " [--csv] [--threads N] [--telemetry-dir DIR]"
+           " [--telemetry-epoch N]\n"
+        << "  --csv                emit tables as CSV (for scripting)\n"
+        << "  --threads N          cap parallel sweep workers at N\n"
+        << "  --telemetry-dir DIR  export telemetry artifacts (Chrome\n"
+        << "                       traces, link heatmaps, metrics CSV)\n"
+        << "                       into DIR\n"
+        << "  --telemetry-epoch N  metrics snapshot period in cycles\n"
+        << "                       (default 1024)\n";
 }
 
 /** Parse shared harness flags: --csv switches every table to CSV
@@ -67,6 +121,33 @@ parseArgs(int argc, char **argv)
                 std::exit(2);
             }
             threadOverride() = static_cast<unsigned>(n);
+            ++i;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--telemetry-dir") == 0) {
+            if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+                std::cerr << argv[0]
+                          << ": --telemetry-dir needs a directory\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            telemetryDir() = argv[i + 1];
+            ++i;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--telemetry-epoch") == 0) {
+            char *end = nullptr;
+            const long n =
+                i + 1 < argc ? std::strtol(argv[i + 1], &end, 10) : 0;
+            if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' ||
+                n < 1) {
+                std::cerr
+                    << argv[0]
+                    << ": --telemetry-epoch needs a positive integer\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            telemetryEpoch() = static_cast<std::uint64_t>(n);
             ++i;
             continue;
         }

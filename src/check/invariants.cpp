@@ -144,6 +144,24 @@ InvariantChecker::verifyQuiescent(Cycle now)
                             " != delivered=", delivered_));
 }
 
+void
+InvariantChecker::verifyTelemetryCounts(std::uint64_t telemetry_injects,
+                                        std::uint64_t telemetry_ejects,
+                                        Cycle now)
+{
+    ++eventsChecked_;
+    if (telemetry_injects != injected_)
+        fail(Violation::conservation, now,
+             detail::concat("telemetry counted ", telemetry_injects,
+                            " inject event(s) but the checker saw ",
+                            injected_, " injection(s)"));
+    if (telemetry_ejects != delivered_)
+        fail(Violation::conservation, now,
+             detail::concat("telemetry counted ", telemetry_ejects,
+                            " eject event(s) but the checker saw ",
+                            delivered_, " deliver(ies)"));
+}
+
 // --- free engine-side verifiers ---------------------------------------
 
 void

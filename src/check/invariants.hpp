@@ -148,6 +148,22 @@ class InvariantChecker
     void setLivelockBound(Cycle bound) { livelockBound_ = bound; }
     Cycle livelockBound() const { return livelockBound_; }
 
+    /** Packets the checker saw injected / delivered so far (the
+     *  conservation feed of the telemetry cross-validation). */
+    std::uint64_t injectedCount() const { return injected_; }
+    std::uint64_t deliveredCount() const { return delivered_; }
+
+    /**
+     * Cross-validate independently collected telemetry event totals
+     * against the checker's own conservation stream: the sink's
+     * inject and eject counters must match the checker's counts
+     * exactly (both observe the same Network, through disjoint code
+     * paths). A mismatch is a conservation violation.
+     */
+    void verifyTelemetryCounts(std::uint64_t telemetry_injects,
+                               std::uint64_t telemetry_ejects,
+                               Cycle now);
+
     const Geometry &geometry() const { return geo_; }
     const std::vector<Record> &violations() const { return violations_; }
     /** Count of per-event validations that ran (tests use this to

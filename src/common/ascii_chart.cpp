@@ -117,4 +117,67 @@ AsciiChart::print(std::ostream &os) const
     os.flush();
 }
 
+namespace {
+
+/** Intensity ramp from empty to saturated, one step per glyph. */
+constexpr char kHeatRamp[] = " .:-=+*#%@";
+constexpr std::size_t kHeatLevels = sizeof(kHeatRamp) - 1;
+
+} // namespace
+
+AsciiHeatmap::AsciiHeatmap(std::string title, std::uint32_t width,
+                           std::uint32_t height)
+    : title_(std::move(title)), width_(width), height_(height),
+      cells_(static_cast<std::size_t>(width) * height, 0.0)
+{
+    FT_ASSERT(width_ >= 1 && height_ >= 1, "heatmap grid too small");
+}
+
+void
+AsciiHeatmap::set(std::uint32_t x, std::uint32_t y, double value)
+{
+    if (x >= width_ || y >= height_)
+        return;
+    cells_[static_cast<std::size_t>(y) * width_ + x] = value;
+}
+
+double
+AsciiHeatmap::maxValue() const
+{
+    double max_v = 0.0;
+    for (double v : cells_)
+        max_v = std::max(max_v, v);
+    return max_v;
+}
+
+void
+AsciiHeatmap::print(std::ostream &os) const
+{
+    const double max_v = maxValue();
+    os << title_ << "\n";
+    os << "  +" << std::string(width_, '-') << "+\n";
+    for (std::uint32_t y = 0; y < height_; ++y) {
+        os << "  |";
+        for (std::uint32_t x = 0; x < width_; ++x) {
+            const double v =
+                cells_[static_cast<std::size_t>(y) * width_ + x];
+            std::size_t level = 0;
+            if (max_v > 0.0 && v > 0.0) {
+                level = 1 + static_cast<std::size_t>(
+                                v / max_v *
+                                static_cast<double>(kHeatLevels - 2));
+                level = std::min(level, kHeatLevels - 1);
+            }
+            os << kHeatRamp[level];
+        }
+        os << "|\n";
+    }
+    os << "  +" << std::string(width_, '-') << "+\n";
+    os << "  scale: ' '=0";
+    if (max_v > 0.0)
+        os << "  '" << kHeatRamp[kHeatLevels - 1] << "'=" << fmt(max_v);
+    os << "\n";
+    os.flush();
+}
+
 } // namespace fasttrack

@@ -59,6 +59,33 @@ class AsciiChart
     std::vector<Series> series_;
 };
 
+/**
+ * Dense 2D intensity grid rendered with a glyph ramp (one cell per
+ * character), with a min/max legend. Used for per-router link
+ * utilization heatmaps: cell (x, y) is the torus router at that
+ * coordinate, intensity its traversal count.
+ */
+class AsciiHeatmap
+{
+  public:
+    /** @param width/@p height grid dimensions in cells. */
+    AsciiHeatmap(std::string title, std::uint32_t width,
+                 std::uint32_t height);
+
+    /** Set cell (@p x, @p y); values outside the grid are ignored. */
+    void set(std::uint32_t x, std::uint32_t y, double value);
+
+    void print(std::ostream &os) const;
+
+    double maxValue() const;
+
+  private:
+    std::string title_;
+    std::uint32_t width_;
+    std::uint32_t height_;
+    std::vector<double> cells_;
+};
+
 } // namespace fasttrack
 
 #endif // FT_COMMON_ASCII_CHART_HPP

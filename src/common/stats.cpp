@@ -145,6 +145,41 @@ Histogram::percentile(double p) const
     return bins_.rbegin()->first;
 }
 
+double
+Histogram::percentileLerp(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    flush();
+    // Continuous 0-based rank; its floor/ceil neighbours are found in
+    // one cumulative walk (bins_ is ordered by value).
+    const double rank =
+        p / 100.0 * static_cast<double>(count_ - 1);
+    const auto lo_rank = static_cast<std::uint64_t>(rank);
+    const double frac = rank - static_cast<double>(lo_rank);
+    std::uint64_t seen = 0;
+    double lo_value = 0.0;
+    bool have_lo = false;
+    for (const auto &[value, n] : bins_) {
+        seen += n;
+        if (!have_lo && seen > lo_rank) {
+            lo_value = static_cast<double>(value);
+            have_lo = true;
+            // Both ranks inside this bin (or no fraction): no
+            // interpolation needed.
+            if (frac == 0.0 || seen > lo_rank + 1)
+                return lo_value;
+        } else if (have_lo) {
+            // First bin past lo holds the hi-rank sample.
+            return lo_value +
+                   frac * (static_cast<double>(value) - lo_value);
+        }
+    }
+    // lo was the last sample (p == 100 up to rounding).
+    return lo_value;
+}
+
 std::vector<std::pair<std::uint64_t, std::uint64_t>>
 Histogram::logBuckets() const
 {

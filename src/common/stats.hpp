@@ -77,6 +77,16 @@ class Histogram
     std::uint64_t percentile(double p) const;
 
     /**
+     * Linearly interpolated p-th percentile (numpy's "linear" /
+     * Hyndman-Fan type 7): the continuous rank p/100 * (count - 1)
+     * interpolated between the neighbouring samples. Well-defined at
+     * every edge — an empty histogram yields 0.0 and a single sample
+     * yields that sample — so exporters can emit it unconditionally
+     * without producing NaN. @p p outside [0, 100] is clamped.
+     */
+    double percentileLerp(double p) const;
+
+    /**
      * Bucketize into @p buckets log2-spaced bins [1,2), [2,4), ...
      * Returns (bucket upper bound, count) pairs covering all samples.
      */

@@ -74,10 +74,17 @@ Network::Network(const NocConfig &config)
     }
 }
 
-template <bool HasGate, bool HasTracer>
+template <bool HasGate, bool HasTracer, bool HasTelem>
 void
 Network::stepImpl()
 {
+    // Resolved once per cycle; every emit below goes through this
+    // thread's private log (wait-free, see telemetry/sink.hpp).
+    telemetry::ThreadLog *tlog = nullptr;
+    if constexpr (HasTelem)
+        tlog = &telemetry::installed()->local();
+    (void)tlog;
+
     const std::uint32_t count = topo_.nodeCount();
     const std::uint32_t cur = slab_.frameOf(cycle_);
     // Landing frame per output lane, computed once per cycle.
@@ -124,10 +131,30 @@ Network::stepImpl()
             return true;
         };
 
+        // Deflections are attributed inside routeCore; snapshot the
+        // per-port counters around the call to recover which input
+        // ports lost arbitration this cycle.
+        std::array<std::uint64_t, kNumInPorts> defl_before{};
+        if constexpr (HasTelem)
+            defl_before = stats_.deflectionsByPort;
+
         const bool pe_accepted = routers_[id].routeCore(
             slab_.row(cur, id), in_mask,
             has_offer ? &offerSlab_[id] : nullptr, cycle_, stats_, gate,
             sink);
+
+        if constexpr (HasTelem) {
+            for (std::size_t in = 0; in < kNumInPorts; ++in) {
+                const std::uint64_t d =
+                    stats_.deflectionsByPort[in] - defl_before[in];
+                if (d) {
+                    FT_TELEM(HasTelem, tlog,
+                             telemetry::EventKind::deflect, cycle_, id,
+                             static_cast<std::uint8_t>(in), 0,
+                             static_cast<std::uint16_t>(d));
+                }
+            }
+        }
 
 #if FT_CHECK_ENABLED
         {
@@ -158,6 +185,9 @@ Network::stepImpl()
             if (checker_)
                 checker_->onInject(offerSlab_[id], id, cycle_);
 #endif
+            FT_TELEM(HasTelem, tlog, telemetry::EventKind::inject,
+                     cycle_, id, telemetry::kNoPort, offerSlab_[id].id,
+                     0);
             offerMask_[id] = 0;
             --pendingOffers_;
             ++inFlight_;
@@ -165,6 +195,9 @@ Network::stepImpl()
         } else if (has_offer) {
             // Offer keeps waiting; latency accrues via created time.
             ++nodeCounters_[id].blockedCycles;
+            FT_TELEM(HasTelem, tlog,
+                     telemetry::EventKind::backlogStall, cycle_, id,
+                     telemetry::kNoPort, offerSlab_[id].id, 0);
         }
 
         if (sink.delivered) {
@@ -178,6 +211,13 @@ Network::stepImpl()
 #endif
             if constexpr (HasTracer)
                 tracer_(p, id, OutPort::none, cycle_);
+            if constexpr (HasTelem) {
+                const Cycle lat = cycle_ - p.created;
+                FT_TELEM(HasTelem, tlog, telemetry::EventKind::eject,
+                         cycle_, id, telemetry::kNoPort, p.id,
+                         static_cast<std::uint16_t>(
+                             std::min<Cycle>(lat, 0xffff)));
+            }
             deliverToClient(p, cycle_);
         }
 
@@ -193,6 +233,14 @@ Network::stepImpl()
 #endif
             if constexpr (HasTracer)
                 tracer_(*p, id, static_cast<OutPort>(port), cycle_);
+            if constexpr (HasTelem) {
+                const auto kind =
+                    isExpress(static_cast<OutPort>(port))
+                        ? telemetry::EventKind::expressHop
+                        : telemetry::EventKind::route;
+                FT_TELEM(HasTelem, tlog, kind, cycle_, id,
+                         static_cast<std::uint8_t>(port), p->id, 0);
+            }
             ++linkTraversals_[id][port];
         }
 
@@ -208,20 +256,32 @@ Network::stepImpl()
 #endif
 }
 
+template <bool HasTelem>
 void
-Network::step()
+Network::dispatchStep()
 {
     if (exitGate_) {
         if (tracer_)
-            stepImpl<true, true>();
+            stepImpl<true, true, HasTelem>();
         else
-            stepImpl<true, false>();
+            stepImpl<true, false, HasTelem>();
     } else {
         if (tracer_)
-            stepImpl<false, true>();
+            stepImpl<false, true, HasTelem>();
         else
-            stepImpl<false, false>();
+            stepImpl<false, false, HasTelem>();
     }
+}
+
+void
+Network::step()
+{
+    // One relaxed atomic load per cycle is the entire cost of the
+    // telemetry hook when no sink is installed.
+    if (telemetry::installed())
+        dispatchStep<true>();
+    else
+        dispatchStep<false>();
 }
 
 void

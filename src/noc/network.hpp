@@ -17,6 +17,7 @@
 #include "noc/packet.hpp"
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
+#include "telemetry/sink.hpp"
 
 namespace fasttrack {
 
@@ -32,9 +33,10 @@ namespace fasttrack {
  * Engine layout: offer/accounting/measurement scaffolding comes from
  * EngineCore; the link registers live in a dense LinkSlab frame ring
  * rather than per-router std::optional slots, and step() dispatches to
- * a stepping core templated on whether an exit gate and a journey
- * tracer are attached, so the common no-hook path compiles with both
- * folded out entirely (see docs/engine.md).
+ * a stepping core templated on whether an exit gate, a journey tracer
+ * and a telemetry sink are attached, so the common no-hook path
+ * compiles with all three folded out entirely (see docs/engine.md and
+ * docs/observability.md).
  */
 class Network : public EngineCore
 {
@@ -95,8 +97,15 @@ class Network : public EngineCore
     };
 
     /** The stepping core; step() picks the instantiation matching the
-     *  attached hooks so the hot path pays for none it doesn't use. */
-    template <bool HasGate, bool HasTracer> void stepImpl();
+     *  attached hooks so the hot path pays for none it doesn't use.
+     *  HasTelem tracks whether a telemetry sink is installed
+     *  (telemetry::installed()); the disabled instantiation contains
+     *  no telemetry code at all. */
+    template <bool HasGate, bool HasTracer, bool HasTelem>
+    void stepImpl();
+
+    /** Gate/tracer dispatch for one compile-time telemetry flavor. */
+    template <bool HasTelem> void dispatchStep();
 
     void onDrainedQuiescent() override;
 

@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include "common/parallel.hpp"
+#include "telemetry/sink.hpp"
 
 namespace fasttrack {
 
@@ -42,6 +43,9 @@ injectionSweep(const NocUnderTest &nut, TrafficPattern pattern,
 {
     // Each rate point simulates an independent network instance, so
     // the sweep parallelizes across cores with identical results.
+    // When a telemetry sink is installed the whole sweep shows up as
+    // one host-side phase span in the exported Chrome trace.
+    telemetry::PhaseTimer phase("injectionSweep " + nut.label);
     return parallelMap(rates, [&](double rate) {
         SyntheticWorkload workload;
         workload.pattern = pattern;

@@ -2,9 +2,61 @@
 
 #include "check/invariants.hpp"
 #include "common/logging.hpp"
+#include "noc/engine_core.hpp"
+#include "sim/telemetry_session.hpp"
 #include "traffic/trace_replay.hpp"
 
 namespace fasttrack {
+
+namespace {
+
+#if FT_CHECK_ENABLED
+/**
+ * Baselines for the telemetry/checker cross-validation: both the
+ * sink's event counters and the checker's conservation counts are
+ * cumulative over the device/thread lifetime, so the run compares
+ * deltas. Only single-channel devices expose one checker whose counts
+ * correspond 1:1 to this thread's telemetry events.
+ */
+struct TelemetryCrossCheck
+{
+    check::InvariantChecker *checker = nullptr;
+    std::uint64_t telemInjects = 0;
+    std::uint64_t telemEjects = 0;
+    std::uint64_t checkInjected = 0;
+    std::uint64_t checkDelivered = 0;
+
+    void arm(NocDevice &noc, TelemetrySession *session)
+    {
+        if (!session || noc.channelCount() != 1)
+            return;
+        auto *core = dynamic_cast<EngineCore *>(&noc);
+        if (!core || !core->checker())
+            return;
+        checker = core->checker();
+        const telemetry::KindCounts &c = session->sink().local().counts();
+        telemInjects = c.of(telemetry::EventKind::inject);
+        telemEjects = c.of(telemetry::EventKind::eject);
+        checkInjected = checker->injectedCount();
+        checkDelivered = checker->deliveredCount();
+    }
+
+    void verify(TelemetrySession *session, Cycle now) const
+    {
+        if (!checker)
+            return;
+        const telemetry::KindCounts &c = session->sink().local().counts();
+        checker->verifyTelemetryCounts(
+            checkInjected +
+                (c.of(telemetry::EventKind::inject) - telemInjects),
+            checkDelivered +
+                (c.of(telemetry::EventKind::eject) - telemEjects),
+            now);
+    }
+};
+#endif
+
+} // namespace
 
 double
 SynthResult::sustainedRate() const
@@ -26,14 +78,34 @@ SynthResult::worstLatency() const
 
 SynthResult
 runSynthetic(NocDevice &noc, const SyntheticWorkload &workload,
-             Cycle max_cycles)
+             const SimConfig &sim)
 {
+    TelemetrySession *session = sim.telemetry;
+    const bool sampling = session && session->claimSampler();
+    if (session)
+        session->observe(noc);
+#if FT_CHECK_ENABLED
+    TelemetryCrossCheck cross;
+    cross.arm(noc, session);
+#endif
+
     SyntheticInjector injector(noc, workload);
     const Cycle start = noc.now();
-    while (!injector.done() && noc.now() - start < max_cycles) {
+    const Cycle epoch = sampling ? session->config().epoch : 0;
+    Cycle next_sample = start + epoch;
+    while (!injector.done() && noc.now() - start < sim.maxCycles) {
         injector.tick();
         noc.step();
+        if (epoch && noc.now() >= next_sample) {
+            session->sampleEpoch(noc, injector.queued());
+            next_sample += epoch;
+        }
     }
+    if (sampling) {
+        session->sampleEpoch(noc, injector.queued());
+        session->releaseSampler();
+    }
+
     SynthResult result;
     result.stats = noc.statsSnapshot();
     result.cycles = noc.now() - start;
@@ -43,8 +115,18 @@ runSynthetic(NocDevice &noc, const SyntheticWorkload &workload,
 #if FT_CHECK_ENABLED
     check::verifyDrainedStats(result.stats.injected,
                               result.stats.delivered, noc.quiescent());
+    cross.verify(session, noc.now());
 #endif
     return result;
+}
+
+SynthResult
+runSynthetic(NocDevice &noc, const SyntheticWorkload &workload,
+             Cycle max_cycles)
+{
+    SimConfig sim;
+    sim.maxCycles = max_cycles;
+    return runSynthetic(noc, workload, sim);
 }
 
 SynthResult
@@ -55,21 +137,55 @@ runSynthetic(const NocConfig &config, std::uint32_t channels,
     return runSynthetic(*noc, workload, max_cycles);
 }
 
-TraceResult
-runTrace(const NocConfig &config, std::uint32_t channels,
-         const Trace &trace, Cycle max_cycles)
+SynthResult
+runSynthetic(const NocConfig &config, std::uint32_t channels,
+             const SyntheticWorkload &workload, const SimConfig &sim)
 {
     auto noc = makeNoc(config, channels);
+    return runSynthetic(*noc, workload, sim);
+}
+
+TraceResult
+runTrace(const NocConfig &config, std::uint32_t channels,
+         const Trace &trace, const SimConfig &sim)
+{
+    auto noc = makeNoc(config, channels);
+    TelemetrySession *session = sim.telemetry;
+    const bool sampling = session && session->claimSampler();
+    if (session)
+        session->observe(*noc);
+#if FT_CHECK_ENABLED
+    TelemetryCrossCheck cross;
+    cross.arm(*noc, session);
+#endif
+
     TraceReplayer replayer(*noc, trace);
     TraceResult result;
-    result.completion = replayer.run(max_cycles);
+    result.completion = replayer.run(sim.maxCycles);
     result.stats = noc->statsSnapshot();
     result.pes = config.pes();
+    if (sampling) {
+        // Trace replay drives the device internally; the registry gets
+        // one end-of-run epoch instead of a periodic series.
+        session->sampleEpoch(*noc, 0);
+        session->releaseSampler();
+    }
 #if FT_CHECK_ENABLED
     check::verifyDrainedStats(result.stats.injected,
                               result.stats.delivered, noc->quiescent());
+    cross.verify(session, noc->now());
 #endif
     return result;
 }
 
+TraceResult
+runTrace(const NocConfig &config, std::uint32_t channels,
+         const Trace &trace, Cycle max_cycles)
+{
+    SimConfig sim;
+    sim.maxCycles = max_cycles;
+    return runTrace(config, channels, trace, sim);
+}
+
 } // namespace fasttrack
+

@@ -38,6 +38,24 @@ struct SynthResult
 /** Default cycle guard for synthetic runs. */
 inline constexpr Cycle kDefaultMaxCycles = 20'000'000;
 
+class TelemetrySession;
+
+/** Driver knobs beyond the workload itself. */
+struct SimConfig
+{
+    /** Cycle guard: give up (completed=false) after this many. */
+    Cycle maxCycles = kDefaultMaxCycles;
+    /**
+     * Attach an observability session (sim/telemetry_session.hpp):
+     * the driver samples its metrics registry every
+     * telemetry->config().epoch cycles and, in FT_CHECK builds of
+     * single-channel devices, cross-validates the sink's event
+     * counters against the invariant checker's conservation counts.
+     * nullptr = no telemetry (the hot path compiles telemetry-free).
+     */
+    TelemetrySession *telemetry = nullptr;
+};
+
 /**
  * Run @p workload on an existing device until every generated packet
  * is delivered (or @p max_cycles elapse).
@@ -45,10 +63,19 @@ inline constexpr Cycle kDefaultMaxCycles = 20'000'000;
 SynthResult runSynthetic(NocDevice &noc, const SyntheticWorkload &workload,
                          Cycle max_cycles = kDefaultMaxCycles);
 
+/** As above with full driver knobs (telemetry sampling etc.). */
+SynthResult runSynthetic(NocDevice &noc, const SyntheticWorkload &workload,
+                         const SimConfig &sim);
+
 /** Convenience: build the device (with channels) and run. */
 SynthResult runSynthetic(const NocConfig &config, std::uint32_t channels,
                          const SyntheticWorkload &workload,
                          Cycle max_cycles = kDefaultMaxCycles);
+
+/** Convenience: build the device and run with full driver knobs. */
+SynthResult runSynthetic(const NocConfig &config, std::uint32_t channels,
+                         const SyntheticWorkload &workload,
+                         const SimConfig &sim);
 
 /** Result of one trace-replay run. */
 struct TraceResult
@@ -63,6 +90,10 @@ struct TraceResult
 TraceResult runTrace(const NocConfig &config, std::uint32_t channels,
                      const Trace &trace,
                      Cycle max_cycles = kDefaultMaxCycles);
+
+/** As above with full driver knobs (telemetry sampling etc.). */
+TraceResult runTrace(const NocConfig &config, std::uint32_t channels,
+                     const Trace &trace, const SimConfig &sim);
 
 } // namespace fasttrack
 

@@ -1,0 +1,169 @@
+#include "sim/telemetry_session.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hpp"
+#include "telemetry/exporters.hpp"
+
+namespace fasttrack {
+
+namespace {
+
+std::ofstream
+openArtifact(const std::string &dir, const std::string &name)
+{
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path path = std::filesystem::path(dir) / name;
+    std::ofstream os(path);
+    FT_ASSERT(os.good(), "cannot open telemetry artifact ",
+              path.string());
+    return os;
+}
+
+} // namespace
+
+TelemetrySession::TelemetrySession(telemetry::TelemetryConfig config)
+    : sink_(std::move(config))
+{
+    telemetry::install(&sink_);
+}
+
+TelemetrySession::~TelemetrySession()
+{
+    finish();
+    telemetry::uninstall(&sink_);
+}
+
+void
+TelemetrySession::observe(const NocDevice &noc)
+{
+    side_.store(noc.config().n, std::memory_order_relaxed);
+    links_.store(noc.linkCount(), std::memory_order_relaxed);
+}
+
+bool
+TelemetrySession::claimSampler()
+{
+    return !samplerBusy_.exchange(true, std::memory_order_acq_rel);
+}
+
+void
+TelemetrySession::releaseSampler()
+{
+    samplerBusy_.store(false, std::memory_order_release);
+}
+
+void
+TelemetrySession::sampleEpoch(const NocDevice &noc,
+                              std::uint64_t backlog_depth)
+{
+    const Cycle now = noc.now();
+    const NocStats stats = noc.statsSnapshot();
+    const std::uint64_t traversals =
+        stats.shortHopTraversals + stats.expressHopTraversals;
+    const std::uint64_t last_traversals =
+        lastShortHops_ + lastExpressHops_;
+    const std::uint64_t d_traversals = traversals - last_traversals;
+    const std::uint64_t d_express =
+        stats.expressHopTraversals - lastExpressHops_;
+    const std::uint64_t d_deflections =
+        stats.totalDeflections() - lastDeflections_;
+    const Cycle d_cycles = now > lastCycle_ ? now - lastCycle_ : 0;
+
+    // Per-epoch gauges: rates over the window since the last sample.
+    const std::uint64_t links =
+        links_.load(std::memory_order_relaxed);
+    metrics_.gauge("link.utilization") =
+        (links && d_cycles)
+            ? static_cast<double>(d_traversals) /
+                  (static_cast<double>(links) *
+                   static_cast<double>(d_cycles))
+            : 0.0;
+    metrics_.gauge("deflection.rate") =
+        d_traversals ? static_cast<double>(d_deflections) /
+                           static_cast<double>(d_traversals)
+                     : 0.0;
+    metrics_.gauge("express.occupancy") =
+        d_traversals ? static_cast<double>(d_express) /
+                           static_cast<double>(d_traversals)
+                     : 0.0;
+    metrics_.gauge("injector.backlog") =
+        static_cast<double>(backlog_depth);
+
+    // Cumulative counters: device totals plus this thread's event
+    // counts (the sampling run's events all land in its own log).
+    metrics_.counter("net.injected") = stats.injected;
+    metrics_.counter("net.delivered") = stats.delivered;
+    metrics_.counter("net.traversals") = traversals;
+    const telemetry::KindCounts &counts = sink_.local().counts();
+    for (std::size_t k = 0; k < telemetry::kNumEventKinds; ++k) {
+        metrics_.counter(
+            std::string("events.") +
+            toString(static_cast<telemetry::EventKind>(k))) =
+            counts.byKind[k];
+    }
+
+    metrics_.snapshot(now);
+    lastCycle_ = now;
+    lastShortHops_ = stats.shortHopTraversals;
+    lastExpressHops_ = stats.expressHopTraversals;
+    lastDeflections_ = stats.totalDeflections();
+}
+
+const std::vector<std::string> &
+TelemetrySession::finish()
+{
+    if (finished_)
+        return artifacts_;
+    finished_ = true;
+    const telemetry::TelemetryConfig &cfg = sink_.config();
+    if (cfg.dir.empty())
+        return artifacts_;
+
+    if (cfg.traceEvents) {
+        for (std::string &p :
+             telemetry::writeChromeTraces(sink_, cfg.dir,
+                                          cfg.filePrefix))
+            artifacts_.push_back(std::move(p));
+    }
+    const std::string phase_path =
+        telemetry::writePhaseTrace(sink_, cfg.dir, cfg.filePrefix);
+    if (!phase_path.empty())
+        artifacts_.push_back(phase_path);
+
+    const std::vector<std::uint64_t> links = sink_.totalLinkCounts();
+    const std::uint32_t side = side_.load(std::memory_order_relaxed);
+    {
+        const std::string name = cfg.filePrefix + "link_heatmap.csv";
+        std::ofstream os = openArtifact(cfg.dir, name);
+        telemetry::writeLinkHeatmapCsv(os, links, side);
+        artifacts_.push_back(
+            (std::filesystem::path(cfg.dir) / name).string());
+    }
+    {
+        const std::string name = cfg.filePrefix + "link_heatmap.txt";
+        std::ofstream os = openArtifact(cfg.dir, name);
+        telemetry::writeLinkHeatmapAscii(os, links, side,
+                                         cfg.filePrefix + "links");
+        artifacts_.push_back(
+            (std::filesystem::path(cfg.dir) / name).string());
+    }
+    if (!metrics_.epochs().empty()) {
+        const std::string name = cfg.filePrefix + "metrics.csv";
+        std::ofstream os = openArtifact(cfg.dir, name);
+        metrics_.writeCsv(os);
+        artifacts_.push_back(
+            (std::filesystem::path(cfg.dir) / name).string());
+    }
+    if (!metrics_.empty()) {
+        const std::string name = cfg.filePrefix + "metrics_summary.csv";
+        std::ofstream os = openArtifact(cfg.dir, name);
+        metrics_.writeSummary(os);
+        artifacts_.push_back(
+            (std::filesystem::path(cfg.dir) / name).string());
+    }
+    return artifacts_;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * One observability session over a simulation run (or a sequence of
+ * runs): installs the process-global telemetry sink for its lifetime,
+ * samples a metrics registry at a fixed epoch period, and exports all
+ * artifacts — per-thread Chrome traces, link-utilization heatmaps
+ * (CSV + ASCII) and metrics CSV time series — on finish().
+ *
+ * Threading: any number of simulation threads may emit trace events
+ * while a session is live (each gets its own ring), but at most one
+ * run at a time drives the per-epoch metrics sampling; concurrent
+ * runs simply skip sampling (claimSampler()). Export requires all
+ * producers to be quiescent.
+ */
+
+#ifndef FT_SIM_TELEMETRY_SESSION_HPP
+#define FT_SIM_TELEMETRY_SESSION_HPP
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "noc/noc_device.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+
+namespace fasttrack {
+
+class TelemetrySession
+{
+  public:
+    /** Installs the sink; at most one session may be live at a time. */
+    explicit TelemetrySession(telemetry::TelemetryConfig config);
+    /** Runs finish() if it has not run, then uninstalls the sink. */
+    ~TelemetrySession();
+    TelemetrySession(const TelemetrySession &) = delete;
+    TelemetrySession &operator=(const TelemetrySession &) = delete;
+
+    const telemetry::TelemetryConfig &config() const
+    {
+        return sink_.config();
+    }
+    telemetry::TraceSink &sink() { return sink_; }
+    telemetry::MetricsRegistry &metrics() { return metrics_; }
+
+    /** Capture device geometry (torus side, physical link count) for
+     *  the heatmap exporters and the utilization gauge. Called by the
+     *  simulation drivers; harmless to repeat. */
+    void observe(const NocDevice &noc);
+
+    /** Try to become the (single) epoch-sampling run; false means
+     *  another run holds the slot and this one skips sampling. */
+    bool claimSampler();
+    void releaseSampler();
+
+    /**
+     * Record one metrics epoch at the device's current cycle:
+     * per-epoch gauges (link utilization, deflection rate, express
+     * occupancy, injector backlog depth) derived from stats deltas,
+     * cumulative event counters from the calling thread's log, then
+     * a registry snapshot. Only the sampler-slot holder calls this.
+     */
+    void sampleEpoch(const NocDevice &noc, std::uint64_t backlog_depth);
+
+    /**
+     * Export every artifact into config().dir (no-op when the dir is
+     * empty) and return the written paths. Idempotent; the destructor
+     * calls it as a backstop. Producers must be quiescent.
+     */
+    const std::vector<std::string> &finish();
+
+    /** Paths written by finish() so far. */
+    const std::vector<std::string> &artifacts() const
+    {
+        return artifacts_;
+    }
+
+  private:
+    telemetry::TraceSink sink_;
+    telemetry::MetricsRegistry metrics_;
+    /** Torus side for heatmap geometry; 0 until observe(). Atomic
+     *  because concurrent runs sharing one session each observe()
+     *  their (identical-geometry) device. */
+    std::atomic<std::uint32_t> side_{0};
+    /** Physical links of the observed device (utilization basis). */
+    std::atomic<std::uint64_t> links_{0};
+    std::atomic<bool> samplerBusy_{false};
+    /** Previous-epoch baselines for delta gauges. */
+    Cycle lastCycle_ = 0;
+    std::uint64_t lastShortHops_ = 0;
+    std::uint64_t lastExpressHops_ = 0;
+    std::uint64_t lastDeflections_ = 0;
+    bool finished_ = false;
+    std::vector<std::string> artifacts_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_SIM_TELEMETRY_SESSION_HPP

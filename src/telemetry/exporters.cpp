@@ -1,0 +1,208 @@
+#include "telemetry/exporters.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/ascii_chart.hpp"
+#include "common/logging.hpp"
+
+namespace fasttrack::telemetry {
+
+namespace {
+
+/** Escape a string for embedding in a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::ofstream
+openArtifact(const std::string &dir, const std::string &name)
+{
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / name;
+    std::ofstream os(path);
+    FT_ASSERT(os.good(), "cannot open telemetry artifact ",
+              path.string());
+    return os;
+}
+
+} // namespace
+
+const char *
+outPortName(std::uint8_t port)
+{
+    // Mirrors noc/routing.hpp OutPort order; pinned by
+    // tests/test_telemetry.cpp so the two cannot drift silently.
+    static constexpr const char *kNames[] = {"eEx", "eSh", "sEx",
+                                             "sSh"};
+    return port < 4 ? kNames[port] : "none";
+}
+
+const char *
+inPortName(std::uint8_t port)
+{
+    static constexpr const char *kNames[] = {"wEx", "nEx", "wSh",
+                                             "nSh", "pe"};
+    return port < 5 ? kNames[port] : "none";
+}
+
+std::uint32_t
+deriveSide(const std::vector<std::uint64_t> &link_counts)
+{
+    std::size_t max_node = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < link_counts.size(); ++i) {
+        if (link_counts[i]) {
+            max_node = i / 4;
+            any = true;
+        }
+    }
+    if (!any)
+        return 0;
+    std::uint32_t n = 1;
+    while (static_cast<std::size_t>(n) * n <= max_node)
+        ++n;
+    return n;
+}
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceEvent> &events,
+                 std::uint32_t thread_index, std::uint64_t dropped)
+{
+    os << "{\"traceEvents\":[\n";
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"args\":{\"name\":\"NoC (1us = 1 cycle)\"}}";
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"tid\":"
+       << thread_index << ",\"args\":{\"name\":\"sim thread "
+       << thread_index << "\"}}";
+    for (const TraceEvent &e : events) {
+        os << ",\n{\"name\":\"" << toString(e.kind)
+           << "\",\"cat\":\"noc\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+           << e.cycle << ",\"pid\":0,\"tid\":" << thread_index
+           << ",\"args\":{\"node\":" << e.node;
+        if (e.packet)
+            os << ",\"packet\":" << e.packet;
+        if (e.port != kNoPort) {
+            const bool in_port = e.kind == EventKind::deflect;
+            os << ",\"port\":\""
+               << (in_port ? inPortName(e.port) : outPortName(e.port))
+               << "\"";
+        }
+        if (e.aux)
+            os << ",\"aux\":" << e.aux;
+        os << "}}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+          "\"generator\":\"fasttrack-telemetry\",\"dropped_events\":"
+       << dropped << "}}\n";
+}
+
+std::vector<std::string>
+writeChromeTraces(TraceSink &sink, const std::string &dir,
+                  const std::string &prefix)
+{
+    std::vector<std::string> paths;
+    const std::size_t threads = sink.threadCount();
+    std::vector<TraceEvent> events;
+    for (std::size_t t = 0; t < threads; ++t) {
+        ThreadLog &log = sink.threadLog(t);
+        events.clear();
+        log.ring().drain(events);
+        const std::string name =
+            prefix + "trace_t" + std::to_string(t) + ".json";
+        std::ofstream os = openArtifact(dir, name);
+        writeChromeTrace(os, events, log.index(),
+                         log.ring().dropped());
+        paths.push_back((std::filesystem::path(dir) / name).string());
+    }
+    return paths;
+}
+
+std::string
+writePhaseTrace(const TraceSink &sink, const std::string &dir,
+                const std::string &prefix)
+{
+    const std::vector<TraceSink::PhaseSpan> phases = sink.phases();
+    if (phases.empty())
+        return "";
+    const std::string name = prefix + "phases.json";
+    std::ofstream os = openArtifact(dir, name);
+    os << "{\"traceEvents\":[\n";
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"args\":{\"name\":\"host phases (wall clock)\"}}";
+    for (const TraceSink::PhaseSpan &p : phases) {
+        os << ",\n{\"name\":\"" << jsonEscape(p.name)
+           << "\",\"cat\":\"host\",\"ph\":\"X\",\"ts\":" << p.startUs
+           << ",\"dur\":" << p.durationUs << ",\"pid\":1,\"tid\":"
+           << p.thread << "}";
+    }
+    os << "\n]}\n";
+    return (std::filesystem::path(dir) / name).string();
+}
+
+void
+writeLinkHeatmapCsv(std::ostream &os,
+                    const std::vector<std::uint64_t> &link_counts,
+                    std::uint32_t n)
+{
+    if (n == 0)
+        n = deriveSide(link_counts);
+    os << "node,x,y,port,traversals\n";
+    const std::size_t nodes = static_cast<std::size_t>(n) * n;
+    for (std::size_t node = 0; node < nodes; ++node) {
+        for (std::uint8_t port = 0; port < 4; ++port) {
+            const std::size_t idx = node * 4 + port;
+            const std::uint64_t count =
+                idx < link_counts.size() ? link_counts[idx] : 0;
+            os << node << ',' << node % n << ',' << node / n << ','
+               << outPortName(port) << ',' << count << '\n';
+        }
+    }
+}
+
+void
+writeLinkHeatmapAscii(std::ostream &os,
+                      const std::vector<std::uint64_t> &link_counts,
+                      std::uint32_t n, const std::string &title)
+{
+    if (n == 0)
+        n = deriveSide(link_counts);
+    if (n == 0) {
+        os << title << ": no link traffic recorded\n";
+        return;
+    }
+    AsciiHeatmap map(title + " (per-router link traversals)", n, n);
+    for (std::uint32_t y = 0; y < n; ++y) {
+        for (std::uint32_t x = 0; x < n; ++x) {
+            const std::size_t node =
+                static_cast<std::size_t>(y) * n + x;
+            std::uint64_t total = 0;
+            for (std::uint8_t port = 0; port < 4; ++port) {
+                const std::size_t idx = node * 4 + port;
+                if (idx < link_counts.size())
+                    total += link_counts[idx];
+            }
+            map.set(x, y, static_cast<double>(total));
+        }
+    }
+    map.print(os);
+}
+
+} // namespace fasttrack::telemetry

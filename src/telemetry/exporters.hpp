@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Telemetry artifact exporters: Chrome trace_event JSON (open in
+ * chrome://tracing or https://ui.perfetto.dev), per-link utilization
+ * heatmaps (CSV + ASCII via common/ascii_chart), and metrics CSV
+ * time series / summaries. All exporters are consumer-side: call
+ * them only when no thread is still emitting into the sink.
+ */
+
+#ifndef FT_TELEMETRY_EXPORTERS_HPP
+#define FT_TELEMETRY_EXPORTERS_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+
+namespace fasttrack::telemetry {
+
+/**
+ * Drain every thread log's ring into one Chrome trace_event JSON file
+ * per producing thread ("<prefix>trace_t<k>.json" under @p dir) with
+ * simulated cycles as microsecond timestamps. Returns the written
+ * paths. Dropped-event counts are recorded in each file's metadata.
+ */
+std::vector<std::string> writeChromeTraces(TraceSink &sink,
+                                           const std::string &dir,
+                                           const std::string &prefix);
+
+/** Write one thread log's drained events as Chrome trace JSON. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      std::uint32_t thread_index,
+                      std::uint64_t dropped);
+
+/**
+ * Write the host-side phase spans (PhaseTimer) as a Chrome trace of
+ * complete ("X") events in real microseconds. No file is written when
+ * no phases were recorded; returns the path or "".
+ */
+std::string writePhaseTrace(const TraceSink &sink,
+                            const std::string &dir,
+                            const std::string &prefix);
+
+/**
+ * Per-link utilization as CSV: one row per (router, output port) with
+ * coordinates and traversal count. @p link_counts is indexed
+ * node * 4 + OutPort (TraceSink::totalLinkCounts()); @p n is the
+ * torus side, or 0 to derive it from the highest active node.
+ */
+void writeLinkHeatmapCsv(std::ostream &os,
+                         const std::vector<std::uint64_t> &link_counts,
+                         std::uint32_t n);
+
+/** Render per-router total traversals as an ASCII heatmap grid. */
+void writeLinkHeatmapAscii(std::ostream &os,
+                           const std::vector<std::uint64_t> &link_counts,
+                           std::uint32_t n,
+                           const std::string &title);
+
+/** Torus side implied by @p link_counts (highest active node). */
+std::uint32_t deriveSide(const std::vector<std::uint64_t> &link_counts);
+
+/** Stable OutPort name for heatmap columns (index 0..3). */
+const char *outPortName(std::uint8_t port);
+/** Stable InPort name for deflection attribution (index 0..4). */
+const char *inPortName(std::uint8_t port);
+
+} // namespace fasttrack::telemetry
+
+#endif // FT_TELEMETRY_EXPORTERS_HPP

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer ring buffer with drop
+ * counting. The telemetry sink gives every simulation thread its own
+ * ring, so the producer side is wait-free and never takes a lock on
+ * the simulator hot path; on overflow the newest event is dropped and
+ * counted rather than blocking or reallocating (EmuNoC-style
+ * non-perturbing probes: a full buffer must not change the timing or
+ * behavior of the system under test).
+ */
+
+#ifndef FT_TELEMETRY_RING_BUFFER_HPP
+#define FT_TELEMETRY_RING_BUFFER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace fasttrack::telemetry {
+
+/**
+ * SPSC ring of trivially-copyable records. Capacity is rounded up to
+ * a power of two so the index wrap is a mask, not a modulo. One
+ * thread may push, one thread may drain; the two may be the same
+ * thread or distinct threads (acquire/release on the indices orders
+ * the payload writes).
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Producer side: append @p v, or count a drop when full. */
+    bool tryPush(const T &v)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head - tail > mask_) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        slots_[head & mask_] = v;
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: move every available record into @p out
+     *  (appended), returning how many were drained. */
+    std::size_t drain(std::vector<T> &out)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        for (std::size_t i = tail; i != head; ++i)
+            out.push_back(slots_[i & mask_]);
+        tail_.store(head, std::memory_order_release);
+        return head - tail;
+    }
+
+    /** Records currently buffered (consumer-side estimate). */
+    std::size_t size() const
+    {
+        return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    }
+
+    /** Pushes rejected because the ring was full. */
+    std::uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    std::atomic<std::size_t> head_{0};
+    std::atomic<std::size_t> tail_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+} // namespace fasttrack::telemetry
+
+#endif // FT_TELEMETRY_RING_BUFFER_HPP

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
@@ -142,6 +144,51 @@ TEST(Histogram, ResetClears)
     h.reset();
     EXPECT_EQ(h.count(), 0u);
     EXPECT_TRUE(h.bins().empty());
+}
+
+TEST(Histogram, LerpPercentileEmptyIsZeroNotNaN)
+{
+    const Histogram h;
+    for (double p : {0.0, 50.0, 99.9, 100.0}) {
+        const double v = h.percentileLerp(p);
+        EXPECT_EQ(v, 0.0);
+        EXPECT_FALSE(std::isnan(v));
+    }
+}
+
+TEST(Histogram, LerpPercentileSingleSample)
+{
+    Histogram h;
+    h.add(42);
+    // Every percentile of a one-sample distribution is that sample.
+    for (double p : {0.0, 25.0, 50.0, 95.0, 100.0})
+        EXPECT_EQ(h.percentileLerp(p), 42.0);
+}
+
+TEST(Histogram, LerpPercentileInterpolates)
+{
+    Histogram h;
+    for (std::uint64_t v : {10, 20, 30, 40}) // ranks 0..3
+        h.add(v);
+    // numpy.percentile(..., interpolation="linear") reference values.
+    EXPECT_DOUBLE_EQ(h.percentileLerp(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentileLerp(50), 25.0);
+    EXPECT_DOUBLE_EQ(h.percentileLerp(75), 32.5);
+    EXPECT_DOUBLE_EQ(h.percentileLerp(100), 40.0);
+}
+
+TEST(Histogram, LerpPercentileClampsAndRepeats)
+{
+    Histogram h;
+    h.add(1, 99);
+    h.add(1000);
+    // Out-of-range p clamps instead of reading out of bounds.
+    EXPECT_DOUBLE_EQ(h.percentileLerp(-5), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentileLerp(250), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentileLerp(50), 1.0);
+    // rank = 0.99 * 99 = 98.01: between rank 98 (value 1) and rank
+    // 99 (value 1000), so 1 + 0.01 * 999.
+    EXPECT_NEAR(h.percentileLerp(99), 10.99, 1e-6);
 }
 
 } // namespace
