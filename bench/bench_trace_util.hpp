@@ -65,7 +65,7 @@ traceSpeedup(const Trace &trace, Cycle max_cycles = 50'000'000)
         [&](const NocConfig &cfg) {
             return runTrace(cfg, 1, trace, max_cycles).completion;
         },
-        workerThreads());
+        /*threads=*/0, "traceSpeedup");
 
     TraceSpeedup out;
     out.hopliteCycles = cycles[0];

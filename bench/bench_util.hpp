@@ -9,11 +9,16 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "sched/work_stealing_pool.hpp"
+#include "sim/sweep_cache.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace fasttrack::bench {
 
@@ -55,6 +60,42 @@ telemetryEpoch()
     return epoch;
 }
 
+/** Destination of --cache-stats; empty (the default) disables the
+ *  end-of-run scheduler/cache metrics dump. */
+inline std::string &
+cacheStatsFile()
+{
+    static std::string file;
+    return file;
+}
+
+/** Publish sweep-cache and pool counters into a registry and write
+ *  the `metric,kind,value` summary CSV to @p os. */
+inline void
+writeCacheStats(std::ostream &os)
+{
+    telemetry::MetricsRegistry metrics;
+    sweepCache().reportTo(metrics);
+    sched::WorkStealingPool::global().reportTo(metrics);
+    metrics.writeSummary(os);
+}
+
+/** atexit hook registered by parseArgs when --cache-stats is given,
+ *  so every harness gets the dump without per-main() plumbing. The
+ *  hook is registered after the global pool is constructed, hence
+ *  runs before the pool is torn down. */
+inline void
+writeCacheStatsAtExit()
+{
+    std::ofstream os(cacheStatsFile());
+    if (!os) {
+        std::cerr << "cache-stats: cannot write '" << cacheStatsFile()
+                  << "'\n";
+        return;
+    }
+    writeCacheStats(os);
+}
+
 /** Turn a lineup label like "FT(64,2,2)" into a file-name-safe
  *  artifact prefix like "FT_64_2_2". */
 inline std::string
@@ -86,14 +127,19 @@ usage(const char *prog)
     std::cerr
         << "usage: " << prog
         << " [--csv] [--threads N] [--telemetry-dir DIR]"
-           " [--telemetry-epoch N]\n"
+           " [--telemetry-epoch N] [--result-cache DIR]"
+           " [--cache-stats FILE]\n"
         << "  --csv                emit tables as CSV (for scripting)\n"
         << "  --threads N          cap parallel sweep workers at N\n"
         << "  --telemetry-dir DIR  export telemetry artifacts (Chrome\n"
         << "                       traces, link heatmaps, metrics CSV)\n"
         << "                       into DIR\n"
         << "  --telemetry-epoch N  metrics snapshot period in cycles\n"
-        << "                       (default 1024)\n";
+        << "                       (default 1024)\n"
+        << "  --result-cache DIR   persist sweep results in DIR and\n"
+        << "                       reuse them across invocations\n"
+        << "  --cache-stats FILE   write scheduler/cache counters as\n"
+        << "                       CSV (metric,kind,value) at exit\n";
 }
 
 /** Parse shared harness flags: --csv switches every table to CSV
@@ -151,10 +197,41 @@ parseArgs(int argc, char **argv)
             ++i;
             continue;
         }
+        if (std::strcmp(argv[i], "--result-cache") == 0) {
+            if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+                std::cerr << argv[0]
+                          << ": --result-cache needs a directory\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            sweepCache().setDir(argv[i + 1]);
+            ++i;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--cache-stats") == 0) {
+            if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+                std::cerr << argv[0]
+                          << ": --cache-stats needs a file\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            cacheStatsFile() = argv[i + 1];
+            ++i;
+            continue;
+        }
         std::cerr << argv[0] << ": unknown flag '" << argv[i] << "'\n";
         usage(argv[0]);
         std::exit(2);
     }
+
+    // Route --threads into the process-wide parallelMap default
+    // (sweeps pick it up without per-call plumbing), size the
+    // persistent pool from it, then register the stats hook — after
+    // pool construction, so the hook runs before pool teardown.
+    parallel_detail::setDefaultParallelThreads(threadOverride());
+    sched::ensureGlobalPool();
+    if (!cacheStatsFile().empty())
+        std::atexit(writeCacheStatsAtExit);
 }
 
 /** Print the standard harness banner: which paper artifact this

@@ -4,6 +4,13 @@
  * sweeps run many isolated simulations; each item's result is written
  * to its own slot, so the output is identical to the serial order no
  * matter how the threads interleave.
+ *
+ * Execution backend: when the scheduler library's persistent
+ * work-stealing pool is installed (sched::ensureGlobalPool(), see
+ * src/sched/work_stealing_pool.hpp), bulk work is dispatched onto its
+ * resident workers instead of spawning and joining fresh std::threads
+ * per call. The fallback spawn-per-call path below remains for
+ * binaries that never touch the scheduler library.
  */
 
 #ifndef FT_COMMON_PARALLEL_HPP
@@ -17,23 +24,114 @@
 
 namespace fasttrack {
 
+namespace parallel_detail {
+
+/**
+ * Backend interface for bulk-parallel execution. Implementations run
+ * task(ctx, i) exactly once for every i in [0, count) using at most
+ * @p workers concurrent executors, returning only after every call
+ * finished. Exceptions never escape @p task (parallelMap wraps the
+ * user function), so implementations need no unwind handling.
+ */
+struct BulkExecutor
+{
+    virtual ~BulkExecutor() = default;
+    virtual void runBulk(void *ctx, void (*task)(void *, std::size_t),
+                         std::size_t count, unsigned workers,
+                         const char *label) = 0;
+};
+
+inline std::atomic<BulkExecutor *> &
+executorSlot()
+{
+    static std::atomic<BulkExecutor *> slot{nullptr};
+    return slot;
+}
+
+/** Install (or with nullptr remove) the process-wide bulk executor. */
+inline void
+setBulkExecutor(BulkExecutor *executor)
+{
+    executorSlot().store(executor, std::memory_order_release);
+}
+
+inline BulkExecutor *
+bulkExecutor()
+{
+    return executorSlot().load(std::memory_order_acquire);
+}
+
+inline std::atomic<unsigned> &
+defaultThreadsSlot()
+{
+    static std::atomic<unsigned> value{0};
+    return value;
+}
+
+/**
+ * Configure the worker count used when a parallelMap call does not
+ * pass an explicit thread count (0 restores "hardware concurrency").
+ * bench_util::parseArgs routes --threads here, so every sweep in a
+ * harness honors the flag without threading it through each call
+ * site. Set before the first sweep: the global pool sizes itself from
+ * this value on first use.
+ */
+inline void
+setDefaultParallelThreads(unsigned threads)
+{
+    defaultThreadsSlot().store(threads, std::memory_order_relaxed);
+}
+
+/** Effective default worker count (never 0). */
+inline unsigned
+defaultParallelThreads()
+{
+    const unsigned configured =
+        defaultThreadsSlot().load(std::memory_order_relaxed);
+    if (configured)
+        return configured;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1u;
+}
+
+/**
+ * True while the current thread is executing a bulk task (a pool
+ * worker, a participating submitter, or a fallback-path worker).
+ * Nested parallelMap calls run inline serially instead of deadlocking
+ * on the pool or oversubscribing the machine.
+ */
+inline bool &
+inBulkWorker()
+{
+    thread_local bool flag = false;
+    return flag;
+}
+
+} // namespace parallel_detail
+
 /**
  * Apply @p fn to every element of @p items on up to @p threads
  * workers and return the results in input order.
+ *
+ * @p threads 0 (the default) means the configured process default
+ * (--threads via bench_util::parseArgs, else hardware concurrency).
  *
  * @p fn must be safe to call concurrently on distinct items (the
  * simulators here share no mutable state between instances).
  *
  * If @p fn throws, the exception is captured per item and the one
  * belonging to the *earliest input index* is rethrown after all
- * workers join — the same exception a serial loop would surface, so
+ * workers finish — the same exception a serial loop would surface, so
  * failures are deterministic regardless of thread interleaving.
  * (A thread escaping with an exception would otherwise terminate.)
+ *
+ * @p label names the bulk job in scheduler telemetry (per-worker
+ * spans in the exported Chrome trace).
  */
 template <typename In, typename Fn>
 auto
-parallelMap(const std::vector<In> &items, Fn fn,
-            unsigned threads = std::thread::hardware_concurrency())
+parallelMap(const std::vector<In> &items, Fn fn, unsigned threads = 0,
+            const char *label = "parallelMap")
     -> std::vector<decltype(fn(items.front()))>
 {
     using Out = decltype(fn(items.front()));
@@ -41,35 +139,67 @@ parallelMap(const std::vector<In> &items, Fn fn,
     if (items.empty())
         return results;
 
+    if (threads == 0)
+        threads = parallel_detail::defaultParallelThreads();
     threads = std::max(1u, std::min<unsigned>(
                                threads,
                                static_cast<unsigned>(items.size())));
-    if (threads == 1) {
+    if (threads == 1 || parallel_detail::inBulkWorker()) {
         for (std::size_t i = 0; i < items.size(); ++i)
             results[i] = fn(items[i]);
         return results;
     }
 
     std::vector<std::exception_ptr> errors(items.size());
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= items.size())
-                return;
-            try {
-                results[i] = fn(items[i]);
-            } catch (...) {
-                errors[i] = std::current_exception();
+
+    if (parallel_detail::BulkExecutor *executor =
+            parallel_detail::bulkExecutor()) {
+        struct Ctx
+        {
+            const std::vector<In> *items;
+            std::vector<Out> *results;
+            std::vector<std::exception_ptr> *errors;
+            Fn *fn;
+        } ctx{&items, &results, &errors, &fn};
+        executor->runBulk(
+            &ctx,
+            [](void *opaque, std::size_t i) {
+                auto *c = static_cast<Ctx *>(opaque);
+                try {
+                    (*c->results)[i] = (*c->fn)((*c->items)[i]);
+                } catch (...) {
+                    (*c->errors)[i] = std::current_exception();
+                }
+            },
+            items.size(), threads, label);
+    } else {
+        // Fallback: spawn-per-call workers claiming items off a shared
+        // counter. The claim order does not matter (results are
+        // slot-addressed), so the increment can be relaxed; the joins
+        // below publish every slot to the caller.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            parallel_detail::inBulkWorker() = true;
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= items.size())
+                    return;
+                try {
+                    results[i] = fn(items[i]);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
             }
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
     for (const std::exception_ptr &e : errors) {
         if (e)
             std::rethrow_exception(e);

@@ -4,25 +4,15 @@
 
 namespace fasttrack {
 
-namespace {
-
-std::uint64_t
-splitmix64(std::uint64_t &x)
-{
-    x += 0x9e3779b97f4a7c15ull;
-    std::uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-} // namespace
-
 Rng::Rng(std::uint64_t seed)
 {
+    // Same expansion stream as the classic stateful splitmix64 loop:
+    // word i = splitmix64(seed + i * gamma).
     std::uint64_t sm = seed;
-    for (auto &word : s_)
+    for (auto &word : s_) {
         word = splitmix64(sm);
+        sm += 0x9e3779b97f4a7c15ull;
+    }
 }
 
 std::uint64_t

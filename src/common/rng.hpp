@@ -16,6 +16,21 @@
 namespace fasttrack {
 
 /**
+ * splitmix64 single-step mix (Steele, Lea & Flanagan): gamma-add then
+ * avalanche. The canonical way to derive independent, well-mixed
+ * sub-seeds from a base seed (Rng state expansion, per-point sweep
+ * seeds); nearby inputs yield uncorrelated outputs.
+ */
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
  * xoshiro256** pseudo-random generator with convenience draws.
  *
  * Not a std-style engine on purpose: the simulator needs only a handful

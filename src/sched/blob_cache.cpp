@@ -1,0 +1,228 @@
+#include "sched/blob_cache.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include <unistd.h>
+
+namespace fasttrack::sched {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43525446u; // "FTRC" little-endian
+
+struct EntryHeader
+{
+    std::uint32_t magic = 0;
+    std::uint32_t schema = 0;
+    std::uint64_t key = 0;
+    std::uint64_t payloadBytes = 0;
+};
+static_assert(sizeof(EntryHeader) == 24, "header layout drifted");
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
+BlobCache::BlobCache(std::string name, std::uint32_t schemaVersion)
+    : name_(std::move(name)), schema_(schemaVersion)
+{
+}
+
+void
+BlobCache::setDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    dir_ = std::move(dir);
+}
+
+std::string
+BlobCache::dir() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return dir_;
+}
+
+std::string
+BlobCache::entryPath(std::uint64_t key) const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (dir_.empty())
+        return {};
+    return dir_ + "/ft-" + hexKey(key) + ".ftrc";
+}
+
+std::optional<std::vector<std::uint8_t>>
+BlobCache::lookup(std::uint64_t key)
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        auto it = mem_.find(key);
+        if (it != mem_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    if (auto fromDisk = loadDiskEntry(key)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        diskHits_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(mutex_);
+        mem_.emplace(key, *fromDisk);
+        return fromDisk;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+}
+
+void
+BlobCache::store(std::uint64_t key, std::vector<std::uint8_t> payload)
+{
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        dir = dir_;
+        mem_[key] = payload;
+    }
+    if (!dir.empty())
+        writeDiskEntry(key, payload);
+}
+
+void
+BlobCache::clearMemory()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    mem_.clear();
+}
+
+std::optional<std::vector<std::uint8_t>>
+BlobCache::loadDiskEntry(std::uint64_t key)
+{
+    const std::string path = entryPath(key);
+    if (path.empty())
+        return std::nullopt;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt; // absent: a plain miss, not corruption
+
+    EntryHeader header;
+    in.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!in || header.magic != kMagic || header.schema != schema_ ||
+        header.key != key) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    // Bound the read by the actual file size so a forged length
+    // cannot force a huge allocation.
+    std::error_code ec;
+    const auto fileSize = std::filesystem::file_size(path, ec);
+    if (ec ||
+        fileSize != sizeof(EntryHeader) + header.payloadBytes + 8) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(header.payloadBytes));
+    in.read(reinterpret_cast<char *>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+    std::uint64_t recordedHash = 0;
+    in.read(reinterpret_cast<char *>(&recordedHash),
+            sizeof(recordedHash));
+    if (!in) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+
+    Fnv1a check;
+    check.addBytes(payload.data(), payload.size());
+    if (check.value() != recordedHash) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    return payload;
+}
+
+void
+BlobCache::writeDiskEntry(std::uint64_t key,
+                          const std::vector<std::uint8_t> &payload)
+{
+    const std::string path = entryPath(key);
+    if (path.empty())
+        return;
+
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    if (ec)
+        return; // unwritable store: cache degrades to memory-only
+
+    // Write-then-rename so concurrent readers (and a crash mid-write)
+    // never see a partial entry; the temp name is per-process so two
+    // cache-sharing processes cannot interleave writes.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return;
+        EntryHeader header;
+        header.magic = kMagic;
+        header.schema = schema_;
+        header.key = key;
+        header.payloadBytes = payload.size();
+        out.write(reinterpret_cast<const char *>(&header),
+                  sizeof(header));
+        out.write(reinterpret_cast<const char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+        Fnv1a check;
+        check.addBytes(payload.data(), payload.size());
+        const std::uint64_t hash = check.value();
+        out.write(reinterpret_cast<const char *>(&hash), sizeof(hash));
+        if (!out)
+            return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (!ec)
+        diskWrites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+BlobCache::Stats
+BlobCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.diskHits = diskHits_.load(std::memory_order_relaxed);
+    s.stores = stores_.load(std::memory_order_relaxed);
+    s.diskWrites = diskWrites_.load(std::memory_order_relaxed);
+    s.corrupt = corrupt_.load(std::memory_order_relaxed);
+    s.bypasses = bypasses_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+BlobCache::reportTo(telemetry::MetricsRegistry &metrics) const
+{
+    const Stats s = stats();
+    metrics.counter(name_ + ".hits") = s.hits;
+    metrics.counter(name_ + ".misses") = s.misses;
+    metrics.counter(name_ + ".disk_hits") = s.diskHits;
+    metrics.counter(name_ + ".stores") = s.stores;
+    metrics.counter(name_ + ".disk_writes") = s.diskWrites;
+    metrics.counter(name_ + ".corrupt") = s.corrupt;
+    metrics.counter(name_ + ".bypasses") = s.bypasses;
+}
+
+} // namespace fasttrack::sched

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Content-addressed result cache: an in-memory map from 64-bit
+ * content keys to opaque payload blobs, with an optional on-disk
+ * store so results survive across process invocations.
+ *
+ * Keys are FNV-1a hashes of the *inputs* that determine a result
+ * (the sweep layer hashes (NocConfig, channels, SyntheticWorkload,
+ * maxCycles) — see sim/sweep_cache.hpp). Because every simulation is
+ * bit-deterministic in those inputs, a key hit can substitute the
+ * stored result for a re-run.
+ *
+ * On-disk format (one file per entry, named ft-<key:016x>.ftrc in
+ * the configured directory, native endianness):
+ *
+ *   u32 magic 'FTRC'   u32 schemaVersion   u64 key
+ *   u64 payloadBytes   payload...          u64 fnv1a(payload)
+ *
+ * Every load re-validates magic, schema, key, length and the
+ * trailing self-check hash; a truncated, corrupt or stale-schema
+ * file counts as corrupt and the result is recomputed, never
+ * trusted. Writes go to a temp file renamed into place, so a reader
+ * never observes a half-written entry.
+ */
+
+#ifndef FT_SCHED_BLOB_CACHE_HPP
+#define FT_SCHED_BLOB_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace fasttrack::sched {
+
+/** FNV-1a 64-bit streaming hasher (key derivation + self-checks). */
+class Fnv1a
+{
+  public:
+    void addByte(std::uint8_t b)
+    {
+        hash_ ^= b;
+        hash_ *= 0x100000001b3ull;
+    }
+    void addBytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < n; ++i)
+            addByte(p[i]);
+    }
+    void add(std::uint64_t word)
+    {
+        addBytes(&word, sizeof(word));
+    }
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+class BlobCache
+{
+  public:
+    /** Lifetime counters (atomic; safe to read concurrently). */
+    struct Stats
+    {
+        /** Lookups answered from memory or disk. */
+        std::uint64_t hits = 0;
+        /** Lookups that found nothing (caller recomputes). */
+        std::uint64_t misses = 0;
+        /** Subset of hits served by loading a disk entry. */
+        std::uint64_t diskHits = 0;
+        /** Entries inserted. */
+        std::uint64_t stores = 0;
+        /** Entries persisted to the disk store. */
+        std::uint64_t diskWrites = 0;
+        /** Disk entries rejected (bad magic/schema/key/hash/size). */
+        std::uint64_t corrupt = 0;
+        /** Lookups skipped by the caller (e.g. telemetry active). */
+        std::uint64_t bypasses = 0;
+    };
+
+    /**
+     * @param name metric prefix (reportTo publishes <name>.hits ...).
+     * @param schemaVersion payload layout version; bump it whenever
+     * the encoded payload or the key derivation changes so stale disk
+     * entries are rejected instead of mis-decoded.
+     */
+    BlobCache(std::string name, std::uint32_t schemaVersion);
+
+    /** Attach (non-empty) or detach ("") the on-disk store. The
+     *  directory is created on first write. */
+    void setDir(std::string dir);
+    std::string dir() const;
+
+    std::uint32_t schemaVersion() const { return schema_; }
+
+    /** The payload stored under @p key, from memory or disk. */
+    std::optional<std::vector<std::uint8_t>> lookup(std::uint64_t key);
+
+    /** Insert @p payload under @p key (and persist it when a disk
+     *  store is attached). Idempotent for deterministic payloads. */
+    void store(std::uint64_t key, std::vector<std::uint8_t> payload);
+
+    /** Record a lookup the caller elected to skip. */
+    void noteBypass()
+    {
+        bypasses_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Drop every in-memory entry (disk entries stay). Tests use this
+     *  to force the disk-load path. */
+    void clearMemory();
+
+    Stats stats() const;
+
+    /** Publish counters as <name>.hits, <name>.misses, ... */
+    void reportTo(telemetry::MetricsRegistry &metrics) const;
+
+    /** Entry file path for @p key under the current dir ("" when no
+     *  disk store is attached). Exposed for tests. */
+    std::string entryPath(std::uint64_t key) const;
+
+  private:
+    std::optional<std::vector<std::uint8_t>>
+    loadDiskEntry(std::uint64_t key);
+    void writeDiskEntry(std::uint64_t key,
+                        const std::vector<std::uint8_t> &payload);
+
+    std::string name_;
+    std::uint32_t schema_;
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> mem_;
+
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> diskHits_{0};
+    std::atomic<std::uint64_t> stores_{0};
+    std::atomic<std::uint64_t> diskWrites_{0};
+    std::atomic<std::uint64_t> corrupt_{0};
+    std::atomic<std::uint64_t> bypasses_{0};
+};
+
+} // namespace fasttrack::sched
+
+#endif // FT_SCHED_BLOB_CACHE_HPP

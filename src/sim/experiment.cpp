@@ -1,6 +1,13 @@
 #include "sim/experiment.hpp"
 
+#include <cmath>
+#include <limits>
+#include <numeric>
+
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "sched/work_stealing_pool.hpp"
+#include "sim/sweep_cache.hpp"
 #include "telemetry/sink.hpp"
 
 namespace fasttrack {
@@ -46,15 +53,24 @@ injectionSweep(const NocUnderTest &nut, TrafficPattern pattern,
     // When a telemetry sink is installed the whole sweep shows up as
     // one host-side phase span in the exported Chrome trace.
     telemetry::PhaseTimer phase("injectionSweep " + nut.label);
-    return parallelMap(rates, [&](double rate) {
-        SyntheticWorkload workload;
-        workload.pattern = pattern;
-        workload.injectionRate = rate;
-        workload.packetsPerPe = packets_per_pe;
-        workload.seed = seed;
-        return SweepPoint{
-            rate, runSynthetic(nut.config, nut.channels, workload)};
-    });
+    sched::ensureGlobalPool();
+    std::vector<std::size_t> points(rates.size());
+    std::iota(points.begin(), points.end(), std::size_t{0});
+    return parallelMap(
+        points,
+        [&](std::size_t i) {
+            SyntheticWorkload workload;
+            workload.pattern = pattern;
+            workload.injectionRate = rates[i];
+            workload.packetsPerPe = packets_per_pe;
+            // Per-point seed: a shared seed would correlate the
+            // measurement noise of every point in the sweep.
+            workload.seed = splitmix64(seed ^ static_cast<std::uint64_t>(i));
+            return SweepPoint{rates[i], cachedRunSynthetic(
+                                            nut.config, nut.channels,
+                                            workload)};
+        },
+        0, "injectionSweep");
 }
 
 SynthResult
@@ -66,31 +82,45 @@ saturationRun(const NocUnderTest &nut, TrafficPattern pattern,
     workload.injectionRate = 1.0;
     workload.packetsPerPe = packets_per_pe;
     workload.seed = seed;
-    return runSynthetic(nut.config, nut.channels, workload);
+    return cachedRunSynthetic(nut.config, nut.channels, workload);
 }
 
 double
 RepeatedResult::rateCv() const
 {
+    if (completedRuns == 0)
+        return std::numeric_limits<double>::quiet_NaN();
     return rate.mean() > 0.0 ? rate.stddev() / rate.mean() : 0.0;
 }
 
 RepeatedResult
 repeatedRuns(const NocUnderTest &nut, TrafficPattern pattern,
              double rate, std::uint32_t packets_per_pe,
-             const std::vector<std::uint64_t> &seeds)
+             const std::vector<std::uint64_t> &seeds, Cycle max_cycles)
 {
+    sched::ensureGlobalPool();
+    const std::vector<SynthResult> results = parallelMap(
+        seeds,
+        [&](std::uint64_t seed) {
+            SyntheticWorkload workload;
+            workload.pattern = pattern;
+            workload.injectionRate = rate;
+            workload.packetsPerPe = packets_per_pe;
+            workload.seed = seed;
+            return cachedRunSynthetic(nut.config, nut.channels,
+                                      workload, max_cycles);
+        },
+        0, "repeatedRuns");
+
+    // Aggregate serially in seed-list order so the RunningStat
+    // accumulation is identical for every worker count.
     RepeatedResult out;
-    for (std::uint64_t seed : seeds) {
-        SyntheticWorkload workload;
-        workload.pattern = pattern;
-        workload.injectionRate = rate;
-        workload.packetsPerPe = packets_per_pe;
-        workload.seed = seed;
-        const SynthResult res =
-            runSynthetic(nut.config, nut.channels, workload);
-        if (!res.completed)
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        const SynthResult &res = results[i];
+        if (!res.completed) {
+            out.failedSeeds.push_back(seeds[i]);
             continue;
+        }
         ++out.completedRuns;
         out.rate.add(res.sustainedRate());
         out.avgLatency.add(res.avgLatency());

@@ -1,0 +1,232 @@
+#include "sim/sweep_cache.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+
+#include "telemetry/sink.hpp"
+
+namespace fasttrack {
+
+namespace {
+
+/** Little append-only byte writer for payload encoding. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v) { bytes_.push_back(v); }
+    void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+    void f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    void raw(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        bytes_.insert(bytes_.end(), b, b + n);
+    }
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Bounds-checked reader; every getter reports success. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    bool u8(std::uint8_t &v) { return raw(&v, sizeof(v)); }
+    bool u32(std::uint32_t &v) { return raw(&v, sizeof(v)); }
+    bool u64(std::uint64_t &v) { return raw(&v, sizeof(v)); }
+    bool f64(double &v)
+    {
+        std::uint64_t word = 0;
+        if (!u64(word))
+            return false;
+        v = std::bit_cast<double>(word);
+        return true;
+    }
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+  private:
+    bool raw(void *p, std::size_t n)
+    {
+        if (bytes_.size() - pos_ < n)
+            return false;
+        std::memcpy(p, bytes_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    const std::vector<std::uint8_t> &bytes_;
+    std::size_t pos_ = 0;
+};
+
+void
+encodeHistogram(ByteWriter &w, const Histogram &h)
+{
+    const auto &bins = h.bins();
+    w.u64(bins.size());
+    for (const auto &[value, count] : bins) {
+        w.u64(value);
+        w.u64(count);
+    }
+}
+
+bool
+decodeHistogram(ByteReader &r, Histogram &h)
+{
+    std::uint64_t nbins = 0;
+    if (!r.u64(nbins))
+        return false;
+    for (std::uint64_t i = 0; i < nbins; ++i) {
+        std::uint64_t value = 0, count = 0;
+        if (!r.u64(value) || !r.u64(count) || count == 0)
+            return false;
+        h.add(value, count);
+    }
+    return true;
+}
+
+std::atomic<bool> g_cacheEnabled{true};
+
+} // namespace
+
+std::uint64_t
+sweepKey(const NocConfig &config, std::uint32_t channels,
+         const SyntheticWorkload &workload, Cycle max_cycles)
+{
+    sched::Fnv1a h;
+    h.add(kSweepCacheSchema);
+    h.add(config.n);
+    h.add(config.d);
+    h.add(config.r);
+    h.add(static_cast<std::uint64_t>(config.variant));
+    h.add(config.allowExpressTurn ? 1 : 0);
+    h.add(config.allowUpgrade ? 1 : 0);
+    h.add(config.turnPriority ? 1 : 0);
+    h.add(config.shortLinkStages);
+    h.add(config.expressLinkStages);
+    h.add(channels);
+    h.add(static_cast<std::uint64_t>(workload.pattern));
+    h.add(std::bit_cast<std::uint64_t>(workload.injectionRate));
+    h.add(workload.packetsPerPe);
+    h.add(workload.localRadius);
+    h.add(workload.seed);
+    h.add(max_cycles);
+    return h.value();
+}
+
+std::vector<std::uint8_t>
+encodeSynthResult(const SynthResult &result)
+{
+    ByteWriter w;
+    const NocStats &s = result.stats;
+    w.u64(s.injected);
+    w.u64(s.delivered);
+    w.u64(s.selfDelivered);
+    w.u64(s.shortHopTraversals);
+    w.u64(s.expressHopTraversals);
+    for (std::uint64_t v : s.deflectionsByPort)
+        w.u64(v);
+    for (std::uint64_t v : s.misroutesByPort)
+        w.u64(v);
+    w.u64(s.laneDeflections);
+    w.u64(s.exitBlocked);
+    w.u64(s.injectionBlockedCycles);
+    encodeHistogram(w, s.totalLatency);
+    encodeHistogram(w, s.networkLatency);
+    encodeHistogram(w, s.hopCount);
+    encodeHistogram(w, s.deflectionCount);
+    w.u64(result.cycles);
+    w.u32(result.pes);
+    w.f64(result.offeredRate);
+    w.u8(result.completed ? 1 : 0);
+    return w.take();
+}
+
+bool
+decodeSynthResult(const std::vector<std::uint8_t> &payload,
+                  SynthResult &out)
+{
+    SynthResult result;
+    NocStats &s = result.stats;
+    ByteReader r(payload);
+    bool ok = r.u64(s.injected) && r.u64(s.delivered) &&
+              r.u64(s.selfDelivered) && r.u64(s.shortHopTraversals) &&
+              r.u64(s.expressHopTraversals);
+    for (std::uint64_t &v : s.deflectionsByPort)
+        ok = ok && r.u64(v);
+    for (std::uint64_t &v : s.misroutesByPort)
+        ok = ok && r.u64(v);
+    ok = ok && r.u64(s.laneDeflections) && r.u64(s.exitBlocked) &&
+         r.u64(s.injectionBlockedCycles) &&
+         decodeHistogram(r, s.totalLatency) &&
+         decodeHistogram(r, s.networkLatency) &&
+         decodeHistogram(r, s.hopCount) &&
+         decodeHistogram(r, s.deflectionCount);
+    std::uint64_t cycles = 0;
+    std::uint8_t completed = 0;
+    ok = ok && r.u64(cycles) && r.u32(result.pes) &&
+         r.f64(result.offeredRate) && r.u8(completed) && r.atEnd();
+    if (!ok)
+        return false;
+    result.cycles = cycles;
+    result.completed = completed != 0;
+    out = result;
+    return true;
+}
+
+sched::BlobCache &
+sweepCache()
+{
+    static sched::BlobCache cache("sweep_cache", kSweepCacheSchema);
+    return cache;
+}
+
+void
+setSweepCacheEnabled(bool enabled)
+{
+    g_cacheEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+sweepCacheEnabled()
+{
+    return g_cacheEnabled.load(std::memory_order_relaxed);
+}
+
+SynthResult
+cachedRunSynthetic(const NocConfig &config, std::uint32_t channels,
+                   const SyntheticWorkload &workload, Cycle max_cycles)
+{
+    sched::BlobCache &cache = sweepCache();
+    if (!sweepCacheEnabled() || telemetry::installed() != nullptr) {
+        cache.noteBypass();
+        return runSynthetic(config, channels, workload, max_cycles);
+    }
+
+    const std::uint64_t key =
+        sweepKey(config, channels, workload, max_cycles);
+    if (auto payload = cache.lookup(key)) {
+        SynthResult cached;
+        if (decodeSynthResult(*payload, cached))
+            return cached;
+        // A validated blob that fails to parse means an encoder bug
+        // or a schema drift that forgot the version bump; recompute.
+    }
+    const SynthResult result =
+        runSynthetic(config, channels, workload, max_cycles);
+    cache.store(key, encodeSynthResult(result));
+    return result;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Content-addressed caching for synthetic-sweep results.
+ *
+ * Every paper figure re-simulates (config, workload, seed) points
+ * that other figures — or a previous invocation of the same bench —
+ * already computed. Because runSynthetic is bit-deterministic in its
+ * inputs, a result can be keyed by a hash of those inputs and
+ * replayed instead of re-simulated.
+ *
+ * Key schema (FNV-1a over the words listed, in order; bump
+ * kSweepCacheSchema whenever this list, the field meanings, or the
+ * encoded payload change):
+ *   kSweepCacheSchema,
+ *   NocConfig{n, d, r, variant, allowExpressTurn, allowUpgrade,
+ *             turnPriority, shortLinkStages, expressLinkStages},
+ *   channels,
+ *   SyntheticWorkload{pattern, bit_cast<u64>(injectionRate),
+ *                     packetsPerPe, localRadius, seed},
+ *   maxCycles
+ *
+ * The payload is the full SynthResult (all NocStats counters and the
+ * four latency/hop histograms), so a cache hit reproduces every
+ * figure metric bit for bit.
+ *
+ * Telemetry interaction: when a telemetry sink is installed, a cache
+ * hit would silently skip the event/counter emission of the real
+ * run, so cachedRunSynthetic bypasses the cache (recorded in the
+ * <sweep_cache.bypasses> counter) rather than corrupt traces.
+ */
+
+#ifndef FT_SIM_SWEEP_CACHE_HPP
+#define FT_SIM_SWEEP_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/blob_cache.hpp"
+#include "sim/simulation.hpp"
+
+namespace fasttrack {
+
+/** Payload/key schema version (see file comment). */
+inline constexpr std::uint32_t kSweepCacheSchema = 1;
+
+/** Content key of one synthetic run (see key schema above). */
+std::uint64_t sweepKey(const NocConfig &config, std::uint32_t channels,
+                       const SyntheticWorkload &workload,
+                       Cycle max_cycles = kDefaultMaxCycles);
+
+/** Serialize @p result as a sweep-cache payload. */
+std::vector<std::uint8_t> encodeSynthResult(const SynthResult &result);
+
+/** Rebuild a SynthResult from @p payload; false if the payload does
+ *  not parse exactly (treat as a miss and recompute). */
+bool decodeSynthResult(const std::vector<std::uint8_t> &payload,
+                       SynthResult &out);
+
+/** The process-wide sweep-result cache. Memory-backed by default;
+ *  attach a disk store with sweepCache().setDir(dir) (the bench
+ *  harnesses wire --result-cache DIR here). */
+sched::BlobCache &sweepCache();
+
+/** Enable/disable cache consultation by cachedRunSynthetic (on by
+ *  default). Disabling forces every run to simulate; results must be
+ *  bit-identical either way (tests/test_sched.cpp pins this). */
+void setSweepCacheEnabled(bool enabled);
+bool sweepCacheEnabled();
+
+/**
+ * runSynthetic through the sweep cache: return the stored result on
+ * a key hit, otherwise simulate and store. Falls back to a plain run
+ * (counted as a bypass) while a telemetry sink is installed or the
+ * cache is disabled.
+ */
+SynthResult cachedRunSynthetic(const NocConfig &config,
+                               std::uint32_t channels,
+                               const SyntheticWorkload &workload,
+                               Cycle max_cycles = kDefaultMaxCycles);
+
+} // namespace fasttrack
+
+#endif // FT_SIM_SWEEP_CACHE_HPP

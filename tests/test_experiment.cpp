@@ -6,11 +6,25 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/rng.hpp"
 #include "noc/network.hpp"
+#include "sched/blob_cache.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep_cache.hpp"
 
 namespace fasttrack {
 namespace {
+
+std::uint64_t
+resultHash(const SynthResult &res)
+{
+    const auto bytes = encodeSynthResult(res);
+    sched::Fnv1a h;
+    h.addBytes(bytes.data(), bytes.size());
+    return h.value();
+}
 
 TEST(Experiment, SaturationRateIsSeedStable)
 {
@@ -20,8 +34,52 @@ TEST(Experiment, SaturationRateIsSeedStable)
         {"ft", NocConfig::fastTrack(8, 2, 1), 1},
         TrafficPattern::random, 1.0, 256, {1, 2, 3, 4, 5});
     ASSERT_EQ(rep.completedRuns, 5u);
+    EXPECT_TRUE(rep.failedSeeds.empty());
     EXPECT_LT(rep.rateCv(), 0.05);
     EXPECT_NEAR(rep.rate.mean(), 0.32, 0.04);
+}
+
+TEST(Experiment, UndersizedGuardRecordsFailedSeedsAndNaNCv)
+{
+    // Regression: a guard too small for any seed to drain used to
+    // leave no trace of *which* runs failed, and rateCv() reported a
+    // perfectly-stable 0.0 for a measurement that never happened.
+    const RepeatedResult rep = repeatedRuns(
+        {"hop", NocConfig::hoplite(8), 1}, TrafficPattern::random,
+        1.0, 1024, {1, 2, 3}, /*max_cycles=*/10);
+    EXPECT_EQ(rep.completedRuns, 0u);
+    EXPECT_EQ(rep.failedSeeds,
+              (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_TRUE(std::isnan(rep.rateCv()));
+}
+
+TEST(Experiment, InjectionSweepDerivesPerPointSeeds)
+{
+    // Regression: every rate point used to run the *same* seed, so
+    // per-point noise was correlated across the sweep. Two points at
+    // the same rate must now see different packet streams, and the
+    // derivation is pinned to splitmix64(seed ^ pointIndex).
+    const NocUnderTest nut{"ft", NocConfig::fastTrack(4, 2, 1), 1};
+    const std::vector<double> rates{0.3, 0.3};
+    const std::uint64_t seed = 9;
+    const auto sweep = injectionSweep(nut, TrafficPattern::random,
+                                      rates, 24, seed);
+    ASSERT_EQ(sweep.size(), 2u);
+    EXPECT_NE(resultHash(sweep[0].result),
+              resultHash(sweep[1].result));
+
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        SyntheticWorkload workload;
+        workload.pattern = TrafficPattern::random;
+        workload.injectionRate = rates[i];
+        workload.packetsPerPe = 24;
+        workload.seed =
+            splitmix64(seed ^ static_cast<std::uint64_t>(i));
+        const SynthResult expect =
+            runSynthetic(nut.config, nut.channels, workload);
+        EXPECT_EQ(resultHash(sweep[i].result), resultHash(expect))
+            << "point " << i;
+    }
 }
 
 TEST(Experiment, LowLoadLatencyIsSeedStable)

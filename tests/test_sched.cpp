@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Scheduler-library contract: the work-stealing pool must be invisible
+ * in results (serial, pooled and stolen executions bit-identical), and
+ * the sweep cache must be invisible too (hit, miss, disk and corrupt
+ * paths all produce the same bytes). Also stress-tests concurrent
+ * sweeps sharing the pool (run under TSan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "sched/blob_cache.hpp"
+#include "sched/work_stealing_pool.hpp"
+#include "sim/experiment.hpp"
+#include "sim/sweep_cache.hpp"
+
+namespace fasttrack {
+namespace {
+
+/** Content hash of a full result (every counter and histogram). */
+std::uint64_t
+resultHash(const SynthResult &res)
+{
+    const auto bytes = encodeSynthResult(res);
+    sched::Fnv1a h;
+    h.addBytes(bytes.data(), bytes.size());
+    return h.value();
+}
+
+SyntheticWorkload
+smallWorkload(double rate, std::uint64_t seed)
+{
+    SyntheticWorkload workload;
+    workload.pattern = TrafficPattern::random;
+    workload.injectionRate = rate;
+    workload.packetsPerPe = 24;
+    workload.seed = seed;
+    return workload;
+}
+
+/** Fresh scratch directory under the test temp root. */
+std::string
+scratchDir(const std::string &leaf)
+{
+    const std::string dir = testing::TempDir() + "ft_sched_" + leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/**
+ * A test-local pool with a forced participant count, installed as the
+ * parallelMap executor for the scope. The global pool sizes itself
+ * from the machine (possibly a single core, i.e. zero workers), so
+ * pool-path coverage must not depend on it.
+ */
+struct WithPool
+{
+    sched::WorkStealingPool pool;
+    parallel_detail::BulkExecutor *prev;
+
+    explicit WithPool(unsigned concurrency) : pool(concurrency)
+    {
+        // Materialize the global holder first so its one-time
+        // executor installation cannot clobber ours mid-test.
+        sched::ensureGlobalPool();
+        prev = parallel_detail::bulkExecutor();
+        parallel_detail::setBulkExecutor(&pool);
+    }
+    ~WithPool() { parallel_detail::setBulkExecutor(prev); }
+};
+
+TEST(SchedPool, PooledParallelMapMatchesSerial)
+{
+    WithPool wp(4);
+    ASSERT_EQ(wp.pool.workerCount(), 3u);
+
+    std::vector<std::uint64_t> items(257);
+    std::iota(items.begin(), items.end(), 1);
+    // Skewed per-item cost so ranges drain unevenly and thieves have
+    // something to split.
+    auto fn = [](std::uint64_t v) {
+        Rng rng(v);
+        std::uint64_t acc = v;
+        for (std::uint64_t i = 0; i < (v % 97) * 50; ++i)
+            acc ^= rng.next();
+        return acc;
+    };
+
+    const auto serial = parallelMap(items, fn, 1);
+    const auto pooled = parallelMap(items, fn, 4);
+    EXPECT_EQ(pooled, serial);
+    const auto st = wp.pool.stats();
+    EXPECT_GE(st.jobs, 1u);
+    EXPECT_EQ(st.tasks, items.size());
+}
+
+TEST(SchedPool, ThievesDrainABlockedOwnersRange)
+{
+    // Pin the stolen path: item 0 wedges the submitter (slot 0) while
+    // the rest of slot 0's contiguous range is still unclaimed, so
+    // some participant must steal to finish the job — and the stolen
+    // execution must be invisible in the results.
+    WithPool wp(4);
+    std::vector<int> items(64);
+    std::iota(items.begin(), items.end(), 0);
+    auto fn = [](int v) {
+        if (v == 0) {
+            for (volatile int spin = 0; spin < 20'000'000; ++spin) {
+            }
+        }
+        return v * 7 + 1;
+    };
+    const auto serial = parallelMap(items, fn, 1);
+    const auto pooled = parallelMap(items, fn, 4);
+    EXPECT_EQ(pooled, serial);
+    const auto st = wp.pool.stats();
+    EXPECT_GT(st.steals, 0u);
+    EXPECT_GT(st.stolenTasks, 0u);
+    EXPECT_EQ(st.tasks, items.size());
+}
+
+TEST(SchedPool, SpawnFallbackMatchesPool)
+{
+    WithPool wp(4);
+    std::vector<int> items(100);
+    std::iota(items.begin(), items.end(), 0);
+    auto fn = [](int v) { return v * v - 3; };
+
+    const auto pooled = parallelMap(items, fn, 4);
+    parallel_detail::setBulkExecutor(nullptr);
+    const auto spawned = parallelMap(items, fn, 4);
+    parallel_detail::setBulkExecutor(&wp.pool);
+    EXPECT_EQ(spawned, pooled);
+}
+
+TEST(SchedPool, NestedParallelMapRunsInline)
+{
+    WithPool wp(4);
+    std::vector<int> outer(16);
+    std::iota(outer.begin(), outer.end(), 0);
+    const auto out = parallelMap(outer, [](int v) {
+        std::vector<int> inner{v, v + 1, v + 2};
+        const auto sums = parallelMap(
+            inner, [](int w) { return w * 10; }, 8);
+        return sums[0] + sums[1] + sums[2];
+    });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(30 * i + 30));
+}
+
+TEST(SchedPool, ExceptionContractHoldsUnderPool)
+{
+    WithPool wp(4);
+    std::vector<int> items(101);
+    std::iota(items.begin(), items.end(), 0);
+    auto fn = [](int v) -> int {
+        if (v % 10 == 7)
+            throw std::runtime_error("item " + std::to_string(v));
+        return v;
+    };
+    try {
+        parallelMap(items, fn, 8);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "item 7");
+    }
+}
+
+TEST(SchedPool, ConcurrentSweepsShareThePool)
+{
+    // Several external threads submit sweeps at once; the pool's
+    // worker set and the cache's store/lookup paths are shared. Run
+    // under TSan this is the data-race stress; everywhere it pins
+    // that concurrency does not change results.
+    WithPool wp(4);
+    const NocUnderTest nut{"ft", NocConfig::fastTrack(4, 2, 1), 1};
+    const std::vector<double> rates{0.1, 0.3, 0.6};
+
+    const auto reference =
+        injectionSweep(nut, TrafficPattern::random, rates, 24);
+    ASSERT_EQ(reference.size(), rates.size());
+
+    std::vector<std::vector<SweepPoint>> sweeps(4);
+    std::vector<std::thread> threads;
+    for (auto &slot : sweeps)
+        threads.emplace_back([&nut, &rates, &slot] {
+            slot = injectionSweep(nut, TrafficPattern::random, rates,
+                                  24);
+        });
+    for (auto &t : threads)
+        t.join();
+
+    for (const auto &sweep : sweeps) {
+        ASSERT_EQ(sweep.size(), reference.size());
+        for (std::size_t i = 0; i < sweep.size(); ++i)
+            EXPECT_EQ(resultHash(sweep[i].result),
+                      resultHash(reference[i].result))
+                << "point " << i;
+    }
+}
+
+TEST(SweepCache, CacheOnAndOffAreBitIdentical)
+{
+    const NocConfig cfg = NocConfig::fastTrack(4, 2, 1);
+    const SyntheticWorkload workload = smallWorkload(0.4, 11);
+
+    setSweepCacheEnabled(false);
+    const SynthResult uncached =
+        cachedRunSynthetic(cfg, 1, workload);
+    setSweepCacheEnabled(true);
+    const SynthResult miss = cachedRunSynthetic(cfg, 1, workload);
+
+    const auto before = sweepCache().stats();
+    const SynthResult hit = cachedRunSynthetic(cfg, 1, workload);
+    const auto after = sweepCache().stats();
+
+    EXPECT_EQ(resultHash(uncached), resultHash(miss));
+    EXPECT_EQ(resultHash(uncached), resultHash(hit));
+    EXPECT_EQ(after.hits, before.hits + 1);
+}
+
+TEST(SweepCache, CodecRoundTripsAndRejectsTruncation)
+{
+    const SynthResult res = runSynthetic(
+        NocConfig::hoplite(4), 1, smallWorkload(0.5, 3));
+    const auto bytes = encodeSynthResult(res);
+
+    SynthResult decoded;
+    ASSERT_TRUE(decodeSynthResult(bytes, decoded));
+    EXPECT_EQ(resultHash(decoded), resultHash(res));
+    EXPECT_EQ(decoded.completed, res.completed);
+    EXPECT_EQ(decoded.cycles, res.cycles);
+
+    for (std::size_t cut : {std::size_t{0}, std::size_t{1},
+                            bytes.size() / 2, bytes.size() - 1}) {
+        std::vector<std::uint8_t> truncated(bytes.begin(),
+                                            bytes.begin() + cut);
+        SynthResult sink;
+        EXPECT_FALSE(decodeSynthResult(truncated, sink))
+            << "cut=" << cut;
+    }
+    auto padded = bytes;
+    padded.push_back(0);
+    SynthResult sink;
+    EXPECT_FALSE(decodeSynthResult(padded, sink));
+}
+
+TEST(SweepCache, KeySeparatesEveryInput)
+{
+    const NocConfig cfg = NocConfig::fastTrack(4, 2, 1);
+    const SyntheticWorkload base = smallWorkload(0.4, 11);
+    const std::uint64_t key = sweepKey(cfg, 1, base);
+
+    SyntheticWorkload w = base;
+    w.seed = 12;
+    EXPECT_NE(sweepKey(cfg, 1, w), key);
+    w = base;
+    w.injectionRate = 0.40001;
+    EXPECT_NE(sweepKey(cfg, 1, w), key);
+    w = base;
+    w.packetsPerPe += 1;
+    EXPECT_NE(sweepKey(cfg, 1, w), key);
+
+    EXPECT_NE(sweepKey(cfg, 2, base), key);
+    EXPECT_NE(sweepKey(NocConfig::fastTrack(4, 2, 2), 1, base), key);
+    EXPECT_NE(sweepKey(cfg, 1, base, 12345), key);
+}
+
+TEST(BlobCache, DiskRoundTrip)
+{
+    const std::string dir = scratchDir("roundtrip");
+    sched::BlobCache cache("test_cache", 7);
+    cache.setDir(dir);
+
+    const std::uint64_t key = 0x1234abcdull;
+    cache.store(key, {1, 2, 3, 4, 5});
+    ASSERT_TRUE(std::filesystem::exists(cache.entryPath(key)));
+
+    cache.clearMemory();
+    const auto loaded = cache.lookup(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(cache.stats().diskHits, 1u);
+
+    // A second lookup is served from memory again.
+    ASSERT_TRUE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.stats().diskHits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BlobCache, CorruptAndTruncatedEntriesAreRejected)
+{
+    const std::string dir = scratchDir("corrupt");
+    sched::BlobCache cache("test_cache", 7);
+    cache.setDir(dir);
+
+    const std::uint64_t key = 42;
+    cache.store(key, {9, 8, 7, 6});
+    const std::string path = cache.entryPath(key);
+
+    // Flip one payload byte: the trailing self-check hash must catch
+    // it.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(24);
+        const char zero = 0;
+        f.write(&zero, 1);
+    }
+    cache.clearMemory();
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+
+    // Rewrite, then truncate mid-payload.
+    cache.store(key, {9, 8, 7, 6});
+    cache.clearMemory();
+    std::filesystem::resize_file(path, 26);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 2u);
+
+    // Rewrite, then read through a cache with a newer schema: the
+    // stale entry must be rejected, not mis-decoded.
+    cache.store(key, {9, 8, 7, 6});
+    sched::BlobCache newer("test_cache", 8);
+    newer.setDir(dir);
+    EXPECT_FALSE(newer.lookup(key).has_value());
+    EXPECT_EQ(newer.stats().corrupt, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepCache, CorruptDiskEntryIsRecomputed)
+{
+    const std::string dir = scratchDir("recompute");
+    const NocConfig cfg = NocConfig::fastTrack(4, 2, 1);
+    const SyntheticWorkload workload = smallWorkload(0.3, 5);
+
+    sweepCache().setDir(dir);
+    setSweepCacheEnabled(true);
+    const SynthResult first = cachedRunSynthetic(cfg, 1, workload);
+    const std::string path =
+        sweepCache().entryPath(sweepKey(cfg, 1, workload));
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Corrupt the persisted entry and drop the memory copy: the next
+    // cached run must detect the damage, recompute, and still return
+    // the same bytes.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(30);
+        const char junk = 0x5a;
+        f.write(&junk, 1);
+    }
+    sweepCache().clearMemory();
+    const auto before = sweepCache().stats();
+    const SynthResult second = cachedRunSynthetic(cfg, 1, workload);
+    const auto after = sweepCache().stats();
+
+    EXPECT_EQ(resultHash(second), resultHash(first));
+    EXPECT_EQ(after.corrupt, before.corrupt + 1);
+    sweepCache().setDir("");
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace fasttrack
