@@ -1,27 +1,22 @@
 #!/usr/bin/env python3
-"""Determinism and header-hygiene lint for the FastTrack sources.
+"""Header-hygiene lint for the FastTrack sources.
 
-The simulator's contract is bit-identical results across runs, thread
-counts and platforms (ROADMAP tier-1; docs/correctness.md). This lint
-statically bans the constructs that silently break that contract:
-
-  nondeterminism sources (rule ``nondet``)
-    ``rand()`` / ``srand()``, ``std::random_device``, wall-clock reads
-    (``time()``, ``clock()``, ``std::chrono::*_clock::now``) anywhere
-    except the sanctioned deterministic generator in ``common/rng``.
-
-  unordered iteration (rule ``unordered-iter``)
-    Iterating an ``std::unordered_map`` / ``std::unordered_set`` in a
-    way that can feed results (range-for, ``.begin()``), because the
-    visit order is implementation-defined. Keyed lookups are fine.
+Two textual rules that need no compiler:
 
   header hygiene (rules ``include-guard`` / ``using-namespace``)
     Every header carries an include guard named after its path
     (``src/noc/packet.hpp`` -> ``FT_NOC_PACKET_HPP``) and headers
     never contain top-level ``using namespace``.
 
+The determinism rules that used to live here (``nondet``,
+``unordered-iter``) moved into the ft-tidy clang-tidy plugin
+(tools/ft_tidy, docs/static_analysis.md), which sees the AST instead
+of regexes: ft-nondeterminism subsumes both with none of the textual
+false negatives.
+
 A finding can be suppressed for one line with a trailing comment:
-``// det-lint: allow(<rule>)``. Exit status is 1 when findings remain.
+``// ft-lint: allow(<rule>)`` (the historical ``det-lint:`` marker is
+still honoured). Exit status is 1 when findings remain.
 
 Usage:
     lint_determinism.py [--self-test] [ROOT...]
@@ -38,31 +33,11 @@ from pathlib import Path
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
 HEADER_SUFFIXES = {".hpp", ".hh", ".h"}
 
-# Files allowed to touch raw entropy: the deterministic RNG itself.
-RNG_ALLOWLIST = re.compile(r"(^|/)common/rng\.(cpp|hpp)$")
-
-SUPPRESS_RE = re.compile(r"//\s*det-lint:\s*allow\(([a-z-]+)\)")
-
-NONDET_PATTERNS = [
-    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
-    (re.compile(r"std::random_device"), "std::random_device"),
-    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
-     "wall-clock time()"),
-    (re.compile(r"(?<![\w:])clock\s*\(\s*\)"), "clock()"),
-    (re.compile(
-        r"std::chrono::(system|steady|high_resolution)_clock::now"),
-     "std::chrono clock read"),
-]
-
-UNORDERED_DECL_RE = re.compile(
-    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)\s*[;({=]")
-RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*:\s*&?\s*(\w+(?:\.\w+)*)\s*\)")
-DIRECT_UNORDERED_FOR_RE = re.compile(
-    r"for\s*\([^)]*:\s*[^)]*unordered_(?:map|set)")
+SUPPRESS_RE = re.compile(r"//\s*(?:det|ft)-lint:\s*allow\(([a-z-]+)\)")
 
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
 
-LINE_COMMENT_RE = re.compile(r"//(?!\s*det-lint:).*$")
+LINE_COMMENT_RE = re.compile(r"//(?!\s*(?:det|ft)-lint:).*$")
 
 
 class Finding:
@@ -103,69 +78,25 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
         text = path.read_text(errors="replace")
     except OSError as err:
         return [Finding(path, 0, "io", f"unreadable: {err}")]
+    if path.suffix not in HEADER_SUFFIXES:
+        return findings
     lines = text.splitlines()
-    rel = path.as_posix()
 
-    # --- nondeterminism sources ---
-    if not RNG_ALLOWLIST.search(rel):
-        for lineno, raw in enumerate(lines, 1):
-            line = LINE_COMMENT_RE.sub("", strip_strings(raw))
-            for pattern, what in NONDET_PATTERNS:
-                if pattern.search(line) and not suppressed(raw, "nondet"):
-                    findings.append(Finding(
-                        path, lineno, "nondet",
-                        f"{what} is nondeterministic; draw from "
-                        f"common/rng (Rng) instead"))
-
-    # --- unordered-container iteration ---
-    unordered_names: set[str] = set()
-    for raw in lines:
-        line = strip_strings(raw)
-        for m in UNORDERED_DECL_RE.finditer(line):
-            unordered_names.add(m.group(1))
+    guard = expected_guard(path, root)
+    if not re.search(rf"^\s*#ifndef\s+{guard}\b", text, re.M) or \
+       not re.search(rf"^\s*#define\s+{guard}\b", text, re.M):
+        findings.append(Finding(
+            path, 1, "include-guard",
+            f"missing or misnamed include guard (expected "
+            f"{guard})"))
     for lineno, raw in enumerate(lines, 1):
         line = LINE_COMMENT_RE.sub("", strip_strings(raw))
-        if suppressed(raw, "unordered-iter"):
-            continue
-        hit = None
-        if DIRECT_UNORDERED_FOR_RE.search(line):
-            hit = "range-for over an unordered container"
-        else:
-            m = RANGE_FOR_RE.search(line)
-            if m and m.group(1).split(".")[-1] in unordered_names:
-                hit = f"range-for over unordered container " \
-                      f"'{m.group(1)}'"
-            else:
-                for name in unordered_names:
-                    if re.search(rf"\b{re.escape(name)}\s*\.\s*c?begin\s*\(",
-                                 line):
-                        hit = f"iterator walk over unordered " \
-                              f"container '{name}'"
-                        break
-        if hit:
+        if USING_NAMESPACE_RE.search(line) and \
+           not suppressed(raw, "using-namespace"):
             findings.append(Finding(
-                path, lineno, "unordered-iter",
-                f"{hit}: visit order is implementation-defined and "
-                f"can leak into results; use an ordered container or "
-                f"sort first"))
-
-    # --- header hygiene ---
-    if path.suffix in HEADER_SUFFIXES:
-        guard = expected_guard(path, root)
-        if not re.search(rf"^\s*#ifndef\s+{guard}\b", text, re.M) or \
-           not re.search(rf"^\s*#define\s+{guard}\b", text, re.M):
-            findings.append(Finding(
-                path, 1, "include-guard",
-                f"missing or misnamed include guard (expected "
-                f"{guard})"))
-        for lineno, raw in enumerate(lines, 1):
-            line = LINE_COMMENT_RE.sub("", strip_strings(raw))
-            if USING_NAMESPACE_RE.search(line) and \
-               not suppressed(raw, "using-namespace"):
-                findings.append(Finding(
-                    path, lineno, "using-namespace",
-                    "'using namespace' in a header pollutes every "
-                    "includer; qualify names instead"))
+                path, lineno, "using-namespace",
+                "'using namespace' in a header pollutes every "
+                "includer; qualify names instead"))
 
     return findings
 
@@ -187,24 +118,7 @@ BAD_HEADER = """\
 #ifndef WRONG_GUARD
 #define WRONG_GUARD
 using namespace std;
-#include <unordered_map>
-inline int draw() { return rand(); }
 #endif
-"""
-
-BAD_SOURCE = """\
-#include <unordered_map>
-#include <ctime>
-std::unordered_map<int, int> table;
-long stamp() { return time(nullptr); }
-int total() {
-    int sum = 0;
-    for (const auto &kv : table)
-        sum += kv.second;
-    for (auto it = table.begin(); it != table.end(); ++it)
-        sum += it->second;
-    return sum;
-}
 """
 
 CLEAN_HEADER = """\
@@ -220,15 +134,18 @@ inline int follow(const std::map<int, int> &m) {
 #endif // FT_SUB_CLEAN_HPP
 """
 
-SUPPRESSED_SOURCE = """\
-#include <unordered_map>
-std::unordered_map<int, int> cache;
-int peek() {
-    int n = 0;
-    for (const auto &kv : cache) // det-lint: allow(unordered-iter)
-        n += kv.second;
-    return n;
-}
+SUPPRESSED_HEADER = """\
+#ifndef FT_SUB_OK_HPP
+#define FT_SUB_OK_HPP
+using namespace std; // ft-lint: allow(using-namespace)
+#endif // FT_SUB_OK_HPP
+"""
+
+LEGACY_SUPPRESSED_HEADER = """\
+#ifndef FT_SUB_LEGACY_HPP
+#define FT_SUB_LEGACY_HPP
+using namespace std; // det-lint: allow(using-namespace)
+#endif // FT_SUB_LEGACY_HPP
 """
 
 
@@ -238,9 +155,10 @@ def self_test() -> int:
         root = Path(tmp)
         (root / "sub").mkdir()
         (root / "sub" / "bad.hpp").write_text(BAD_HEADER)
-        (root / "sub" / "bad.cpp").write_text(BAD_SOURCE)
         (root / "sub" / "clean.hpp").write_text(CLEAN_HEADER)
-        (root / "sub" / "ok.cpp").write_text(SUPPRESSED_SOURCE)
+        (root / "sub" / "ok.hpp").write_text(SUPPRESSED_HEADER)
+        (root / "sub" / "legacy.hpp").write_text(
+            LEGACY_SUPPRESSED_HEADER)
         found = lint_roots([root])
         got = {(f.path.name, f.rule) for f in found}
 
@@ -251,19 +169,10 @@ def self_test() -> int:
 
         expect("bad.hpp", "include-guard")
         expect("bad.hpp", "using-namespace")
-        expect("bad.hpp", "nondet")
-        expect("bad.cpp", "nondet")
-        expect("bad.cpp", "unordered-iter")
         expect("clean.hpp", "include-guard", present=False)
-        expect("clean.hpp", "unordered-iter", present=False)
-        expect("ok.cpp", "unordered-iter", present=False)
-        iter_hits = [f for f in found
-                     if f.path.name == "bad.cpp"
-                     and f.rule == "unordered-iter"]
-        if len(iter_hits) != 2:
-            failures.append(
-                f"expected 2 unordered-iter findings in bad.cpp, "
-                f"got {len(iter_hits)}")
+        expect("clean.hpp", "using-namespace", present=False)
+        expect("ok.hpp", "using-namespace", present=False)
+        expect("legacy.hpp", "using-namespace", present=False)
     if failures:
         for f in failures:
             print(f"self-test FAILED: {f}", file=sys.stderr)

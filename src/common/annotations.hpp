@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Source-level annotation attributes consumed by the ft-tidy plugin
+ * (tools/ft_tidy; docs/static_analysis.md).
+ *
+ * FT_HOT marks a function as part of a simulation hot path. The
+ * ft-hotpath-purity check then enforces that its body performs no
+ * allocation (new/delete/malloc), throws nothing, makes no virtual
+ * calls and constructs no std::function — the properties the
+ * devirtualized stepping core (Network::stepImpl, Router::routeCore)
+ * and the per-cycle data structures (LinkSlab, CandidateTable) were
+ * built around in PR 2.
+ *
+ * Under compilers without [[clang::annotate]] (gcc) the macro expands
+ * to nothing; the attribute never changes codegen, it only labels the
+ * AST for the checker.
+ */
+
+#ifndef FT_COMMON_ANNOTATIONS_HPP
+#define FT_COMMON_ANNOTATIONS_HPP
+
+#if defined(__clang__)
+/** Marks a hot-path function for the ft-hotpath-purity check. */
+#define FT_HOT [[clang::annotate("ft_hot")]]
+#else
+#define FT_HOT
+#endif
+
+#endif // FT_COMMON_ANNOTATIONS_HPP

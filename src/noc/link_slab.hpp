@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/logging.hpp"
 #include "common/types.hpp"
 #include "noc/packet.hpp"
@@ -50,19 +51,20 @@ class LinkSlab
     std::uint32_t depth() const { return depth_; }
 
     /** Frame index holding arrivals for @p cycle. */
-    std::uint32_t frameOf(Cycle cycle) const
+    FT_HOT std::uint32_t frameOf(Cycle cycle) const
     {
         return static_cast<std::uint32_t>(cycle % depth_);
     }
 
     /** The four input-port slots of @p router in @p frame. */
-    Packet *row(std::uint32_t frame, std::uint32_t router)
+    FT_HOT Packet *row(std::uint32_t frame, std::uint32_t router)
     {
         return slots_.data() +
                (static_cast<std::size_t>(frame) * routers_ + router) *
                    kPorts;
     }
-    const Packet *row(std::uint32_t frame, std::uint32_t router) const
+    FT_HOT const Packet *row(std::uint32_t frame,
+                             std::uint32_t router) const
     {
         return slots_.data() +
                (static_cast<std::size_t>(frame) * routers_ + router) *
@@ -70,12 +72,13 @@ class LinkSlab
     }
 
     /** Occupancy bits of @p router in @p frame (bit i = InPort i). */
-    std::uint8_t mask(std::uint32_t frame, std::uint32_t router) const
+    FT_HOT std::uint8_t mask(std::uint32_t frame,
+                             std::uint32_t router) const
     {
         return masks_[static_cast<std::size_t>(frame) * routers_ +
                       router];
     }
-    void clearMask(std::uint32_t frame, std::uint32_t router)
+    FT_HOT void clearMask(std::uint32_t frame, std::uint32_t router)
     {
         masks_[static_cast<std::size_t>(frame) * routers_ + router] = 0;
     }
@@ -85,8 +88,8 @@ class LinkSlab
      * single-driver rule (the slot must be empty). Returns the placed
      * slot so callers can emit trace/checker events from it.
      */
-    Packet *place(std::uint32_t frame, std::uint32_t router, InPort port,
-                  const Packet &p)
+    FT_HOT Packet *place(std::uint32_t frame, std::uint32_t router,
+                         InPort port, const Packet &p)
     {
         std::uint8_t &m =
             masks_[static_cast<std::size_t>(frame) * routers_ + router];

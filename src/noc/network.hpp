@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "noc/config.hpp"
 #include "noc/engine_core.hpp"
 #include "noc/link_slab.hpp"
@@ -102,10 +103,10 @@ class Network : public EngineCore
      *  (telemetry::installed()); the disabled instantiation contains
      *  no telemetry code at all. */
     template <bool HasGate, bool HasTracer, bool HasTelem>
-    void stepImpl();
+    FT_HOT void stepImpl();
 
     /** Gate/tracer dispatch for one compile-time telemetry flavor. */
-    template <bool HasTelem> void dispatchStep();
+    template <bool HasTelem> FT_HOT void dispatchStep();
 
     void onDrainedQuiescent() override;
 

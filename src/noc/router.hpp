@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/annotations.hpp"
 #include "common/logging.hpp"
 #include "common/types.hpp"
 #include "noc/noc_stats.hpp"
@@ -110,9 +111,10 @@ class Router
      * @return whether the PE's offered packet was accepted.
      */
     template <typename Gate, typename Sink>
-    bool routeCore(Packet *inputs, std::uint8_t input_mask,
-                   const Packet *pe_offer, Cycle now, NocStats &stats,
-                   Gate &&exit_ok, Sink &&sink) const
+    FT_HOT bool routeCore(Packet *inputs, std::uint8_t input_mask,
+                          const Packet *pe_offer, Cycle now,
+                          NocStats &stats, Gate &&exit_ok,
+                          Sink &&sink) const
     {
         std::array<bool, kNumOutPorts> taken{};
         bool exit_granted = false;

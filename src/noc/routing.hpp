@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/logging.hpp"
 #include "noc/config.hpp"
 
@@ -487,7 +488,8 @@ class CandidateTable
 {
   public:
     /** Distance class of @p delta for express spacing @p d. */
-    static std::uint8_t classOf(std::uint32_t delta, std::uint32_t d)
+    FT_HOT static std::uint8_t classOf(std::uint32_t delta,
+                                       std::uint32_t d)
     {
         if (delta == 0)
             return 0;
@@ -500,25 +502,29 @@ class CandidateTable
     void build(const RouterSite &site);
 
     /** Distance class of a remaining ring distance (< n). */
-    std::uint8_t cls(std::uint32_t delta) const { return cls_[delta]; }
+    FT_HOT std::uint8_t cls(std::uint32_t delta) const
+    {
+        return cls_[delta];
+    }
 
     /** Candidates for an in-flight packet (same as routeCandidates). */
-    const CandidateList &route(InPort in, std::uint8_t dx_cls,
-                               std::uint8_t dy_cls) const
+    FT_HOT const CandidateList &route(InPort in, std::uint8_t dx_cls,
+                                      std::uint8_t dy_cls) const
     {
         return route_[(static_cast<std::size_t>(in) * 4 + dx_cls) * 4 +
                       dy_cls];
     }
 
     /** Candidates for PE injection (same as injectCandidates). */
-    const CandidateList &inject(std::uint8_t dx_cls,
-                                std::uint8_t dy_cls) const
+    FT_HOT const CandidateList &inject(std::uint8_t dx_cls,
+                                       std::uint8_t dy_cls) const
     {
         return inject_[static_cast<std::size_t>(dx_cls) * 4 + dy_cls];
     }
 
     /** Inject-variant express-class admission for an injection. */
-    bool injectExpress(std::uint8_t dx_cls, std::uint8_t dy_cls) const
+    FT_HOT bool injectExpress(std::uint8_t dx_cls,
+                              std::uint8_t dy_cls) const
     {
         return injectExpress_[static_cast<std::size_t>(dx_cls) * 4 +
                               dy_cls];

@@ -42,21 +42,21 @@ BlobCache::BlobCache(std::string name, std::uint32_t schemaVersion)
 void
 BlobCache::setDir(std::string dir)
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     dir_ = std::move(dir);
 }
 
 std::string
 BlobCache::dir() const
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     return dir_;
 }
 
 std::string
 BlobCache::entryPath(std::uint64_t key) const
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     if (dir_.empty())
         return {};
     return dir_ + "/ft-" + hexKey(key) + ".ftrc";
@@ -66,7 +66,7 @@ std::optional<std::vector<std::uint8_t>>
 BlobCache::lookup(std::uint64_t key)
 {
     {
-        std::lock_guard<std::mutex> lk(mutex_);
+        MutexLock lk(mutex_);
         auto it = mem_.find(key);
         if (it != mem_.end()) {
             hits_.fetch_add(1, std::memory_order_relaxed);
@@ -76,7 +76,7 @@ BlobCache::lookup(std::uint64_t key)
     if (auto fromDisk = loadDiskEntry(key)) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         diskHits_.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lk(mutex_);
+        MutexLock lk(mutex_);
         mem_.emplace(key, *fromDisk);
         return fromDisk;
     }
@@ -90,7 +90,7 @@ BlobCache::store(std::uint64_t key, std::vector<std::uint8_t> payload)
     stores_.fetch_add(1, std::memory_order_relaxed);
     std::string dir;
     {
-        std::lock_guard<std::mutex> lk(mutex_);
+        MutexLock lk(mutex_);
         dir = dir_;
         mem_[key] = payload;
     }
@@ -101,7 +101,7 @@ BlobCache::store(std::uint64_t key, std::vector<std::uint8_t> payload)
 void
 BlobCache::clearMemory()
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     mem_.clear();
 }
 

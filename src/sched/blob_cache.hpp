@@ -28,12 +28,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace fasttrack::sched {
@@ -134,10 +134,14 @@ class BlobCache
 
     std::string name_;
     std::uint32_t schema_;
-    mutable std::mutex mutex_;
-    std::string dir_;
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> mem_;
+    mutable Mutex mutex_;
+    std::string dir_ FT_GUARDED_BY(mutex_);
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+        mem_ FT_GUARDED_BY(mutex_);
 
+    // Statistics counters are relaxed throughout: they are monotonic
+    // tallies read only by quiescent-time reporting, never used to
+    // publish or order payload data (payloads travel under mutex_).
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> diskHits_{0};

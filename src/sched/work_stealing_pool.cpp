@@ -59,9 +59,9 @@ struct WorkStealingPool::Job
      *  every task's writes to the waiting submitter. */
     std::atomic<std::size_t> done{0};
 
-    std::mutex m;
-    std::condition_variable cv;
-    bool complete = false;
+    Mutex m;
+    CondVar cv;
+    bool complete FT_GUARDED_BY(m) = false;
 
     Job(void *ctx_, void (*task_)(void *, std::size_t),
         std::size_t count_, const char *label_, unsigned slots_)
@@ -94,7 +94,7 @@ WorkStealingPool::WorkStealingPool(unsigned concurrency)
 WorkStealingPool::~WorkStealingPool()
 {
     {
-        std::lock_guard<std::mutex> lk(jobsMutex_);
+        MutexLock lk(jobsMutex_);
         stop_ = true;
         ++jobsGeneration_;
     }
@@ -129,10 +129,12 @@ WorkStealingPool::runBulk(void *ctx, void (*task)(void *, std::size_t),
 
     auto job = std::make_shared<Job>(ctx, task, count, label, cap);
     {
-        std::lock_guard<std::mutex> lk(jobsMutex_);
+        MutexLock lk(jobsMutex_);
         jobs_.push_back(job);
         ++jobsGeneration_;
         const auto depth = static_cast<std::uint64_t>(jobs_.size());
+        // Relaxed: the watermark is only ever updated here, under
+        // jobsMutex_, so the read-modify-write cannot race itself.
         if (depth > peakJobs_.load(std::memory_order_relaxed))
             peakJobs_.store(depth, std::memory_order_relaxed);
     }
@@ -147,11 +149,12 @@ WorkStealingPool::runBulk(void *ctx, void (*task)(void *, std::size_t),
     nested = false;
 
     {
-        std::unique_lock<std::mutex> lk(job->m);
-        job->cv.wait(lk, [&] { return job->complete; });
+        MutexLock lk(job->m);
+        while (!job->complete)
+            job->cv.wait(job->m);
     }
     {
-        std::lock_guard<std::mutex> lk(jobsMutex_);
+        MutexLock lk(jobsMutex_);
         jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job),
                     jobs_.end());
         ++jobsGeneration_;
@@ -178,6 +181,12 @@ WorkStealingPool::participate(Job &job, unsigned slot)
     std::uint64_t ran = 0, steals = 0, stolen = 0;
 
     std::atomic<std::uint64_t> &own = job.ranges[slot];
+    // Ordering note: every transfer of index ownership is an acq_rel
+    // CAS on one range word, so a claim and a competing steal of the
+    // same indices are totally ordered — exactly one succeeds, and
+    // the winner sees the loser's update on retry (acquire failure
+    // order). No task data rides on these words; task-result
+    // visibility is published solely through job.done (acq_rel).
     for (;;) {
         // Claim the bottom index of the own range.
         std::uint64_t cur = own.load(std::memory_order_acquire);
@@ -231,7 +240,7 @@ WorkStealingPool::participate(Job &job, unsigned slot)
         if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             job.count) {
             {
-                std::lock_guard<std::mutex> lk(job.m);
+                MutexLock lk(job.m);
                 job.complete = true;
             }
             job.cv.notify_all();
@@ -259,12 +268,15 @@ WorkStealingPool::workerLoop()
     // task performs must run inline rather than re-enter the pool.
     parallel_detail::inBulkWorker() = true;
 
-    std::unique_lock<std::mutex> lk(jobsMutex_);
+    MutexLock lk(jobsMutex_);
     std::uint64_t seen = jobsGeneration_;
     for (;;) {
         std::shared_ptr<Job> job;
         unsigned slot = 0;
         for (const std::shared_ptr<Job> &candidate : jobs_) {
+            // Acquire pairs with the acq_rel fetch_add in
+            // participate(): a job observed complete here has all of
+            // its task writes visible, so skipping it is safe.
             if (candidate->done.load(std::memory_order_acquire) >=
                 candidate->count)
                 continue;
@@ -295,9 +307,8 @@ WorkStealingPool::workerLoop()
         }
         if (stop_)
             return;
-        jobsCv_.wait(lk, [&] {
-            return stop_ || jobsGeneration_ != seen;
-        });
+        while (!stop_ && jobsGeneration_ == seen)
+            jobsCv_.wait(jobsMutex_);
         seen = jobsGeneration_;
     }
 }

@@ -34,14 +34,13 @@
 #define FT_SCHED_WORK_STEALING_POOL_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "common/thread_annotations.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace fasttrack::sched {
@@ -114,12 +113,12 @@ class WorkStealingPool final : public parallel_detail::BulkExecutor
     std::uint64_t participate(Job &job, unsigned slot);
 
     std::vector<std::thread> threads_;
-    mutable std::mutex jobsMutex_;
-    std::condition_variable jobsCv_;
-    std::vector<std::shared_ptr<Job>> jobs_;
+    mutable Mutex jobsMutex_;
+    CondVar jobsCv_;
+    std::vector<std::shared_ptr<Job>> jobs_ FT_GUARDED_BY(jobsMutex_);
     /** Bumped whenever jobs_ changes; sleeping workers wait on it. */
-    std::uint64_t jobsGeneration_ = 0;
-    bool stop_ = false;
+    std::uint64_t jobsGeneration_ FT_GUARDED_BY(jobsMutex_) = 0;
+    bool stop_ FT_GUARDED_BY(jobsMutex_) = false;
 
     std::atomic<std::uint64_t> jobsSubmitted_{0};
     std::atomic<std::uint64_t> inlineJobs_{0};

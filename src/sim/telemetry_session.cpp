@@ -58,6 +58,10 @@ void
 TelemetrySession::sampleEpoch(const NocDevice &noc,
                               std::uint64_t backlog_depth)
 {
+    // Only the sampler-slot holder calls this; the lock is therefore
+    // uncontended and exists to let -Wthread-safety verify that every
+    // registry/baseline touch is serialized.
+    MutexLock lk(metricsMu_);
     const Cycle now = noc.now();
     const NocStats stats = noc.statsSnapshot();
     const std::uint64_t traversals =
@@ -149,19 +153,23 @@ TelemetrySession::finish()
         artifacts_.push_back(
             (std::filesystem::path(cfg.dir) / name).string());
     }
-    if (!metrics_.epochs().empty()) {
-        const std::string name = cfg.filePrefix + "metrics.csv";
-        std::ofstream os = openArtifact(cfg.dir, name);
-        metrics_.writeCsv(os);
-        artifacts_.push_back(
-            (std::filesystem::path(cfg.dir) / name).string());
-    }
-    if (!metrics_.empty()) {
-        const std::string name = cfg.filePrefix + "metrics_summary.csv";
-        std::ofstream os = openArtifact(cfg.dir, name);
-        metrics_.writeSummary(os);
-        artifacts_.push_back(
-            (std::filesystem::path(cfg.dir) / name).string());
+    {
+        MutexLock lk(metricsMu_);
+        if (!metrics_.epochs().empty()) {
+            const std::string name = cfg.filePrefix + "metrics.csv";
+            std::ofstream os = openArtifact(cfg.dir, name);
+            metrics_.writeCsv(os);
+            artifacts_.push_back(
+                (std::filesystem::path(cfg.dir) / name).string());
+        }
+        if (!metrics_.empty()) {
+            const std::string name =
+                cfg.filePrefix + "metrics_summary.csv";
+            std::ofstream os = openArtifact(cfg.dir, name);
+            metrics_.writeSummary(os);
+            artifacts_.push_back(
+                (std::filesystem::path(cfg.dir) / name).string());
+        }
     }
     return artifacts_;
 }

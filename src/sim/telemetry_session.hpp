@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "noc/noc_device.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/sink.hpp"
@@ -41,7 +42,13 @@ class TelemetrySession
         return sink_.config();
     }
     telemetry::TraceSink &sink() { return sink_; }
-    telemetry::MetricsRegistry &metrics() { return metrics_; }
+    /** The session's registry. Quiescent-time accessor: callers only
+     *  use it while no run is sampling (e.g. reportTo after workers
+     *  joined), so it is exempt from the metricsMu_ discipline. */
+    telemetry::MetricsRegistry &metrics() FT_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return metrics_;
+    }
 
     /** Capture device geometry (torus side, physical link count) for
      *  the heatmap exporters and the utilization gauge. Called by the
@@ -77,7 +84,12 @@ class TelemetrySession
 
   private:
     telemetry::TraceSink sink_;
-    telemetry::MetricsRegistry metrics_;
+    /** Serializes registry access: epoch sampling by the sampler-slot
+     *  run and the export in finish(). samplerBusy_ already keeps at
+     *  most one run sampling; the mutex makes the registry's
+     *  single-writer contract checkable under -Wthread-safety. */
+    mutable Mutex metricsMu_;
+    telemetry::MetricsRegistry metrics_ FT_GUARDED_BY(metricsMu_);
     /** Torus side for heatmap geometry; 0 until observe(). Atomic
      *  because concurrent runs sharing one session each observe()
      *  their (identical-geometry) device. */
@@ -86,10 +98,10 @@ class TelemetrySession
     std::atomic<std::uint64_t> links_{0};
     std::atomic<bool> samplerBusy_{false};
     /** Previous-epoch baselines for delta gauges. */
-    Cycle lastCycle_ = 0;
-    std::uint64_t lastShortHops_ = 0;
-    std::uint64_t lastExpressHops_ = 0;
-    std::uint64_t lastDeflections_ = 0;
+    Cycle lastCycle_ FT_GUARDED_BY(metricsMu_) = 0;
+    std::uint64_t lastShortHops_ FT_GUARDED_BY(metricsMu_) = 0;
+    std::uint64_t lastExpressHops_ FT_GUARDED_BY(metricsMu_) = 0;
+    std::uint64_t lastDeflections_ FT_GUARDED_BY(metricsMu_) = 0;
     bool finished_ = false;
     std::vector<std::string> artifacts_;
 };

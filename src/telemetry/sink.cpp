@@ -38,7 +38,7 @@ wallMicros()
     // never feed simulated results (see docs/observability.md).
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() // det-lint: allow(nondet)
+            std::chrono::steady_clock::now() // ft-lint: allow(ft-nondeterminism)
                 .time_since_epoch())
             .count());
 }
@@ -66,7 +66,7 @@ TraceSink::local()
     thread_local std::uint64_t bound_epoch = 0;
     thread_local ThreadLog *bound_log = nullptr;
     if (bound_epoch != epochId_) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         logs_.push_back(std::make_unique<ThreadLog>(
             static_cast<std::uint32_t>(logs_.size()),
             config_.ringCapacity, config_.traceEvents));
@@ -80,7 +80,7 @@ void
 TraceSink::recordPhase(const std::string &name, std::uint64_t start_us,
                        std::uint64_t duration_us)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     phases_.push_back(PhaseSpan{name, start_us, duration_us, 0});
 }
 
@@ -93,14 +93,14 @@ TraceSink::hostNowUs() const
 std::size_t
 TraceSink::threadCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return logs_.size();
 }
 
 const ThreadLog &
 TraceSink::threadLog(std::size_t i) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     FT_ASSERT(i < logs_.size(), "bad thread-log index");
     return *logs_[i];
 }
@@ -108,7 +108,7 @@ TraceSink::threadLog(std::size_t i) const
 ThreadLog &
 TraceSink::threadLog(std::size_t i)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     FT_ASSERT(i < logs_.size(), "bad thread-log index");
     return *logs_[i];
 }
@@ -116,7 +116,7 @@ TraceSink::threadLog(std::size_t i)
 KindCounts
 TraceSink::totalCounts() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     KindCounts total;
     for (const auto &log : logs_) {
         for (std::size_t k = 0; k < kNumEventKinds; ++k)
@@ -128,7 +128,7 @@ TraceSink::totalCounts() const
 std::vector<std::uint64_t>
 TraceSink::totalLinkCounts() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::uint64_t> total;
     for (const auto &log : logs_) {
         const auto &counts = log->linkCounts();
@@ -143,7 +143,7 @@ TraceSink::totalLinkCounts() const
 std::uint64_t
 TraceSink::totalDropped() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::uint64_t total = 0;
     for (const auto &log : logs_)
         total += log->ring().dropped();
@@ -153,7 +153,7 @@ TraceSink::totalDropped() const
 std::vector<TraceSink::PhaseSpan>
 TraceSink::phases() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return phases_;
 }
 

@@ -28,10 +28,10 @@
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "telemetry/events.hpp"
 #include "telemetry/ring_buffer.hpp"
 
@@ -174,9 +174,9 @@ class TraceSink
      *  constructed, so a stale cached pointer can never match). */
     std::uint64_t epochId_;
     std::uint64_t startUs_;
-    mutable std::mutex mutex_;
-    std::vector<std::unique_ptr<ThreadLog>> logs_;
-    std::vector<PhaseSpan> phases_;
+    mutable Mutex mutex_;
+    std::vector<std::unique_ptr<ThreadLog>> logs_ FT_GUARDED_BY(mutex_);
+    std::vector<PhaseSpan> phases_ FT_GUARDED_BY(mutex_);
 
     friend void install(TraceSink *sink);
     friend void uninstall(TraceSink *sink);

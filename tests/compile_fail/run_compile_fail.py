@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Thread-safety-annotation compile test driver.
+
+Compiles two sibling TUs with clang++ -Wthread-safety -Werror
+-fsyntax-only:
+
+  - thread_safety_ok.cpp must compile clean (proves the annotation
+    wrappers in common/thread_annotations.hpp are analysis-friendly);
+  - thread_safety_violation.cpp must FAIL with -Wthread-safety
+    diagnostics (proves the annotations actually guard something).
+
+Thread-safety analysis is clang-only, so the test exits 77 (ctest's
+SKIP_RETURN_CODE) when no clang++ is on PATH.
+
+Usage:
+    run_compile_fail.py --include SRC_DIR [--clang PATH] [--std c++20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP = 77
+
+HERE = Path(__file__).resolve().parent
+
+CLANG_CANDIDATES = [
+    "clang++", "clang++-19", "clang++-18", "clang++-17",
+    "clang++-16", "clang++-15", "clang++-14",
+]
+
+
+def find_clang(preferred: str | None) -> str | None:
+    names = [preferred] if preferred else CLANG_CANDIDATES
+    for name in names:
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def compile_tu(clang: str, tu: Path, include: list[str],
+               std: str) -> subprocess.CompletedProcess[str]:
+    cmd = [clang, "-fsyntax-only", f"-std={std}",
+           "-Wthread-safety", "-Werror"] + \
+          [f"-I{d}" for d in include] + [str(tu)]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clang", default=None,
+                    help="clang++ to use (default: search PATH)")
+    ap.add_argument("--include", action="append", default=[],
+                    help="-I directory (repeatable)")
+    ap.add_argument("--std", default="c++20")
+    args = ap.parse_args()
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        print("SKIP: no clang++ on PATH "
+              "(thread-safety analysis is clang-only)")
+        return SKIP
+
+    ok = compile_tu(clang, HERE / "thread_safety_ok.cpp",
+                    args.include, args.std)
+    if ok.returncode != 0:
+        print("FAIL: thread_safety_ok.cpp must compile clean under "
+              f"-Wthread-safety -Werror but did not:\n{ok.stderr}",
+              file=sys.stderr)
+        return 1
+
+    bad = compile_tu(clang, HERE / "thread_safety_violation.cpp",
+                     args.include, args.std)
+    if bad.returncode == 0:
+        print("FAIL: thread_safety_violation.cpp compiled clean; the "
+              "FT_GUARDED_BY annotations are not being enforced",
+              file=sys.stderr)
+        return 1
+    if "-Wthread-safety" not in bad.stderr and \
+            "thread safety" not in bad.stderr:
+        print("FAIL: thread_safety_violation.cpp failed for a reason "
+              f"other than thread-safety analysis:\n{bad.stderr}",
+              file=sys.stderr)
+        return 1
+
+    print(f"OK: annotations enforced by {clang} "
+          "(ok TU clean, violation TU rejected)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+// Positive control for the thread-safety compile-fail test: the same
+// shape as thread_safety_violation.cpp but with every guarded access
+// under a MutexLock, plus a CondVar wait to prove the annotated wait
+// path is analysis-clean. Must compile WARNING-FREE under clang
+// -Wthread-safety -Werror; if it does not, the annotation wrappers
+// themselves are broken and the violation test's failure would be
+// meaningless.
+
+#include <cstdint>
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter
+{
+public:
+    void bump()
+    {
+        fasttrack::MutexLock lk(mu_);
+        value_ += 1;
+        ready_ = true;
+        cv_.notify_one();
+    }
+
+    std::uint64_t awaitNonzero() const
+    {
+        fasttrack::MutexLock lk(mu_);
+        while (!ready_)
+            cv_.wait(mu_);
+        return value_;
+    }
+
+private:
+    mutable fasttrack::Mutex mu_;
+    mutable fasttrack::CondVar cv_;
+    std::uint64_t value_ FT_GUARDED_BY(mu_) = 0;
+    bool ready_ FT_GUARDED_BY(mu_) = false;
+};
+
+} // namespace
+
+int main()
+{
+    Counter c;
+    c.bump();
+    return static_cast<int>(c.awaitNonzero()) == 1 ? 0 : 1;
+}

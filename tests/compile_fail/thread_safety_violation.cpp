@@ -1,0 +1,40 @@
+// Negative compile test: under clang -Wthread-safety -Werror this TU
+// must FAIL to compile — it reads and writes an FT_GUARDED_BY field
+// without holding the guarding mutex, and returns from a function that
+// still holds a scoped lock via manual unlock misuse. The driver
+// (run_compile_fail.py) asserts the failure; if this ever compiles,
+// the annotations in common/thread_annotations.hpp have stopped
+// protecting anything.
+
+#include <cstdint>
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter
+{
+public:
+    void bump()
+    {
+        value_ += 1; // guarded write without the lock: must warn
+    }
+
+    std::uint64_t peek() const
+    {
+        return value_; // guarded read without the lock: must warn
+    }
+
+private:
+    mutable fasttrack::Mutex mu_;
+    std::uint64_t value_ FT_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int main()
+{
+    Counter c;
+    c.bump();
+    return static_cast<int>(c.peek());
+}

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -114,7 +115,11 @@ TEST(SchedPool, ThievesDrainABlockedOwnersRange)
     std::iota(items.begin(), items.end(), 0);
     auto fn = [](int v) {
         if (v == 0) {
-            for (volatile int spin = 0; spin < 20'000'000; ++spin) {
+            // Relaxed atomic spin: opaque to the optimizer without
+            // volatile, whose ++/assignment forms C++20 deprecates.
+            std::atomic<int> spin{0};
+            while (spin.fetch_add(1, std::memory_order_relaxed) <
+                   20'000'000) {
             }
         }
         return v * 7 + 1;

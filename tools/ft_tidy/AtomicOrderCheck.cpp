@@ -1,0 +1,88 @@
+#include "AtomicOrderCheck.h"
+
+#include "FtCheckCommon.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ft {
+
+namespace {
+
+/** The atomic class families of libstdc++ and libc++: integral and
+ *  floating atomics route their members through __atomic_base /
+ *  __atomic_float rather than the std::atomic primary template. */
+auto atomicClass()
+{
+    return cxxRecordDecl(hasAnyName(
+        "::std::atomic", "::std::__atomic_base", "::std::__atomic_float",
+        "::std::atomic_flag", "::std::atomic_ref"));
+}
+
+bool isMemoryOrderType(QualType T)
+{
+    if (const auto *ET = T.getNonReferenceType()
+                             .getCanonicalType()
+                             ->getAs<EnumType>())
+        return ET->getDecl()->getName() == "memory_order";
+    return false;
+}
+
+} // namespace
+
+void AtomicOrderCheck::registerMatchers(MatchFinder *Finder)
+{
+    Finder->addMatcher(
+        cxxMemberCallExpr(callee(cxxMethodDecl(ofClass(atomicClass()))))
+            .bind("member"),
+        this);
+    Finder->addMatcher(
+        cxxOperatorCallExpr(
+            callee(cxxMethodDecl(ofClass(atomicClass()))))
+            .bind("operator"),
+        this);
+}
+
+void AtomicOrderCheck::check(const MatchFinder::MatchResult &Result)
+{
+    const SourceManager &SM = *Result.SourceManager;
+    const auto Emit = [&](SourceLocation Loc, llvm::StringRef Msg) {
+        if (!inCheckedCode(SM, Loc, /*SkipRngFiles=*/false))
+            return;
+        if (isSuppressed(SM, Loc, "ft-atomic-order"))
+            return;
+        diag(SM.getExpansionLoc(Loc), "%0") << Msg;
+    };
+
+    if (const auto *Member =
+            Result.Nodes.getNodeAs<CXXMemberCallExpr>("member")) {
+        if (isa<CXXConversionDecl>(Member->getCalleeDecl())) {
+            Emit(Member->getBeginLoc(),
+                 "implicit atomic load via conversion operator uses "
+                 "seq_cst; call load() with an explicit "
+                 "std::memory_order");
+            return;
+        }
+        for (const Expr *Arg : Member->arguments()) {
+            const auto *Def = dyn_cast<CXXDefaultArgExpr>(Arg);
+            if (Def && isMemoryOrderType(Def->getType())) {
+                Emit(Member->getBeginLoc(),
+                     "atomic operation relies on the defaulted "
+                     "seq_cst memory order; pass an explicit "
+                     "std::memory_order (and justify anything "
+                     "stronger than relaxed)");
+                return;
+            }
+        }
+    }
+    if (const auto *Op =
+            Result.Nodes.getNodeAs<CXXOperatorCallExpr>("operator"))
+        Emit(Op->getBeginLoc(),
+             "atomic operator form is an implicit seq_cst operation; "
+             "use the named member function with an explicit "
+             "std::memory_order");
+}
+
+} // namespace clang::tidy::ft

@@ -1,0 +1,41 @@
+/**
+ * ft-atomic-order: every std::atomic operation must spell its
+ * std::memory_order explicitly — a defaulted seq_cst argument and the
+ * operator forms (++, --, +=, =, implicit conversion-load) are
+ * flagged. The sched and telemetry layers choose their orders
+ * deliberately (relaxed statistics counters, acq_rel ownership CAS,
+ * release publication; see src/sched/work_stealing_pool.cpp), so a
+ * silent seq_cst default is either an unnecessary fence or an
+ * unreviewed ordering decision.
+ *
+ * Suppress a deliberate default with
+ * `// ft-lint: allow(ft-atomic-order)`.
+ */
+
+#ifndef FT_TOOLS_FT_TIDY_ATOMICORDERCHECK_H
+#define FT_TOOLS_FT_TIDY_ATOMICORDERCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::ft {
+
+class AtomicOrderCheck : public ClangTidyCheck
+{
+  public:
+    AtomicOrderCheck(StringRef Name, ClangTidyContext *Context)
+        : ClangTidyCheck(Name, Context)
+    {
+    }
+    bool isLanguageVersionSupported(const LangOptions &LangOpts) const
+        override
+    {
+        return LangOpts.CPlusPlus;
+    }
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &Result)
+        override;
+};
+
+} // namespace clang::tidy::ft
+
+#endif // FT_TOOLS_FT_TIDY_ATOMICORDERCHECK_H

@@ -1,0 +1,97 @@
+#include "FtCheckCommon.h"
+
+#include "clang/Basic/FileManager.h"
+
+namespace clang::tidy::ft {
+
+namespace {
+
+/** The raw text of the line containing @p Loc ("" on failure). */
+llvm::StringRef lineText(const SourceManager &SM, SourceLocation Loc)
+{
+    const FileID FID = SM.getFileID(Loc);
+    bool Invalid = false;
+    const llvm::StringRef Buffer = SM.getBufferData(FID, &Invalid);
+    if (Invalid)
+        return {};
+    const unsigned Offset = SM.getFileOffset(Loc);
+    if (Offset >= Buffer.size())
+        return {};
+    const std::size_t Begin = Buffer.rfind('\n', Offset);
+    const std::size_t Start =
+        Begin == llvm::StringRef::npos ? 0 : Begin + 1;
+    const std::size_t End = Buffer.find('\n', Offset);
+    return Buffer.slice(Start,
+                        End == llvm::StringRef::npos ? Buffer.size()
+                                                     : End);
+}
+
+bool lineAllows(llvm::StringRef Line, llvm::StringRef CheckName,
+                llvm::ArrayRef<llvm::StringRef> LegacyAliases)
+{
+    llvm::StringRef Bare = CheckName;
+    Bare.consume_front("ft-");
+    for (llvm::StringRef Marker : {"ft-lint:", "det-lint:"}) {
+        std::size_t Pos = Line.find(Marker);
+        while (Pos != llvm::StringRef::npos) {
+            llvm::StringRef Rest =
+                Line.drop_front(Pos + Marker.size()).ltrim();
+            if (Rest.consume_front("allow(")) {
+                const llvm::StringRef Rule =
+                    Rest.take_until([](char C) { return C == ')'; })
+                        .trim();
+                llvm::StringRef BareRule = Rule;
+                BareRule.consume_front("ft-");
+                if (Rule == CheckName || BareRule == Bare)
+                    return true;
+                for (llvm::StringRef Alias : LegacyAliases)
+                    if (Rule == Alias)
+                        return true;
+            }
+            Pos = Line.find(Marker, Pos + Marker.size());
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool isSuppressed(const SourceManager &SM, SourceLocation Loc,
+                  llvm::StringRef CheckName,
+                  llvm::ArrayRef<llvm::StringRef> LegacyAliases)
+{
+    if (Loc.isInvalid())
+        return false;
+    const SourceLocation Spelling = SM.getExpansionLoc(Loc);
+    if (lineAllows(lineText(SM, Spelling), CheckName, LegacyAliases))
+        return true;
+    // Also honor a suppression on the line directly above, for call
+    // sites too long to carry a trailing comment.
+    const unsigned Line = SM.getExpansionLineNumber(Spelling);
+    if (Line > 1) {
+        const SourceLocation Above = SM.translateLineCol(
+            SM.getFileID(Spelling), Line - 1, 1);
+        if (Above.isValid() &&
+            lineAllows(lineText(SM, Above), CheckName, LegacyAliases))
+            return true;
+    }
+    return false;
+}
+
+bool inCheckedCode(const SourceManager &SM, SourceLocation Loc,
+                   bool SkipRngFiles)
+{
+    if (Loc.isInvalid())
+        return false;
+    const SourceLocation Expansion = SM.getExpansionLoc(Loc);
+    if (SM.isInSystemHeader(Expansion))
+        return false;
+    if (SkipRngFiles) {
+        const llvm::StringRef File = SM.getFilename(Expansion);
+        if (File.contains("common/rng."))
+            return false;
+    }
+    return true;
+}
+
+} // namespace clang::tidy::ft

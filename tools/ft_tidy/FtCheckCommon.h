@@ -1,0 +1,46 @@
+/**
+ * Shared helpers for the ft-* clang-tidy checks: the
+ * `// ft-lint: allow(<rule>)` line-suppression mechanism and the
+ * common "is this location ours to diagnose" filter.
+ *
+ * Built only as part of the ft_tidy plugin module (see CMakeLists
+ * here); never compiled into the simulator.
+ */
+
+#ifndef FT_TOOLS_FT_TIDY_FTCHECKCOMMON_H
+#define FT_TOOLS_FT_TIDY_FTCHECKCOMMON_H
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/ArrayRef.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang::tidy::ft {
+
+/**
+ * True when the line holding @p Loc (or the line directly above it)
+ * carries a suppression comment naming @p CheckName:
+ *
+ *     risky();                 // ft-lint: allow(ft-nondeterminism)
+ *
+ * The rule may be written with or without its "ft-" prefix, or by any
+ * name in @p LegacyAliases. The legacy "det-lint:" marker from
+ * scripts/lint_determinism.py is honored too so historical
+ * suppressions keep working.
+ */
+bool isSuppressed(const SourceManager &SM, SourceLocation Loc,
+                  llvm::StringRef CheckName,
+                  llvm::ArrayRef<llvm::StringRef> LegacyAliases = {});
+
+/**
+ * Common location filter: false for invalid locations, system
+ * headers, and (when @p SkipRngFiles) the sanctioned entropy source
+ * common/rng.*. Macro-expansion locations are mapped to their
+ * expansion site first.
+ */
+bool inCheckedCode(const SourceManager &SM, SourceLocation Loc,
+                   bool SkipRngFiles);
+
+} // namespace clang::tidy::ft
+
+#endif // FT_TOOLS_FT_TIDY_FTCHECKCOMMON_H

@@ -1,0 +1,47 @@
+/**
+ * The ft-tidy clang-tidy plugin module: registers the four FastTrack
+ * project checks under the ft- prefix. Loaded out-of-tree:
+ *
+ *     clang-tidy -load tools/ft_tidy/libft_tidy_module.so \
+ *                -checks='-*,ft-*' -p build src/...
+ *
+ * The module deliberately links against no clang libraries; symbols
+ * resolve from the hosting clang-tidy binary at dlopen time, which is
+ * why the plugin must be built against headers of the same major
+ * version as the clang-tidy that loads it (tools/ft_tidy/CMakeLists
+ * and docs/static_analysis.md).
+ */
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "AtomicOrderCheck.h"
+#include "HotpathPurityCheck.h"
+#include "NondeterminismCheck.h"
+#include "TelemetryGuardCheck.h"
+
+namespace clang::tidy {
+
+namespace ft {
+
+class FtTidyModule : public ClangTidyModule
+{
+  public:
+    void addCheckFactories(ClangTidyCheckFactories &Factories) override
+    {
+        Factories.registerCheck<NondeterminismCheck>(
+            "ft-nondeterminism");
+        Factories.registerCheck<HotpathPurityCheck>(
+            "ft-hotpath-purity");
+        Factories.registerCheck<AtomicOrderCheck>("ft-atomic-order");
+        Factories.registerCheck<TelemetryGuardCheck>(
+            "ft-telemetry-guard");
+    }
+};
+
+} // namespace ft
+
+static ClangTidyModuleRegistry::Add<ft::FtTidyModule>
+    X("ft-module", "FastTrack determinism/hot-path/atomics checks.");
+
+} // namespace clang::tidy

@@ -1,0 +1,106 @@
+#include "HotpathPurityCheck.h"
+
+#include "FtCheckCommon.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ft {
+
+namespace {
+
+AST_MATCHER(FunctionDecl, isFtHot)
+{
+    for (const auto *A : Node.specific_attrs<AnnotateAttr>())
+        if (A->getAnnotation() == "ft_hot")
+            return true;
+    return false;
+}
+
+/** Ancestor constraint shared by every violation matcher. */
+auto inHotFunction()
+{
+    return hasAncestor(functionDecl(isFtHot()).bind("hot"));
+}
+
+} // namespace
+
+void HotpathPurityCheck::registerMatchers(MatchFinder *Finder)
+{
+    Finder->addMatcher(cxxNewExpr(inHotFunction()).bind("new"), this);
+    Finder->addMatcher(cxxDeleteExpr(inHotFunction()).bind("delete"),
+                       this);
+    Finder->addMatcher(cxxThrowExpr(inHotFunction()).bind("throw"),
+                       this);
+    Finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::malloc", "::calloc", "::realloc", "::free",
+                     "::aligned_alloc", "::posix_memalign"))),
+                 inHotFunction())
+            .bind("malloc"),
+        this);
+    Finder->addMatcher(
+        cxxMemberCallExpr(callee(cxxMethodDecl(isVirtual())),
+                          inHotFunction())
+            .bind("virtual-call"),
+        this);
+    Finder->addMatcher(
+        cxxConstructExpr(hasDeclaration(cxxConstructorDecl(ofClass(
+                             hasName("::std::function")))),
+                         inHotFunction())
+            .bind("std-function"),
+        this);
+}
+
+void HotpathPurityCheck::check(const MatchFinder::MatchResult &Result)
+{
+    const SourceManager &SM = *Result.SourceManager;
+    const auto *Hot = Result.Nodes.getNodeAs<FunctionDecl>("hot");
+    const auto Emit = [&](SourceLocation Loc, llvm::StringRef What) {
+        if (!inCheckedCode(SM, Loc, /*SkipRngFiles=*/false))
+            return;
+        if (isSuppressed(SM, Loc, "ft-hotpath-purity"))
+            return;
+        diag(SM.getExpansionLoc(Loc),
+             "%0 in FT_HOT function %1; hot-path bodies must stay "
+             "allocation-, throw-, virtual- and std::function-free")
+            << What << (Hot ? Hot->getNameAsString() : "<unknown>");
+    };
+
+    if (const auto *New = Result.Nodes.getNodeAs<CXXNewExpr>("new"))
+        Emit(New->getBeginLoc(), "new-expression");
+    if (const auto *Del =
+            Result.Nodes.getNodeAs<CXXDeleteExpr>("delete"))
+        Emit(Del->getBeginLoc(), "delete-expression");
+    if (const auto *Throw =
+            Result.Nodes.getNodeAs<CXXThrowExpr>("throw"))
+        Emit(Throw->getBeginLoc(), "throw-expression");
+    if (const auto *Malloc =
+            Result.Nodes.getNodeAs<CallExpr>("malloc"))
+        Emit(Malloc->getBeginLoc(), "malloc-family call");
+    if (const auto *Fn =
+            Result.Nodes.getNodeAs<CXXConstructExpr>("std-function"))
+        Emit(Fn->getBeginLoc(), "std::function construction");
+    if (const auto *Virt = Result.Nodes.getNodeAs<CXXMemberCallExpr>(
+            "virtual-call")) {
+        const auto *Method =
+            dyn_cast_or_null<CXXMethodDecl>(Virt->getDirectCallee());
+        if (!Method)
+            return;
+        // Qualified calls (Base::f()) are statically bound, and
+        // final methods/classes devirtualize; neither costs dynamic
+        // dispatch.
+        const auto *ME = dyn_cast<MemberExpr>(
+            Virt->getCallee()->IgnoreParenImpCasts());
+        if (ME && ME->hasQualifier())
+            return;
+        if (Method->hasAttr<FinalAttr>() ||
+            Method->getParent()->hasAttr<FinalAttr>())
+            return;
+        Emit(Virt->getBeginLoc(), "virtual call");
+    }
+}
+
+} // namespace clang::tidy::ft

@@ -1,0 +1,45 @@
+/**
+ * ft-hotpath-purity: functions carrying the FT_HOT annotation
+ * (src/common/annotations.hpp, expanding to
+ * [[clang::annotate("ft_hot")]]) must stay free of:
+ *
+ *  - allocation: new/delete expressions and malloc-family calls
+ *  - exceptions: throw expressions
+ *  - dynamic dispatch: unqualified calls to non-final virtual methods
+ *  - std::function construction (type-erased callables allocate and
+ *    indirect; the stepping core passes templated callables instead)
+ *
+ * FT_ASSERT is fine: it aborts via [[noreturn]] panicImpl and never
+ * throws. Indirect allocation inside callees is out of scope (the
+ * check is per-body, not a call-graph analysis); annotate the callee
+ * FT_HOT to extend coverage. Suppress a deliberate exception with
+ * `// ft-lint: allow(ft-hotpath-purity)`.
+ */
+
+#ifndef FT_TOOLS_FT_TIDY_HOTPATHPURITYCHECK_H
+#define FT_TOOLS_FT_TIDY_HOTPATHPURITYCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::ft {
+
+class HotpathPurityCheck : public ClangTidyCheck
+{
+  public:
+    HotpathPurityCheck(StringRef Name, ClangTidyContext *Context)
+        : ClangTidyCheck(Name, Context)
+    {
+    }
+    bool isLanguageVersionSupported(const LangOptions &LangOpts) const
+        override
+    {
+        return LangOpts.CPlusPlus;
+    }
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &Result)
+        override;
+};
+
+} // namespace clang::tidy::ft
+
+#endif // FT_TOOLS_FT_TIDY_HOTPATHPURITYCHECK_H

@@ -1,0 +1,108 @@
+#include "NondeterminismCheck.h"
+
+#include "FtCheckCommon.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ft {
+
+namespace {
+
+/** Type matcher: a std::unordered_{map,set,multimap,multiset}. */
+auto unorderedContainer()
+{
+    return hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+        classTemplateSpecializationDecl(hasAnyName(
+            "::std::unordered_map", "::std::unordered_set",
+            "::std::unordered_multimap",
+            "::std::unordered_multiset")))));
+}
+
+} // namespace
+
+void NondeterminismCheck::registerMatchers(MatchFinder *Finder)
+{
+    // Raw entropy / wall-clock C entry points.
+    Finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::rand", "::srand", "::random", "::srandom",
+                     "::rand_r", "::drand48", "::lrand48", "::mrand48",
+                     "::time", "::clock", "::gettimeofday",
+                     "::clock_gettime", "::timespec_get"))))
+            .bind("entropy-call"),
+        this);
+    // std::random_device construction.
+    Finder->addMatcher(
+        cxxConstructExpr(hasDeclaration(cxxConstructorDecl(ofClass(
+                             hasName("::std::random_device")))))
+            .bind("random-device"),
+        this);
+    // std::chrono::*_clock::now() (steady, system, high_resolution).
+    Finder->addMatcher(
+        callExpr(callee(cxxMethodDecl(
+                     hasName("now"),
+                     ofClass(matchesName("::std::chrono::")))))
+            .bind("clock-now"),
+        this);
+    // Order-sensitive iteration of unordered containers.
+    Finder->addMatcher(
+        cxxForRangeStmt(hasRangeInit(expr(anyOf(
+                            hasType(unorderedContainer()),
+                            hasType(references(unorderedContainer()))))))
+            .bind("unordered-range-for"),
+        this);
+    Finder->addMatcher(
+        cxxMemberCallExpr(
+            callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+            on(hasType(unorderedContainer())))
+            .bind("unordered-begin"),
+        this);
+}
+
+void NondeterminismCheck::check(
+    const MatchFinder::MatchResult &Result)
+{
+    const SourceManager &SM = *Result.SourceManager;
+    static const llvm::StringRef LegacyAliases[] = {"nondet",
+                                                    "unordered-iter"};
+    const auto Emit = [&](SourceLocation Loc, llvm::StringRef Msg) {
+        if (!inCheckedCode(SM, Loc, /*SkipRngFiles=*/true))
+            return;
+        if (isSuppressed(SM, Loc, "ft-nondeterminism", LegacyAliases))
+            return;
+        diag(SM.getExpansionLoc(Loc), "%0") << Msg;
+    };
+
+    if (const auto *Call =
+            Result.Nodes.getNodeAs<CallExpr>("entropy-call"))
+        Emit(Call->getBeginLoc(),
+             "call to a nondeterministic libc entry point; draw from "
+             "the deterministic generator in common/rng instead");
+    if (const auto *RD =
+            Result.Nodes.getNodeAs<CXXConstructExpr>("random-device"))
+        Emit(RD->getBeginLoc(),
+             "std::random_device is nondeterministic; seed an "
+             "explicit Rng from common/rng instead");
+    if (const auto *Now =
+            Result.Nodes.getNodeAs<CallExpr>("clock-now"))
+        Emit(Now->getBeginLoc(),
+             "wall-clock read; simulated results must not depend on "
+             "host time (host-profiling uses need an explicit "
+             "ft-lint allow)");
+    if (const auto *For = Result.Nodes.getNodeAs<CXXForRangeStmt>(
+            "unordered-range-for"))
+        Emit(For->getForLoc(),
+             "range-for over an unordered container: visit order is "
+             "implementation-defined and can leak into results; use "
+             "an ordered container or sort first");
+    if (const auto *Begin = Result.Nodes.getNodeAs<CXXMemberCallExpr>(
+            "unordered-begin"))
+        Emit(Begin->getBeginLoc(),
+             "iterator walk over an unordered container: visit order "
+             "is implementation-defined and can leak into results; "
+             "use an ordered container or sort first");
+}
+
+} // namespace clang::tidy::ft

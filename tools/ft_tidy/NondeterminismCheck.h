@@ -1,0 +1,43 @@
+/**
+ * ft-nondeterminism: AST-accurate successor of the regex `nondet` and
+ * `unordered-iter` rules from scripts/lint_determinism.py.
+ *
+ * Flags, anywhere outside common/rng:
+ *  - calls to rand()/srand()/random()/*rand48, time(), clock(),
+ *    gettimeofday(), clock_gettime()
+ *  - construction of std::random_device
+ *  - std::chrono *_clock::now() reads
+ *  - range-for over std::unordered_{map,set,multimap,multiset}
+ *  - .begin()/.cbegin() walks of those containers
+ *
+ * Keyed lookups on unordered containers are fine and never flagged.
+ * Suppress a deliberate use with `// ft-lint: allow(ft-nondeterminism)`.
+ */
+
+#ifndef FT_TOOLS_FT_TIDY_NONDETERMINISMCHECK_H
+#define FT_TOOLS_FT_TIDY_NONDETERMINISMCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::ft {
+
+class NondeterminismCheck : public ClangTidyCheck
+{
+  public:
+    NondeterminismCheck(StringRef Name, ClangTidyContext *Context)
+        : ClangTidyCheck(Name, Context)
+    {
+    }
+    bool isLanguageVersionSupported(const LangOptions &LangOpts) const
+        override
+    {
+        return LangOpts.CPlusPlus;
+    }
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &Result)
+        override;
+};
+
+} // namespace clang::tidy::ft
+
+#endif // FT_TOOLS_FT_TIDY_NONDETERMINISMCHECK_H

@@ -1,0 +1,84 @@
+// Fixture for the ft-atomic-order check (driven by
+// run_check_tests.py).
+
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> counter{0};
+std::atomic<bool> flag{false};
+std::atomic<int *> slot{nullptr};
+
+// --- positive cases: defaulted seq_cst ---------------------------------
+
+std::uint64_t loadDefault()
+{
+    return counter.load(); // expect-warning: ft-atomic-order
+}
+
+void storeDefault(std::uint64_t v)
+{
+    counter.store(v); // expect-warning: ft-atomic-order
+}
+
+std::uint64_t rmwDefault()
+{
+    return counter.fetch_add(1); // expect-warning: ft-atomic-order
+}
+
+bool exchangeDefault()
+{
+    return flag.exchange(true); // expect-warning: ft-atomic-order
+}
+
+int *pointerLoadDefault()
+{
+    return slot.load(); // expect-warning: ft-atomic-order
+}
+
+// --- positive cases: operator forms ------------------------------------
+
+std::uint64_t opIncrement()
+{
+    return ++counter; // expect-warning: ft-atomic-order
+}
+
+void opAssign(std::uint64_t v)
+{
+    counter = v; // expect-warning: ft-atomic-order
+}
+
+std::uint64_t implicitConversionLoad()
+{
+    return counter; // expect-warning: ft-atomic-order
+}
+
+// --- negative cases: explicit orders -----------------------------------
+
+std::uint64_t loadExplicit()
+{
+    return counter.load(std::memory_order_relaxed);
+}
+
+void storeExplicit(std::uint64_t v)
+{
+    counter.store(v, std::memory_order_release);
+}
+
+std::uint64_t rmwExplicit()
+{
+    return counter.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool casExplicit(std::uint64_t expected)
+{
+    return counter.compare_exchange_strong(
+        expected, expected + 1, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+}
+
+// --- suppression -------------------------------------------------------
+
+std::uint64_t sanctionedDefault()
+{
+    return counter.load(); // ft-lint: allow(ft-atomic-order)
+}

@@ -1,0 +1,90 @@
+// Fixture for the ft-hotpath-purity check (driven by
+// run_check_tests.py). FT_HOT comes from the real annotation header
+// so the fixture exercises exactly what src/ uses.
+
+#include <cstdlib>
+#include <functional>
+
+#include "common/annotations.hpp"
+
+struct Base
+{
+    virtual ~Base() = default;
+    virtual int weight() const { return 1; }
+    virtual int bias() const { return 0; }
+};
+
+struct Leaf final : Base
+{
+    int weight() const override { return 2; }
+};
+
+// --- positive cases ----------------------------------------------------
+
+FT_HOT int hotAllocates(int n)
+{
+    int *scratch = new int[n]; // expect-warning: ft-hotpath-purity
+    const int first = scratch[0];
+    delete[] scratch; // expect-warning: ft-hotpath-purity
+    return first;
+}
+
+FT_HOT void *hotMallocs(std::size_t n)
+{
+    return std::malloc(n); // expect-warning: ft-hotpath-purity
+}
+
+FT_HOT int hotThrows(int v)
+{
+    if (v < 0)
+        throw v; // expect-warning: ft-hotpath-purity
+    return v;
+}
+
+FT_HOT int hotVirtualCall(const Base &b)
+{
+    return b.weight(); // expect-warning: ft-hotpath-purity
+}
+
+FT_HOT int hotTypeErases()
+{
+    std::function<int()> f = // expect-warning: ft-hotpath-purity
+        [] { return 7; };
+    return f();
+}
+
+// --- negative cases ----------------------------------------------------
+
+int coldAllocates(int n)
+{
+    int *scratch = new int[n]; // not FT_HOT: fine
+    const int first = scratch[0];
+    delete[] scratch;
+    return first;
+}
+
+FT_HOT int hotStaticBound(const Base &b)
+{
+    return b.Base::weight(); // qualified: statically bound
+}
+
+FT_HOT int hotFinalCall(const Leaf &l)
+{
+    return l.weight(); // final override: devirtualizes
+}
+
+FT_HOT int hotPlainArithmetic(int a, int b)
+{
+    return a * 31 + b;
+}
+
+// --- suppression -------------------------------------------------------
+
+FT_HOT int hotSanctioned(int n)
+{
+    int *p = new int[n]; // ft-lint: allow(ft-hotpath-purity)
+    const int v = p[0];
+    // ft-lint: allow(ft-hotpath-purity)
+    delete[] p;
+    return v;
+}

@@ -1,0 +1,93 @@
+// Fixture for the ft-nondeterminism check (driven by
+// run_check_tests.py; `// expect-warning:` marks lines that must
+// diagnose, everything else must stay silent).
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+// --- positive cases ----------------------------------------------------
+
+int rawRand()
+{
+    return rand(); // expect-warning: ft-nondeterminism
+}
+
+void seedFromTime()
+{
+    srand(static_cast<unsigned>( // expect-warning: ft-nondeterminism
+        time(nullptr)));         // expect-warning: ft-nondeterminism
+}
+
+unsigned hardwareEntropy()
+{
+    std::random_device rd; // expect-warning: ft-nondeterminism
+    return rd();
+}
+
+long long wallClock()
+{
+    return std::chrono::steady_clock::now() // expect-warning: ft-nondeterminism
+        .time_since_epoch()
+        .count();
+}
+
+int unorderedRangeFor(const std::unordered_map<int, int> &table)
+{
+    int sum = 0;
+    for (const auto &kv : table) // expect-warning: ft-nondeterminism
+        sum += kv.second;
+    return sum;
+}
+
+int unorderedIterWalk(const std::unordered_set<int> &seen)
+{
+    int sum = 0;
+    for (auto it = seen.begin(); // expect-warning: ft-nondeterminism
+         it != seen.end(); ++it)
+        sum += *it;
+    return sum;
+}
+
+// --- negative cases ----------------------------------------------------
+
+int keyedLookup(const std::unordered_map<int, int> &table, int key)
+{
+    const auto it = table.find(key);
+    return it == table.end() ? 0 : it->second;
+}
+
+int orderedRangeFor(const std::map<int, int> &table)
+{
+    int sum = 0;
+    for (const auto &kv : table)
+        sum += kv.second;
+    return sum;
+}
+
+int seededEngine()
+{
+    std::mt19937 engine(12345); // explicit seed: deterministic
+    return static_cast<int>(engine());
+}
+
+// --- suppression -------------------------------------------------------
+
+long long sanctionedWallClock()
+{
+    return std::chrono::steady_clock::now() // ft-lint: allow(ft-nondeterminism)
+        .time_since_epoch()
+        .count();
+}
+
+int legacySuppression(const std::unordered_map<int, int> &table)
+{
+    int sum = 0;
+    for (const auto &kv : table) // det-lint: allow(unordered-iter)
+        sum += kv.second;
+    return sum;
+}

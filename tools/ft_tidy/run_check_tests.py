@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Fixture test driver for the ft-tidy plugin checks.
+
+Runs clang-tidy with the ft_tidy module loaded and exactly one ft-*
+check enabled over one fixture file, then diffs the emitted warnings
+against the fixture's `// expect-warning: <check>` annotations:
+
+  - every annotated line must produce a warning of that check
+    (positive cases), and
+  - no unannotated line may produce one (negative and suppression
+    cases).
+
+Exit status: 0 on an exact match, 1 on any difference, 77 (the ctest
+SKIP_RETURN_CODE) when clang-tidy or the plugin module is missing, so
+local gcc-only environments skip instead of fail.
+
+Usage:
+    run_check_tests.py --clang-tidy PATH --plugin PATH.so \
+        --check ft-nondeterminism --fixture fixtures/nondeterminism.cpp \
+        --include DIR [--include DIR...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP = 77
+
+EXPECT_RE = re.compile(r"//\s*expect-warning:\s*([a-z-]+)")
+
+
+def expected_lines(fixture: Path, check: str) -> set[int]:
+    lines = set()
+    for lineno, text in enumerate(
+            fixture.read_text().splitlines(), 1):
+        m = EXPECT_RE.search(text)
+        if m and m.group(1) == check:
+            lines.add(lineno)
+    return lines
+
+
+def emitted_lines(output: str, fixture: Path, check: str) -> set[int]:
+    # clang-tidy diagnostic lines: /path/file.cpp:LINE:COL: warning:
+    # message [check-name]
+    hit_re = re.compile(
+        rf"^(?P<path>[^:\s][^:]*):(?P<line>\d+):\d+:\s+warning:.*"
+        rf"\[{re.escape(check)}\]\s*$")
+    lines = set()
+    for raw in output.splitlines():
+        m = hit_re.match(raw)
+        if m and Path(m.group("path")).name == fixture.name:
+            lines.add(int(m.group("line")))
+    return lines
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    ap.add_argument("--clang-tidy", required=True)
+    ap.add_argument("--plugin", required=True)
+    ap.add_argument("--check", required=True)
+    ap.add_argument("--fixture", required=True, type=Path)
+    ap.add_argument("--include", action="append", default=[],
+                    help="-I directory for the fixture compilation")
+    ap.add_argument("--std", default="c++20")
+    args = ap.parse_args()
+
+    clang_tidy = shutil.which(args.clang_tidy) or args.clang_tidy
+    if not Path(clang_tidy).exists():
+        print(f"SKIP: clang-tidy not found: {args.clang_tidy}")
+        return SKIP
+    plugin = Path(args.plugin)
+    if not plugin.exists():
+        print(f"SKIP: plugin module not built: {plugin}")
+        return SKIP
+    if not args.fixture.exists():
+        print(f"error: no such fixture: {args.fixture}",
+              file=sys.stderr)
+        return 1
+
+    cmd = [
+        clang_tidy,
+        f"-load={plugin}",
+        f"-checks=-*,{args.check}",
+        str(args.fixture),
+        "--",
+        f"-std={args.std}",
+    ] + [f"-I{d}" for d in args.include]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if "Unable to find module" in proc.stderr or \
+            "error: unable to load plugin" in proc.stderr.lower():
+        print(f"SKIP: clang-tidy cannot load {plugin}:\n{proc.stderr}")
+        return SKIP
+    if "error:" in proc.stdout or "error:" in proc.stderr:
+        print(f"fixture failed to parse:\n$ {' '.join(cmd)}\n"
+              f"{proc.stdout}\n{proc.stderr}", file=sys.stderr)
+        return 1
+
+    want = expected_lines(args.fixture, args.check)
+    got = emitted_lines(proc.stdout, args.fixture, args.check)
+
+    missing = sorted(want - got)
+    unexpected = sorted(got - want)
+    if missing or unexpected:
+        print(f"$ {' '.join(cmd)}\n{proc.stdout}", file=sys.stderr)
+        for line in missing:
+            print(f"FAIL: expected {args.check} warning at "
+                  f"{args.fixture}:{line}, none emitted",
+                  file=sys.stderr)
+        for line in unexpected:
+            print(f"FAIL: unexpected {args.check} warning at "
+                  f"{args.fixture}:{line}", file=sys.stderr)
+        return 1
+
+    print(f"OK: {args.check}: {len(want)} expected warning(s) "
+          f"matched, no strays")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
