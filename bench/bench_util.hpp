@@ -16,7 +16,9 @@
 
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "noc/batched_engine.hpp"
 #include "sched/work_stealing_pool.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/sweep_cache.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -77,6 +79,7 @@ writeCacheStats(std::ostream &os)
     telemetry::MetricsRegistry metrics;
     sweepCache().reportTo(metrics);
     sched::WorkStealingPool::global().reportTo(metrics);
+    reportBatchRunStats(metrics);
     metrics.writeSummary(os);
 }
 
@@ -126,11 +129,16 @@ usage(const char *prog)
 {
     std::cerr
         << "usage: " << prog
-        << " [--csv] [--threads N] [--telemetry-dir DIR]"
+        << " [--csv] [--threads N] [--batch K] [--telemetry-dir DIR]"
            " [--telemetry-epoch N] [--result-cache DIR]"
            " [--cache-stats FILE]\n"
         << "  --csv                emit tables as CSV (for scripting)\n"
         << "  --threads N          cap parallel sweep workers at N\n"
+        << "  --batch K            replicas per batched-engine group\n"
+        << "                       (1.."
+        << BatchedEngine::kMaxLanes
+        << "; 1 disables batching; default "
+        << defaultBatchWidth() << ")\n"
         << "  --telemetry-dir DIR  export telemetry artifacts (Chrome\n"
         << "                       traces, link heatmaps, metrics CSV)\n"
         << "                       into DIR\n"
@@ -167,6 +175,30 @@ parseArgs(int argc, char **argv)
                 std::exit(2);
             }
             threadOverride() = static_cast<unsigned>(n);
+            ++i;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--batch") == 0) {
+            char *end = nullptr;
+            const long k =
+                i + 1 < argc ? std::strtol(argv[i + 1], &end, 10) : 0;
+            if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' ||
+                k < 1 ||
+                k > static_cast<long>(BatchedEngine::kMaxLanes)) {
+                std::cerr << argv[0] << ": --batch needs an integer"
+                          << " in 1.." << BatchedEngine::kMaxLanes
+                          << "\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            if ((k & (k - 1)) != 0) {
+                // Legal but usually unintended: odd widths leave the
+                // replica rows straddling cache lines.
+                std::cerr << argv[0] << ": warning: --batch " << k
+                          << " is not a power of two; batched rows"
+                          << " will straddle cache lines\n";
+            }
+            setDefaultBatchWidth(static_cast<std::uint32_t>(k));
             ++i;
             continue;
         }

@@ -1,0 +1,181 @@
+#include "noc/batched_engine.hpp"
+
+#include <cstring>
+
+namespace fasttrack {
+
+BatchedEngine::BatchedEngine(const NocConfig &config,
+                             std::uint32_t lanes)
+    : geo_(config), lanes_(lanes)
+{
+    FT_ASSERT(lanes >= 1 && lanes <= kMaxLanes, "bad lane count ",
+              lanes);
+    const std::uint32_t count = geo_.nodeCount();
+    slab_.init(count, geo_.slabDepth(), lanes);
+    offerSlab_.resize(static_cast<std::size_t>(count) * lanes);
+    // +8 zero padding bytes: the stepping core reads offer-mask rows
+    // with 64-bit loads (same trick as BatchedLinkSlab::init).
+    offerMask_.assign(static_cast<std::size_t>(count) * lanes + 8, 0);
+    stats_.resize(lanes);
+    inFlight_.assign(lanes, 0);
+    pendingOffers_.assign(lanes, 0);
+}
+
+void
+BatchedEngine::step()
+{
+    const std::uint32_t count = geo_.nodeCount();
+    const std::uint32_t nlanes = lanes_;
+    const std::uint32_t cur = slab_.frameOf(cycle_);
+    // Landing frame per output lane, computed once per cycle and
+    // shared by every lane (all replicas run the same geometry).
+    std::array<std::uint32_t, kNumOutPorts> dest_frame;
+    for (std::size_t port = 0; port < kNumOutPorts; ++port)
+        dest_frame[port] =
+            slab_.frameOf(cycle_ + geo_.portLatency()[port]);
+
+    /** Always-open exit gate: batched runs never attach external
+     *  delivery arbitration (those workloads use Network). */
+    struct Gate
+    {
+        bool operator()(const Packet &) const { return true; }
+    };
+
+    /** Direct-commit sink for one (router, lane): forwards land in
+     *  the slab immediately and deliveries are measured on the spot.
+     *  There are no checker/tracer/telemetry consumers here, so no
+     *  outcome needs to be staged the way Network's sink does. */
+    struct Sink
+    {
+        BatchedEngine *eng;
+        std::uint32_t id;
+        std::uint32_t lane;
+        const std::uint32_t *dest_frame;
+
+        FT_HOT void forward(OutPort out, const Packet &p)
+        {
+            const auto idx = static_cast<std::size_t>(out);
+            const TransferTarget &t = eng->geo_.targets(id)[idx];
+            FT_ASSERT(t.router != kInvalidNode,
+                      "forward onto a non-existent link");
+            eng->slab_.place(dest_frame[idx], t.router, lane, t.port,
+                            p);
+        }
+        FT_HOT void deliver(InPort, const Packet &p)
+        {
+            FT_ASSERT(p.dst == id, "delivery at wrong node");
+            // Mirror of EngineCore::recordDeliveryStats, per lane.
+            NocStats &s = eng->stats_[lane];
+            --eng->inFlight_[lane];
+            ++s.delivered;
+            s.totalLatency.add(eng->cycle_ - p.created);
+            s.networkLatency.add(eng->cycle_ - p.injected);
+            s.hopCount.add(p.totalHops());
+            s.deflectionCount.add(p.deflections);
+        }
+    };
+
+    /** Per-lane state feed for Router::routeLanes at one router. */
+    struct Ctx
+    {
+        BatchedEngine *eng;
+        std::uint32_t id;
+        const std::uint32_t *dest_frame;
+        /** Lane 0's input row; lane rows are kPorts apart. */
+        Packet *row0;
+        const std::uint8_t *in_masks;
+        std::uint8_t *offer_masks;
+        Packet *offer_row;
+
+        FT_HOT std::uint8_t inputMask(std::uint32_t lane) const
+        {
+            return in_masks[lane];
+        }
+        FT_HOT Packet *inputs(std::uint32_t lane) const
+        {
+            return row0 + static_cast<std::size_t>(lane) *
+                              BatchedLinkSlab::kPorts;
+        }
+        FT_HOT const Packet *peOffer(std::uint32_t lane) const
+        {
+            return offer_masks[lane] ? offer_row + lane : nullptr;
+        }
+        FT_HOT NocStats &stats(std::uint32_t lane) const
+        {
+            return eng->stats_[lane];
+        }
+        FT_HOT Gate gate(std::uint32_t) const { return Gate{}; }
+        FT_HOT Sink sink(std::uint32_t lane) const
+        {
+            return Sink{eng, id, lane, dest_frame};
+        }
+        FT_HOT void accepted(std::uint32_t lane, bool acc) const
+        {
+            if (!acc)
+                return;
+            offer_masks[lane] = 0;
+            --eng->pendingOffers_[lane];
+            ++eng->inFlight_[lane];
+        }
+    };
+
+    // Occupancy scan constants: mask rows are read eight lanes at a
+    // time with one 64-bit load (both buffers carry zero padding so
+    // the load is always in bounds); when the lane count is not a
+    // multiple of eight the last group keeps only its own bytes —
+    // without the mask the load would pick up the next router's lanes.
+    const std::uint32_t groups = (nlanes + 7) / 8;
+    const std::uint64_t tail_keep =
+        (nlanes & 7u) != 0
+            ? (std::uint64_t{1} << ((nlanes & 7u) * 8)) - 1
+            : ~std::uint64_t{0};
+
+    for (std::uint32_t id = 0; id < count; ++id) {
+        const std::uint8_t *in_masks = slab_.maskRow(cur, id);
+        const std::uint8_t *offer_masks =
+            offerMask_.data() + offerIndex(id, 0);
+        if (id + 1 < count) {
+            __builtin_prefetch(slab_.maskRow(cur, id + 1));
+            __builtin_prefetch(offerMask_.data() +
+                               offerIndex(id + 1, 0));
+            __builtin_prefetch(slab_.row(cur, id + 1, 0));
+        }
+
+        // Collapse the occupancy bytes into one bit per lane; a fully
+        // idle router costs two wide loads and a compare, and the
+        // route loop below touches only the set lanes.
+        std::uint32_t lane_mask = 0;
+        for (std::uint32_t g = 0; g < groups; ++g) {
+            std::uint64_t w_in = 0;
+            std::uint64_t w_off = 0;
+            std::memcpy(&w_in, in_masks + g * 8, 8);
+            std::memcpy(&w_off, offer_masks + g * 8, 8);
+            std::uint64_t w = w_in | w_off;
+            if (g + 1 == groups)
+                w &= tail_keep;
+            while (w != 0) {
+                const auto b = static_cast<unsigned>(
+                    __builtin_ctzll(w) >> 3);
+                lane_mask |= 1u << (g * 8 + b);
+                w &= ~(std::uint64_t{0xff} << (b * 8));
+            }
+        }
+        if (lane_mask == 0)
+            continue;
+
+        Ctx ctx{this,
+                id,
+                dest_frame.data(),
+                slab_.row(cur, id, 0),
+                in_masks,
+                offerMask_.data() + offerIndex(id, 0),
+                offerSlab_.data() + offerIndex(id, 0)};
+        geo_.routers()[id].routeLanes(lane_mask, ctx, cycle_);
+
+        slab_.clearMaskRow(cur, id);
+    }
+
+    ++cycle_;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Replica-major batched lockstep engine: K independent replicas of
+ * one NocConfig stepped by a single thread.
+ *
+ * A design-space sweep runs thousands of independent simulations of
+ * identical geometry; stepping them one per core re-fetches the same
+ * candidate tables and half-empty cache lines once per network.
+ * BatchedEngine holds K replicas' link registers replica-major
+ * (noc/batched_link_slab.hpp) and routes each router position for all
+ * K lanes back to back (Router::routeLanes), so the per-router
+ * geometry is fetched once per cycle instead of K times and the
+ * independent lanes give the out-of-order core parallel work.
+ *
+ * Determinism contract: each lane executes exactly the scalar
+ * arbitration (routeCore) on its own state, with its own offer slots,
+ * statistics and in-flight accounting; a lane's NocStats snapshot is
+ * bit-identical to a solo Network run fed the same offers at the same
+ * cycles (tests/test_batched.cpp proves this per lane with
+ * golden-stats FNV hashes). What the batched engine deliberately
+ * omits relative to Network: delivery callbacks, exit gates, journey
+ * tracers, telemetry, the FT_CHECK invariant checker, and the
+ * per-node/per-link counters (nodeCounters, linkTraversals) — none of
+ * which feed NocStats. Workloads needing any of those run on the
+ * scalar Network; the sim layer picks accordingly (docs/engine.md).
+ */
+
+#ifndef FT_NOC_BATCHED_ENGINE_HPP
+#define FT_NOC_BATCHED_ENGINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/logging.hpp"
+#include "noc/batched_link_slab.hpp"
+#include "noc/config.hpp"
+#include "noc/geometry.hpp"
+#include "noc/noc_stats.hpp"
+#include "noc/packet.hpp"
+
+namespace fasttrack {
+
+/** K lockstep replicas of one NocConfig (see file comment). */
+class BatchedEngine
+{
+  public:
+    /** Upper bound on lanes per batch; sized so one batch's hot state
+     *  stays cache-resident at paper-scale geometries. */
+    static constexpr std::uint32_t kMaxLanes = 32;
+
+    BatchedEngine(const NocConfig &config, std::uint32_t lanes);
+
+    std::uint32_t lanes() const { return lanes_; }
+    std::uint32_t nodeCount() const { return geo_.nodeCount(); }
+    const NocConfig &config() const { return geo_.config(); }
+    const Topology &topology() const { return geo_.topo(); }
+    Cycle now() const { return cycle_; }
+
+    /**
+     * Offer a packet for injection at its source node on @p lane.
+     * Same contract as EngineCore::offer: self-addressed packets are
+     * counted and dropped (no delivery callbacks exist here), and a
+     * (lane, node) pair holds at most one pending offer, persisting
+     * until the router accepts it.
+     */
+    FT_HOT void offer(std::uint32_t lane, const Packet &packet)
+    {
+        FT_ASSERT(lane < lanes_, "bad lane");
+        FT_ASSERT(packet.src < geo_.nodeCount(), "bad source node");
+        FT_ASSERT(packet.dst < geo_.nodeCount(),
+                  "bad destination node");
+        if (packet.src == packet.dst) {
+            // Local traffic bypasses the NoC entirely.
+            ++stats_[lane].selfDelivered;
+            return;
+        }
+        std::uint8_t &m = offerMask_[offerIndex(packet.src, lane)];
+        FT_ASSERT(!m, "lane ", lane, " node ", packet.src,
+                  " already has a pending offer");
+        offerSlab_[offerIndex(packet.src, lane)] = packet;
+        m = 1;
+        ++pendingOffers_[lane];
+    }
+
+    /** Whether (@p lane, @p node) still has an un-injected offer. */
+    FT_HOT bool hasPendingOffer(std::uint32_t lane, NodeId node) const
+    {
+        return offerMask_[offerIndex(node, lane)] != 0;
+    }
+
+    /** Whether @p lane has no packets in flight and no offers. */
+    bool quiescent(std::uint32_t lane) const
+    {
+        return inFlight_[lane] == 0 && pendingOffers_[lane] == 0;
+    }
+
+    const NocStats &stats(std::uint32_t lane) const
+    {
+        return stats_[lane];
+    }
+    NocStats statsSnapshot(std::uint32_t lane) const
+    {
+        return stats_[lane];
+    }
+
+    std::uint64_t inFlight(std::uint32_t lane) const
+    {
+        return inFlight_[lane];
+    }
+
+    /** Advance all K lanes one clock cycle in lockstep. Lanes whose
+     *  router has neither inputs nor a pending offer cost one byte
+     *  read; fully idle routers are skipped for all lanes at once. */
+    FT_HOT void step();
+
+  private:
+    /** Offer slots are replica-major ([node][lane]) so the stepping
+     *  core reads one contiguous K-byte run per router. */
+    std::size_t offerIndex(NodeId node, std::uint32_t lane) const
+    {
+        return static_cast<std::size_t>(node) * lanes_ + lane;
+    }
+
+    EngineGeometry geo_;
+    BatchedLinkSlab slab_;
+    std::uint32_t lanes_ = 0;
+
+    /** Pending-offer registers, replica-major: [node][lane]. */
+    std::vector<Packet> offerSlab_;
+    std::vector<std::uint8_t> offerMask_;
+
+    /** Per-lane measurement and accounting (lane == replica). */
+    std::vector<NocStats> stats_;
+    std::vector<std::uint64_t> inFlight_;
+    std::vector<std::uint64_t> pendingOffers_;
+
+    Cycle cycle_ = 0;
+};
+
+} // namespace fasttrack
+
+#endif // FT_NOC_BATCHED_ENGINE_HPP

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Replica-major link-register storage for the batched lockstep engine.
+ *
+ * Same frame-ring idea as LinkSlab (frame `cycle % depth` holds the
+ * packets arriving at `cycle`; a forward with latency L writes frame
+ * `(cycle + L) % depth`), but holding K independent replicas of the
+ * same geometry side by side. Layout, outermost to innermost:
+ *
+ *     slots: [frame][router][lane][port]   (port row contiguous)
+ *     masks: [frame][router][lane]         (lane row contiguous)
+ *
+ * The port index is innermost so one lane's four input slots form
+ * exactly the `Packet *inputs` row Router::routeCore consumes; the
+ * lane index sits directly above it so the K replicas of one router's
+ * registers are adjacent in memory — when the batched engine steps
+ * router r for lanes 0..K-1 back to back, the lanes share cache lines
+ * and the per-router geometry (candidate table, landing targets) is
+ * fetched once instead of K times. That replica-major adjacency is the
+ * entire point of the batched engine; see docs/engine.md.
+ */
+
+#ifndef FT_NOC_BATCHED_LINK_SLAB_HPP
+#define FT_NOC_BATCHED_LINK_SLAB_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/logging.hpp"
+#include "common/types.hpp"
+#include "noc/packet.hpp"
+#include "noc/routing.hpp"
+
+namespace fasttrack {
+
+/** Contiguous (frame, router, lane, port)-indexed packet registers. */
+class BatchedLinkSlab
+{
+  public:
+    /** Input ports per router per lane (wEx, nEx, wSh, nSh). */
+    static constexpr std::uint32_t kPorts = 4;
+
+    void init(std::uint32_t routers, std::uint32_t depth,
+              std::uint32_t lanes)
+    {
+        FT_ASSERT(depth >= 2, "slab needs at least a double buffer");
+        FT_ASSERT(lanes >= 1, "slab needs at least one lane");
+        routers_ = routers;
+        depth_ = depth;
+        lanes_ = lanes;
+        slots_.resize(static_cast<std::size_t>(routers) * depth *
+                      lanes * kPorts);
+        // Eight padding bytes so the stepping core may read any mask
+        // row with one 64-bit load; the padding is never written and
+        // stays zero.
+        masks_.assign(
+            static_cast<std::size_t>(routers) * depth * lanes + 8, 0);
+    }
+
+    std::uint32_t depth() const { return depth_; }
+    std::uint32_t lanes() const { return lanes_; }
+
+    /** Frame index holding arrivals for @p cycle. */
+    FT_HOT std::uint32_t frameOf(Cycle cycle) const
+    {
+        return static_cast<std::uint32_t>(cycle % depth_);
+    }
+
+    /** The four input-port slots of (@p router, @p lane) in @p frame. */
+    FT_HOT Packet *row(std::uint32_t frame, std::uint32_t router,
+                       std::uint32_t lane)
+    {
+        return slots_.data() +
+               ((static_cast<std::size_t>(frame) * routers_ + router) *
+                    lanes_ +
+                lane) *
+                   kPorts;
+    }
+    FT_HOT const Packet *row(std::uint32_t frame, std::uint32_t router,
+                             std::uint32_t lane) const
+    {
+        return slots_.data() +
+               ((static_cast<std::size_t>(frame) * routers_ + router) *
+                    lanes_ +
+                lane) *
+                   kPorts;
+    }
+
+    /** All lanes' occupancy bytes of @p router in @p frame,
+     *  contiguous: maskRow(f, r)[lane] is lane's bits. Lets the
+     *  stepping core test "any lane has input?" with one streamed
+     *  read per router. */
+    FT_HOT const std::uint8_t *maskRow(std::uint32_t frame,
+                                       std::uint32_t router) const
+    {
+        return masks_.data() +
+               (static_cast<std::size_t>(frame) * routers_ + router) *
+                   lanes_;
+    }
+
+    /** Occupancy bits of (@p router, @p lane) in @p frame. */
+    FT_HOT std::uint8_t mask(std::uint32_t frame, std::uint32_t router,
+                             std::uint32_t lane) const
+    {
+        return maskRow(frame, router)[lane];
+    }
+    FT_HOT void clearMask(std::uint32_t frame, std::uint32_t router,
+                          std::uint32_t lane)
+    {
+        masks_[(static_cast<std::size_t>(frame) * routers_ + router) *
+                   lanes_ +
+               lane] = 0;
+    }
+    /** Clear every lane's occupancy byte of @p router in @p frame. */
+    FT_HOT void clearMaskRow(std::uint32_t frame, std::uint32_t router)
+    {
+        std::memset(masks_.data() + (static_cast<std::size_t>(frame) *
+                                         routers_ +
+                                     router) *
+                                        lanes_,
+                    0, lanes_);
+    }
+
+    /**
+     * Land @p p on (@p frame, @p router, @p lane, @p port), asserting
+     * the single-driver rule (the slot must be empty). Returns the
+     * placed slot.
+     */
+    FT_HOT Packet *place(std::uint32_t frame, std::uint32_t router,
+                         std::uint32_t lane, InPort port,
+                         const Packet &p)
+    {
+        std::uint8_t &m =
+            masks_[(static_cast<std::size_t>(frame) * routers_ +
+                    router) *
+                       lanes_ +
+                   lane];
+        const auto bit = static_cast<std::uint8_t>(
+            1u << static_cast<unsigned>(port));
+        FT_ASSERT(!(m & bit), "link register collision");
+        m = static_cast<std::uint8_t>(m | bit);
+        Packet *slot =
+            row(frame, router, lane) + static_cast<unsigned>(port);
+        *slot = p;
+        return slot;
+    }
+
+    /** Total occupied slots across all frames and lanes (debug aid). */
+    std::uint64_t occupied() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint8_t m : masks_)
+            total += static_cast<unsigned>(__builtin_popcount(m));
+        return total;
+    }
+
+  private:
+    std::vector<Packet> slots_;
+    std::vector<std::uint8_t> masks_;
+    std::uint32_t routers_ = 0;
+    std::uint32_t depth_ = 0;
+    std::uint32_t lanes_ = 0;
+};
+
+} // namespace fasttrack
+
+#endif // FT_NOC_BATCHED_LINK_SLAB_HPP

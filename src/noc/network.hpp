@@ -13,6 +13,7 @@
 #include "common/annotations.hpp"
 #include "noc/config.hpp"
 #include "noc/engine_core.hpp"
+#include "noc/geometry.hpp"
 #include "noc/link_slab.hpp"
 #include "noc/noc_stats.hpp"
 #include "noc/packet.hpp"
@@ -32,11 +33,14 @@ namespace fasttrack {
  * randomness, fixed router evaluation order.
  *
  * Engine layout: offer/accounting/measurement scaffolding comes from
- * EngineCore; the link registers live in a dense LinkSlab frame ring
- * rather than per-router std::optional slots, and step() dispatches to
- * a stepping core templated on whether an exit gate, a journey tracer
- * and a telemetry sink are attached, so the common no-hook path
- * compiles with all three folded out entirely (see docs/engine.md and
+ * EngineCore; the routing geometry (routers, candidate tables, link
+ * landing sites and latencies) is an EngineGeometry shared in shape
+ * with the batched lockstep engine (noc/batched_engine.hpp); the link
+ * registers live in a dense LinkSlab frame ring rather than
+ * per-router std::optional slots, and step() dispatches to a stepping
+ * core templated on whether an exit gate, a journey tracer and a
+ * telemetry sink are attached, so the common no-hook path compiles
+ * with all three folded out entirely (see docs/engine.md and
  * docs/observability.md).
  */
 class Network : public EngineCore
@@ -62,11 +66,14 @@ class Network : public EngineCore
     /** Advance one clock cycle. */
     void step() override;
 
-    const Topology &topology() const { return topo_; }
-    const NocConfig &config() const override { return topo_.config(); }
+    const Topology &topology() const { return geo_.topo(); }
+    const NocConfig &config() const override { return geo_.config(); }
 
     /** Total physical links (short + express), for activity metrics. */
-    std::uint64_t linkCount() const override;
+    std::uint64_t linkCount() const override
+    {
+        return geo_.linkCount();
+    }
     std::uint32_t channelCount() const override { return 1; }
 
     /** Per-link traversal counts: [router][OutPort] packets that left
@@ -91,12 +98,6 @@ class Network : public EngineCore
     }
 
   private:
-    struct TransferTarget
-    {
-        std::uint32_t router;
-        InPort port;
-    };
-
     /** The stepping core; step() picks the instantiation matching the
      *  attached hooks so the hot path pays for none it doesn't use.
      *  HasTelem tracks whether a telemetry sink is installed
@@ -110,14 +111,10 @@ class Network : public EngineCore
 
     void onDrainedQuiescent() override;
 
-    Topology topo_;
-    std::vector<Router> routers_;
+    /** Routers, candidate tables, landing sites, link latencies. */
+    EngineGeometry geo_;
     /** Dense link registers: ring of frames indexed by arrival cycle. */
     LinkSlab slab_;
-    /** Precomputed landing site for each (router, OutPort). */
-    std::vector<std::array<TransferTarget, kNumOutPorts>> targets_;
-    /** Link latency in cycles per output lane (1 + extra stages). */
-    std::array<Cycle, kNumOutPorts> portLatency_{};
 
     std::vector<std::array<std::uint64_t, kNumOutPorts>> linkTraversals_;
     std::vector<NodeCounters> nodeCounters_;

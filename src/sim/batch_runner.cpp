@@ -1,0 +1,216 @@
+#include "sim/batch_runner.hpp"
+
+#include <atomic>
+
+#include "check/invariants.hpp"
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "noc/batched_engine.hpp"
+#include "sched/work_stealing_pool.hpp"
+#include "sim/sweep_cache.hpp"
+#include "telemetry/sink.hpp"
+#include "traffic/batched_injector.hpp"
+
+namespace fasttrack {
+
+namespace {
+
+std::atomic<std::uint32_t> g_batchWidth{8};
+
+std::atomic<std::uint64_t> g_batchedGroups{0};
+std::atomic<std::uint64_t> g_batchedLanes{0};
+std::atomic<std::uint64_t> g_scalarRuns{0};
+
+} // namespace
+
+std::uint32_t
+defaultBatchWidth()
+{
+    return g_batchWidth.load(std::memory_order_relaxed);
+}
+
+void
+setDefaultBatchWidth(std::uint32_t width)
+{
+    FT_ASSERT(width >= 1 && width <= BatchedEngine::kMaxLanes,
+              "batch width must be in 1..", BatchedEngine::kMaxLanes,
+              ": ", width);
+    g_batchWidth.store(width, std::memory_order_relaxed);
+}
+
+std::vector<SynthResult>
+runSyntheticBatch(const NocConfig &config,
+                  const std::vector<SyntheticWorkload> &workloads,
+                  Cycle max_cycles)
+{
+    const auto nlanes = static_cast<std::uint32_t>(workloads.size());
+    BatchedEngine noc(config, nlanes);
+    BatchedSyntheticInjector injector(noc, workloads);
+    std::vector<SynthResult> out(nlanes);
+
+    const Cycle start = noc.now();
+    std::uint32_t active = nlanes;
+    const auto finalize = [&](std::uint32_t lane, bool completed) {
+        SynthResult &r = out[lane];
+        r.stats = noc.statsSnapshot(lane);
+        r.cycles = noc.now() - start;
+        r.pes = config.pes();
+        r.offeredRate = workloads[lane].injectionRate;
+        r.completed = completed;
+        injector.setLaneActive(lane, false);
+        --active;
+#if FT_CHECK_ENABLED
+        check::verifyDrainedStats(r.stats.injected, r.stats.delivered,
+                                  noc.quiescent(lane));
+#endif
+    };
+
+    // Zero-budget lanes finish before the first cycle, exactly like
+    // a scalar run whose while-condition fails immediately.
+    for (std::uint32_t lane = 0; lane < nlanes; ++lane) {
+        if (injector.done(lane))
+            finalize(lane, true);
+    }
+
+    while (active > 0) {
+        injector.tick();
+        noc.step();
+        // Mirror of the scalar loop condition, evaluated per lane in
+        // the scalar order: drained wins over the cycle guard when
+        // both trip on the same cycle.
+        for (std::uint32_t lane = 0; lane < nlanes; ++lane) {
+            if (!injector.laneActive(lane))
+                continue;
+            if (injector.done(lane))
+                finalize(lane, true);
+            else if (noc.now() - start >= max_cycles)
+                finalize(lane, false);
+        }
+    }
+    return out;
+}
+
+std::vector<SynthResult>
+batchedCachedRuns(const NocConfig &config, std::uint32_t channels,
+                  const std::vector<SyntheticWorkload> &workloads,
+                  Cycle max_cycles)
+{
+    const std::size_t count = workloads.size();
+    const std::uint32_t width = defaultBatchWidth();
+
+    // Batched stepping replicates exactly the plain single-channel
+    // Network with no observers attached; anything else runs scalar.
+    const bool batchable = channels == 1 && width >= 2 &&
+                           telemetry::installed() == nullptr;
+    if (!batchable || count < width) {
+        g_scalarRuns.fetch_add(count, std::memory_order_relaxed);
+        sched::ensureGlobalPool();
+        return parallelMap(
+            workloads,
+            [&](const SyntheticWorkload &w) {
+                return cachedRunSynthetic(config, channels, w,
+                                          max_cycles);
+            },
+            0, "batchedCachedRuns/scalar");
+    }
+
+    std::vector<SynthResult> out(count);
+    const bool use_cache = sweepCacheEnabled();
+    sched::BlobCache &cache = sweepCache();
+
+    // Cache pass: resolve warm points up front; only misses simulate.
+    std::vector<std::size_t> pending;
+    pending.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (use_cache) {
+            const std::uint64_t key =
+                sweepKey(config, channels, workloads[i], max_cycles);
+            if (auto payload = cache.lookup(key)) {
+                if (decodeSynthResult(*payload, out[i]))
+                    continue;
+            }
+        } else {
+            cache.noteBypass();
+        }
+        pending.push_back(i);
+    }
+    if (pending.empty())
+        return out;
+
+    // Full groups batch; the tail smaller than the batch width runs
+    // scalar so no dead padding lanes skew the dispatch counters.
+    struct Unit
+    {
+        std::vector<std::size_t> idx;
+    };
+    std::vector<Unit> units;
+    units.reserve(pending.size() / width + width);
+    std::size_t at = 0;
+    for (; at + width <= pending.size(); at += width) {
+        Unit u;
+        u.idx.assign(pending.begin() + static_cast<std::ptrdiff_t>(at),
+                     pending.begin() +
+                         static_cast<std::ptrdiff_t>(at + width));
+        units.push_back(std::move(u));
+        g_batchedGroups.fetch_add(1, std::memory_order_relaxed);
+        g_batchedLanes.fetch_add(width, std::memory_order_relaxed);
+    }
+    for (; at < pending.size(); ++at) {
+        units.push_back(Unit{{pending[at]}});
+        g_scalarRuns.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    sched::ensureGlobalPool();
+    const std::vector<std::vector<SynthResult>> computed = parallelMap(
+        units,
+        [&](const Unit &u) -> std::vector<SynthResult> {
+            if (u.idx.size() >= 2) {
+                std::vector<SyntheticWorkload> lanes;
+                lanes.reserve(u.idx.size());
+                for (std::size_t i : u.idx)
+                    lanes.push_back(workloads[i]);
+                return runSyntheticBatch(config, lanes, max_cycles);
+            }
+            return {runSynthetic(config, channels,
+                                 workloads[u.idx.front()], max_cycles)};
+        },
+        0, "batchedCachedRuns");
+
+    // Serial scatter + store, in input order, so cache-store ordering
+    // is deterministic for every worker count.
+    for (std::size_t ui = 0; ui < units.size(); ++ui) {
+        const Unit &u = units[ui];
+        for (std::size_t lane = 0; lane < u.idx.size(); ++lane) {
+            const std::size_t i = u.idx[lane];
+            out[i] = computed[ui][lane];
+            if (use_cache) {
+                cache.store(
+                    sweepKey(config, channels, workloads[i],
+                             max_cycles),
+                    encodeSynthResult(out[i]));
+            }
+        }
+    }
+    return out;
+}
+
+BatchRunStats
+batchRunStats()
+{
+    BatchRunStats s;
+    s.batchedGroups = g_batchedGroups.load(std::memory_order_relaxed);
+    s.batchedLanes = g_batchedLanes.load(std::memory_order_relaxed);
+    s.scalarRuns = g_scalarRuns.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+reportBatchRunStats(telemetry::MetricsRegistry &metrics)
+{
+    const BatchRunStats s = batchRunStats();
+    metrics.counter("batch_runner.batched_groups") = s.batchedGroups;
+    metrics.counter("batch_runner.batched_lanes") = s.batchedLanes;
+    metrics.counter("batch_runner.scalar_runs") = s.scalarRuns;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sim-layer driver for the batched lockstep engine: run K synthetic
+ * points of identical geometry on one BatchedEngine, and route
+ * many-point experiments (repeatedRuns, injectionSweep) through
+ * batches composed with the work-stealing pool and the sweep cache.
+ *
+ * Selection policy (see docs/engine.md "Batched lockstep stepping"):
+ * batchedCachedRuns dispatches batches only when the device a scalar
+ * run would build is a plain single-channel Network, no telemetry
+ * sink is installed (the batched engine emits no events), the batch
+ * width is at least 2, and at least one full group of cache-miss
+ * points remains after the cache pass. The tail group smaller than K
+ * always falls back to the scalar engine — padding it with dead
+ * replicas would skew the pool/cache counters --cache-stats reports.
+ * Every decision is about *where* a point is computed, never what it
+ * computes: each lane is bit-identical to a solo Network run, so
+ * per-point cache entries written by a batch are indistinguishable
+ * from scalar-written ones and warm replay is unchanged.
+ */
+
+#ifndef FT_SIM_BATCH_RUNNER_HPP
+#define FT_SIM_BATCH_RUNNER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace fasttrack {
+
+/** Process-wide default replica count per batch. 8 keeps one batch's
+ *  replica-major slab inside a 2 MiB L2 at the paper's 16x16 scale;
+ *  benches override via --batch K (bench/bench_util.hpp). */
+std::uint32_t defaultBatchWidth();
+/** Set the default batch width (1..BatchedEngine::kMaxLanes; 1
+ *  disables batched dispatch entirely). */
+void setDefaultBatchWidth(std::uint32_t width);
+
+/**
+ * Run one workload per lane on a single BatchedEngine until every
+ * lane drains (or hits @p max_cycles). workloads.size() picks the
+ * lane count (1..kMaxLanes). Results are per lane, bit-identical to
+ * runSynthetic(config, 1, workloads[lane], max_cycles).
+ */
+std::vector<SynthResult>
+runSyntheticBatch(const NocConfig &config,
+                  const std::vector<SyntheticWorkload> &workloads,
+                  Cycle max_cycles = kDefaultMaxCycles);
+
+/**
+ * Compute one SynthResult per workload — same contract as calling
+ * cachedRunSynthetic per point, but cache misses are grouped into
+ * defaultBatchWidth()-wide batches, each stepped by one pool worker
+ * (see selection policy above). Results are returned in input order
+ * and each lane's result is cached individually under the same key a
+ * scalar run would use.
+ */
+std::vector<SynthResult>
+batchedCachedRuns(const NocConfig &config, std::uint32_t channels,
+                  const std::vector<SyntheticWorkload> &workloads,
+                  Cycle max_cycles = kDefaultMaxCycles);
+
+/** Dispatch counters for --cache-stats: how many points ran batched
+ *  vs scalar since process start. */
+struct BatchRunStats
+{
+    /** Full K-wide groups stepped on the batched engine. */
+    std::uint64_t batchedGroups = 0;
+    /** Points computed as batch lanes. */
+    std::uint64_t batchedLanes = 0;
+    /** Points that fell back to the scalar engine (tail groups,
+     *  telemetry, multi-channel, or batch width < 2). */
+    std::uint64_t scalarRuns = 0;
+};
+BatchRunStats batchRunStats();
+
+/** Publish the dispatch counters as `batch_runner.*` metrics. */
+void reportBatchRunStats(telemetry::MetricsRegistry &metrics);
+
+} // namespace fasttrack
+
+#endif // FT_SIM_BATCH_RUNNER_HPP

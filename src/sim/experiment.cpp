@@ -4,9 +4,8 @@
 #include <limits>
 #include <numeric>
 
-#include "common/parallel.hpp"
 #include "common/rng.hpp"
-#include "sched/work_stealing_pool.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/sweep_cache.hpp"
 #include "telemetry/sink.hpp"
 
@@ -48,29 +47,32 @@ injectionSweep(const NocUnderTest &nut, TrafficPattern pattern,
                const std::vector<double> &rates,
                std::uint32_t packets_per_pe, std::uint64_t seed)
 {
-    // Each rate point simulates an independent network instance, so
-    // the sweep parallelizes across cores with identical results.
-    // When a telemetry sink is installed the whole sweep shows up as
-    // one host-side phase span in the exported Chrome trace.
+    // Each rate point simulates an independent network instance of
+    // identical geometry, so the sweep dispatches through the batched
+    // lockstep engine (one pool worker steps a K-replica batch) with
+    // identical per-point results; see sim/batch_runner.hpp for when
+    // points fall back to scalar runs. When a telemetry sink is
+    // installed the whole sweep shows up as one host-side phase span
+    // in the exported Chrome trace.
     telemetry::PhaseTimer phase("injectionSweep " + nut.label);
-    sched::ensureGlobalPool();
-    std::vector<std::size_t> points(rates.size());
-    std::iota(points.begin(), points.end(), std::size_t{0});
-    return parallelMap(
-        points,
-        [&](std::size_t i) {
-            SyntheticWorkload workload;
-            workload.pattern = pattern;
-            workload.injectionRate = rates[i];
-            workload.packetsPerPe = packets_per_pe;
-            // Per-point seed: a shared seed would correlate the
-            // measurement noise of every point in the sweep.
-            workload.seed = splitmix64(seed ^ static_cast<std::uint64_t>(i));
-            return SweepPoint{rates[i], cachedRunSynthetic(
-                                            nut.config, nut.channels,
-                                            workload)};
-        },
-        0, "injectionSweep");
+    std::vector<SyntheticWorkload> workloads(rates.size());
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        SyntheticWorkload &workload = workloads[i];
+        workload.pattern = pattern;
+        workload.injectionRate = rates[i];
+        workload.packetsPerPe = packets_per_pe;
+        // Per-point seed: a shared seed would correlate the
+        // measurement noise of every point in the sweep.
+        workload.seed =
+            splitmix64(seed ^ static_cast<std::uint64_t>(i));
+    }
+    const std::vector<SynthResult> results =
+        batchedCachedRuns(nut.config, nut.channels, workloads);
+    std::vector<SweepPoint> out;
+    out.reserve(rates.size());
+    for (std::size_t i = 0; i < rates.size(); ++i)
+        out.push_back(SweepPoint{rates[i], results[i]});
+    return out;
 }
 
 SynthResult
@@ -98,19 +100,20 @@ repeatedRuns(const NocUnderTest &nut, TrafficPattern pattern,
              double rate, std::uint32_t packets_per_pe,
              const std::vector<std::uint64_t> &seeds, Cycle max_cycles)
 {
-    sched::ensureGlobalPool();
-    const std::vector<SynthResult> results = parallelMap(
-        seeds,
-        [&](std::uint64_t seed) {
-            SyntheticWorkload workload;
-            workload.pattern = pattern;
-            workload.injectionRate = rate;
-            workload.packetsPerPe = packets_per_pe;
-            workload.seed = seed;
-            return cachedRunSynthetic(nut.config, nut.channels,
-                                      workload, max_cycles);
-        },
-        0, "repeatedRuns");
+    // Seeds share one geometry, so cache-miss points group into
+    // K-replica batches (tail groups smaller than the batch width run
+    // scalar; see sim/batch_runner.hpp).
+    std::vector<SyntheticWorkload> workloads(seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        SyntheticWorkload &workload = workloads[i];
+        workload.pattern = pattern;
+        workload.injectionRate = rate;
+        workload.packetsPerPe = packets_per_pe;
+        workload.seed = seeds[i];
+    }
+    const std::vector<SynthResult> results =
+        batchedCachedRuns(nut.config, nut.channels, workloads,
+                          max_cycles);
 
     // Aggregate serially in seed-list order so the RunningStat
     // accumulation is identical for every worker count.

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lane-wise synthetic traffic injection for the batched lockstep
+ * engine: K independent SyntheticWorkload streams, one per replica,
+ * driven by a single tick() per cycle.
+ *
+ * Determinism contract: each lane owns its own xoshiro stream, packet
+ * id counter, per-PE budgets and per-node source queues, and tick()
+ * visits every lane's nodes in exactly the order SyntheticInjector
+ * does — generate-then-offer, node 0..N-1 — so a lane's draw stream
+ * and offer sequence are bit-identical to a solo SyntheticInjector
+ * constructed with the same workload against a solo Network.
+ */
+
+#ifndef FT_TRAFFIC_BATCHED_INJECTOR_HPP
+#define FT_TRAFFIC_BATCHED_INJECTOR_HPP
+
+#include <deque>
+#include <vector>
+
+#include "noc/batched_engine.hpp"
+#include "traffic/injector.hpp"
+#include "traffic/pattern.hpp"
+
+namespace fasttrack {
+
+/**
+ * Drives a BatchedEngine with one SyntheticWorkload per lane. Call
+ * tick() once per cycle *before* the engine's step(); retire a lane
+ * with setLaneActive(lane, false) once its run completed or timed out
+ * so tick() stops spending work on it.
+ */
+class BatchedSyntheticInjector
+{
+  public:
+    /** @param workloads one entry per lane; size must equal
+     *  noc.lanes(). */
+    BatchedSyntheticInjector(
+        BatchedEngine &noc,
+        const std::vector<SyntheticWorkload> &workloads);
+
+    /** Generate this cycle's packets and top up offers on every
+     *  active lane. */
+    void tick();
+
+    /** All of @p lane's packets generated, offered, injected and
+     *  delivered. */
+    bool done(std::uint32_t lane) const
+    {
+        const Lane &l = lanes_[lane];
+        return l.generatedTotal == l.budgetTotal &&
+               l.queuedTotal == 0 && noc_.quiescent(lane);
+    }
+
+    void setLaneActive(std::uint32_t lane, bool active)
+    {
+        lanes_[lane].active = active;
+    }
+    bool laneActive(std::uint32_t lane) const
+    {
+        return lanes_[lane].active;
+    }
+    /** Number of lanes tick() still works on. */
+    std::uint32_t activeLanes() const;
+
+    std::uint64_t queued(std::uint32_t lane) const
+    {
+        return lanes_[lane].queuedTotal;
+    }
+    std::uint64_t generated(std::uint32_t lane) const
+    {
+        return lanes_[lane].generatedTotal;
+    }
+    std::uint64_t budget(std::uint32_t lane) const
+    {
+        return lanes_[lane].budgetTotal;
+    }
+
+  private:
+    /** One replica's complete injection state. */
+    struct Lane
+    {
+        SyntheticWorkload workload;
+        DestinationGenerator destGen;
+        Rng rng;
+        std::vector<std::uint32_t> remaining;
+        std::vector<ChunkedQueue<PendingPacket>> queues;
+        std::uint64_t nextId = 1;
+        std::uint64_t generatedTotal = 0;
+        std::uint64_t queuedTotal = 0;
+        std::uint64_t budgetTotal = 0;
+        bool active = true;
+
+        Lane(const SyntheticWorkload &w, std::uint32_t n,
+             std::uint32_t nodes, ChunkArena &arena);
+    };
+
+    BatchedEngine &noc_;
+    /** One chunk arena per lane, so a lane's backlog chunks cluster
+     *  in the address space instead of interleaving with the other
+     *  K-1 lanes' (page/TLB locality during the per-lane tick pass).
+     *  Declared before lanes_ so every queue dies first; a deque
+     *  because ChunkArena is pinned (non-movable). */
+    std::deque<ChunkArena> arenas_;
+    std::vector<Lane> lanes_;
+};
+
+} // namespace fasttrack
+
+#endif // FT_TRAFFIC_BATCHED_INJECTOR_HPP

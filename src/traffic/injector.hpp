@@ -191,6 +191,19 @@ class ChunkedQueue
     std::size_t count_ = 0;
 };
 
+/**
+ * Compact queued-packet record shared by the scalar and batched
+ * injectors. Only identity, destination and the creation stamp exist
+ * before injection; materializing the full Packet lazily at offer
+ * time halves the memory traffic of a deep source backlog.
+ */
+struct PendingPacket
+{
+    std::uint64_t id = 0;
+    Cycle created = 0;
+    NodeId dst = kInvalidNode;
+};
+
 /** Parameters of one synthetic run. */
 struct SyntheticWorkload
 {
@@ -225,18 +238,7 @@ class SyntheticInjector
     std::uint64_t budget() const { return budgetTotal_; }
 
   private:
-    /**
-     * Compact queued-packet record. Only identity, destination and the
-     * creation stamp exist before injection; materializing the full
-     * Packet lazily at offer time halves the memory traffic of a
-     * deep source backlog.
-     */
-    struct Pending
-    {
-        std::uint64_t id = 0;
-        Cycle created = 0;
-        NodeId dst = kInvalidNode;
-    };
+    using Pending = PendingPacket;
 
     NocDevice &noc_;
     SyntheticWorkload workload_;

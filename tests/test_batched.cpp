@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Bit-identity and dispatch-policy tests for the batched lockstep
+ * engine (noc/batched_engine.hpp, sim/batch_runner.hpp).
+ *
+ * The determinism contract under test: every lane of a
+ * BatchedEngine + BatchedSyntheticInjector run must produce NocStats
+ * bit-identical (FNV golden hash) to a solo Network +
+ * SyntheticInjector run of the same workload, for every topology
+ * variant, traffic pattern, injection rate, and termination mode
+ * (drained, zero budget, cycle-guard timeout). On top of that, the
+ * sim-layer dispatcher (batchedCachedRuns) must be invisible: same
+ * results in the same order whether points run batched, scalar, or
+ * from a warm sweep cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/batched_engine.hpp"
+#include "noc/network.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sweep_cache.hpp"
+#include "traffic/batched_injector.hpp"
+#include "traffic/injector.hpp"
+
+#include "golden_hash.hpp"
+
+namespace fasttrack {
+namespace {
+
+/** Restore process-global batching/cache knobs on scope exit so
+ *  tests cannot leak configuration into each other. */
+class KnobGuard
+{
+  public:
+    KnobGuard()
+        : width_(defaultBatchWidth()), cache_(sweepCacheEnabled())
+    {
+    }
+    ~KnobGuard()
+    {
+        setDefaultBatchWidth(width_);
+        setSweepCacheEnabled(cache_);
+    }
+
+  private:
+    std::uint32_t width_;
+    bool cache_;
+};
+
+SyntheticWorkload
+makeWorkload(TrafficPattern pattern, double rate,
+             std::uint32_t packets, std::uint64_t seed)
+{
+    SyntheticWorkload w;
+    w.pattern = pattern;
+    w.injectionRate = rate;
+    w.packetsPerPe = packets;
+    w.seed = seed;
+    return w;
+}
+
+void
+expectLaneIdentity(const NocConfig &config,
+                   const std::vector<SyntheticWorkload> &workloads,
+                   Cycle max_cycles)
+{
+    const std::vector<SynthResult> batched =
+        runSyntheticBatch(config, workloads, max_cycles);
+    ASSERT_EQ(batched.size(), workloads.size());
+    for (std::size_t lane = 0; lane < workloads.size(); ++lane) {
+        const SynthResult solo =
+            runSynthetic(config, 1, workloads[lane], max_cycles);
+        EXPECT_EQ(hashStats(batched[lane].stats),
+                  hashStats(solo.stats))
+            << "lane " << lane << " stats diverge from solo Network";
+        EXPECT_EQ(batched[lane].cycles, solo.cycles)
+            << "lane " << lane;
+        EXPECT_EQ(batched[lane].completed, solo.completed)
+            << "lane " << lane;
+        EXPECT_EQ(batched[lane].pes, solo.pes) << "lane " << lane;
+        EXPECT_DOUBLE_EQ(batched[lane].offeredRate,
+                         solo.offeredRate)
+            << "lane " << lane;
+    }
+}
+
+TEST(BatchedEngine, LanesBitIdenticalToSoloFastTrack)
+{
+    // Mixed rates, patterns and seeds across eight lanes: lanes must
+    // not perturb each other even when they drain at very different
+    // cycles.
+    std::vector<SyntheticWorkload> ws;
+    ws.push_back(makeWorkload(TrafficPattern::random, 0.05, 40, 21));
+    ws.push_back(makeWorkload(TrafficPattern::random, 0.35, 80, 22));
+    ws.push_back(makeWorkload(TrafficPattern::transpose, 0.2, 60, 23));
+    ws.push_back(makeWorkload(TrafficPattern::local, 0.15, 50, 24));
+    ws.push_back(makeWorkload(TrafficPattern::random, 1.0, 30, 25));
+    ws.push_back(makeWorkload(TrafficPattern::random, 0.35, 80, 22));
+    ws.push_back(makeWorkload(TrafficPattern::transpose, 0.4, 70, 27));
+    ws.push_back(makeWorkload(TrafficPattern::random, 0.01, 10, 28));
+    expectLaneIdentity(NocConfig::fastTrack(8, 2, 1), ws,
+                       kDefaultMaxCycles);
+}
+
+TEST(BatchedEngine, LanesBitIdenticalToSoloHoplite)
+{
+    std::vector<SyntheticWorkload> ws;
+    for (std::uint64_t seed = 31; seed < 35; ++seed)
+        ws.push_back(
+            makeWorkload(TrafficPattern::random, 0.08, 64, seed));
+    expectLaneIdentity(NocConfig::hoplite(8), ws, kDefaultMaxCycles);
+}
+
+TEST(BatchedEngine, LanesBitIdenticalToSoloInjectVariant)
+{
+    std::vector<SyntheticWorkload> ws;
+    ws.push_back(makeWorkload(TrafficPattern::random, 0.3, 64, 41));
+    ws.push_back(makeWorkload(TrafficPattern::transpose, 0.3, 64, 42));
+    ws.push_back(makeWorkload(TrafficPattern::random, 0.6, 48, 43));
+    expectLaneIdentity(
+        NocConfig::fastTrack(8, 2, 2, NocVariant::ftInject), ws,
+        kDefaultMaxCycles);
+}
+
+TEST(BatchedEngine, ZeroBudgetLaneFinishesImmediately)
+{
+    // A zero-budget lane must report a completed, empty run without
+    // disturbing its neighbours.
+    std::vector<SyntheticWorkload> ws;
+    ws.push_back(makeWorkload(TrafficPattern::random, 0.5, 0, 51));
+    ws.push_back(makeWorkload(TrafficPattern::random, 0.5, 64, 52));
+    const NocConfig config = NocConfig::fastTrack(8, 2, 1);
+    const auto batched =
+        runSyntheticBatch(config, ws, kDefaultMaxCycles);
+    EXPECT_TRUE(batched[0].completed);
+    EXPECT_EQ(batched[0].cycles, 0u);
+    EXPECT_EQ(batched[0].stats.delivered, 0u);
+    expectLaneIdentity(config, ws, kDefaultMaxCycles);
+}
+
+TEST(BatchedEngine, CycleGuardLaneMatchesSolo)
+{
+    // Endless generation against a tiny guard: every lane times out
+    // on the guard, exactly as the solo engine does.
+    std::vector<SyntheticWorkload> ws;
+    ws.push_back(makeWorkload(TrafficPattern::random, 1.0,
+                              0xffffffffu, 61));
+    ws.push_back(makeWorkload(TrafficPattern::random, 0.4,
+                              0xffffffffu, 62));
+    ws.push_back(makeWorkload(TrafficPattern::random, 0.02, 64, 63));
+    const NocConfig config = NocConfig::fastTrack(8, 2, 1);
+    const Cycle guard = 600;
+    const auto batched = runSyntheticBatch(config, ws, guard);
+    EXPECT_FALSE(batched[0].completed);
+    EXPECT_EQ(batched[0].cycles, guard);
+    expectLaneIdentity(config, ws, guard);
+}
+
+TEST(BatchRunner, CachedRunsMatchScalarAndCountDispatch)
+{
+    KnobGuard guard;
+    setSweepCacheEnabled(false); // force real runs on both paths
+
+    const NocConfig config = NocConfig::fastTrack(8, 2, 1);
+    std::vector<SyntheticWorkload> ws;
+    for (std::uint64_t seed = 71; seed < 81; ++seed)
+        ws.push_back(
+            makeWorkload(TrafficPattern::random, 0.2, 48, seed));
+
+    setDefaultBatchWidth(1); // scalar reference
+    const auto scalar = batchedCachedRuns(config, 1, ws);
+
+    const BatchRunStats before = batchRunStats();
+    setDefaultBatchWidth(4); // 10 points -> 2 groups of 4 + tail of 2
+    const auto batched = batchedCachedRuns(config, 1, ws);
+    const BatchRunStats after = batchRunStats();
+
+    ASSERT_EQ(batched.size(), scalar.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+        EXPECT_EQ(hashStats(batched[i].stats),
+                  hashStats(scalar[i].stats))
+            << "point " << i;
+        EXPECT_EQ(batched[i].cycles, scalar[i].cycles);
+    }
+    EXPECT_EQ(after.batchedGroups - before.batchedGroups, 2u);
+    EXPECT_EQ(after.batchedLanes - before.batchedLanes, 8u);
+    // The 2-point tail must fall back to the scalar engine rather
+    // than pad the batch with dead replicas.
+    EXPECT_EQ(after.scalarRuns - before.scalarRuns, 2u);
+}
+
+TEST(BatchRunner, SmallGroupsFallBackToScalar)
+{
+    KnobGuard guard;
+    setSweepCacheEnabled(false);
+
+    const NocConfig config = NocConfig::fastTrack(8, 2, 1);
+    std::vector<SyntheticWorkload> ws;
+    for (std::uint64_t seed = 91; seed < 94; ++seed)
+        ws.push_back(
+            makeWorkload(TrafficPattern::random, 0.2, 32, seed));
+
+    const BatchRunStats before = batchRunStats();
+    setDefaultBatchWidth(8); // 3 points < width -> all scalar
+    batchedCachedRuns(config, 1, ws);
+    const BatchRunStats after = batchRunStats();
+    EXPECT_EQ(after.batchedGroups, before.batchedGroups);
+    EXPECT_EQ(after.scalarRuns - before.scalarRuns, 3u);
+}
+
+TEST(BatchRunner, WarmReplayIsIdentical)
+{
+    KnobGuard guard;
+    setSweepCacheEnabled(true);
+
+    const NocConfig config = NocConfig::fastTrack(8, 2, 1);
+    // Unique max_cycles isolates these keys from every other test
+    // sharing the process-wide cache.
+    const Cycle max_cycles = 123457;
+    std::vector<SyntheticWorkload> ws;
+    for (std::uint64_t seed = 101; seed < 109; ++seed)
+        ws.push_back(
+            makeWorkload(TrafficPattern::random, 0.25, 40, seed));
+
+    setDefaultBatchWidth(4);
+    const auto cold = batchedCachedRuns(config, 1, ws, max_cycles);
+
+    // Second pass: every point is a cache hit; no new dispatches.
+    const BatchRunStats before = batchRunStats();
+    const auto warm = batchedCachedRuns(config, 1, ws, max_cycles);
+    const BatchRunStats after = batchRunStats();
+    EXPECT_EQ(after.batchedGroups, before.batchedGroups);
+    EXPECT_EQ(after.batchedLanes, before.batchedLanes);
+    EXPECT_EQ(after.scalarRuns, before.scalarRuns);
+
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(hashStats(warm[i].stats), hashStats(cold[i].stats))
+            << "point " << i;
+        EXPECT_EQ(warm[i].cycles, cold[i].cycles);
+        EXPECT_EQ(warm[i].completed, cold[i].completed);
+    }
+
+    // A batch-written entry must replay identically through the
+    // scalar cached path too (same key schema).
+    setDefaultBatchWidth(1);
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        const SynthResult via_scalar =
+            cachedRunSynthetic(config, 1, ws[i], max_cycles);
+        EXPECT_EQ(hashStats(via_scalar.stats),
+                  hashStats(cold[i].stats))
+            << "point " << i;
+    }
+}
+
+TEST(BatchRunner, ExperimentsIdenticalAcrossBatchWidths)
+{
+    KnobGuard guard;
+    setSweepCacheEnabled(false); // compare engines, not the cache
+
+    NocUnderTest nut{"FT(8,2,1)", NocConfig::fastTrack(8, 2, 1), 1};
+    const std::vector<std::uint64_t> seeds = {201, 202, 203, 204,
+                                              205, 206, 207, 208};
+    const std::vector<double> rates = {0.05, 0.1, 0.15, 0.2,
+                                       0.25, 0.3, 0.35, 0.4};
+
+    setDefaultBatchWidth(1);
+    const RepeatedResult rep_scalar = repeatedRuns(
+        nut, TrafficPattern::random, 0.2, 48, seeds, 200000);
+    const auto sweep_scalar =
+        injectionSweep(nut, TrafficPattern::random, rates, 48, 7);
+
+    setDefaultBatchWidth(8);
+    const RepeatedResult rep_batched = repeatedRuns(
+        nut, TrafficPattern::random, 0.2, 48, seeds, 200000);
+    const auto sweep_batched =
+        injectionSweep(nut, TrafficPattern::random, rates, 48, 7);
+
+    EXPECT_DOUBLE_EQ(rep_batched.rate.mean(), rep_scalar.rate.mean());
+    EXPECT_DOUBLE_EQ(rep_batched.avgLatency.mean(),
+                     rep_scalar.avgLatency.mean());
+    EXPECT_DOUBLE_EQ(rep_batched.worstLatency.max(),
+                     rep_scalar.worstLatency.max());
+    EXPECT_EQ(rep_batched.completedRuns, rep_scalar.completedRuns);
+
+    ASSERT_EQ(sweep_batched.size(), sweep_scalar.size());
+    for (std::size_t i = 0; i < sweep_scalar.size(); ++i) {
+        EXPECT_DOUBLE_EQ(sweep_batched[i].rate, sweep_scalar[i].rate);
+        EXPECT_EQ(hashStats(sweep_batched[i].result.stats),
+                  hashStats(sweep_scalar[i].result.stats))
+            << "rate point " << i;
+    }
+}
+
+TEST(BatchedEngine, RejectsBadLaneCounts)
+{
+    const NocConfig config = NocConfig::fastTrack(4, 2, 1);
+    EXPECT_DEATH(BatchedEngine(config, 0), "lane");
+    EXPECT_DEATH(BatchedEngine(config,
+                               BatchedEngine::kMaxLanes + 1),
+                 "lane");
+}
+
+} // namespace
+} // namespace fasttrack

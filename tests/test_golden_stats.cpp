@@ -19,51 +19,10 @@
 #include "sim/simulation.hpp"
 #include "traffic/injector.hpp"
 
+#include "golden_hash.hpp"
+
 namespace fasttrack {
 namespace {
-
-/** FNV-1a over a stream of 64-bit words. */
-class StatHash
-{
-  public:
-    void add(std::uint64_t word)
-    {
-        hash_ ^= word;
-        hash_ *= 0x100000001b3ull;
-    }
-    std::uint64_t value() const { return hash_; }
-
-  private:
-    std::uint64_t hash_ = 0xcbf29ce484222325ull;
-};
-
-std::uint64_t
-hashStats(const NocStats &s)
-{
-    StatHash h;
-    h.add(s.injected);
-    h.add(s.delivered);
-    h.add(s.selfDelivered);
-    h.add(s.shortHopTraversals);
-    h.add(s.expressHopTraversals);
-    for (std::uint64_t v : s.deflectionsByPort)
-        h.add(v);
-    for (std::uint64_t v : s.misroutesByPort)
-        h.add(v);
-    h.add(s.laneDeflections);
-    h.add(s.exitBlocked);
-    h.add(s.injectionBlockedCycles);
-    for (const Histogram *hist :
-         {&s.totalLatency, &s.networkLatency, &s.hopCount,
-          &s.deflectionCount}) {
-        h.add(hist->count());
-        for (const auto &[value, count] : hist->bins()) {
-            h.add(value);
-            h.add(count);
-        }
-    }
-    return h.value();
-}
 
 /** Run the standard closed workload on @p noc and hash the result. */
 std::uint64_t
