@@ -16,9 +16,11 @@
 
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "net/endpoint.hpp"
 #include "noc/batched_engine.hpp"
 #include "sched/work_stealing_pool.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/remote.hpp"
 #include "sim/sweep_cache.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -80,6 +82,8 @@ writeCacheStats(std::ostream &os)
     sweepCache().reportTo(metrics);
     sched::WorkStealingPool::global().reportTo(metrics);
     reportBatchRunStats(metrics);
+    if (remoteConfigured())
+        reportRemoteStats(metrics);
     metrics.writeSummary(os);
 }
 
@@ -131,7 +135,8 @@ usage(const char *prog)
         << "usage: " << prog
         << " [--csv] [--threads N] [--batch K] [--telemetry-dir DIR]"
            " [--telemetry-epoch N] [--result-cache DIR]"
-           " [--cache-stats FILE]\n"
+           " [--result-cache-max-bytes N] [--cache-stats FILE]"
+           " [--remote HOST:PORT[,HOST:PORT...]]\n"
         << "  --csv                emit tables as CSV (for scripting)\n"
         << "  --threads N          cap parallel sweep workers at N\n"
         << "  --batch K            replicas per batched-engine group\n"
@@ -146,8 +151,15 @@ usage(const char *prog)
         << "                       (default 1024)\n"
         << "  --result-cache DIR   persist sweep results in DIR and\n"
         << "                       reuse them across invocations\n"
+        << "  --result-cache-max-bytes N\n"
+        << "                       cap the --result-cache store at N\n"
+        << "                       bytes, evicting oldest entries\n"
         << "  --cache-stats FILE   write scheduler/cache counters as\n"
-        << "                       CSV (metric,kind,value) at exit\n";
+        << "                       CSV (metric,kind,value) at exit\n"
+        << "  --remote HOST:PORT[,HOST:PORT...]\n"
+        << "                       fan sweep points out to ftd daemons\n"
+        << "                       (unreachable workers fall back to\n"
+        << "                       local execution)\n";
 }
 
 /** Parse shared harness flags: --csv switches every table to CSV
@@ -237,6 +249,44 @@ parseArgs(int argc, char **argv)
                 std::exit(2);
             }
             sweepCache().setDir(argv[i + 1]);
+            ++i;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--result-cache-max-bytes") == 0) {
+            char *end = nullptr;
+            const long long n =
+                i + 1 < argc ? std::strtoll(argv[i + 1], &end, 10)
+                             : 0;
+            if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' ||
+                n < 1) {
+                std::cerr << argv[0]
+                          << ": --result-cache-max-bytes needs a"
+                             " positive byte count\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            sweepCache().setMaxDiskBytes(
+                static_cast<std::uint64_t>(n));
+            ++i;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--remote") == 0) {
+            std::string error;
+            std::vector<net::Endpoint> endpoints;
+            if (i + 1 >= argc ||
+                !net::parseEndpointList(argv[i + 1], endpoints,
+                                        error)) {
+                std::cerr << argv[0] << ": --remote: "
+                          << (i + 1 >= argc
+                                  ? "needs HOST:PORT[,HOST:PORT...]"
+                                  : error)
+                          << "\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            RemoteConfig remote;
+            remote.endpoints = std::move(endpoints);
+            setRemoteConfig(std::move(remote));
             ++i;
             continue;
         }

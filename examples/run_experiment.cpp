@@ -24,11 +24,15 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "common/config_file.hpp"
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "fpga/power_model.hpp"
+#include "net/endpoint.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/remote.hpp"
 #include "sim/simulation.hpp"
 
 using namespace fasttrack;
@@ -37,11 +41,34 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cerr << "usage: run_experiment <config-file> [--csv]\n";
+        std::cerr << "usage: run_experiment <config-file> [--csv]"
+                     " [--remote HOST:PORT[,HOST:PORT...]]\n";
         return 2;
     }
-    if (argc > 2 && std::string(argv[2]) == "--csv")
-        Table::setCsvMode(true);
+    for (int i = 2; i < argc; ++i) {
+        if (std::string(argv[i]) == "--csv") {
+            Table::setCsvMode(true);
+        } else if (std::string(argv[i]) == "--remote") {
+            std::string error;
+            std::vector<net::Endpoint> endpoints;
+            if (i + 1 >= argc ||
+                !net::parseEndpointList(argv[i + 1], endpoints,
+                                        error)) {
+                std::cerr << "run_experiment: --remote: "
+                          << (i + 1 >= argc ? "needs a value" : error)
+                          << "\n";
+                return 2;
+            }
+            RemoteConfig remote;
+            remote.endpoints = std::move(endpoints);
+            setRemoteConfig(std::move(remote));
+            ++i;
+        } else {
+            std::cerr << "run_experiment: unknown flag '" << argv[i]
+                      << "'\n";
+            return 2;
+        }
+    }
     const KeyValueFile kv = KeyValueFile::parseFile(argv[1]);
 
     const auto n = static_cast<std::uint32_t>(kv.getInt("n", 8));
@@ -76,7 +103,10 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(kv.getInt("width", 256));
 
     auto noc = makeNoc(cfg, channels);
-    const SynthResult res = runSynthetic(*noc, workload);
+    // batchedCachedRuns computes the identical result (bit for bit)
+    // whether it runs here, on the pool, or on a --remote daemon.
+    const SynthResult res =
+        batchedCachedRuns(cfg, channels, {workload}).front();
 
     AreaModel area;
     PowerModel power(area);

@@ -1,0 +1,100 @@
+#include "net/endpoint.hpp"
+
+#include <cstdlib>
+
+namespace fasttrack::net {
+
+bool
+parseEndpoint(const std::string &text, Endpoint &out,
+              std::string &error)
+{
+    std::string host;
+    std::string port_text;
+    if (!text.empty() && text.front() == '[') {
+        // Bracketed IPv6 literal: [addr]:port
+        const std::size_t close = text.find(']');
+        if (close == std::string::npos ||
+            close + 1 >= text.size() || text[close + 1] != ':') {
+            error = "'" + text + "': expected [ipv6]:port";
+            return false;
+        }
+        host = text.substr(1, close - 1);
+        port_text = text.substr(close + 2);
+    } else {
+        const std::size_t colon = text.rfind(':');
+        if (colon == std::string::npos) {
+            error = "'" + text + "': expected host:port";
+            return false;
+        }
+        host = text.substr(0, colon);
+        port_text = text.substr(colon + 1);
+    }
+
+    if (host.empty()) {
+        error = "'" + text + "': empty host";
+        return false;
+    }
+    if (port_text.empty()) {
+        error = "'" + text + "': empty port";
+        return false;
+    }
+    char *end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == port_text.c_str() || *end != '\0') {
+        error = "'" + text + "': port is not a number";
+        return false;
+    }
+    if (port < 1 || port > 65535) {
+        error = "'" + text + "': port must be in 1..65535";
+        return false;
+    }
+    out.host = host;
+    out.port = static_cast<std::uint16_t>(port);
+    return true;
+}
+
+bool
+parseEndpointList(const std::string &text, std::vector<Endpoint> &out,
+                  std::string &error)
+{
+    std::vector<Endpoint> parsed;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(start, comma - start);
+        if (item.empty()) {
+            error = "empty endpoint in list '" + text + "'";
+            return false;
+        }
+        Endpoint ep;
+        if (!parseEndpoint(item, ep, error))
+            return false;
+        parsed.push_back(ep);
+        start = comma + 1;
+        if (comma == text.size())
+            break;
+    }
+    if (parsed.empty()) {
+        error = "empty endpoint list";
+        return false;
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+int
+backoffDelayMs(unsigned attempt, int initial_ms, int cap_ms)
+{
+    if (attempt == 0 || initial_ms <= 0)
+        return 0;
+    long delay = initial_ms;
+    for (unsigned i = 1; i < attempt && delay < cap_ms; ++i)
+        delay *= 2;
+    if (delay > cap_ms)
+        delay = cap_ms;
+    return static_cast<int>(delay);
+}
+
+} // namespace fasttrack::net

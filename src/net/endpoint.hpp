@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Remote endpoint addressing and the client retry/backoff policy of
+ * the distributed sweep fabric (docs/distributed.md).
+ *
+ * Endpoint syntax is the `--remote` flag's `host:port`, with a
+ * comma-separated list for multi-node fan-out. Parsing is strict —
+ * empty hosts, missing colons, non-numeric or out-of-range ports
+ * (0 and >65535) are rejected with a message, matching the
+ * strict-error style of the other bench flags — so a typo aborts
+ * the run instead of silently sweeping locally.
+ */
+
+#ifndef FT_NET_ENDPOINT_HPP
+#define FT_NET_ENDPOINT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fasttrack::net {
+
+/** One remote ftd endpoint. */
+struct Endpoint
+{
+    std::string host;
+    std::uint16_t port = 0;
+
+    std::string label() const
+    {
+        return host + ":" + std::to_string(port);
+    }
+    bool operator==(const Endpoint &other) const
+    {
+        return host == other.host && port == other.port;
+    }
+};
+
+/**
+ * Parse `host:port`. False (with @p error set) on empty host,
+ * missing/duplicate separator in the port field, non-numeric port,
+ * or a port outside 1..65535. An IPv6 literal uses brackets:
+ * `[::1]:9000`.
+ */
+bool parseEndpoint(const std::string &text, Endpoint &out,
+                   std::string &error);
+
+/** Parse `host:port[,host:port...]`; empty list items are errors. */
+bool parseEndpointList(const std::string &text,
+                       std::vector<Endpoint> &out, std::string &error);
+
+/**
+ * Exponential backoff schedule for reconnect attempts: delay before
+ * attempt @p attempt (0-based; attempt 0 is immediate),
+ * min(initial << (attempt-1), cap) milliseconds afterwards. Pure —
+ * the caller owns the sleeping — so the policy is unit-testable and
+ * clock-free.
+ */
+int backoffDelayMs(unsigned attempt, int initial_ms, int cap_ms);
+
+} // namespace fasttrack::net
+
+#endif // FT_NET_ENDPOINT_HPP

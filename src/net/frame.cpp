@@ -1,0 +1,226 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "common/fnv1a.hpp"
+#include "net/wire.hpp"
+
+namespace fasttrack::net {
+
+namespace {
+
+/** Serialize the 24-byte header into @p w. */
+void
+encodeHeader(WireWriter &w, const Frame &frame)
+{
+    w.u32(kFrameMagic);
+    w.u32(kWireVersion);
+    w.u16(static_cast<std::uint16_t>(frame.type));
+    w.u16(0); // flags (reserved)
+    w.u64(frame.requestId);
+    w.u32(static_cast<std::uint32_t>(frame.payload.size()));
+}
+
+/** Validate a header buffer; fills type/requestId/payload length. */
+FrameStatus
+parseHeader(const std::uint8_t *bytes, Frame &out,
+            std::uint32_t &payload_bytes)
+{
+    WireReader r(bytes, kFrameHeaderBytes);
+    std::uint32_t magic = 0, version = 0;
+    std::uint16_t type = 0, flags = 0;
+    std::uint64_t request_id = 0;
+    std::uint32_t length = 0;
+    if (!r.u32(magic) || !r.u32(version) || !r.u16(type) ||
+        !r.u16(flags) || !r.u64(request_id) || !r.u32(length))
+        return FrameStatus::truncated; // cannot happen: fixed size
+    if (magic != kFrameMagic)
+        return FrameStatus::badMagic;
+    if (version != kWireVersion)
+        return FrameStatus::badVersion;
+    if (flags != 0 || length > kMaxFramePayload)
+        return FrameStatus::malformed;
+    out.type = static_cast<MessageType>(type);
+    out.requestId = request_id;
+    payload_bytes = length;
+    return FrameStatus::ok;
+}
+
+} // namespace
+
+const char *
+toString(FrameStatus status)
+{
+    switch (status) {
+    case FrameStatus::ok:
+        return "ok";
+    case FrameStatus::closed:
+        return "closed";
+    case FrameStatus::timeout:
+        return "timeout";
+    case FrameStatus::truncated:
+        return "truncated";
+    case FrameStatus::badMagic:
+        return "bad-magic";
+    case FrameStatus::badVersion:
+        return "bad-version";
+    case FrameStatus::malformed:
+        return "malformed";
+    case FrameStatus::badChecksum:
+        return "bad-checksum";
+    case FrameStatus::ioError:
+        return "io-error";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+encodeFrame(const Frame &frame)
+{
+    WireWriter w;
+    encodeHeader(w, frame);
+    w.bytes(frame.payload.data(), frame.payload.size());
+    Fnv1a check;
+    check.addBytes(w.buffer().data(), w.buffer().size());
+    w.u64(check.value());
+    return w.take();
+}
+
+FrameStatus
+decodeFrame(const std::vector<std::uint8_t> &bytes, Frame &out)
+{
+    if (bytes.size() < kFrameHeaderBytes + kFrameTrailerBytes)
+        return FrameStatus::truncated;
+    Frame frame;
+    std::uint32_t payload_bytes = 0;
+    const FrameStatus header =
+        parseHeader(bytes.data(), frame, payload_bytes);
+    if (header != FrameStatus::ok)
+        return header;
+    const std::size_t want =
+        kFrameHeaderBytes + payload_bytes + kFrameTrailerBytes;
+    if (bytes.size() < want)
+        return FrameStatus::truncated;
+    if (bytes.size() > want)
+        return FrameStatus::malformed;
+
+    Fnv1a check;
+    check.addBytes(bytes.data(), kFrameHeaderBytes + payload_bytes);
+    WireReader trailer(
+        bytes.data() + kFrameHeaderBytes + payload_bytes,
+        kFrameTrailerBytes);
+    std::uint64_t recorded = 0;
+    trailer.u64(recorded);
+    if (check.value() != recorded)
+        return FrameStatus::badChecksum;
+
+    frame.payload.assign(bytes.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 kFrameHeaderBytes),
+                         bytes.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 kFrameHeaderBytes + payload_bytes));
+    out = std::move(frame);
+    return FrameStatus::ok;
+}
+
+FrameStatus
+recvFrame(Socket &socket, Frame &out, int idle_timeout_ms,
+          int io_timeout_ms)
+{
+    std::uint8_t header[kFrameHeaderBytes];
+    switch (socket.recvAll(header, sizeof(header), idle_timeout_ms,
+                           io_timeout_ms)) {
+    case IoStatus::ok:
+        break;
+    case IoStatus::closed:
+        return FrameStatus::closed;
+    case IoStatus::timeout:
+        return FrameStatus::timeout;
+    case IoStatus::error:
+        return FrameStatus::ioError;
+    }
+
+    Frame frame;
+    std::uint32_t payload_bytes = 0;
+    const FrameStatus status =
+        parseHeader(header, frame, payload_bytes);
+    if (status != FrameStatus::ok)
+        return status;
+
+    // Header validated first, so a forged length can never force an
+    // allocation beyond kMaxFramePayload.
+    std::vector<std::uint8_t> rest(payload_bytes +
+                                   kFrameTrailerBytes);
+    switch (socket.recvAll(rest.data(), rest.size(), io_timeout_ms,
+                           io_timeout_ms)) {
+    case IoStatus::ok:
+        break;
+    case IoStatus::closed:
+        return FrameStatus::truncated; // EOF inside a frame
+    case IoStatus::timeout:
+        return FrameStatus::timeout;
+    case IoStatus::error:
+        return FrameStatus::ioError;
+    }
+
+    Fnv1a check;
+    check.addBytes(header, sizeof(header));
+    check.addBytes(rest.data(), payload_bytes);
+    WireReader trailer(rest.data() + payload_bytes,
+                       kFrameTrailerBytes);
+    std::uint64_t recorded = 0;
+    trailer.u64(recorded);
+    if (check.value() != recorded)
+        return FrameStatus::badChecksum;
+
+    rest.resize(payload_bytes);
+    frame.payload = std::move(rest);
+    out = std::move(frame);
+    return FrameStatus::ok;
+}
+
+FrameStatus
+sendFrame(Socket &socket, const Frame &frame, int io_timeout_ms)
+{
+    const std::vector<std::uint8_t> bytes = encodeFrame(frame);
+    switch (socket.sendAll(bytes.data(), bytes.size(),
+                           io_timeout_ms)) {
+    case IoStatus::ok:
+        return FrameStatus::ok;
+    case IoStatus::closed:
+        return FrameStatus::closed;
+    case IoStatus::timeout:
+        return FrameStatus::timeout;
+    case IoStatus::error:
+        return FrameStatus::ioError;
+    }
+    return FrameStatus::ioError;
+}
+
+Frame
+makeErrorFrame(std::uint64_t request_id, std::uint32_t code,
+               const std::string &message)
+{
+    Frame frame;
+    frame.type = MessageType::error;
+    frame.requestId = request_id;
+    WireWriter w;
+    w.u32(code);
+    w.str(message);
+    frame.payload = w.take();
+    return frame;
+}
+
+bool
+parseErrorFrame(const Frame &frame, std::uint32_t &code,
+                std::string &message)
+{
+    if (frame.type != MessageType::error)
+        return false;
+    WireReader r(frame.payload);
+    return r.u32(code) && r.str(message) && r.atEnd();
+}
+
+} // namespace fasttrack::net

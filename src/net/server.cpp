@@ -1,0 +1,295 @@
+#include "net/server.hpp"
+
+#include <utility>
+
+#include "net/wire.hpp"
+
+namespace fasttrack::net {
+
+namespace {
+
+/** Accept-poll period: bounds how long stop() waits on the accept
+ *  thread without requiring a cross-thread listener close. */
+constexpr int kAcceptPollMs = 100;
+
+/** Parse a hello payload. */
+bool
+parseHello(const Frame &frame, std::uint32_t &wire_version,
+           std::uint32_t &schema, std::uint32_t &window)
+{
+    WireReader r(frame.payload);
+    return r.u32(wire_version) && r.u32(schema) && r.u32(window) &&
+           r.atEnd();
+}
+
+} // namespace
+
+FrameServer::FrameServer(ServerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler))
+{
+}
+
+FrameServer::~FrameServer()
+{
+    stop();
+}
+
+bool
+FrameServer::start(std::string &error)
+{
+    if (running_.load(std::memory_order_acquire)) {
+        error = "server already running";
+        return false;
+    }
+    if (!listener_.open(config_.host, config_.port, error))
+        return false;
+    stopping_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+std::uint16_t
+FrameServer::boundPort() const
+{
+    return listener_.boundPort();
+}
+
+void
+FrameServer::stop()
+{
+    if (!running_.exchange(false, std::memory_order_acq_rel))
+        return;
+    stopping_.store(true, std::memory_order_release);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    listener_.close();
+
+    // Shut down live session sockets so blocked reads see EOF, then
+    // join. Session threads never close() their socket (only
+    // shutdown), so these fds stay valid until the Sessions are
+    // destroyed below, after every thread has been joined.
+    std::vector<Session> sessions;
+    {
+        MutexLock lk(sessionsMutex_);
+        sessions.swap(sessions_);
+    }
+    for (Session &s : sessions)
+        if (s.socket)
+            s.socket->shutdownBoth();
+    for (Session &s : sessions)
+        if (s.thread.joinable())
+            s.thread.join();
+}
+
+ServerStats
+FrameServer::stats() const
+{
+    ServerStats s;
+    s.sessionsAccepted =
+        sessionsAccepted_.load(std::memory_order_relaxed);
+    s.sessionsRejected =
+        sessionsRejected_.load(std::memory_order_relaxed);
+    s.framesIn = framesIn_.load(std::memory_order_relaxed);
+    s.framesOut = framesOut_.load(std::memory_order_relaxed);
+    s.protocolErrors =
+        protocolErrors_.load(std::memory_order_relaxed);
+    s.idleTimeouts = idleTimeouts_.load(std::memory_order_relaxed);
+    s.requestsServed =
+        requestsServed_.load(std::memory_order_relaxed);
+    s.injectedDrops = injectedDrops_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+FrameServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire) &&
+           running_.load(std::memory_order_acquire)) {
+        Socket accepted = listener_.accept(kAcceptPollMs);
+        if (!accepted.valid())
+            continue;
+        reapSessions();
+        if (activeSessions_.load(std::memory_order_acquire) >=
+            config_.maxSessions) {
+            sessionsRejected_.fetch_add(1,
+                                        std::memory_order_relaxed);
+            sendFrame(accepted,
+                      makeErrorFrame(0, kErrOverloaded,
+                                     "session limit reached"),
+                      config_.ioTimeoutMs);
+            continue; // destructor closes the socket
+        }
+        sessionsAccepted_.fetch_add(1, std::memory_order_relaxed);
+        activeSessions_.fetch_add(1, std::memory_order_acq_rel);
+        auto socket = std::make_shared<Socket>(std::move(accepted));
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        std::thread thread(
+            [this, socket, done] { runSession(socket, done); });
+        MutexLock lk(sessionsMutex_);
+        sessions_.push_back(
+            Session{socket, done, std::move(thread)});
+    }
+}
+
+void
+FrameServer::reapSessions()
+{
+    // Joinable-but-finished threads cannot be detected portably, so
+    // reap by the done flag (runSession's last act). Joining before
+    // erasing makes the erase — and the Socket close it triggers —
+    // single-threaded. stop() joins any stragglers.
+    MutexLock lk(sessionsMutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if (it->done && it->done->load(std::memory_order_acquire)) {
+            if (it->thread.joinable())
+                it->thread.join();
+            it = sessions_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+FrameServer::runSession(std::shared_ptr<Socket> socket,
+                        std::shared_ptr<std::atomic<bool>> done)
+{
+    Socket &sock = *socket;
+    const int idle_ms = config_.idleTimeoutMs;
+    const int io_ms = config_.ioTimeoutMs;
+    std::uint64_t responses_sent = 0;
+
+    const auto protocolError = [&](std::uint64_t request_id,
+                                   std::uint32_t code,
+                                   const std::string &message) {
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        sendFrame(sock, makeErrorFrame(request_id, code, message),
+                  io_ms);
+    };
+
+    // --- Handshake -------------------------------------------------
+    Frame hello;
+    const FrameStatus hs = recvFrame(sock, hello, idle_ms, io_ms);
+    bool handshaken = false;
+    if (hs == FrameStatus::ok && hello.type == MessageType::hello) {
+        std::uint32_t wire_version = 0, schema = 0, window = 0;
+        if (!parseHello(hello, wire_version, schema, window)) {
+            protocolError(hello.requestId, kErrBadRequest,
+                          "malformed hello");
+        } else if (wire_version != kWireVersion) {
+            protocolError(hello.requestId, kErrBadVersion,
+                          "wire version mismatch");
+        } else if (schema != config_.schemaVersion) {
+            protocolError(hello.requestId, kErrBadSchema,
+                          "sweep schema mismatch");
+        } else {
+            framesIn_.fetch_add(1, std::memory_order_relaxed);
+            Frame ack;
+            ack.type = MessageType::helloAck;
+            ack.requestId = hello.requestId;
+            WireWriter w;
+            w.u32(kWireVersion);
+            w.u32(config_.schemaVersion);
+            w.u32(window < config_.maxPending ? window
+                                              : config_.maxPending);
+            ack.payload = w.take();
+            if (sendFrame(sock, ack, io_ms) == FrameStatus::ok) {
+                framesOut_.fetch_add(1, std::memory_order_relaxed);
+                handshaken = true;
+            }
+        }
+    } else if (hs == FrameStatus::timeout) {
+        idleTimeouts_.fetch_add(1, std::memory_order_relaxed);
+    } else if (hs != FrameStatus::closed) {
+        protocolError(0, kErrBadRequest,
+                      std::string("expected hello, got ") +
+                          toString(hs));
+    }
+
+    // --- Serve batches ---------------------------------------------
+    while (handshaken && !stopping_.load(std::memory_order_acquire)) {
+        std::vector<Frame> batch;
+        bool session_over = false;
+
+        // First frame of the batch: wait up to the idle timeout.
+        // Then drain whatever is already pipelined, up to the
+        // bounded queue — beyond that, TCP backpressure holds the
+        // client until this batch is served.
+        while (batch.size() < config_.maxPending) {
+            const bool first = batch.empty();
+            if (!first && !sock.readable())
+                break;
+            Frame frame;
+            const FrameStatus status =
+                recvFrame(sock, frame, first ? idle_ms : io_ms,
+                          io_ms);
+            if (status == FrameStatus::ok) {
+                framesIn_.fetch_add(1, std::memory_order_relaxed);
+                if (frame.type == MessageType::goodbye) {
+                    session_over = true;
+                    break;
+                }
+                if (frame.type != MessageType::sweepRequest) {
+                    protocolError(frame.requestId, kErrBadRequest,
+                                  "unexpected message type");
+                    session_over = true;
+                    break;
+                }
+                batch.push_back(std::move(frame));
+                continue;
+            }
+            if (status == FrameStatus::closed && first) {
+                session_over = true; // orderly EOF between frames
+            } else if (status == FrameStatus::timeout && first) {
+                idleTimeouts_.fetch_add(1,
+                                        std::memory_order_relaxed);
+                session_over = true;
+            } else {
+                protocolError(0, kErrBadRequest,
+                              std::string("bad frame: ") +
+                                  toString(status));
+                session_over = true;
+            }
+            break;
+        }
+
+        if (!batch.empty()) {
+            requestsServed_.fetch_add(batch.size(),
+                                      std::memory_order_relaxed);
+            std::vector<Frame> responses =
+                handler_(std::move(batch));
+            for (const Frame &response : responses) {
+                if (config_.dropAfterFrames != 0 &&
+                    responses_sent >= config_.dropAfterFrames) {
+                    injectedDrops_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    sock.shutdownBoth();
+                    session_over = true;
+                    break;
+                }
+                if (sendFrame(sock, response, io_ms) !=
+                    FrameStatus::ok) {
+                    session_over = true;
+                    break;
+                }
+                ++responses_sent;
+                framesOut_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        if (session_over)
+            break;
+    }
+
+    // Shut down (never close) so the peer sees EOF now; the close
+    // happens when the Session is erased after join, keeping fd
+    // writes out of this thread (stop() may still be poking the fd).
+    sock.shutdownBoth();
+    // Free the cap slot: maxSessions bounds *live* sessions, so the
+    // decrement must happen here, not in reapSessions (which only
+    // runs on the next accept and would leak slots until then).
+    activeSessions_.fetch_sub(1, std::memory_order_acq_rel);
+    done->store(true, std::memory_order_release);
+}
+
+} // namespace fasttrack::net

@@ -1,0 +1,290 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fasttrack::net {
+
+namespace {
+
+/** Wait for @p events on @p fd; true when ready. */
+bool
+waitReady(int fd, short events, int timeout_ms)
+{
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0)
+            return (pfd.revents &
+                    (events | POLLERR | POLLHUP | POLLNVAL)) != 0;
+        if (rc == 0)
+            return false; // timeout
+        if (errno != EINTR)
+            return false;
+        // EINTR: retry with the same budget. Slightly lengthens the
+        // total wait, but avoids reading a clock to re-arm.
+    }
+}
+
+void
+setCloexecNodelay(int fd)
+{
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+const char *
+toString(IoStatus status)
+{
+    switch (status) {
+    case IoStatus::ok:
+        return "ok";
+    case IoStatus::closed:
+        return "closed";
+    case IoStatus::timeout:
+        return "timeout";
+    case IoStatus::error:
+        return "error";
+    }
+    return "?";
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+IoStatus
+Socket::sendAll(const void *data, std::size_t n, int timeout_ms)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t rc =
+            ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+        if (rc > 0) {
+            sent += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!waitReady(fd_, POLLOUT, timeout_ms))
+                return IoStatus::timeout;
+            continue;
+        }
+        if (rc < 0 && errno == EINTR)
+            continue;
+        return errno == EPIPE || errno == ECONNRESET
+                   ? IoStatus::closed
+                   : IoStatus::error;
+    }
+    return IoStatus::ok;
+}
+
+IoStatus
+Socket::recvAll(void *data, std::size_t n, int first_timeout_ms,
+                int timeout_ms)
+{
+    auto *p = static_cast<std::uint8_t *>(data);
+    std::size_t got = 0;
+    int budget = first_timeout_ms;
+    while (got < n) {
+        if (!waitReady(fd_, POLLIN, budget))
+            return IoStatus::timeout;
+        budget = timeout_ms; // idle budget only guards the first byte
+        const ssize_t rc = ::recv(fd_, p + got, n - got, 0);
+        if (rc > 0) {
+            got += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (rc == 0)
+            return IoStatus::closed;
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            continue;
+        return errno == ECONNRESET ? IoStatus::closed
+                                   : IoStatus::error;
+    }
+    return IoStatus::ok;
+}
+
+bool
+Socket::readable() const
+{
+    if (fd_ < 0)
+        return false;
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    return ::poll(&pfd, 1, 0) > 0 &&
+           (pfd.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+Socket
+connectTo(const std::string &host, std::uint16_t port,
+          int timeout_ms, std::string &error)
+{
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_protocol = IPPROTO_TCP;
+
+    struct addrinfo *res = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc =
+        ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+    if (rc != 0 || res == nullptr) {
+        error = "resolve '" + host + "': " + ::gai_strerror(rc);
+        return Socket();
+    }
+
+    Socket out;
+    error = "no usable address";
+    for (struct addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                                ai->ai_protocol);
+        if (fd < 0) {
+            error = std::strerror(errno);
+            continue;
+        }
+        setCloexecNodelay(fd);
+        // Non-blocking connect so the handshake honours timeout_ms.
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        const int crc =
+            ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        bool connected = crc == 0;
+        if (!connected && errno == EINPROGRESS) {
+            if (waitReady(fd, POLLOUT, timeout_ms)) {
+                int soerr = 0;
+                socklen_t len = sizeof(soerr);
+                if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr,
+                                 &len) == 0 &&
+                    soerr == 0) {
+                    connected = true;
+                } else {
+                    error = std::strerror(soerr ? soerr : EINVAL);
+                }
+            } else {
+                error = "connect timeout";
+            }
+        } else if (!connected) {
+            error = std::strerror(errno);
+        }
+        if (!connected) {
+            ::close(fd);
+            continue;
+        }
+        ::fcntl(fd, F_SETFL, flags); // back to blocking
+        out = Socket(fd);
+        break;
+    }
+    ::freeaddrinfo(res);
+    return out;
+}
+
+bool
+Listener::open(const std::string &host, std::uint16_t port,
+               std::string &error)
+{
+    close();
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_protocol = IPPROTO_TCP;
+    hints.ai_flags = AI_PASSIVE;
+
+    struct addrinfo *res = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                 service.c_str(), &hints, &res);
+    if (rc != 0 || res == nullptr) {
+        error = "resolve '" + host + "': " + ::gai_strerror(rc);
+        return false;
+    }
+
+    error = "no usable address";
+    for (struct addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                                ai->ai_protocol);
+        if (fd < 0) {
+            error = std::strerror(errno);
+            continue;
+        }
+        ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+            ::listen(fd, 64) != 0) {
+            error = std::strerror(errno);
+            ::close(fd);
+            continue;
+        }
+        struct sockaddr_storage bound;
+        socklen_t blen = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &blen) == 0) {
+            if (bound.ss_family == AF_INET)
+                port_ = ntohs(
+                    reinterpret_cast<sockaddr_in *>(&bound)->sin_port);
+            else if (bound.ss_family == AF_INET6)
+                port_ = ntohs(reinterpret_cast<sockaddr_in6 *>(&bound)
+                                  ->sin6_port);
+        }
+        fd_ = fd;
+        break;
+    }
+    ::freeaddrinfo(res);
+    return fd_ >= 0;
+}
+
+Socket
+Listener::accept(int timeout_ms)
+{
+    if (fd_ < 0 || !waitReady(fd_, POLLIN, timeout_ms))
+        return Socket();
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0)
+        return Socket();
+    setCloexecNodelay(fd);
+    return Socket(fd);
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        port_ = 0;
+    }
+}
+
+} // namespace fasttrack::net

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Thin RAII wrappers over POSIX TCP sockets for the distributed
+ * sweep fabric (docs/distributed.md): a movable connected Socket
+ * with poll-based send/recv timeouts, and a Listener that binds an
+ * (optionally ephemeral) port and accepts connections.
+ *
+ * Design rules:
+ *  - No exceptions: every operation reports an IoStatus; callers in
+ *    the retry/fallback paths branch on it.
+ *  - No wall-clock reads: all timeouts are expressed as a
+ *    milliseconds budget handed to poll(2), so the library stays
+ *    clean under the ft-nondeterminism check.
+ *  - SIGPIPE is never raised (MSG_NOSIGNAL on every send).
+ */
+
+#ifndef FT_NET_SOCKET_HPP
+#define FT_NET_SOCKET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fasttrack::net {
+
+/** Outcome of a socket operation. */
+enum class IoStatus
+{
+    ok,
+    /** Peer closed the connection (EOF mid-read). */
+    closed,
+    /** The poll timeout elapsed before the operation completed. */
+    timeout,
+    /** Any other socket-level error (errno-style failures). */
+    error,
+};
+
+const char *toString(IoStatus status);
+
+/** Block forever (the poll timeout sentinel). */
+inline constexpr int kNoTimeout = -1;
+
+/**
+ * A connected TCP socket (RAII over the fd). Move-only; the
+ * destructor closes the descriptor.
+ */
+class Socket
+{
+  public:
+    Socket() = default;
+    /** Adopt an already-connected descriptor (-1 = empty). */
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Socket &operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Close now (idempotent). */
+    void close();
+
+    /** Shut down both directions without closing the fd; a blocked
+     *  peer read observes EOF immediately. */
+    void shutdownBoth();
+
+    /**
+     * Send exactly @p n bytes. @p timeout_ms bounds each wait for
+     * writability (kNoTimeout blocks).
+     */
+    IoStatus sendAll(const void *data, std::size_t n,
+                     int timeout_ms = kNoTimeout);
+
+    /**
+     * Receive exactly @p n bytes. @p first_timeout_ms bounds the
+     * wait for the first byte (an idle timeout); @p timeout_ms
+     * bounds each subsequent wait once the read has started.
+     */
+    IoStatus recvAll(void *data, std::size_t n, int first_timeout_ms,
+                     int timeout_ms);
+
+    /** True when at least one byte is readable without blocking
+     *  (used to drain pipelined frames). */
+    bool readable() const;
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Connect to @p host:@p port with a bounded handshake wait.
+ * Resolution failures and refusals return an invalid Socket and set
+ * @p error to a human-readable reason.
+ */
+Socket connectTo(const std::string &host, std::uint16_t port,
+                 int timeout_ms, std::string &error);
+
+/** A listening TCP socket. */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener() { close(); }
+    Listener(Listener &&other) noexcept
+        : fd_(other.fd_), port_(other.port_)
+    {
+        other.fd_ = -1;
+        other.port_ = 0;
+    }
+    Listener &operator=(Listener &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            port_ = other.port_;
+            other.fd_ = -1;
+            other.port_ = 0;
+        }
+        return *this;
+    }
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Bind @p host:@p port (port 0 = ephemeral; boundPort() reports
+     * the actual one) and listen. False (with @p error set) on
+     * failure.
+     */
+    bool open(const std::string &host, std::uint16_t port,
+              std::string &error);
+
+    /** Wait up to @p timeout_ms for a connection; an empty Socket on
+     *  timeout or error. */
+    Socket accept(int timeout_ms);
+
+    bool valid() const { return fd_ >= 0; }
+    std::uint16_t boundPort() const { return port_; }
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+} // namespace fasttrack::net
+
+#endif // FT_NET_SOCKET_HPP

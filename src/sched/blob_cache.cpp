@@ -1,27 +1,22 @@
 #include "sched/blob_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <utility>
 
 #include <unistd.h>
 
+#include "net/wire.hpp"
+
 namespace fasttrack::sched {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x43525446u; // "FTRC" little-endian
-
-struct EntryHeader
-{
-    std::uint32_t magic = 0;
-    std::uint32_t schema = 0;
-    std::uint64_t key = 0;
-    std::uint64_t payloadBytes = 0;
-};
-static_assert(sizeof(EntryHeader) == 24, "header layout drifted");
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kTrailerBytes = 8;
 
 std::string
 hexKey(std::uint64_t key)
@@ -30,6 +25,16 @@ hexKey(std::uint64_t key)
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(key));
     return buf;
+}
+
+bool
+isEntryFile(const std::filesystem::directory_entry &entry)
+{
+    if (!entry.is_regular_file())
+        return false;
+    const std::string name = entry.path().filename().string();
+    return name.size() == 24 && name.rfind("ft-", 0) == 0 &&
+           name.compare(name.size() - 5, 5, ".ftrc") == 0;
 }
 
 } // namespace
@@ -43,7 +48,11 @@ void
 BlobCache::setDir(std::string dir)
 {
     MutexLock lk(mutex_);
-    dir_ = std::move(dir);
+    if (dir != dir_) {
+        dir_ = std::move(dir);
+        diskScanned_ = false;
+        diskBytes_ = 0;
+    }
 }
 
 std::string
@@ -51,6 +60,50 @@ BlobCache::dir() const
 {
     MutexLock lk(mutex_);
     return dir_;
+}
+
+void
+BlobCache::setMaxDiskBytes(std::uint64_t max_bytes)
+{
+    MutexLock lk(mutex_);
+    maxDiskBytes_ = max_bytes;
+}
+
+std::uint64_t
+BlobCache::maxDiskBytes() const
+{
+    MutexLock lk(mutex_);
+    return maxDiskBytes_;
+}
+
+std::uint64_t
+BlobCache::diskBytes() const
+{
+    MutexLock lk(mutex_);
+    if (dir_.empty())
+        return 0;
+    ensureDiskScanned();
+    return diskBytes_;
+}
+
+void
+BlobCache::ensureDiskScanned() const
+{
+    if (diskScanned_ || dir_.empty())
+        return;
+    diskScanned_ = true;
+    diskBytes_ = 0;
+    // A not-yet-created directory iterates as empty (ec set).
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        if (!isEntryFile(entry))
+            continue;
+        std::error_code sec;
+        const auto size = entry.file_size(sec);
+        if (!sec)
+            diskBytes_ += size;
+    }
 }
 
 std::string
@@ -116,10 +169,17 @@ BlobCache::loadDiskEntry(std::uint64_t key)
     if (!in)
         return std::nullopt; // absent: a plain miss, not corruption
 
-    EntryHeader header;
-    in.read(reinterpret_cast<char *>(&header), sizeof(header));
-    if (!in || header.magic != kMagic || header.schema != schema_ ||
-        header.key != key) {
+    // Explicit little-endian header decode: entries travel between
+    // hosts, so the layout is byte-defined, never struct-defined.
+    std::uint8_t headerBytes[kHeaderBytes];
+    in.read(reinterpret_cast<char *>(headerBytes),
+            sizeof(headerBytes));
+    std::uint32_t magic = 0, schema = 0;
+    std::uint64_t storedKey = 0, payloadBytes = 0;
+    net::WireReader header(headerBytes, sizeof(headerBytes));
+    if (!in || !header.u32(magic) || !header.u32(schema) ||
+        !header.u64(storedKey) || !header.u64(payloadBytes) ||
+        magic != kMagic || schema != schema_ || storedKey != key) {
         corrupt_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
@@ -127,23 +187,25 @@ BlobCache::loadDiskEntry(std::uint64_t key)
     // cannot force a huge allocation.
     std::error_code ec;
     const auto fileSize = std::filesystem::file_size(path, ec);
-    if (ec ||
-        fileSize != sizeof(EntryHeader) + header.payloadBytes + 8) {
+    if (ec || fileSize != kHeaderBytes + payloadBytes + kTrailerBytes) {
         corrupt_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
 
     std::vector<std::uint8_t> payload(
-        static_cast<std::size_t>(header.payloadBytes));
+        static_cast<std::size_t>(payloadBytes));
     in.read(reinterpret_cast<char *>(payload.data()),
             static_cast<std::streamsize>(payload.size()));
-    std::uint64_t recordedHash = 0;
-    in.read(reinterpret_cast<char *>(&recordedHash),
-            sizeof(recordedHash));
+    std::uint8_t trailerBytes[kTrailerBytes];
+    in.read(reinterpret_cast<char *>(trailerBytes),
+            sizeof(trailerBytes));
     if (!in) {
         corrupt_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
+    std::uint64_t recordedHash = 0;
+    net::WireReader trailer(trailerBytes, sizeof(trailerBytes));
+    trailer.u64(recordedHash);
 
     Fnv1a check;
     check.addBytes(payload.data(), payload.size());
@@ -177,25 +239,103 @@ BlobCache::writeDiskEntry(std::uint64_t key,
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             return;
-        EntryHeader header;
-        header.magic = kMagic;
-        header.schema = schema_;
-        header.key = key;
-        header.payloadBytes = payload.size();
-        out.write(reinterpret_cast<const char *>(&header),
-                  sizeof(header));
-        out.write(reinterpret_cast<const char *>(payload.data()),
-                  static_cast<std::streamsize>(payload.size()));
+        net::WireWriter w;
+        w.u32(kMagic);
+        w.u32(schema_);
+        w.u64(key);
+        w.u64(payload.size());
+        w.bytes(payload.data(), payload.size());
         Fnv1a check;
         check.addBytes(payload.data(), payload.size());
-        const std::uint64_t hash = check.value();
-        out.write(reinterpret_cast<const char *>(&hash), sizeof(hash));
+        w.u64(check.value());
+        const auto &bytes = w.buffer();
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
         if (!out)
             return;
     }
     std::filesystem::rename(tmp, path, ec);
-    if (!ec)
-        diskWrites_.fetch_add(1, std::memory_order_relaxed);
+    if (ec)
+        return;
+    diskWrites_.fetch_add(1, std::memory_order_relaxed);
+
+    bool over_cap = false;
+    {
+        MutexLock lk(mutex_);
+        ensureDiskScanned();
+        diskBytes_ +=
+            kHeaderBytes + payload.size() + kTrailerBytes;
+        over_cap = maxDiskBytes_ != 0 && diskBytes_ > maxDiskBytes_;
+    }
+    if (over_cap)
+        evictOverCap(path);
+}
+
+void
+BlobCache::evictOverCap(const std::string &keep_path)
+{
+    // Snapshot the store (oldest write first), then delete under the
+    // mutex so two overflowing writers do not double-count.
+    std::string dir;
+    std::uint64_t cap = 0;
+    {
+        MutexLock lk(mutex_);
+        dir = dir_;
+        cap = maxDiskBytes_;
+    }
+    if (dir.empty() || cap == 0)
+        return;
+
+    struct DiskEntry
+    {
+        std::filesystem::path path;
+        std::uint64_t size = 0;
+        std::filesystem::file_time_type mtime;
+    };
+    std::vector<DiskEntry> entries;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!isEntryFile(entry))
+            continue;
+        std::error_code sec;
+        DiskEntry de;
+        de.path = entry.path();
+        de.size = entry.file_size(sec);
+        if (sec)
+            continue;
+        de.mtime = entry.last_write_time(sec);
+        if (sec)
+            continue;
+        entries.push_back(std::move(de));
+    }
+    if (ec)
+        return;
+    std::sort(entries.begin(), entries.end(),
+              [](const DiskEntry &a, const DiskEntry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path; // tie-break: stable order
+              });
+
+    MutexLock lk(mutex_);
+    // Recompute from the snapshot: sizes may have drifted while
+    // unlocked (another process sharing the store).
+    std::uint64_t total = 0;
+    for (const DiskEntry &entry : entries)
+        total += entry.size;
+    diskBytes_ = total;
+    for (const DiskEntry &entry : entries) {
+        if (diskBytes_ <= maxDiskBytes_)
+            break;
+        if (entry.path == keep_path)
+            continue; // never evict the entry just written
+        std::error_code rec;
+        if (std::filesystem::remove(entry.path, rec) && !rec) {
+            diskBytes_ -= entry.size;
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
 }
 
 BlobCache::Stats
@@ -209,6 +349,7 @@ BlobCache::stats() const
     s.diskWrites = diskWrites_.load(std::memory_order_relaxed);
     s.corrupt = corrupt_.load(std::memory_order_relaxed);
     s.bypasses = bypasses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -223,6 +364,9 @@ BlobCache::reportTo(telemetry::MetricsRegistry &metrics) const
     metrics.counter(name_ + ".disk_writes") = s.diskWrites;
     metrics.counter(name_ + ".corrupt") = s.corrupt;
     metrics.counter(name_ + ".bypasses") = s.bypasses;
+    metrics.counter(name_ + ".evictions") = s.evictions;
+    metrics.gauge(name_ + ".disk_bytes") =
+        static_cast<double>(diskBytes());
 }
 
 } // namespace fasttrack::sched

@@ -11,7 +11,9 @@
  * stored result for a re-run.
  *
  * On-disk format (one file per entry, named ft-<key:016x>.ftrc in
- * the configured directory, native endianness):
+ * the configured directory; every field explicit little-endian so
+ * an entry written on one host validates on any other — the
+ * distributed fabric shares these files across nodes):
  *
  *   u32 magic 'FTRC'   u32 schemaVersion   u64 key
  *   u64 payloadBytes   payload...          u64 fnv1a(payload)
@@ -21,6 +23,10 @@
  * file counts as corrupt and the result is recomputed, never
  * trusted. Writes go to a temp file renamed into place, so a reader
  * never observes a half-written entry.
+ *
+ * Disk growth is bounded: setMaxDiskBytes(cap) enables LRU-ish
+ * eviction (oldest write time first) whenever the store exceeds the
+ * cap; evictions are counted and published via reportTo.
  */
 
 #ifndef FT_SCHED_BLOB_CACHE_HPP
@@ -33,35 +39,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fnv1a.hpp"
 #include "common/thread_annotations.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace fasttrack::sched {
 
-/** FNV-1a 64-bit streaming hasher (key derivation + self-checks). */
-class Fnv1a
-{
-  public:
-    void addByte(std::uint8_t b)
-    {
-        hash_ ^= b;
-        hash_ *= 0x100000001b3ull;
-    }
-    void addBytes(const void *data, std::size_t n)
-    {
-        const auto *p = static_cast<const std::uint8_t *>(data);
-        for (std::size_t i = 0; i < n; ++i)
-            addByte(p[i]);
-    }
-    void add(std::uint64_t word)
-    {
-        addBytes(&word, sizeof(word));
-    }
-    std::uint64_t value() const { return hash_; }
-
-  private:
-    std::uint64_t hash_ = 0xcbf29ce484222325ull;
-};
+/** FNV-1a hasher (key derivation + self-checks). Now shared with
+ *  the wire layer; lives in common/fnv1a.hpp and feeds words as
+ *  little-endian bytes so keys are host-independent. */
+using Fnv1a = fasttrack::Fnv1a;
 
 class BlobCache
 {
@@ -83,6 +70,8 @@ class BlobCache
         std::uint64_t corrupt = 0;
         /** Lookups skipped by the caller (e.g. telemetry active). */
         std::uint64_t bypasses = 0;
+        /** Disk entries deleted to stay under the size cap. */
+        std::uint64_t evictions = 0;
     };
 
     /**
@@ -97,6 +86,21 @@ class BlobCache
      *  directory is created on first write. */
     void setDir(std::string dir);
     std::string dir() const;
+
+    /**
+     * Cap the disk store at @p max_bytes (0 = unbounded, the
+     * default; the --result-cache-max-bytes flag wires here). When
+     * a write pushes the store over the cap, entries are evicted
+     * oldest-write-first until it fits again — LRU-ish: write
+     * recency approximates access recency for sweep workloads,
+     * and needs no mtime touching (which would be nondeterministic)
+     * on the hit path. The entry just written is never evicted.
+     */
+    void setMaxDiskBytes(std::uint64_t max_bytes);
+    std::uint64_t maxDiskBytes() const;
+
+    /** Current on-disk store size in bytes (0 when detached). */
+    std::uint64_t diskBytes() const;
 
     std::uint32_t schemaVersion() const { return schema_; }
 
@@ -131,6 +135,11 @@ class BlobCache
     loadDiskEntry(std::uint64_t key);
     void writeDiskEntry(std::uint64_t key,
                         const std::vector<std::uint8_t> &payload);
+    /** Sum the store's entry sizes once per attach (under mutex_). */
+    void ensureDiskScanned() const FT_REQUIRES(mutex_);
+    /** Evict oldest entries until the store fits the cap, sparing
+     *  @p keep_path (the entry just written). */
+    void evictOverCap(const std::string &keep_path);
 
     std::string name_;
     std::uint32_t schema_;
@@ -138,6 +147,11 @@ class BlobCache
     std::string dir_ FT_GUARDED_BY(mutex_);
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
         mem_ FT_GUARDED_BY(mutex_);
+    std::uint64_t maxDiskBytes_ FT_GUARDED_BY(mutex_) = 0;
+    /** Lazily-scanned store size; mutable so const readers
+     *  (diskBytes, reportTo) can trigger the scan under mutex_. */
+    mutable std::uint64_t diskBytes_ FT_GUARDED_BY(mutex_) = 0;
+    mutable bool diskScanned_ FT_GUARDED_BY(mutex_) = false;
 
     // Statistics counters are relaxed throughout: they are monotonic
     // tallies read only by quiescent-time reporting, never used to
@@ -149,6 +163,7 @@ class BlobCache
     std::atomic<std::uint64_t> diskWrites_{0};
     std::atomic<std::uint64_t> corrupt_{0};
     std::atomic<std::uint64_t> bypasses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 };
 
 } // namespace fasttrack::sched

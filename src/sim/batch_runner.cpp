@@ -7,6 +7,7 @@
 #include "common/parallel.hpp"
 #include "noc/batched_engine.hpp"
 #include "sched/work_stealing_pool.hpp"
+#include "sim/remote.hpp"
 #include "sim/sweep_cache.hpp"
 #include "telemetry/sink.hpp"
 #include "traffic/batched_injector.hpp"
@@ -90,10 +91,12 @@ runSyntheticBatch(const NocConfig &config,
     return out;
 }
 
+/** The in-process path: cache pass + lockstep batches on the pool
+ *  (see header for why the daemon and the fallback call this). */
 std::vector<SynthResult>
-batchedCachedRuns(const NocConfig &config, std::uint32_t channels,
-                  const std::vector<SyntheticWorkload> &workloads,
-                  Cycle max_cycles)
+batchedCachedRunsLocal(const NocConfig &config, std::uint32_t channels,
+                       const std::vector<SyntheticWorkload> &workloads,
+                       Cycle max_cycles)
 {
     const std::size_t count = workloads.size();
     const std::uint32_t width = defaultBatchWidth();
@@ -192,6 +195,31 @@ batchedCachedRuns(const NocConfig &config, std::uint32_t channels,
         }
     }
     return out;
+}
+
+std::vector<SynthResult>
+batchedCachedRuns(const NocConfig &config, std::uint32_t channels,
+                  const std::vector<SyntheticWorkload> &workloads,
+                  Cycle max_cycles)
+{
+    // Remote dispatch preserves the exact per-point contract: every
+    // result is the bit-deterministic function of its inputs, so it
+    // does not matter which node computed it. Telemetry runs stay
+    // local — remote workers cannot stream trace events.
+    if (remoteConfigured() && telemetry::installed() == nullptr) {
+        return remoteBatchedRuns(
+            config, channels, workloads, max_cycles,
+            [&](const std::vector<std::size_t> &indices) {
+                std::vector<SyntheticWorkload> subset;
+                subset.reserve(indices.size());
+                for (std::size_t i : indices)
+                    subset.push_back(workloads[i]);
+                return batchedCachedRunsLocal(config, channels,
+                                              subset, max_cycles);
+            });
+    }
+    return batchedCachedRunsLocal(config, channels, workloads,
+                                  max_cycles);
 }
 
 BatchRunStats

@@ -62,6 +62,19 @@ batchedCachedRuns(const NocConfig &config, std::uint32_t channels,
                   const std::vector<SyntheticWorkload> &workloads,
                   Cycle max_cycles = kDefaultMaxCycles);
 
+/**
+ * batchedCachedRuns pinned to the in-process path: never consults
+ * the remote config. The ftd daemon's request handler and the remote
+ * client's fallback go through this so serving a request can never
+ * re-enter remote dispatch — a hazard whenever a daemon shares a
+ * process with a remote-configured client (in-process tests, or an
+ * operator pointing a daemon's own tools at itself).
+ */
+std::vector<SynthResult>
+batchedCachedRunsLocal(const NocConfig &config, std::uint32_t channels,
+                       const std::vector<SyntheticWorkload> &workloads,
+                       Cycle max_cycles = kDefaultMaxCycles);
+
 /** Dispatch counters for --cache-stats: how many points ran batched
  *  vs scalar since process start. */
 struct BatchRunStats

@@ -1,0 +1,214 @@
+#include "sim/ftd_server.hpp"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "net/wire.hpp"
+#include "sched/work_stealing_pool.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/remote.hpp"
+#include "sim/sweep_cache.hpp"
+
+namespace fasttrack {
+
+namespace {
+
+/** Group key: points sharing (config, channels, maxCycles) batch
+ *  together. The encoded request minus pointIndex/workload would do,
+ *  but hashing the fields directly is simpler and collision-free
+ *  (std::map on the encoded bytes). */
+std::string
+groupKey(const SweepRequest &request)
+{
+    net::WireWriter w;
+    const NocConfig &c = request.config;
+    w.u32(c.n);
+    w.u32(c.d);
+    w.u32(c.r);
+    w.u32(static_cast<std::uint32_t>(c.variant));
+    w.u8(c.allowExpressTurn ? 1 : 0);
+    w.u8(c.allowUpgrade ? 1 : 0);
+    w.u8(c.turnPriority ? 1 : 0);
+    w.u32(c.shortLinkStages);
+    w.u32(c.expressLinkStages);
+    w.u32(request.channels);
+    w.u64(request.maxCycles);
+    const std::vector<std::uint8_t> bytes = w.take();
+    return std::string(reinterpret_cast<const char *>(bytes.data()),
+                       bytes.size());
+}
+
+net::ServerConfig
+withSweepSchema(net::ServerConfig config)
+{
+    config.schemaVersion = kSweepCacheSchema;
+    return config;
+}
+
+} // namespace
+
+FtdServer::FtdServer(net::ServerConfig config)
+    : server_(withSweepSchema(std::move(config)),
+              [this](std::vector<net::Frame> &&batch) {
+                  return handle(std::move(batch));
+              })
+{
+}
+
+bool
+FtdServer::start(std::string &error)
+{
+    return server_.start(error);
+}
+
+void
+FtdServer::stop()
+{
+    server_.stop();
+}
+
+std::uint16_t
+FtdServer::boundPort() const
+{
+    return server_.boundPort();
+}
+
+FtdServer::Stats
+FtdServer::stats() const
+{
+    Stats s;
+    s.pointsServed = pointsServed_.load(std::memory_order_relaxed);
+    s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+    s.badRequests = badRequests_.load(std::memory_order_relaxed);
+    return s;
+}
+
+net::ServerStats
+FtdServer::netStats() const
+{
+    return server_.stats();
+}
+
+void
+FtdServer::reportTo(telemetry::MetricsRegistry &metrics) const
+{
+    const Stats s = stats();
+    metrics.counter("ftd.points_served") = s.pointsServed;
+    metrics.counter("ftd.cache_hits") = s.cacheHits;
+    metrics.counter("ftd.bad_requests") = s.badRequests;
+    const net::ServerStats n = netStats();
+    metrics.counter("ftd.net.sessions_accepted") = n.sessionsAccepted;
+    metrics.counter("ftd.net.sessions_rejected") = n.sessionsRejected;
+    metrics.counter("ftd.net.frames_in") = n.framesIn;
+    metrics.counter("ftd.net.frames_out") = n.framesOut;
+    metrics.counter("ftd.net.protocol_errors") = n.protocolErrors;
+    metrics.counter("ftd.net.idle_timeouts") = n.idleTimeouts;
+    metrics.counter("ftd.net.requests_served") = n.requestsServed;
+    metrics.counter("ftd.net.injected_drops") = n.injectedDrops;
+    sweepCache().reportTo(metrics);
+    sched::WorkStealingPool::global().reportTo(metrics);
+    reportBatchRunStats(metrics);
+}
+
+std::vector<net::Frame>
+FtdServer::handle(std::vector<net::Frame> batch)
+{
+    struct Item
+    {
+        std::uint64_t requestId = 0;
+        SweepRequest request;
+        /** Blob-cache payload when the pre-pass hit. */
+        std::vector<std::uint8_t> cached;
+        bool hit = false;
+        bool bad = false;
+    };
+    std::vector<Item> items(batch.size());
+
+    // Decode + validate + cache pre-pass. The pre-pass both supplies
+    // the response's cache-hit flag and lets hits skip the simulator
+    // entirely (their payload bytes are spliced straight through).
+    sched::BlobCache &cache = sweepCache();
+    const bool cacheOn = sweepCacheEnabled();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        Item &item = items[i];
+        item.requestId = batch[i].requestId;
+        if (!decodeSweepRequestPayload(batch[i].payload,
+                                       item.request)) {
+            item.bad = true;
+            badRequests_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        if (!cacheOn)
+            continue;
+        const std::uint64_t key =
+            sweepKey(item.request.config, item.request.channels,
+                     item.request.workload, item.request.maxCycles);
+        if (auto payload = cache.lookup(key)) {
+            SynthResult check;
+            if (decodeSynthResult(*payload, check)) {
+                item.cached = std::move(*payload);
+                item.hit = true;
+            }
+        }
+    }
+
+    // Group the misses by simulation parameters so each group rides
+    // one batchedCachedRuns call (lockstep batching + pool sharding).
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < items.size(); ++i)
+        if (!items[i].bad && !items[i].hit)
+            groups[groupKey(items[i].request)].push_back(i);
+
+    std::vector<std::vector<std::uint8_t>> computed(items.size());
+    for (const auto &[key, members] : groups) {
+        const SweepRequest &first = items[members.front()].request;
+        std::vector<SyntheticWorkload> workloads;
+        workloads.reserve(members.size());
+        for (std::size_t i : members)
+            workloads.push_back(items[i].request.workload);
+        // Pinned to the local path: a handler must never re-enter
+        // remote dispatch, even when this process also has remote
+        // endpoints configured (in-process daemons in tests).
+        const std::vector<SynthResult> results =
+            batchedCachedRunsLocal(first.config, first.channels,
+                                   workloads, first.maxCycles);
+        for (std::size_t j = 0; j < members.size(); ++j)
+            computed[members[j]] = encodeSynthResult(results[j]);
+    }
+
+    // Answer in arrival order, then append the telemetry epoch.
+    std::vector<net::Frame> responses;
+    responses.reserve(items.size() + 1);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        Item &item = items[i];
+        if (item.bad) {
+            responses.push_back(net::makeErrorFrame(
+                item.requestId, net::kErrBadRequest,
+                "malformed or invalid sweep request"));
+            continue;
+        }
+        pointsServed_.fetch_add(1, std::memory_order_relaxed);
+        if (item.hit)
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        net::Frame frame;
+        frame.type = net::MessageType::sweepResult;
+        frame.requestId = item.requestId;
+        frame.payload = encodeSweepResultPayload(
+            item.request.pointIndex, item.hit,
+            item.hit ? item.cached : computed[i]);
+        responses.push_back(std::move(frame));
+    }
+
+    telemetry::MetricsRegistry registry;
+    reportTo(registry);
+    registry.snapshot(0);
+    net::Frame epoch;
+    epoch.type = net::MessageType::metricsEpoch;
+    epoch.payload =
+        encodeMetricsPayload(registry.epochs().back().values);
+    responses.push_back(std::move(epoch));
+    return responses;
+}
+
+} // namespace fasttrack

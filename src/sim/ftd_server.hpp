@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The ftd daemon's sweep service: a net::FrameServer whose handler
+ * turns sweepRequest frames into SynthResults.
+ *
+ * Each drained batch is answered in arrival order — one sweepResult
+ * (or error) frame per request — followed by exactly one
+ * metricsEpoch frame carrying the daemon's current telemetry
+ * (sweep-cache, pool, batch-runner and ftd counters), so clients
+ * can aggregate fleet health without a separate monitoring channel.
+ *
+ * Requests are validated before they touch the simulator: a frame
+ * that decodes but carries an invalid NocConfig/workload gets a
+ * kErrBadRequest error frame, never a daemon abort. Valid points are
+ * grouped by identical (config, channels, maxCycles) and run through
+ * batchedCachedRuns, so remote points enjoy the same lockstep
+ * batching, work-stealing pool and blob cache as local sweeps — a
+ * warm daemon answers straight from its cache, flagged via the
+ * response's cache-hit bit.
+ */
+
+#ifndef FT_SIM_FTD_SERVER_HPP
+#define FT_SIM_FTD_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/server.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace fasttrack {
+
+class FtdServer
+{
+  public:
+    /** @p config.schemaVersion is overwritten with the sweep-cache
+     *  schema: a daemon always speaks the schema it was built with. */
+    explicit FtdServer(net::ServerConfig config = {});
+
+    /** Bind and start serving; false (with @p error) on failure. */
+    bool start(std::string &error);
+    void stop();
+
+    /** Actual bound port (after start; useful with port 0). */
+    std::uint16_t boundPort() const;
+
+    /** Sweep-service counters (frame-level ones via netStats). */
+    struct Stats
+    {
+        /** Points answered with a sweepResult frame. */
+        std::uint64_t pointsServed = 0;
+        /** Of those, answered from the blob cache. */
+        std::uint64_t cacheHits = 0;
+        /** Requests rejected as malformed or invalid. */
+        std::uint64_t badRequests = 0;
+    };
+    Stats stats() const;
+    net::ServerStats netStats() const;
+
+    /** Publish ftd.* counters plus transport + cache + pool metrics
+     *  (the same registry snapshot streamed as metricsEpoch). */
+    void reportTo(telemetry::MetricsRegistry &metrics) const;
+
+  private:
+    std::vector<net::Frame> handle(std::vector<net::Frame> batch);
+
+    net::FrameServer server_;
+    std::atomic<std::uint64_t> pointsServed_{0};
+    std::atomic<std::uint64_t> cacheHits_{0};
+    std::atomic<std::uint64_t> badRequests_{0};
+};
+
+} // namespace fasttrack
+
+#endif // FT_SIM_FTD_SERVER_HPP

@@ -1,0 +1,569 @@
+#include "sim/remote.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/thread_annotations.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "sim/sweep_cache.hpp"
+
+namespace fasttrack {
+
+namespace {
+
+/** Where a point's result came from (one owner thread per slot). */
+constexpr std::uint8_t kOriginPending = 0;
+constexpr std::uint8_t kOriginLocalCache = 1;
+constexpr std::uint8_t kOriginRemote = 2;
+
+/** After the last in-flight result, wait this long for the trailing
+ *  metricsEpoch frame of the batch before saying goodbye. Bounded so
+ *  a daemon that died right after its results cannot stall us. */
+constexpr int kEpochDrainMs = 250;
+
+Mutex g_configMutex;
+RemoteConfig g_config FT_GUARDED_BY(g_configMutex);
+
+Mutex g_epochMutex;
+/** Latest telemetry epoch streamed back, keyed by endpoint label. */
+std::map<std::string, std::map<std::string, double>>
+    g_lastEpochs FT_GUARDED_BY(g_epochMutex);
+
+std::atomic<std::uint64_t> g_pointsRemote{0};
+std::atomic<std::uint64_t> g_remoteCacheHits{0};
+std::atomic<std::uint64_t> g_localCacheHits{0};
+std::atomic<std::uint64_t> g_pointsFallback{0};
+std::atomic<std::uint64_t> g_connectFailures{0};
+std::atomic<std::uint64_t> g_reconnects{0};
+std::atomic<std::uint64_t> g_errorFrames{0};
+
+void
+bump(std::atomic<std::uint64_t> &counter, std::uint64_t by = 1)
+{
+    counter.fetch_add(by, std::memory_order_relaxed);
+}
+
+/** Range/consistency checks mirroring NocConfig::validate, minus the
+ *  process abort: a daemon must reject a hostile request, not die on
+ *  it. The size caps bound what one frame can make the daemon
+ *  allocate or step. */
+bool
+validSweepRequest(const SweepRequest &request)
+{
+    const NocConfig &c = request.config;
+    if (c.n < 2 || c.n > 1024)
+        return false;
+    if (c.shortLinkStages > 8 || c.expressLinkStages > 8)
+        return false;
+    if (c.isFastTrack()) {
+        if (c.d < 1 || c.d > c.n / 2)
+            return false;
+        if (c.r < 1 || c.r > c.d || c.d % c.r != 0)
+            return false;
+        if (c.r > 1 && c.n % c.r != 0)
+            return false;
+        if (c.variant == NocVariant::ftInject && c.n % c.d != 0)
+            return false;
+    }
+    if (request.channels < 1 || request.channels > 64)
+        return false;
+    const SyntheticWorkload &w = request.workload;
+    if (!std::isfinite(w.injectionRate) || w.injectionRate <= 0.0 ||
+        w.injectionRate > 1.0)
+        return false;
+    if (w.packetsPerPe < 1 || w.packetsPerPe > (1u << 20))
+        return false;
+    if (w.pattern == TrafficPattern::local &&
+        (w.localRadius < 1 || w.localRadius > 1024))
+        return false;
+    return request.maxCycles >= 1;
+}
+
+/**
+ * One connection's worth of work: connect, handshake, pipeline the
+ * points of @p remaining, harvest results. Serviced indices are
+ * removed from @p remaining; @p permanent is set when the endpoint
+ * rejected us for a reason retrying cannot fix (version/schema).
+ */
+void
+serveConnection(const RemoteConfig &cfg, const net::Endpoint &endpoint,
+                std::vector<std::size_t> &remaining,
+                const std::vector<std::vector<std::uint8_t>> &payloads,
+                std::vector<SynthResult> &results,
+                std::vector<std::uint8_t> &origin,
+                std::vector<std::uint8_t> &remote_hit, bool &permanent)
+{
+    std::string error;
+    net::Socket sock = net::connectTo(endpoint.host, endpoint.port,
+                                      cfg.connectTimeoutMs, error);
+    if (!sock.valid()) {
+        bump(g_connectFailures);
+        return;
+    }
+
+    // --- Handshake -------------------------------------------------
+    net::Frame hello;
+    hello.type = net::MessageType::hello;
+    net::WireWriter hw;
+    hw.u32(net::kWireVersion);
+    hw.u32(kSweepCacheSchema);
+    hw.u32(cfg.window);
+    hello.payload = hw.take();
+    net::Frame ack;
+    if (net::sendFrame(sock, hello, cfg.ioTimeoutMs) !=
+            net::FrameStatus::ok ||
+        net::recvFrame(sock, ack, cfg.connectTimeoutMs,
+                       cfg.ioTimeoutMs) != net::FrameStatus::ok) {
+        bump(g_connectFailures);
+        return;
+    }
+    if (ack.type == net::MessageType::error) {
+        bump(g_errorFrames);
+        bump(g_connectFailures);
+        std::uint32_t code = 0;
+        std::string message;
+        if (net::parseErrorFrame(ack, code, message))
+            permanent = code == net::kErrBadVersion ||
+                        code == net::kErrBadSchema;
+        return;
+    }
+    std::uint32_t window = 0;
+    {
+        std::uint32_t version = 0, schema = 0, granted = 0;
+        net::WireReader r(ack.payload);
+        if (ack.type != net::MessageType::helloAck || !r.u32(version) ||
+            !r.u32(schema) || !r.u32(granted) || !r.atEnd() ||
+            granted == 0) {
+            bump(g_connectFailures);
+            return;
+        }
+        window = std::min(cfg.window, granted);
+    }
+
+    // --- Pipeline --------------------------------------------------
+    std::size_t next = 0; // next entry of `remaining` to send
+    std::size_t inflight = 0;
+    bool dead = false;
+    while (!dead) {
+        while (inflight < window && next < remaining.size()) {
+            const std::size_t idx = remaining[next];
+            net::Frame request;
+            request.type = net::MessageType::sweepRequest;
+            request.requestId = idx;
+            request.payload = payloads[idx];
+            if (net::sendFrame(sock, request, cfg.ioTimeoutMs) !=
+                net::FrameStatus::ok) {
+                dead = true;
+                break;
+            }
+            ++inflight;
+            ++next;
+        }
+        if (dead || inflight == 0)
+            break;
+
+        net::Frame frame;
+        if (net::recvFrame(sock, frame, cfg.resultWaitMs,
+                           cfg.ioTimeoutMs) != net::FrameStatus::ok)
+            break;
+        if (frame.type == net::MessageType::metricsEpoch) {
+            std::map<std::string, double> values;
+            if (decodeMetricsPayload(frame.payload, values)) {
+                MutexLock lk(g_epochMutex);
+                g_lastEpochs[endpoint.label()] = std::move(values);
+            }
+            continue;
+        }
+        if (frame.type == net::MessageType::error) {
+            bump(g_errorFrames);
+            std::uint32_t code = 0;
+            std::string message;
+            if (net::parseErrorFrame(frame, code, message)) {
+                permanent = code == net::kErrBadVersion ||
+                            code == net::kErrBadSchema;
+                // A per-request rejection: that point falls back
+                // locally, the session can keep serving the rest.
+                if (code == net::kErrBadRequest) {
+                    --inflight;
+                    continue;
+                }
+            }
+            break;
+        }
+        if (frame.type != net::MessageType::sweepResult)
+            break;
+        std::uint32_t point = 0;
+        bool hit = false;
+        SynthResult result;
+        if (!decodeSweepResultPayload(frame.payload, point, hit,
+                                      result))
+            break;
+        const std::size_t idx =
+            static_cast<std::size_t>(frame.requestId);
+        // The id must name a point this session actually sent and
+        // not yet received; anything else is a rogue peer.
+        const auto sentEnd = remaining.begin() +
+                             static_cast<std::ptrdiff_t>(next);
+        if (point != frame.requestId ||
+            std::find(remaining.begin(), sentEnd, idx) == sentEnd ||
+            origin[idx] != kOriginPending)
+            break;
+        results[idx] = result;
+        remote_hit[idx] = hit ? 1 : 0;
+        origin[idx] = kOriginRemote;
+        --inflight;
+    }
+
+    // Strip what this connection served.
+    std::erase_if(remaining, [&origin](std::size_t idx) {
+        return origin[idx] != kOriginPending;
+    });
+
+    if (remaining.empty()) {
+        // Give the trailing metricsEpoch of the final batch a bounded
+        // chance to arrive, then part cleanly.
+        net::Frame frame;
+        while (net::recvFrame(sock, frame, kEpochDrainMs,
+                              cfg.ioTimeoutMs) ==
+               net::FrameStatus::ok) {
+            if (frame.type != net::MessageType::metricsEpoch)
+                break;
+            std::map<std::string, double> values;
+            if (decodeMetricsPayload(frame.payload, values)) {
+                MutexLock lk(g_epochMutex);
+                g_lastEpochs[endpoint.label()] = std::move(values);
+            }
+        }
+        net::Frame goodbye;
+        goodbye.type = net::MessageType::goodbye;
+        net::sendFrame(sock, goodbye, cfg.ioTimeoutMs);
+    }
+}
+
+/** Drive one endpoint until its points are served, the retry budget
+ *  is exhausted, or the endpoint proves permanently incompatible. */
+void
+runEndpointWorker(const RemoteConfig &cfg,
+                  const net::Endpoint &endpoint,
+                  std::vector<std::size_t> points,
+                  const std::vector<std::vector<std::uint8_t>> &payloads,
+                  std::vector<SynthResult> &results,
+                  std::vector<std::uint8_t> &origin,
+                  std::vector<std::uint8_t> &remote_hit)
+{
+    unsigned failures = 0; // consecutive attempts with no progress
+    while (!points.empty() && failures < cfg.maxAttempts) {
+        if (failures > 0) {
+            bump(g_reconnects);
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                net::backoffDelayMs(failures, cfg.backoffInitialMs,
+                                    cfg.backoffCapMs)));
+        }
+        bool permanent = false;
+        const std::size_t before = points.size();
+        serveConnection(cfg, endpoint, points, payloads, results,
+                        origin, remote_hit, permanent);
+        if (permanent)
+            break;
+        // Progress resets the budget: a flaky worker that keeps
+        // serving some of each window gets drained, not abandoned.
+        failures = points.size() < before ? 1 : failures + 1;
+        if (points.size() < before && points.empty())
+            break;
+    }
+}
+
+} // namespace
+
+void
+setRemoteConfig(RemoteConfig config)
+{
+    MutexLock lk(g_configMutex);
+    g_config = std::move(config);
+}
+
+RemoteConfig
+remoteConfig()
+{
+    MutexLock lk(g_configMutex);
+    return g_config;
+}
+
+void
+clearRemoteConfig()
+{
+    MutexLock lk(g_configMutex);
+    g_config = RemoteConfig{};
+}
+
+bool
+remoteConfigured()
+{
+    MutexLock lk(g_configMutex);
+    return !g_config.endpoints.empty();
+}
+
+RemoteStats
+remoteStats()
+{
+    RemoteStats s;
+    s.pointsRemote = g_pointsRemote.load(std::memory_order_relaxed);
+    s.remoteCacheHits =
+        g_remoteCacheHits.load(std::memory_order_relaxed);
+    s.localCacheHits =
+        g_localCacheHits.load(std::memory_order_relaxed);
+    s.pointsFallback =
+        g_pointsFallback.load(std::memory_order_relaxed);
+    s.connectFailures =
+        g_connectFailures.load(std::memory_order_relaxed);
+    s.reconnects = g_reconnects.load(std::memory_order_relaxed);
+    s.errorFrames = g_errorFrames.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+reportRemoteStats(telemetry::MetricsRegistry &metrics)
+{
+    const RemoteStats s = remoteStats();
+    metrics.counter("remote.points_remote") = s.pointsRemote;
+    metrics.counter("remote.cache_hits") = s.remoteCacheHits;
+    metrics.counter("remote.local_cache_hits") = s.localCacheHits;
+    metrics.counter("remote.points_fallback") = s.pointsFallback;
+    metrics.counter("remote.connect_failures") = s.connectFailures;
+    metrics.counter("remote.reconnects") = s.reconnects;
+    metrics.counter("remote.error_frames") = s.errorFrames;
+    MutexLock lk(g_epochMutex);
+    for (const auto &[label, values] : g_lastEpochs)
+        for (const auto &[name, value] : values)
+            metrics.gauge("remote." + label + "." + name) = value;
+}
+
+std::vector<SynthResult>
+remoteBatchedRuns(const NocConfig &config, std::uint32_t channels,
+                  const std::vector<SyntheticWorkload> &workloads,
+                  Cycle max_cycles, const LocalRunner &local)
+{
+    const std::size_t count = workloads.size();
+    std::vector<SynthResult> results(count);
+    if (count == 0)
+        return results;
+    const RemoteConfig cfg = remoteConfig();
+
+    // Slot ownership: each index is written by exactly one endpoint
+    // thread (round-robin shards are disjoint); the joins below
+    // publish every write before the main thread reads.
+    std::vector<std::uint8_t> origin(count, kOriginPending);
+    std::vector<std::uint8_t> remoteHit(count, 0);
+
+    // Local cache pre-pass: a point this process already knows never
+    // touches the wire.
+    sched::BlobCache &cache = sweepCache();
+    const bool cacheOn = cfg.useLocalCache && sweepCacheEnabled();
+    std::vector<std::uint64_t> keys(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        keys[i] = sweepKey(config, channels, workloads[i], max_cycles);
+        if (!cacheOn)
+            continue;
+        if (auto payload = cache.lookup(keys[i])) {
+            SynthResult cached;
+            if (decodeSynthResult(*payload, cached)) {
+                results[i] = cached;
+                origin[i] = kOriginLocalCache;
+                bump(g_localCacheHits);
+            }
+        }
+    }
+
+    // Encode the pending requests once, shard them round-robin.
+    std::vector<std::vector<std::uint8_t>> payloads(count);
+    std::vector<std::vector<std::size_t>> shards(cfg.endpoints.size());
+    std::size_t pending = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (origin[i] != kOriginPending)
+            continue;
+        SweepRequest request;
+        request.pointIndex = static_cast<std::uint32_t>(i);
+        request.config = config;
+        request.channels = channels;
+        request.workload = workloads[i];
+        request.maxCycles = max_cycles;
+        payloads[i] = encodeSweepRequestPayload(request);
+        shards[pending % shards.size()].push_back(i);
+        ++pending;
+    }
+
+    if (pending > 0 && shards.size() == 1) {
+        runEndpointWorker(cfg, cfg.endpoints[0], shards[0], payloads,
+                          results, origin, remoteHit);
+    } else if (pending > 0) {
+        std::vector<std::thread> workers;
+        workers.reserve(shards.size());
+        for (std::size_t e = 0; e < shards.size(); ++e) {
+            if (shards[e].empty())
+                continue;
+            workers.emplace_back([&, e] {
+                runEndpointWorker(cfg, cfg.endpoints[e], shards[e],
+                                  payloads, results, origin,
+                                  remoteHit);
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+    }
+
+    // Harvest: count, locally cache remote answers, then compute
+    // whatever the fleet could not serve.
+    std::vector<std::size_t> fallback;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (origin[i] == kOriginRemote) {
+            bump(g_pointsRemote);
+            if (remoteHit[i] != 0)
+                bump(g_remoteCacheHits);
+            if (cacheOn)
+                cache.store(keys[i], encodeSynthResult(results[i]));
+        } else if (origin[i] == kOriginPending) {
+            fallback.push_back(i);
+        }
+    }
+    if (!fallback.empty()) {
+        bump(g_pointsFallback, fallback.size());
+        const std::vector<SynthResult> computed = local(fallback);
+        for (std::size_t j = 0; j < fallback.size(); ++j)
+            results[fallback[j]] = computed[j];
+    }
+    return results;
+}
+
+// --- Message payload codecs ----------------------------------------
+
+std::vector<std::uint8_t>
+encodeSweepRequestPayload(const SweepRequest &request)
+{
+    net::WireWriter w;
+    w.u32(request.pointIndex);
+    const NocConfig &c = request.config;
+    w.u32(c.n);
+    w.u32(c.d);
+    w.u32(c.r);
+    w.u32(static_cast<std::uint32_t>(c.variant));
+    w.u8(c.allowExpressTurn ? 1 : 0);
+    w.u8(c.allowUpgrade ? 1 : 0);
+    w.u8(c.turnPriority ? 1 : 0);
+    w.u32(c.shortLinkStages);
+    w.u32(c.expressLinkStages);
+    w.u32(request.channels);
+    const SyntheticWorkload &wl = request.workload;
+    w.u32(static_cast<std::uint32_t>(wl.pattern));
+    w.f64(wl.injectionRate);
+    w.u32(wl.packetsPerPe);
+    w.u32(wl.localRadius);
+    w.u64(wl.seed);
+    w.u64(request.maxCycles);
+    return w.take();
+}
+
+bool
+decodeSweepRequestPayload(const std::vector<std::uint8_t> &payload,
+                          SweepRequest &out)
+{
+    SweepRequest request;
+    NocConfig &c = request.config;
+    SyntheticWorkload &wl = request.workload;
+    std::uint32_t variant = 0, pattern = 0;
+    std::uint8_t expressTurn = 0, upgrade = 0, turnPriority = 0;
+    net::WireReader r(payload);
+    const bool ok =
+        r.u32(request.pointIndex) && r.u32(c.n) && r.u32(c.d) &&
+        r.u32(c.r) && r.u32(variant) && r.u8(expressTurn) &&
+        r.u8(upgrade) && r.u8(turnPriority) &&
+        r.u32(c.shortLinkStages) && r.u32(c.expressLinkStages) &&
+        r.u32(request.channels) && r.u32(pattern) &&
+        r.f64(wl.injectionRate) && r.u32(wl.packetsPerPe) &&
+        r.u32(wl.localRadius) && r.u64(wl.seed) &&
+        r.u64(request.maxCycles) && r.atEnd();
+    if (!ok)
+        return false;
+    if (variant > static_cast<std::uint32_t>(NocVariant::ftInject) ||
+        pattern > static_cast<std::uint32_t>(TrafficPattern::transpose))
+        return false;
+    c.variant = static_cast<NocVariant>(variant);
+    c.allowExpressTurn = expressTurn != 0;
+    c.allowUpgrade = upgrade != 0;
+    c.turnPriority = turnPriority != 0;
+    wl.pattern = static_cast<TrafficPattern>(pattern);
+    if (!validSweepRequest(request))
+        return false;
+    out = request;
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeSweepResultPayload(std::uint32_t point_index, bool cache_hit,
+                         const std::vector<std::uint8_t> &result_payload)
+{
+    net::WireWriter w;
+    w.u32(point_index);
+    w.u8(cache_hit ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(result_payload.size()));
+    w.bytes(result_payload.data(), result_payload.size());
+    return w.take();
+}
+
+bool
+decodeSweepResultPayload(const std::vector<std::uint8_t> &payload,
+                         std::uint32_t &point_index, bool &cache_hit,
+                         SynthResult &out)
+{
+    net::WireReader r(payload);
+    std::uint8_t hit = 0;
+    std::uint32_t resultBytes = 0;
+    if (!r.u32(point_index) || !r.u8(hit) || !r.u32(resultBytes) ||
+        resultBytes == 0 || r.remaining() != resultBytes)
+        return false;
+    std::vector<std::uint8_t> resultPayload(resultBytes);
+    if (!r.bytes(resultPayload.data(), resultPayload.size()))
+        return false;
+    cache_hit = hit != 0;
+    return decodeSynthResult(resultPayload, out);
+}
+
+std::vector<std::uint8_t>
+encodeMetricsPayload(const std::map<std::string, double> &values)
+{
+    net::WireWriter w;
+    w.u32(static_cast<std::uint32_t>(values.size()));
+    for (const auto &[name, value] : values) {
+        w.str(name);
+        w.f64(value);
+    }
+    return w.take();
+}
+
+bool
+decodeMetricsPayload(const std::vector<std::uint8_t> &payload,
+                     std::map<std::string, double> &out)
+{
+    std::map<std::string, double> values;
+    net::WireReader r(payload);
+    std::uint32_t count = 0;
+    if (!r.u32(count))
+        return false;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::string name;
+        double value = 0.0;
+        if (!r.str(name) || !r.f64(value))
+            return false;
+        values[name] = value;
+    }
+    if (!r.atEnd())
+        return false;
+    out = std::move(values);
+    return true;
+}
+
+} // namespace fasttrack

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Remote sweep execution: the client half of the distributed sweep
+ * fabric (docs/distributed.md).
+ *
+ * When remote endpoints are configured (--remote host:port[,...]),
+ * batchedCachedRuns transparently fans sweep points out to ftd
+ * daemons over the framed wire protocol (net/frame.hpp): points are
+ * sharded round-robin across endpoints, pipelined within a
+ * per-session window, and reassembled strictly by input index — so
+ * a remote sweep is byte-identical to the same sweep run
+ * in-process, regardless of which node computed which point.
+ *
+ * Failure semantics: a connection that refuses, times out, or dies
+ * mid-stream is retried with exponential backoff
+ * (net::backoffDelayMs); the attempt counter resets whenever a
+ * connection made progress, so a flaky worker that keeps serving
+ * some results is drained rather than abandoned. Points that remain
+ * unserved after the retry budget fall back to the local scalar
+ * path — a sweep never fails because the fleet did, it only slows
+ * down.
+ *
+ * This header also carries the message-payload codecs for
+ * sweepRequest / sweepResult / metricsEpoch frames, built on the
+ * endian-stable wire codec so requests and results travel between
+ * hosts of any endianness.
+ */
+
+#ifndef FT_SIM_REMOTE_HPP
+#define FT_SIM_REMOTE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "net/frame.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace fasttrack {
+
+/** Client-side knobs for remote sweep dispatch. */
+struct RemoteConfig
+{
+    std::vector<net::Endpoint> endpoints;
+    /** Consecutive no-progress connection attempts per endpoint
+     *  before its points fall back to local execution. */
+    unsigned maxAttempts = 4;
+    /** Exponential backoff schedule between attempts. */
+    int backoffInitialMs = 50;
+    int backoffCapMs = 2'000;
+    /** TCP connect + handshake budget. */
+    int connectTimeoutMs = 2'000;
+    /** Per-wait budget inside a frame or while sending. */
+    int ioTimeoutMs = 10'000;
+    /** Budget for the first byte of the next result — covers the
+     *  server-side compute of a full batch. */
+    int resultWaitMs = 300'000;
+    /** Pipeline window: outstanding requests per session (clamped
+     *  to the server's granted window at handshake). */
+    std::uint32_t window = 64;
+    /** Consult/populate this process's sweep cache around the
+     *  remote round-trip (tests disable it to force wire traffic). */
+    bool useLocalCache = true;
+};
+
+/** Install remote endpoints (empty = disable remote dispatch). */
+void setRemoteConfig(RemoteConfig config);
+RemoteConfig remoteConfig();
+void clearRemoteConfig();
+
+/** True when at least one endpoint is configured. */
+bool remoteConfigured();
+
+/** Lifetime counters for --cache-stats (process-wide, atomic). */
+struct RemoteStats
+{
+    /** Points answered by a remote SweepResult frame. */
+    std::uint64_t pointsRemote = 0;
+    /** Of those, points the daemon served from its blob cache. */
+    std::uint64_t remoteCacheHits = 0;
+    /** Points answered by this process's own cache pre-pass. */
+    std::uint64_t localCacheHits = 0;
+    /** Points computed locally after the retry budget ran out. */
+    std::uint64_t pointsFallback = 0;
+    /** Failed connection attempts (refusal/timeout/handshake). */
+    std::uint64_t connectFailures = 0;
+    /** Reconnections after a session died mid-stream. */
+    std::uint64_t reconnects = 0;
+    /** Error frames received (protocol/schema rejections). */
+    std::uint64_t errorFrames = 0;
+};
+
+RemoteStats remoteStats();
+
+/** Publish remote.* counters plus the latest telemetry epoch each
+ *  daemon streamed back (as remote.<host:port>.<metric> gauges). */
+void reportRemoteStats(telemetry::MetricsRegistry &metrics);
+
+/**
+ * Runs the subset of workloads named by @p indices on the local
+ * pool, returning results in the order of @p indices.
+ */
+using LocalRunner = std::function<std::vector<SynthResult>(
+    const std::vector<std::size_t> &indices)>;
+
+/**
+ * Compute one SynthResult per workload, fanning cache-miss points
+ * out to the configured remote endpoints; unreachable work falls
+ * back to @p local. Results are input-ordered and bit-identical to
+ * the local path. Precondition: remoteConfigured() and no telemetry
+ * sink installed (the caller — batchedCachedRuns — guards).
+ */
+std::vector<SynthResult>
+remoteBatchedRuns(const NocConfig &config, std::uint32_t channels,
+                  const std::vector<SyntheticWorkload> &workloads,
+                  Cycle max_cycles, const LocalRunner &local);
+
+// --- Message payload codecs (shared with the ftd server) -----------
+
+/** One sweep point on the wire. */
+struct SweepRequest
+{
+    std::uint32_t pointIndex = 0;
+    NocConfig config;
+    std::uint32_t channels = 1;
+    SyntheticWorkload workload;
+    Cycle maxCycles = kDefaultMaxCycles;
+};
+
+std::vector<std::uint8_t>
+encodeSweepRequestPayload(const SweepRequest &request);
+bool decodeSweepRequestPayload(const std::vector<std::uint8_t> &payload,
+                               SweepRequest &out);
+
+/** SweepResult payload: point index, cache-hit flag, then the
+ *  sweep-cache SynthResult payload (sim/sweep_cache.hpp codec). */
+std::vector<std::uint8_t>
+encodeSweepResultPayload(std::uint32_t point_index, bool cache_hit,
+                         const std::vector<std::uint8_t> &result_payload);
+bool decodeSweepResultPayload(const std::vector<std::uint8_t> &payload,
+                              std::uint32_t &point_index,
+                              bool &cache_hit, SynthResult &out);
+
+/** MetricsEpoch payload: name/value pairs in name order. */
+std::vector<std::uint8_t>
+encodeMetricsPayload(const std::map<std::string, double> &values);
+bool decodeMetricsPayload(const std::vector<std::uint8_t> &payload,
+                          std::map<std::string, double> &out);
+
+} // namespace fasttrack
+
+#endif // FT_SIM_REMOTE_HPP

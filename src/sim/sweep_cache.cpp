@@ -2,73 +2,22 @@
 
 #include <atomic>
 #include <bit>
-#include <cstring>
 
+#include "net/wire.hpp"
 #include "telemetry/sink.hpp"
 
 namespace fasttrack {
 
 namespace {
 
-/** Little append-only byte writer for payload encoding. */
-class ByteWriter
-{
-  public:
-    void u8(std::uint8_t v) { bytes_.push_back(v); }
-    void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
-    void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
-    void f64(double v)
-    {
-        u64(std::bit_cast<std::uint64_t>(v));
-    }
-
-    std::vector<std::uint8_t> take() { return std::move(bytes_); }
-
-  private:
-    void raw(const void *p, std::size_t n)
-    {
-        const auto *b = static_cast<const std::uint8_t *>(p);
-        bytes_.insert(bytes_.end(), b, b + n);
-    }
-
-    std::vector<std::uint8_t> bytes_;
-};
-
-/** Bounds-checked reader; every getter reports success. */
-class ByteReader
-{
-  public:
-    explicit ByteReader(const std::vector<std::uint8_t> &bytes)
-        : bytes_(bytes)
-    {
-    }
-
-    bool u8(std::uint8_t &v) { return raw(&v, sizeof(v)); }
-    bool u32(std::uint32_t &v) { return raw(&v, sizeof(v)); }
-    bool u64(std::uint64_t &v) { return raw(&v, sizeof(v)); }
-    bool f64(double &v)
-    {
-        std::uint64_t word = 0;
-        if (!u64(word))
-            return false;
-        v = std::bit_cast<double>(word);
-        return true;
-    }
-    bool atEnd() const { return pos_ == bytes_.size(); }
-
-  private:
-    bool raw(void *p, std::size_t n)
-    {
-        if (bytes_.size() - pos_ < n)
-            return false;
-        std::memcpy(p, bytes_.data() + pos_, n);
-        pos_ += n;
-        return true;
-    }
-
-    const std::vector<std::uint8_t> &bytes_;
-    std::size_t pos_ = 0;
-};
+// Payload encode/decode uses the endian-stable wire codec
+// (net/wire.hpp): every field is explicit little-endian, so a blob
+// written on one host decodes bit-identically on any other. The
+// historical host-endian ByteWriter/ByteReader pair this file
+// carried produced the same bytes on little-endian machines but was
+// silently incompatible across endianness — schema v2 closes that.
+using ByteWriter = net::WireWriter;
+using ByteReader = net::WireReader;
 
 void
 encodeHistogram(ByteWriter &w, const Histogram &h)

@@ -40,8 +40,14 @@
 
 namespace fasttrack {
 
-/** Payload/key schema version (see file comment). */
-inline constexpr std::uint32_t kSweepCacheSchema = 1;
+/** Payload/key schema version (see file comment). v2: the key
+ *  derivation and payload encoding became explicitly little-endian
+ *  (net/wire.hpp), so keys and blobs are identical across hosts —
+ *  the property the distributed fabric's cross-node cache sharing
+ *  relies on (docs/distributed.md). On little-endian hosts the bytes
+ *  are unchanged, but the portability contract is new, hence the
+ *  bump: a v1 blob written by a big-endian build must not validate. */
+inline constexpr std::uint32_t kSweepCacheSchema = 2;
 
 /** Content key of one synthetic run (see key schema above). */
 std::uint64_t sweepKey(const NocConfig &config, std::uint32_t channels,

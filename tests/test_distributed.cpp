@@ -1,0 +1,462 @@
+/**
+ * @file
+ * End-to-end contract of the distributed sweep fabric: an ftd daemon
+ * on loopback must serve sweeps byte-identical to the in-process
+ * path, answer warm points from its blob cache, survive hostile
+ * requests, and the client must ride out killed sessions and dead
+ * endpoints via retry/backoff and local fallback — a sweep never
+ * fails because the fleet did. Also pins the message payload codecs
+ * (sweepRequest / sweepResult / metricsEpoch).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/ftd_server.hpp"
+#include "sim/remote.hpp"
+#include "sim/sweep_cache.hpp"
+
+namespace fasttrack {
+namespace {
+
+/** Content hash of a full result (every counter and histogram). */
+std::uint64_t
+resultHash(const SynthResult &res)
+{
+    const auto bytes = encodeSynthResult(res);
+    sched::Fnv1a h;
+    h.addBytes(bytes.data(), bytes.size());
+    return h.value();
+}
+
+/**
+ * Small, fast workloads. Each test uses its own seed base so cold
+ * runs stay cold even when the whole binary runs in one process
+ * (the sweep cache is process-global).
+ */
+std::vector<SyntheticWorkload>
+smallWorkloads(std::size_t count, std::uint64_t seed_base)
+{
+    std::vector<SyntheticWorkload> workloads(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        workloads[i].pattern = TrafficPattern::random;
+        workloads[i].injectionRate = 0.25 + 0.05 * static_cast<double>(i);
+        workloads[i].packetsPerPe = 24;
+        workloads[i].seed = seed_base + i;
+    }
+    return workloads;
+}
+
+/** Install a remote config for the scope, clear it on exit (also on
+ *  assertion failure) so later tests run the local path. */
+struct WithRemote
+{
+    explicit WithRemote(RemoteConfig config)
+    {
+        setRemoteConfig(std::move(config));
+    }
+    ~WithRemote() { clearRemoteConfig(); }
+};
+
+RemoteConfig
+loopbackConfig(std::initializer_list<std::uint16_t> ports)
+{
+    RemoteConfig config;
+    for (std::uint16_t port : ports)
+        config.endpoints.push_back(net::Endpoint{"127.0.0.1", port});
+    // Force every point over the wire: the daemon shares this
+    // process's sweep cache, so a client-side pre-pass would answer
+    // locally and leave the transport untested.
+    config.useLocalCache = false;
+    config.backoffInitialMs = 1;
+    config.backoffCapMs = 20;
+    config.connectTimeoutMs = 2'000;
+    return config;
+}
+
+/** A started FtdServer on an ephemeral loopback port. */
+struct WithDaemon
+{
+    FtdServer server;
+    explicit WithDaemon(net::ServerConfig config = {})
+        : server(std::move(config))
+    {
+        std::string error;
+        EXPECT_TRUE(server.start(error)) << error;
+    }
+    ~WithDaemon() { server.stop(); }
+    std::uint16_t port() { return server.boundPort(); }
+};
+
+/** An ephemeral port with nothing listening on it. */
+std::uint16_t
+deadPort()
+{
+    net::Listener listener;
+    std::string error;
+    EXPECT_TRUE(listener.open("127.0.0.1", 0, error)) << error;
+    const std::uint16_t port = listener.boundPort();
+    listener.close();
+    return port;
+}
+
+SweepRequest
+sampleRequest(std::uint64_t seed)
+{
+    SweepRequest request;
+    request.pointIndex = 3;
+    request.config = NocConfig::fastTrack(4, 2, 1);
+    request.channels = 2;
+    request.workload = smallWorkloads(1, seed).front();
+    request.maxCycles = 100'000;
+    return request;
+}
+
+TEST(DistributedCodec, SweepRequestRoundTrips)
+{
+    const SweepRequest request = sampleRequest(9001);
+    SweepRequest decoded;
+    ASSERT_TRUE(decodeSweepRequestPayload(
+        encodeSweepRequestPayload(request), decoded));
+    EXPECT_EQ(decoded.pointIndex, request.pointIndex);
+    EXPECT_EQ(decoded.config.n, request.config.n);
+    EXPECT_EQ(decoded.config.d, request.config.d);
+    EXPECT_EQ(decoded.config.r, request.config.r);
+    EXPECT_EQ(decoded.config.variant, request.config.variant);
+    EXPECT_EQ(decoded.channels, request.channels);
+    EXPECT_EQ(decoded.workload.pattern, request.workload.pattern);
+    EXPECT_EQ(decoded.workload.injectionRate,
+              request.workload.injectionRate);
+    EXPECT_EQ(decoded.workload.packetsPerPe,
+              request.workload.packetsPerPe);
+    EXPECT_EQ(decoded.workload.seed, request.workload.seed);
+    EXPECT_EQ(decoded.maxCycles, request.maxCycles);
+    // The key the daemon derives from the decoded request must equal
+    // the one the client derives from the original — the cross-node
+    // cache-sharing contract.
+    EXPECT_EQ(sweepKey(decoded.config, decoded.channels,
+                       decoded.workload, decoded.maxCycles),
+              sweepKey(request.config, request.channels,
+                       request.workload, request.maxCycles));
+}
+
+TEST(DistributedCodec, SweepRequestRejectsHostilePayloads)
+{
+    const std::vector<std::uint8_t> good =
+        encodeSweepRequestPayload(sampleRequest(9002));
+    SweepRequest out;
+
+    // Truncation at every boundary fails cleanly.
+    for (std::size_t keep = 0; keep < good.size(); ++keep) {
+        const std::vector<std::uint8_t> cut(
+            good.begin(),
+            good.begin() + static_cast<std::ptrdiff_t>(keep));
+        EXPECT_FALSE(decodeSweepRequestPayload(cut, out)) << keep;
+    }
+    // Trailing junk fails (payloads decode exactly).
+    std::vector<std::uint8_t> padded = good;
+    padded.push_back(0);
+    EXPECT_FALSE(decodeSweepRequestPayload(padded, out));
+
+    // Structurally valid but semantically hostile requests are
+    // rejected by validation, not FT_FATAL: the daemon must answer
+    // with an error frame, never die.
+    SweepRequest hostile = sampleRequest(9003);
+    hostile.config.d = hostile.config.n; // d > n/2
+    EXPECT_FALSE(decodeSweepRequestPayload(
+        encodeSweepRequestPayload(hostile), out));
+
+    hostile = sampleRequest(9003);
+    hostile.workload.injectionRate = 0.0;
+    EXPECT_FALSE(decodeSweepRequestPayload(
+        encodeSweepRequestPayload(hostile), out));
+
+    hostile = sampleRequest(9003);
+    hostile.workload.packetsPerPe = (1u << 20) + 1; // allocation bound
+    EXPECT_FALSE(decodeSweepRequestPayload(
+        encodeSweepRequestPayload(hostile), out));
+
+    hostile = sampleRequest(9003);
+    hostile.maxCycles = 0;
+    EXPECT_FALSE(decodeSweepRequestPayload(
+        encodeSweepRequestPayload(hostile), out));
+}
+
+TEST(DistributedCodec, SweepResultRoundTrips)
+{
+    const SynthResult res = cachedRunSynthetic(
+        NocConfig::hoplite(4), 1, smallWorkloads(1, 9010).front());
+    const std::vector<std::uint8_t> inner = encodeSynthResult(res);
+    const std::vector<std::uint8_t> payload =
+        encodeSweepResultPayload(7, true, inner);
+
+    std::uint32_t point = 0;
+    bool hit = false;
+    SynthResult decoded;
+    ASSERT_TRUE(decodeSweepResultPayload(payload, point, hit, decoded));
+    EXPECT_EQ(point, 7u);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(resultHash(decoded), resultHash(res));
+
+    // Hostile variants: truncated, inner-length mismatch, empty inner.
+    std::vector<std::uint8_t> cut(payload.begin(), payload.end() - 1);
+    EXPECT_FALSE(decodeSweepResultPayload(cut, point, hit, decoded));
+    std::vector<std::uint8_t> padded = payload;
+    padded.push_back(0);
+    EXPECT_FALSE(decodeSweepResultPayload(padded, point, hit, decoded));
+    EXPECT_FALSE(decodeSweepResultPayload(
+        encodeSweepResultPayload(7, false, {}), point, hit, decoded));
+}
+
+TEST(DistributedCodec, MetricsPayloadRoundTrips)
+{
+    const std::map<std::string, double> values = {
+        {"ftd.points_served", 12.0},
+        {"sweep_cache.hits", 3.5},
+        {"", -0.0},
+    };
+    std::map<std::string, double> decoded;
+    ASSERT_TRUE(decodeMetricsPayload(encodeMetricsPayload(values),
+                                     decoded));
+    EXPECT_EQ(decoded, values);
+
+    ASSERT_TRUE(decodeMetricsPayload(encodeMetricsPayload({}),
+                                     decoded));
+    EXPECT_TRUE(decoded.empty());
+
+    // Count larger than the payload backs fails cleanly.
+    net::WireWriter w;
+    w.u32(1'000'000);
+    EXPECT_FALSE(decodeMetricsPayload(w.take(), decoded));
+}
+
+TEST(Distributed, TwoDaemonSweepIsByteIdenticalToLocal)
+{
+    WithDaemon a, b;
+    const NocConfig config = NocConfig::fastTrack(4, 2, 1);
+    const std::vector<SyntheticWorkload> workloads =
+        smallWorkloads(6, 9100);
+
+    const RemoteStats before = remoteStats();
+    std::vector<SynthResult> remote;
+    {
+        WithRemote wr(loopbackConfig({a.port(), b.port()}));
+        remote = batchedCachedRuns(config, 1, workloads);
+    }
+    const RemoteStats after = remoteStats();
+    EXPECT_EQ(after.pointsRemote - before.pointsRemote,
+              workloads.size());
+    EXPECT_EQ(after.pointsFallback, before.pointsFallback);
+
+    // Round-robin sharding puts points on both daemons.
+    EXPECT_GT(a.server.stats().pointsServed, 0u);
+    EXPECT_GT(b.server.stats().pointsServed, 0u);
+    EXPECT_EQ(a.server.stats().pointsServed +
+                  b.server.stats().pointsServed,
+              workloads.size());
+
+    // Remote execution is invisible in the bytes: per point, the
+    // local path produces the identical result.
+    const std::vector<SynthResult> local =
+        batchedCachedRuns(config, 1, workloads);
+    ASSERT_EQ(remote.size(), local.size());
+    for (std::size_t i = 0; i < local.size(); ++i)
+        EXPECT_EQ(resultHash(remote[i]), resultHash(local[i])) << i;
+}
+
+TEST(Distributed, WarmDaemonAnswersFromItsCache)
+{
+    WithDaemon daemon;
+    const NocConfig config = NocConfig::hoplite(4);
+    const std::vector<SyntheticWorkload> workloads =
+        smallWorkloads(4, 9200);
+    WithRemote wr(loopbackConfig({daemon.port()}));
+
+    const RemoteStats cold0 = remoteStats();
+    const std::vector<SynthResult> cold =
+        batchedCachedRuns(config, 1, workloads);
+    const RemoteStats cold1 = remoteStats();
+    EXPECT_EQ(cold1.pointsRemote - cold0.pointsRemote,
+              workloads.size());
+    EXPECT_EQ(cold1.remoteCacheHits, cold0.remoteCacheHits);
+
+    // Same sweep again: every point travels the wire (the client's
+    // own cache pre-pass is off) and the daemon replays its blob
+    // cache instead of simulating.
+    const std::vector<SynthResult> warm =
+        batchedCachedRuns(config, 1, workloads);
+    const RemoteStats warm1 = remoteStats();
+    EXPECT_EQ(warm1.remoteCacheHits - cold1.remoteCacheHits,
+              workloads.size());
+    EXPECT_EQ(daemon.server.stats().cacheHits, workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        EXPECT_EQ(resultHash(warm[i]), resultHash(cold[i])) << i;
+
+    // The daemon's telemetry epochs surfaced as client-side gauges.
+    telemetry::MetricsRegistry metrics;
+    reportRemoteStats(metrics);
+    metrics.snapshot(0);
+    const auto &values = metrics.epochs().back().values;
+    const std::string label = "127.0.0.1:" +
+                              std::to_string(daemon.port());
+    EXPECT_EQ(values.count("remote." + label + ".ftd.points_served"),
+              1u);
+}
+
+TEST(Distributed, DeadEndpointFallsBackToLocalScalarPath)
+{
+    const NocConfig config = NocConfig::fastTrack(4, 2, 1);
+    const std::vector<SyntheticWorkload> workloads =
+        smallWorkloads(3, 9300);
+
+    RemoteConfig remote = loopbackConfig({deadPort()});
+    remote.maxAttempts = 2;
+    remote.connectTimeoutMs = 200;
+    const RemoteStats before = remoteStats();
+    std::vector<SynthResult> viaFallback;
+    {
+        WithRemote wr(std::move(remote));
+        viaFallback = batchedCachedRuns(config, 1, workloads);
+    }
+    const RemoteStats after = remoteStats();
+    EXPECT_EQ(after.pointsFallback - before.pointsFallback,
+              workloads.size());
+    EXPECT_GE(after.connectFailures - before.connectFailures, 2u);
+    EXPECT_EQ(after.pointsRemote, before.pointsRemote);
+
+    const std::vector<SynthResult> local =
+        batchedCachedRuns(config, 1, workloads);
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        EXPECT_EQ(resultHash(viaFallback[i]), resultHash(local[i]))
+            << i;
+}
+
+TEST(Distributed, ClientRidesOutInjectedMidStreamDrops)
+{
+    // The daemon hard-closes every session after two response frames
+    // — a worker killed mid-sweep. Each dead session still made
+    // progress, so the client's retry budget keeps resetting and the
+    // sweep completes over several reconnects.
+    net::ServerConfig config;
+    config.dropAfterFrames = 2;
+    WithDaemon daemon(std::move(config));
+    const NocConfig noc = NocConfig::fastTrack(4, 2, 1);
+    const std::vector<SyntheticWorkload> workloads =
+        smallWorkloads(5, 9400);
+
+    const RemoteStats before = remoteStats();
+    std::vector<SynthResult> remote;
+    {
+        WithRemote wr(loopbackConfig({daemon.port()}));
+        remote = batchedCachedRuns(noc, 1, workloads);
+    }
+    const RemoteStats after = remoteStats();
+    EXPECT_EQ(after.pointsRemote - before.pointsRemote,
+              workloads.size());
+    EXPECT_EQ(after.pointsFallback, before.pointsFallback);
+    EXPECT_GE(after.reconnects - before.reconnects, 2u);
+    EXPECT_GE(daemon.server.netStats().injectedDrops, 2u);
+
+    const std::vector<SynthResult> local =
+        batchedCachedRuns(noc, 1, workloads);
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        EXPECT_EQ(resultHash(remote[i]), resultHash(local[i])) << i;
+}
+
+TEST(Distributed, HostileRequestGetsErrorFrameAndSessionSurvives)
+{
+    WithDaemon daemon;
+
+    // Raw-socket session: handshake by hand.
+    std::string error;
+    net::Socket sock = net::connectTo("127.0.0.1", daemon.port(),
+                                      2'000, error);
+    ASSERT_TRUE(sock.valid()) << error;
+    net::Frame hello;
+    hello.type = net::MessageType::hello;
+    net::WireWriter hw;
+    hw.u32(net::kWireVersion);
+    hw.u32(kSweepCacheSchema);
+    hw.u32(8);
+    hello.payload = hw.take();
+    ASSERT_EQ(net::sendFrame(sock, hello, 2'000),
+              net::FrameStatus::ok);
+    net::Frame ack;
+    ASSERT_EQ(net::recvFrame(sock, ack, 2'000, 2'000),
+              net::FrameStatus::ok);
+    ASSERT_EQ(ack.type, net::MessageType::helloAck);
+    net::WireReader ar(ack.payload);
+    std::uint32_t version = 0, schema = 0, granted = 0;
+    ASSERT_TRUE(ar.u32(version) && ar.u32(schema) && ar.u32(granted));
+    EXPECT_EQ(schema, kSweepCacheSchema); // daemon speaks its build
+
+    // A sweepRequest whose payload is garbage: answered with a
+    // kErrBadRequest error frame (echoing the request id), followed
+    // by the batch's telemetry epoch — and the session stays up.
+    net::Frame bad;
+    bad.type = net::MessageType::sweepRequest;
+    bad.requestId = 41;
+    bad.payload = {0xde, 0xad, 0xbe, 0xef};
+    ASSERT_EQ(net::sendFrame(sock, bad, 2'000), net::FrameStatus::ok);
+    net::Frame reply;
+    ASSERT_EQ(net::recvFrame(sock, reply, 10'000, 2'000),
+              net::FrameStatus::ok);
+    ASSERT_EQ(reply.type, net::MessageType::error);
+    EXPECT_EQ(reply.requestId, 41u);
+    std::uint32_t code = 0;
+    std::string message;
+    ASSERT_TRUE(net::parseErrorFrame(reply, code, message));
+    EXPECT_EQ(code, net::kErrBadRequest);
+    ASSERT_EQ(net::recvFrame(sock, reply, 10'000, 2'000),
+              net::FrameStatus::ok);
+    EXPECT_EQ(reply.type, net::MessageType::metricsEpoch);
+
+    // The same session then serves a valid point.
+    SweepRequest request = sampleRequest(9500);
+    request.maxCycles = kDefaultMaxCycles;
+    net::Frame good;
+    good.type = net::MessageType::sweepRequest;
+    good.requestId = 42;
+    good.payload = encodeSweepRequestPayload(request);
+    ASSERT_EQ(net::sendFrame(sock, good, 2'000), net::FrameStatus::ok);
+    ASSERT_EQ(net::recvFrame(sock, reply, 60'000, 10'000),
+              net::FrameStatus::ok);
+    ASSERT_EQ(reply.type, net::MessageType::sweepResult);
+    EXPECT_EQ(reply.requestId, 42u);
+    std::uint32_t point = 0;
+    bool hit = false;
+    SynthResult result;
+    ASSERT_TRUE(
+        decodeSweepResultPayload(reply.payload, point, hit, result));
+    EXPECT_EQ(point, request.pointIndex);
+    ASSERT_EQ(net::recvFrame(sock, reply, 10'000, 2'000),
+              net::FrameStatus::ok);
+    EXPECT_EQ(reply.type, net::MessageType::metricsEpoch);
+    std::map<std::string, double> epoch;
+    ASSERT_TRUE(decodeMetricsPayload(reply.payload, epoch));
+    EXPECT_GE(epoch.at("ftd.points_served"), 1.0);
+    EXPECT_GE(epoch.at("ftd.bad_requests"), 1.0);
+
+    net::Frame goodbye;
+    goodbye.type = net::MessageType::goodbye;
+    ASSERT_EQ(net::sendFrame(sock, goodbye, 2'000),
+              net::FrameStatus::ok);
+    sock.close();
+
+    daemon.server.stop();
+    EXPECT_EQ(daemon.server.stats().badRequests, 1u);
+    EXPECT_EQ(daemon.server.stats().pointsServed, 1u);
+    EXPECT_EQ(daemon.server.netStats().protocolErrors, 0u);
+}
+
+} // namespace
+} // namespace fasttrack

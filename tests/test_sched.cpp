@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -19,6 +20,7 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "net/wire.hpp"
 #include "sched/blob_cache.hpp"
 #include "sched/work_stealing_pool.hpp"
 #include "sim/experiment.hpp"
@@ -374,6 +376,114 @@ TEST(SweepCache, CorruptDiskEntryIsRecomputed)
     EXPECT_EQ(after.corrupt, before.corrupt + 1);
     sweepCache().setDir("");
     std::filesystem::remove_all(dir);
+}
+
+TEST(BlobCache, EvictionKeepsDiskStoreUnderCap)
+{
+    const std::string dir = scratchDir("evict");
+    sched::BlobCache cache("test_cache", 7);
+    cache.setDir(dir);
+    // Each entry is 24 (header) + 68 (payload) + 8 (trailer) = 100
+    // bytes on disk; a 250-byte cap holds two.
+    cache.setMaxDiskBytes(250);
+    const std::vector<std::uint8_t> payload(68, 0xa5);
+
+    // Eviction is oldest-write-first with the entry path as the
+    // tie-break, so ascending keys + spaced writes pin the order.
+    for (std::uint64_t key : {1ull, 2ull}) {
+        cache.store(key, payload);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(cache.diskBytes(), 200u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // The third write overflows the cap: the oldest entry goes, the
+    // one just written is never a victim.
+    cache.store(3, payload);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.diskBytes(), 200u);
+    EXPECT_FALSE(std::filesystem::exists(cache.entryPath(1)));
+    EXPECT_TRUE(std::filesystem::exists(cache.entryPath(2)));
+    EXPECT_TRUE(std::filesystem::exists(cache.entryPath(3)));
+
+    // The evicted entry is gone for real (memory dropped too), the
+    // survivors still load from disk.
+    cache.clearMemory();
+    EXPECT_FALSE(cache.lookup(1).has_value());
+    ASSERT_TRUE(cache.lookup(2).has_value());
+    EXPECT_EQ(*cache.lookup(2), payload);
+
+    // Raising the cap stops eviction.
+    cache.setMaxDiskBytes(0);
+    cache.store(4, payload);
+    cache.store(5, payload);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.diskBytes(), 400u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BlobCache, ForeignHostEntryValidates)
+{
+    // Build an entry file byte by byte from the documented on-disk
+    // format (sched/blob_cache.hpp) — exactly what a different
+    // machine, of any endianness, would have produced — and require
+    // this host to load it. This is the portability contract the
+    // distributed fabric's cross-node cache sharing rests on.
+    const std::string dir = scratchDir("foreign");
+    std::filesystem::create_directories(dir);
+    sched::BlobCache cache("test_cache", 7);
+    cache.setDir(dir);
+
+    const std::uint64_t key = 0x0123456789abcdefull;
+    const std::vector<std::uint8_t> payload = {0x10, 0x20, 0x30,
+                                               0x40, 0x50};
+    net::WireWriter w;
+    w.u32(0x43525446u); // 'FTRC'
+    w.u32(7);           // schema
+    w.u64(key);
+    w.u64(payload.size());
+    w.bytes(payload.data(), payload.size());
+    sched::Fnv1a check;
+    check.addBytes(payload.data(), payload.size());
+    w.u64(check.value());
+    {
+        std::ofstream f(cache.entryPath(key), std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.write(reinterpret_cast<const char *>(w.buffer().data()),
+                static_cast<std::streamsize>(w.size()));
+    }
+
+    const auto loaded = cache.lookup(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, payload);
+    EXPECT_EQ(cache.stats().corrupt, 0u);
+    EXPECT_EQ(cache.stats().diskHits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepCache, KeyAndEntryBytesArePinned)
+{
+    // Golden values for the v2 (explicitly little-endian) schema. If
+    // either of these ever changes, blobs written by released builds
+    // would mis-validate across the fleet: bump kSweepCacheSchema
+    // and re-pin, never silently repurpose the old schema number.
+    EXPECT_EQ(kSweepCacheSchema, 2u);
+
+    const NocConfig cfg = NocConfig::fastTrack(8, 4, 2);
+    SyntheticWorkload w;
+    w.pattern = TrafficPattern::transpose;
+    w.injectionRate = 0.125; // exact in binary
+    w.packetsPerPe = 512;
+    w.localRadius = 2;
+    w.seed = 77;
+    EXPECT_EQ(sweepKey(cfg, 2, w, 1'000'000),
+              UINT64_C(0xbf78f7256ffa4021));
+
+    // The FNV-1a stream itself feeds words as little-endian bytes, so
+    // the same key falls out on any host; pin one primitive case too.
+    sched::Fnv1a h;
+    h.add(UINT64_C(0x0123456789abcdef));
+    EXPECT_EQ(h.value(), UINT64_C(0x37eb3f3347761c55));
 }
 
 } // namespace

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * ftd_client — command-line client for the ftd sweep daemon.
+ *
+ * Runs an injection-rate sweep against one or more daemons and
+ * prints the per-point results as CSV, exercising the full remote
+ * path (handshake, pipelining, retry/backoff, local fallback). The
+ * output is byte-identical to running the same sweep in-process, so
+ * scripts can diff the two to validate a deployment:
+ *
+ *   ftd --port 0 &              # note the printed port
+ *   ftd_client --remote 127.0.0.1:PORT --n 8
+ *
+ * With --no-local-cache the client skips its own sweep cache, forcing
+ * every point over the wire (useful to measure daemon cache hits).
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "net/endpoint.hpp"
+#include "sched/work_stealing_pool.hpp"
+#include "sim/experiment.hpp"
+#include "sim/remote.hpp"
+#include "sim/sweep_cache.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+void
+usage(const char *prog)
+{
+    std::cerr
+        << "usage: " << prog
+        << " --remote HOST:PORT[,HOST:PORT...] [--n N] [--d D]"
+           " [--r R] [--hoplite] [--packets N] [--seed N]"
+           " [--no-local-cache] [--stats FILE]\n"
+        << "  --remote LIST      ftd endpoints to fan out to\n"
+        << "  --n N              torus side (default 8)\n"
+        << "  --d D              express link length (default 2)\n"
+        << "  --r R              depopulation factor (default 2)\n"
+        << "  --hoplite          sweep the Hoplite baseline instead\n"
+        << "  --packets N        packets per PE (default 1024)\n"
+        << "  --seed N           base workload seed (default 1)\n"
+        << "  --no-local-cache   skip the client-side sweep cache so\n"
+        << "                     every point travels the wire\n"
+        << "  --stats FILE       write remote/client counters as CSV\n";
+}
+
+long long
+parsePositive(const char *prog, int argc, char **argv, int i,
+              const char *flag)
+{
+    char *end = nullptr;
+    const long long n =
+        i + 1 < argc ? std::strtoll(argv[i + 1], &end, 10) : 0;
+    if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || n < 1) {
+        std::cerr << prog << ": " << flag
+                  << " needs a positive integer\n";
+        usage(prog);
+        std::exit(2);
+    }
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fasttrack;
+
+    std::uint32_t n = 8, d = 2, r = 2;
+    bool hoplite = false;
+    std::uint32_t packets = 1024;
+    std::uint64_t seed = 1;
+    bool localCache = true;
+    std::string statsFile;
+    std::vector<net::Endpoint> endpoints;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--remote") == 0) {
+            std::string error;
+            if (i + 1 >= argc ||
+                !net::parseEndpointList(argv[i + 1], endpoints,
+                                        error)) {
+                std::cerr << argv[0] << ": --remote: "
+                          << (i + 1 >= argc ? "needs a value" : error)
+                          << "\n";
+                usage(argv[0]);
+                return 2;
+            }
+            ++i;
+        } else if (std::strcmp(argv[i], "--n") == 0) {
+            n = static_cast<std::uint32_t>(
+                parsePositive(argv[0], argc, argv, i, "--n"));
+            ++i;
+        } else if (std::strcmp(argv[i], "--d") == 0) {
+            d = static_cast<std::uint32_t>(
+                parsePositive(argv[0], argc, argv, i, "--d"));
+            ++i;
+        } else if (std::strcmp(argv[i], "--r") == 0) {
+            r = static_cast<std::uint32_t>(
+                parsePositive(argv[0], argc, argv, i, "--r"));
+            ++i;
+        } else if (std::strcmp(argv[i], "--hoplite") == 0) {
+            hoplite = true;
+        } else if (std::strcmp(argv[i], "--packets") == 0) {
+            packets = static_cast<std::uint32_t>(
+                parsePositive(argv[0], argc, argv, i, "--packets"));
+            ++i;
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            seed = static_cast<std::uint64_t>(
+                parsePositive(argv[0], argc, argv, i, "--seed"));
+            ++i;
+        } else if (std::strcmp(argv[i], "--no-local-cache") == 0) {
+            localCache = false;
+        } else if (std::strcmp(argv[i], "--stats") == 0) {
+            if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+                std::cerr << argv[0] << ": --stats needs a file\n";
+                usage(argv[0]);
+                return 2;
+            }
+            statsFile = argv[i + 1];
+            ++i;
+        } else {
+            std::cerr << argv[0] << ": unknown flag '" << argv[i]
+                      << "'\n";
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (endpoints.empty()) {
+        std::cerr << argv[0] << ": --remote is required\n";
+        usage(argv[0]);
+        return 2;
+    }
+
+    sched::ensureGlobalPool();
+    RemoteConfig remote;
+    remote.endpoints = std::move(endpoints);
+    remote.useLocalCache = localCache;
+    setRemoteConfig(std::move(remote));
+
+    NocUnderTest nut;
+    nut.config = hoplite ? NocConfig::hoplite(n)
+                         : NocConfig::fastTrack(n, d, r);
+    nut.label = nut.config.describe();
+    nut.config.validate();
+
+    const std::vector<SweepPoint> points = injectionSweep(
+        nut, TrafficPattern::random, injectionRateGrid(), packets,
+        seed);
+
+    std::cout << "config,rate,sustained,avg_latency,worst_latency,"
+                 "completed\n";
+    for (const SweepPoint &p : points) {
+        std::cout << nut.label << "," << p.rate << ","
+                  << p.result.sustainedRate() << ","
+                  << p.result.avgLatency() << ","
+                  << p.result.worstLatency() << ","
+                  << (p.result.completed ? 1 : 0) << "\n";
+    }
+
+    if (!statsFile.empty()) {
+        std::ofstream os(statsFile);
+        if (!os) {
+            std::cerr << argv[0] << ": --stats: cannot write '"
+                      << statsFile << "'\n";
+            return 1;
+        }
+        telemetry::MetricsRegistry metrics;
+        reportRemoteStats(metrics);
+        sweepCache().reportTo(metrics);
+        metrics.writeSummary(os);
+    }
+    return 0;
+}
