@@ -91,7 +91,8 @@ main(int argc, char **argv)
         workload.pattern = TrafficPattern::random;
         workload.injectionRate = 1.0;
         workload.packetsPerPe = 512;
-        const SynthResult res = runSynthetic(noc, workload);
+        const SynthResult res =
+            runSim({.device = &noc, .workload = &workload}).synth;
         const double rate =
             static_cast<double>(res.stats.shortHopTraversals) /
             (static_cast<double>(res.cycles) * 64);
@@ -112,7 +113,8 @@ main(int argc, char **argv)
         workload.pattern = TrafficPattern::random;
         workload.injectionRate = 1.0;
         workload.packetsPerPe = 512;
-        const SynthResult res = runSynthetic(noc, workload);
+        const SynthResult res =
+            runSim({.device = &noc, .workload = &workload}).synth;
         const double rate =
             static_cast<double>(res.stats.shortHopTraversals) /
             (static_cast<double>(res.cycles) * 64);

@@ -47,8 +47,7 @@ main(int argc, char **argv)
         SyntheticWorkload workload;
         workload.pattern = TrafficPattern::random;
         workload.injectionRate = 0.5;
-        SimConfig sim;
-        sim.telemetry = &session;
+        const SimConfig sim{.telemetry = &session};
         results.push_back(
             runSynthetic(nut.config, nut.channels, workload, sim));
 

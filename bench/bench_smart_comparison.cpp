@@ -27,7 +27,7 @@ runOn(NocDevice &noc)
     workload.pattern = TrafficPattern::random;
     workload.injectionRate = 1.0;
     workload.packetsPerPe = 512;
-    return runSynthetic(noc, workload);
+    return runSim({.device = &noc, .workload = &workload}).synth;
 }
 
 } // namespace

@@ -52,7 +52,10 @@ struct TraceSpeedup
 };
 
 /** Replay @p trace on Hoplite and all FastTrack candidates (each
- *  candidate on its own core). */
+ *  candidate on its own core). Honours the --snapshot-every /
+ *  --snapshot-dir / --resume harness flags: each (trace, config)
+ *  replay checkpoints into — and resumes from — its own
+ *  subdirectory, named from the trace and config labels. */
 inline TraceSpeedup
 traceSpeedup(const Trace &trace, Cycle max_cycles = 50'000'000)
 {
@@ -63,7 +66,19 @@ traceSpeedup(const Trace &trace, Cycle max_cycles = 50'000'000)
     const std::vector<Cycle> cycles = parallelMap(
         configs,
         [&](const NocConfig &cfg) {
-            return runTrace(cfg, 1, trace, max_cycles).completion;
+            const std::string run =
+                fileSafeLabel(trace.name + "_" + cfg.describe());
+            SimConfig sim{.maxCycles = max_cycles};
+            if (snapshotEvery() != 0) {
+                sim.snapshotEveryCycles = snapshotEvery();
+                sim.snapshotDir = snapshotDir() + "/" + run;
+            }
+            if (!resumeDir().empty())
+                sim.resumeFrom = resumeDir() + "/" + run;
+            return runSim({.config = &cfg,
+                           .trace = &trace,
+                           .sim = sim})
+                .trace.completion;
         },
         /*threads=*/0, "traceSpeedup");
 

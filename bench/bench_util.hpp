@@ -73,6 +73,34 @@ cacheStatsFile()
     return file;
 }
 
+/** Snapshot period in cycles from --snapshot-every (0 = off). Runs
+ *  that honour it write checkpoint files (docs/checkpoint.md) into a
+ *  per-run subdirectory of snapshotDir(). */
+inline std::uint64_t &
+snapshotEvery()
+{
+    static std::uint64_t every = 0;
+    return every;
+}
+
+/** Snapshot root directory from --snapshot-dir. */
+inline std::string &
+snapshotDir()
+{
+    static std::string dir;
+    return dir;
+}
+
+/** Resume root directory from --resume; harnesses look for the
+ *  latest matching snapshot under the same per-run subdirectory
+ *  naming they write with. */
+inline std::string &
+resumeDir()
+{
+    static std::string dir;
+    return dir;
+}
+
 /** Publish sweep-cache and pool counters into a registry and write
  *  the `metric,kind,value` summary CSV to @p os. */
 inline void
@@ -136,6 +164,7 @@ usage(const char *prog)
         << " [--csv] [--threads N] [--batch K] [--telemetry-dir DIR]"
            " [--telemetry-epoch N] [--result-cache DIR]"
            " [--result-cache-max-bytes N] [--cache-stats FILE]"
+           " [--snapshot-every N] [--snapshot-dir DIR] [--resume DIR]"
            " [--remote HOST:PORT[,HOST:PORT...]]\n"
         << "  --csv                emit tables as CSV (for scripting)\n"
         << "  --threads N          cap parallel sweep workers at N\n"
@@ -156,6 +185,16 @@ usage(const char *prog)
         << "                       bytes, evicting oldest entries\n"
         << "  --cache-stats FILE   write scheduler/cache counters as\n"
         << "                       CSV (metric,kind,value) at exit\n"
+        << "  --snapshot-every N   checkpoint supporting runs every N\n"
+        << "                       cycles (needs --snapshot-dir; see\n"
+        << "                       docs/checkpoint.md)\n"
+        << "  --snapshot-dir DIR   root directory snapshot files are\n"
+        << "                       written under (one subdirectory per\n"
+        << "                       run)\n"
+        << "  --resume DIR         resume runs from the latest matching\n"
+        << "                       snapshot under DIR (corrupt or\n"
+        << "                       missing snapshots fall back to a\n"
+        << "                       fresh run)\n"
         << "  --remote HOST:PORT[,HOST:PORT...]\n"
         << "                       fan sweep points out to ftd daemons\n"
         << "                       (unreachable workers fall back to\n"
@@ -290,6 +329,45 @@ parseArgs(int argc, char **argv)
             ++i;
             continue;
         }
+        if (std::strcmp(argv[i], "--snapshot-every") == 0) {
+            char *end = nullptr;
+            const long long n =
+                i + 1 < argc ? std::strtoll(argv[i + 1], &end, 10)
+                             : 0;
+            if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' ||
+                n < 1) {
+                std::cerr
+                    << argv[0]
+                    << ": --snapshot-every needs a positive integer\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            snapshotEvery() = static_cast<std::uint64_t>(n);
+            ++i;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--snapshot-dir") == 0) {
+            if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+                std::cerr << argv[0]
+                          << ": --snapshot-dir needs a directory\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            snapshotDir() = argv[i + 1];
+            ++i;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--resume") == 0) {
+            if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+                std::cerr << argv[0]
+                          << ": --resume needs a directory\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            resumeDir() = argv[i + 1];
+            ++i;
+            continue;
+        }
         if (std::strcmp(argv[i], "--cache-stats") == 0) {
             if (i + 1 >= argc || argv[i + 1][0] == '\0') {
                 std::cerr << argv[0]
@@ -302,6 +380,13 @@ parseArgs(int argc, char **argv)
             continue;
         }
         std::cerr << argv[0] << ": unknown flag '" << argv[i] << "'\n";
+        usage(argv[0]);
+        std::exit(2);
+    }
+
+    if (snapshotEvery() != 0 && snapshotDir().empty()) {
+        std::cerr << argv[0]
+                  << ": --snapshot-every needs --snapshot-dir\n";
         usage(argv[0]);
         std::exit(2);
     }

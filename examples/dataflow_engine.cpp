@@ -60,7 +60,8 @@ main(int argc, char **argv)
 
     double baseline = 0.0;
     for (const Candidate &cand : noc_list) {
-        const TraceResult res = runTrace(cand.cfg, 1, trace);
+        const TraceResult res =
+            runSim({.config = &cand.cfg, .trace = &trace}).trace;
         if (baseline == 0.0)
             baseline = static_cast<double>(res.completion);
         table.addRow({cand.label, Table::num(res.completion),

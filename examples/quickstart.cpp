@@ -36,8 +36,10 @@ main(int argc, char **argv)
         SyntheticWorkload workload;
         workload.pattern = TrafficPattern::random;
         workload.injectionRate = rate;
-        SynthResult res = runSynthetic(nut.config, nut.channels,
-                                       workload);
+        SynthResult res = runSim({.config = &nut.config,
+                                  .channels = nut.channels,
+                                  .workload = &workload})
+                              .synth;
 
         const NocCost cost =
             area.nocCost(nut.config.toSpec(256, nut.channels));

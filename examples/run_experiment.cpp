@@ -42,12 +42,44 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cerr << "usage: run_experiment <config-file> [--csv]"
-                     " [--remote HOST:PORT[,HOST:PORT...]]\n";
+                     " [--remote HOST:PORT[,HOST:PORT...]]"
+                     " [--snapshot-every N] [--snapshot-dir DIR]"
+                     " [--resume DIR] [--max-cycles N]\n";
         return 2;
     }
+    SimConfig sim;
     for (int i = 2; i < argc; ++i) {
         if (std::string(argv[i]) == "--csv") {
             Table::setCsvMode(true);
+        } else if (std::string(argv[i]) == "--snapshot-every") {
+            if (i + 1 >= argc || std::stoll(argv[i + 1]) < 1) {
+                std::cerr << "run_experiment: --snapshot-every needs"
+                             " a positive integer\n";
+                return 2;
+            }
+            sim.snapshotEveryCycles =
+                static_cast<Cycle>(std::stoll(argv[++i]));
+        } else if (std::string(argv[i]) == "--snapshot-dir") {
+            if (i + 1 >= argc) {
+                std::cerr << "run_experiment: --snapshot-dir needs"
+                             " a directory\n";
+                return 2;
+            }
+            sim.snapshotDir = argv[++i];
+        } else if (std::string(argv[i]) == "--resume") {
+            if (i + 1 >= argc) {
+                std::cerr << "run_experiment: --resume needs a"
+                             " directory or snapshot file\n";
+                return 2;
+            }
+            sim.resumeFrom = argv[++i];
+        } else if (std::string(argv[i]) == "--max-cycles") {
+            if (i + 1 >= argc || std::stoll(argv[i + 1]) < 1) {
+                std::cerr << "run_experiment: --max-cycles needs a"
+                             " positive integer\n";
+                return 2;
+            }
+            sim.maxCycles = static_cast<Cycle>(std::stoll(argv[++i]));
         } else if (std::string(argv[i]) == "--remote") {
             std::string error;
             std::vector<net::Endpoint> endpoints;
@@ -102,11 +134,39 @@ main(int argc, char **argv)
     const auto width =
         static_cast<std::uint32_t>(kv.getInt("width", 256));
 
+    if (sim.snapshotEveryCycles != 0 && sim.snapshotDir.empty()) {
+        std::cerr << "run_experiment: --snapshot-every needs"
+                     " --snapshot-dir\n";
+        return 2;
+    }
+    const bool checkpointing =
+        sim.snapshotEveryCycles != 0 || !sim.resumeFrom.empty();
+
     auto noc = makeNoc(cfg, channels);
-    // batchedCachedRuns computes the identical result (bit for bit)
-    // whether it runs here, on the pool, or on a --remote daemon.
-    const SynthResult res =
-        batchedCachedRuns(cfg, channels, {workload}).front();
+    SynthResult res;
+    if (checkpointing) {
+        // The checkpoint path runs the point directly (the sweep
+        // cache would bypass anyway) so snapshots are written and a
+        // --resume continues bit-identically where the last one left
+        // off (docs/checkpoint.md).
+        const RunResult run = runSim({.config = &cfg,
+                                      .channels = channels,
+                                      .workload = &workload,
+                                      .sim = sim});
+        res = run.synth;
+        if (run.resumed)
+            std::cerr << "checkpoint: resumed at cycle "
+                      << run.resumedAtCycle << "\n";
+        std::cerr << "checkpoint: wrote " << run.snapshotsWritten
+                  << " snapshot(s)\n";
+    } else {
+        // batchedCachedRuns computes the identical result (bit for
+        // bit) whether it runs here, on the pool, or on a --remote
+        // daemon.
+        res = batchedCachedRuns(cfg, channels, {workload},
+                                sim.maxCycles)
+                  .front();
+    }
 
     AreaModel area;
     PowerModel power(area);

@@ -71,7 +71,8 @@ main(int argc, char **argv)
 
     double hoplite_us = 0.0;
     for (const Candidate &cand : noc_list) {
-        const TraceResult res = runTrace(cand.cfg, 1, trace);
+        const TraceResult res =
+            runSim({.config = &cand.cfg, .trace = &trace}).trace;
         const NocCost cost = area.nocCost(cand.cfg.toSpec(256));
         const double us =
             static_cast<double>(res.completion) / cost.frequencyMhz;

@@ -126,7 +126,8 @@ cmdReplay(const std::string &path, const std::string &kind,
     else if (kind != "hoplite")
         return usage();
 
-    const TraceResult res = runTrace(cfg, 1, trace);
+    const TraceResult res =
+        runSim({.config = &cfg, .trace = &trace}).trace;
     Table table("replay of " + trace.name + " on " + cfg.describe());
     table.setHeader({"metric", "value"});
     table.addRow({"completion (cycles)", Table::num(res.completion)});

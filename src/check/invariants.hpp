@@ -144,6 +144,25 @@ class InvariantChecker
     /** The network claims quiescence: nothing may remain tracked. */
     void verifyQuiescent(Cycle now);
 
+    // --- checkpoint-restore seeding (noc/engine_state.cpp) ---
+    /**
+     * A snapshot restore replaces the device's state wholesale, so
+     * the checker's event-derived tracking must be rebuilt to match:
+     * beginRestore clears it, then every restored pending offer and
+     * in-flight packet is seeded, then finishRestore re-derives the
+     * conservation counters (injected = delivered + in-flight, which
+     * holds for trimmed snapshots too) and resets the progress clock.
+     */
+    void beginRestore(Cycle now);
+    /** Seed one restored pending offer (counts like onOffer). */
+    void seedPendingOffer(const Packet &p);
+    /** Seed one restored in-flight packet whose next arbitration
+     *  happens at router @p at (its LinkSlab landing site). */
+    void seedInFlightPacket(const Packet &p, NodeId at);
+    /** Finalize seeding from the restored measurement counters. */
+    void finishRestore(std::uint64_t delivered,
+                       std::uint64_t self_delivered, Cycle now);
+
     /** Progress bound in cycles for the livelock detector. */
     void setLivelockBound(Cycle bound) { livelockBound_ = bound; }
     Cycle livelockBound() const { return livelockBound_; }

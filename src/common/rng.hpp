@@ -11,6 +11,7 @@
 #ifndef FT_COMMON_RNG_HPP
 #define FT_COMMON_RNG_HPP
 
+#include <array>
 #include <cstdint>
 
 namespace fasttrack {
@@ -80,6 +81,21 @@ class Rng
 
     /** Fork an independent stream (hash-mixed from this stream). */
     Rng split();
+
+    /** The full 256-bit generator state, for checkpointing: a stream
+     *  restored via setState continues bit-identically from where
+     *  state() captured it. */
+    std::array<std::uint64_t, 4> state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+    void setState(const std::array<std::uint64_t, 4> &s)
+    {
+        s_[0] = s[0];
+        s_[1] = s[1];
+        s_[2] = s[2];
+        s_[3] = s[3];
+    }
 
   private:
     static std::uint64_t rotl(std::uint64_t x, int k)

@@ -97,6 +97,13 @@ class Network : public EngineCore
         return nodeCounters_;
     }
 
+    /** Checkpointing (noc/engine_state.hpp): capture the complete
+     *  dynamic state, or replay one captured at the same geometry.
+     *  Defined in engine_state.cpp so the stepping hot path and the
+     *  cold snapshot machinery stay in separate translation units. */
+    bool captureState(EngineState &out) const override;
+    bool restoreState(const EngineState &st) override;
+
   private:
     /** The stepping core; step() picks the instantiation matching the
      *  attached hooks so the hot path pays for none it doesn't use.

@@ -17,6 +17,8 @@
 
 namespace fasttrack {
 
+struct EngineState;
+
 /** What a NoC looks like to its clients. */
 class NocDevice
 {
@@ -50,6 +52,17 @@ class NocDevice
     /** Total physical links across all channels. */
     virtual std::uint64_t linkCount() const = 0;
     virtual std::uint32_t channelCount() const = 0;
+
+    /**
+     * Capture the device's complete dynamic state for checkpointing
+     * (noc/engine_state.hpp, sim/checkpoint.hpp). Default: the device
+     * does not support snapshots (multi-channel and experimental
+     * variants); only single-channel Network overrides this today.
+     */
+    virtual bool captureState(EngineState &) const { return false; }
+    /** Replay a captured state; false when unsupported or when the
+     *  state does not match this device's geometry. */
+    virtual bool restoreState(const EngineState &) { return false; }
 };
 
 /**

@@ -1,9 +1,15 @@
 #include "sim/simulation.hpp"
 
+#include <filesystem>
+
 #include "check/invariants.hpp"
 #include "common/logging.hpp"
 #include "noc/engine_core.hpp"
+#include "noc/engine_state.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/sweep_cache.hpp"
 #include "sim/telemetry_session.hpp"
+#include "telemetry/sink.hpp"
 #include "traffic/trace_replay.hpp"
 
 namespace fasttrack {
@@ -16,7 +22,8 @@ namespace {
  * sink's event counters and the checker's conservation counts are
  * cumulative over the device/thread lifetime, so the run compares
  * deltas. Only single-channel devices expose one checker whose counts
- * correspond 1:1 to this thread's telemetry events.
+ * correspond 1:1 to this thread's telemetry events. Armed after any
+ * snapshot restore, so a resumed run baselines the restored counts.
  */
 struct TelemetryCrossCheck
 {
@@ -56,6 +63,258 @@ struct TelemetryCrossCheck
 };
 #endif
 
+/** Checkpoint controls shared by the synthetic and trace loops. */
+struct SnapshotPlan
+{
+    bool snapshotting = false;
+    bool resuming = false;
+    std::uint64_t key = 0;
+
+    bool active() const { return snapshotting || resuming; }
+};
+
+/** Validate the snapshot knobs and probe device support once. A
+ *  request that asks for checkpointing on a device that cannot
+ *  capture state is a hard error, not a silent degradation. */
+SnapshotPlan
+planSnapshots(NocDevice &noc, const SimConfig &sim, std::uint64_t key)
+{
+    SnapshotPlan plan;
+    plan.snapshotting = sim.snapshotEveryCycles != 0;
+    plan.resuming = !sim.resumeFrom.empty();
+    plan.key = key;
+    if (plan.snapshotting && sim.snapshotDir.empty())
+        FT_FATAL("snapshotEveryCycles requires snapshotDir");
+    if (plan.active()) {
+        EngineState probe;
+        if (!noc.captureState(probe))
+            FT_FATAL("checkpointing requires a device with engine-"
+                     "state capture (single-channel Network); ",
+                     noc.config().describe(), " x",
+                     noc.channelCount(), " does not support it");
+    }
+    return plan;
+}
+
+/** Resolve resumeFrom (file, or directory holding snapshots) to a
+ *  loaded snapshot. False => fresh run (warned, never fatal). */
+bool
+loadResumeSnapshot(const std::string &resume_from, std::uint64_t key,
+                   SnapshotKind kind, Snapshot &out)
+{
+    std::string path = resume_from;
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+        FT_WARN("resume: nothing at '", path, "', starting fresh");
+        return false;
+    }
+    if (std::filesystem::is_directory(path, ec)) {
+        path = findLatestSnapshot(path);
+        if (path.empty()) {
+            FT_WARN("resume: no snapshots in '", resume_from,
+                    "', starting fresh");
+            return false;
+        }
+    }
+    const SnapshotStatus status = readSnapshotFile(path, key, out);
+    if (status != SnapshotStatus::ok) {
+        FT_WARN("resume: rejected snapshot '", path, "' (",
+                toString(status), "), starting fresh");
+        return false;
+    }
+    if (out.kind != kind) {
+        FT_WARN("resume: snapshot '", path,
+                "' is for a different workload kind, starting fresh");
+        return false;
+    }
+    return true;
+}
+
+/** Write one snapshot; failures degrade to a warning (the run is
+ *  still correct, just not resumable from this point). */
+template <typename CaptureDriver>
+void
+writeSnapshot(NocDevice &noc, const SnapshotPlan &plan,
+              const SimConfig &sim, SnapshotKind kind, Cycle run_start,
+              CaptureDriver &&capture_driver, RunResult &result)
+{
+    Snapshot snap;
+    snap.kind = kind;
+    snap.runStart = run_start;
+    if (!noc.captureState(snap.engine) || !capture_driver(snap)) {
+        FT_WARN("snapshot capture failed at cycle ", noc.now());
+        return;
+    }
+    std::string path;
+    const SnapshotStatus status =
+        writeSnapshotFile(sim.snapshotDir, plan.key, snap, &path);
+    if (status != SnapshotStatus::ok) {
+        FT_WARN("snapshot write failed at cycle ", noc.now(), " (",
+                toString(status), ")");
+        return;
+    }
+    ++result.snapshotsWritten;
+}
+
+void
+runSyntheticCore(NocDevice &noc, const SyntheticWorkload &workload,
+                 const SimConfig &sim, RunResult &result)
+{
+    TelemetrySession *session = sim.telemetry;
+    const bool sampling = session && session->claimSampler();
+    if (session)
+        session->observe(noc);
+
+    SyntheticInjector injector(noc, workload);
+    Cycle start = noc.now();
+    bool trimmed_resume = false;
+
+    std::uint64_t key = 0;
+    if (sim.snapshotEveryCycles != 0 || !sim.resumeFrom.empty())
+        key = checkpointKey(noc.config(), noc.channelCount(), workload);
+    const SnapshotPlan plan = planSnapshots(noc, sim, key);
+    if (plan.resuming) {
+        Snapshot snap;
+        if (loadResumeSnapshot(sim.resumeFrom, key,
+                               SnapshotKind::synthetic, snap) &&
+            noc.restoreState(snap.engine) &&
+            injector.restoreState(snap.injector)) {
+            start = snap.runStart;
+            result.resumed = true;
+            result.resumedAtCycle = snap.cycle();
+            trimmed_resume = snap.engine.trimmed;
+        }
+    }
+
+#if FT_CHECK_ENABLED
+    TelemetryCrossCheck cross;
+    cross.arm(noc, session);
+#endif
+
+    const Cycle epoch = sampling ? session->config().epoch : 0;
+    Cycle next_sample = noc.now() + epoch;
+    const Cycle every = sim.snapshotEveryCycles;
+    while (!injector.done() && noc.now() - start < sim.maxCycles) {
+        injector.tick();
+        noc.step();
+        if (plan.snapshotting && (noc.now() - start) % every == 0) {
+            writeSnapshot(noc, plan, sim, SnapshotKind::synthetic,
+                          start,
+                          [&](Snapshot &snap) {
+                              return injector.captureState(
+                                  snap.injector);
+                          },
+                          result);
+        }
+        if (epoch && noc.now() >= next_sample) {
+            session->sampleEpoch(noc, injector.queued());
+            next_sample += epoch;
+        }
+    }
+    if (sampling) {
+        session->sampleEpoch(noc, injector.queued());
+        session->releaseSampler();
+    }
+
+    result.synth.stats = noc.statsSnapshot();
+    result.synth.cycles = noc.now() - start;
+    result.synth.pes = noc.config().pes();
+    result.synth.offeredRate = workload.injectionRate;
+    result.synth.completed = injector.done();
+#if FT_CHECK_ENABLED
+    // A trimmed resume measures only its slice: delivered includes
+    // packets the snapshot inherited in flight, so slice-local
+    // injected != delivered is expected, not a conservation bug (the
+    // checker's own ledger still verifies via verifyQuiescent).
+    if (!trimmed_resume)
+        check::verifyDrainedStats(result.synth.stats.injected,
+                                  result.synth.stats.delivered,
+                                  noc.quiescent());
+    cross.verify(session, noc.now());
+#else
+    (void)trimmed_resume;
+#endif
+}
+
+void
+runTraceCore(NocDevice &noc, const Trace &trace, const SimConfig &sim,
+             RunResult &result)
+{
+    TelemetrySession *session = sim.telemetry;
+    const bool sampling = session && session->claimSampler();
+    if (session)
+        session->observe(noc);
+
+    TraceReplayer replayer(noc, trace);
+    Cycle start = noc.now();
+    bool trimmed_resume = false;
+
+    std::uint64_t key = 0;
+    if (sim.snapshotEveryCycles != 0 || !sim.resumeFrom.empty())
+        key = checkpointKey(noc.config(), noc.channelCount(), trace);
+    const SnapshotPlan plan = planSnapshots(noc, sim, key);
+    if (plan.resuming) {
+        Snapshot snap;
+        if (loadResumeSnapshot(sim.resumeFrom, key, SnapshotKind::trace,
+                               snap) &&
+            noc.restoreState(snap.engine) &&
+            replayer.restoreState(snap.replay)) {
+            start = snap.runStart;
+            result.resumed = true;
+            result.resumedAtCycle = snap.cycle();
+            trimmed_resume = snap.engine.trimmed;
+        }
+    }
+
+#if FT_CHECK_ENABLED
+    TelemetryCrossCheck cross;
+    cross.arm(noc, session);
+#endif
+
+    const Cycle every = sim.snapshotEveryCycles;
+    while (!replayer.finished() && noc.now() - start < sim.maxCycles) {
+        replayer.tick();
+        noc.step();
+        if (plan.snapshotting && (noc.now() - start) % every == 0) {
+            writeSnapshot(noc, plan, sim, SnapshotKind::trace, start,
+                          [&](Snapshot &snap) {
+                              return replayer.captureState(
+                                  snap.replay);
+                          },
+                          result);
+        }
+    }
+    // A non-sliced replay that hits the guard is a workload bug, as
+    // it always was; a sliced run legitimately stops mid-trace and
+    // reports completed=false instead.
+    if (!plan.active()) {
+        FT_ASSERT(replayer.finished(),
+                  "trace replay did not finish within ", sim.maxCycles,
+                  " cycles (", replayer.deliveredMessages(), "/",
+                  trace.messages.size(), " delivered)");
+    }
+
+    result.trace.stats = noc.statsSnapshot();
+    result.trace.completion = replayer.lastDelivery();
+    result.trace.pes = noc.config().pes();
+    result.trace.completed = replayer.finished();
+    if (sampling) {
+        // Trace replay drives the device internally; the registry gets
+        // one end-of-run epoch instead of a periodic series.
+        session->sampleEpoch(noc, 0);
+        session->releaseSampler();
+    }
+#if FT_CHECK_ENABLED
+    if (replayer.finished() && !trimmed_resume)
+        check::verifyDrainedStats(result.trace.stats.injected,
+                                  result.trace.stats.delivered,
+                                  noc.quiescent());
+    cross.verify(session, noc.now());
+#else
+    (void)trimmed_resume;
+#endif
+}
+
 } // namespace
 
 double
@@ -76,116 +335,65 @@ SynthResult::worstLatency() const
     return stats.totalLatency.max();
 }
 
-SynthResult
-runSynthetic(NocDevice &noc, const SyntheticWorkload &workload,
-             const SimConfig &sim)
+RunResult
+runSim(const RunRequest &request)
 {
-    TelemetrySession *session = sim.telemetry;
-    const bool sampling = session && session->claimSampler();
-    if (session)
-        session->observe(noc);
-#if FT_CHECK_ENABLED
-    TelemetryCrossCheck cross;
-    cross.arm(noc, session);
-#endif
+    if ((request.workload != nullptr) == (request.trace != nullptr))
+        FT_FATAL("RunRequest needs exactly one of workload / trace");
+    if (!request.device && !request.config)
+        FT_FATAL("RunRequest needs a device or a config");
+    if (request.useCache &&
+        (request.trace || request.device || !request.config))
+        FT_FATAL("RunRequest.useCache applies to synthetic, "
+                 "config-built runs only");
 
-    SyntheticInjector injector(noc, workload);
-    const Cycle start = noc.now();
-    const Cycle epoch = sampling ? session->config().epoch : 0;
-    Cycle next_sample = start + epoch;
-    while (!injector.done() && noc.now() - start < sim.maxCycles) {
-        injector.tick();
-        noc.step();
-        if (epoch && noc.now() >= next_sample) {
-            session->sampleEpoch(noc, injector.queued());
-            next_sample += epoch;
+    RunResult result;
+    result.isTrace = request.trace != nullptr;
+
+    // Sweep-cache fast path: identical semantics to the historical
+    // cachedRunSynthetic — bypassed (and counted as such) while
+    // telemetry or snapshotting would make a replayed result a lie.
+    const bool snapshot_knobs = request.sim.snapshotEveryCycles != 0 ||
+                                !request.sim.resumeFrom.empty();
+    if (request.useCache) {
+        sched::BlobCache &cache = sweepCache();
+        if (!sweepCacheEnabled() || telemetry::installed() != nullptr ||
+            request.sim.telemetry != nullptr || snapshot_knobs) {
+            cache.noteBypass();
+        } else {
+            const std::uint64_t key =
+                sweepKey(*request.config, request.channels,
+                         *request.workload, request.sim.maxCycles);
+            if (auto payload = cache.lookup(key)) {
+                SynthResult cached;
+                if (decodeSynthResult(*payload, cached)) {
+                    result.synth = cached;
+                    result.fromCache = true;
+                    return result;
+                }
+                // A validated blob that fails to parse means an
+                // encoder bug or a schema drift that forgot the
+                // version bump; recompute.
+            }
+            auto noc = makeNoc(*request.config, request.channels);
+            runSyntheticCore(*noc, *request.workload, request.sim,
+                             result);
+            cache.store(key, encodeSynthResult(result.synth));
+            return result;
         }
     }
-    if (sampling) {
-        session->sampleEpoch(noc, injector.queued());
-        session->releaseSampler();
+
+    std::unique_ptr<NocDevice> owned;
+    NocDevice *noc = request.device;
+    if (!noc) {
+        owned = makeNoc(*request.config, request.channels);
+        noc = owned.get();
     }
-
-    SynthResult result;
-    result.stats = noc.statsSnapshot();
-    result.cycles = noc.now() - start;
-    result.pes = noc.config().pes();
-    result.offeredRate = workload.injectionRate;
-    result.completed = injector.done();
-#if FT_CHECK_ENABLED
-    check::verifyDrainedStats(result.stats.injected,
-                              result.stats.delivered, noc.quiescent());
-    cross.verify(session, noc.now());
-#endif
+    if (request.workload)
+        runSyntheticCore(*noc, *request.workload, request.sim, result);
+    else
+        runTraceCore(*noc, *request.trace, request.sim, result);
     return result;
-}
-
-SynthResult
-runSynthetic(NocDevice &noc, const SyntheticWorkload &workload,
-             Cycle max_cycles)
-{
-    SimConfig sim;
-    sim.maxCycles = max_cycles;
-    return runSynthetic(noc, workload, sim);
-}
-
-SynthResult
-runSynthetic(const NocConfig &config, std::uint32_t channels,
-             const SyntheticWorkload &workload, Cycle max_cycles)
-{
-    auto noc = makeNoc(config, channels);
-    return runSynthetic(*noc, workload, max_cycles);
-}
-
-SynthResult
-runSynthetic(const NocConfig &config, std::uint32_t channels,
-             const SyntheticWorkload &workload, const SimConfig &sim)
-{
-    auto noc = makeNoc(config, channels);
-    return runSynthetic(*noc, workload, sim);
-}
-
-TraceResult
-runTrace(const NocConfig &config, std::uint32_t channels,
-         const Trace &trace, const SimConfig &sim)
-{
-    auto noc = makeNoc(config, channels);
-    TelemetrySession *session = sim.telemetry;
-    const bool sampling = session && session->claimSampler();
-    if (session)
-        session->observe(*noc);
-#if FT_CHECK_ENABLED
-    TelemetryCrossCheck cross;
-    cross.arm(*noc, session);
-#endif
-
-    TraceReplayer replayer(*noc, trace);
-    TraceResult result;
-    result.completion = replayer.run(sim.maxCycles);
-    result.stats = noc->statsSnapshot();
-    result.pes = config.pes();
-    if (sampling) {
-        // Trace replay drives the device internally; the registry gets
-        // one end-of-run epoch instead of a periodic series.
-        session->sampleEpoch(*noc, 0);
-        session->releaseSampler();
-    }
-#if FT_CHECK_ENABLED
-    check::verifyDrainedStats(result.stats.injected,
-                              result.stats.delivered, noc->quiescent());
-    cross.verify(session, noc->now());
-#endif
-    return result;
-}
-
-TraceResult
-runTrace(const NocConfig &config, std::uint32_t channels,
-         const Trace &trace, Cycle max_cycles)
-{
-    SimConfig sim;
-    sim.maxCycles = max_cycles;
-    return runTrace(config, channels, trace, sim);
 }
 
 } // namespace fasttrack
-

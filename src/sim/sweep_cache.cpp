@@ -4,46 +4,11 @@
 #include <bit>
 
 #include "net/wire.hpp"
-#include "telemetry/sink.hpp"
+#include "noc/engine_state.hpp"
 
 namespace fasttrack {
 
 namespace {
-
-// Payload encode/decode uses the endian-stable wire codec
-// (net/wire.hpp): every field is explicit little-endian, so a blob
-// written on one host decodes bit-identically on any other. The
-// historical host-endian ByteWriter/ByteReader pair this file
-// carried produced the same bytes on little-endian machines but was
-// silently incompatible across endianness — schema v2 closes that.
-using ByteWriter = net::WireWriter;
-using ByteReader = net::WireReader;
-
-void
-encodeHistogram(ByteWriter &w, const Histogram &h)
-{
-    const auto &bins = h.bins();
-    w.u64(bins.size());
-    for (const auto &[value, count] : bins) {
-        w.u64(value);
-        w.u64(count);
-    }
-}
-
-bool
-decodeHistogram(ByteReader &r, Histogram &h)
-{
-    std::uint64_t nbins = 0;
-    if (!r.u64(nbins))
-        return false;
-    for (std::uint64_t i = 0; i < nbins; ++i) {
-        std::uint64_t value = 0, count = 0;
-        if (!r.u64(value) || !r.u64(count) || count == 0)
-            return false;
-        h.add(value, count);
-    }
-    return true;
-}
 
 std::atomic<bool> g_cacheEnabled{true};
 
@@ -77,24 +42,11 @@ sweepKey(const NocConfig &config, std::uint32_t channels,
 std::vector<std::uint8_t>
 encodeSynthResult(const SynthResult &result)
 {
-    ByteWriter w;
-    const NocStats &s = result.stats;
-    w.u64(s.injected);
-    w.u64(s.delivered);
-    w.u64(s.selfDelivered);
-    w.u64(s.shortHopTraversals);
-    w.u64(s.expressHopTraversals);
-    for (std::uint64_t v : s.deflectionsByPort)
-        w.u64(v);
-    for (std::uint64_t v : s.misroutesByPort)
-        w.u64(v);
-    w.u64(s.laneDeflections);
-    w.u64(s.exitBlocked);
-    w.u64(s.injectionBlockedCycles);
-    encodeHistogram(w, s.totalLatency);
-    encodeHistogram(w, s.networkLatency);
-    encodeHistogram(w, s.hopCount);
-    encodeHistogram(w, s.deflectionCount);
+    // The stats block reuses the shared codec (noc/engine_state.hpp),
+    // whose field order is exactly what this file has always written
+    // — payload bytes are unchanged, hence no schema bump.
+    net::WireWriter w;
+    encodeNocStats(w, result.stats);
     w.u64(result.cycles);
     w.u32(result.pes);
     w.f64(result.offeredRate);
@@ -107,25 +59,12 @@ decodeSynthResult(const std::vector<std::uint8_t> &payload,
                   SynthResult &out)
 {
     SynthResult result;
-    NocStats &s = result.stats;
-    ByteReader r(payload);
-    bool ok = r.u64(s.injected) && r.u64(s.delivered) &&
-              r.u64(s.selfDelivered) && r.u64(s.shortHopTraversals) &&
-              r.u64(s.expressHopTraversals);
-    for (std::uint64_t &v : s.deflectionsByPort)
-        ok = ok && r.u64(v);
-    for (std::uint64_t &v : s.misroutesByPort)
-        ok = ok && r.u64(v);
-    ok = ok && r.u64(s.laneDeflections) && r.u64(s.exitBlocked) &&
-         r.u64(s.injectionBlockedCycles) &&
-         decodeHistogram(r, s.totalLatency) &&
-         decodeHistogram(r, s.networkLatency) &&
-         decodeHistogram(r, s.hopCount) &&
-         decodeHistogram(r, s.deflectionCount);
+    net::WireReader r(payload);
     std::uint64_t cycles = 0;
     std::uint8_t completed = 0;
-    ok = ok && r.u64(cycles) && r.u32(result.pes) &&
-         r.f64(result.offeredRate) && r.u8(completed) && r.atEnd();
+    const bool ok = decodeNocStats(r, result.stats) && r.u64(cycles) &&
+                    r.u32(result.pes) && r.f64(result.offeredRate) &&
+                    r.u8(completed) && r.atEnd();
     if (!ok)
         return false;
     result.cycles = cycles;
@@ -151,31 +90,6 @@ bool
 sweepCacheEnabled()
 {
     return g_cacheEnabled.load(std::memory_order_relaxed);
-}
-
-SynthResult
-cachedRunSynthetic(const NocConfig &config, std::uint32_t channels,
-                   const SyntheticWorkload &workload, Cycle max_cycles)
-{
-    sched::BlobCache &cache = sweepCache();
-    if (!sweepCacheEnabled() || telemetry::installed() != nullptr) {
-        cache.noteBypass();
-        return runSynthetic(config, channels, workload, max_cycles);
-    }
-
-    const std::uint64_t key =
-        sweepKey(config, channels, workload, max_cycles);
-    if (auto payload = cache.lookup(key)) {
-        SynthResult cached;
-        if (decodeSynthResult(*payload, cached))
-            return cached;
-        // A validated blob that fails to parse means an encoder bug
-        // or a schema drift that forgot the version bump; recompute.
-    }
-    const SynthResult result =
-        runSynthetic(config, channels, workload, max_cycles);
-    cache.store(key, encodeSynthResult(result));
-    return result;
 }
 
 } // namespace fasttrack

@@ -77,12 +77,33 @@ bool sweepCacheEnabled();
  * runSynthetic through the sweep cache: return the stored result on
  * a key hit, otherwise simulate and store. Falls back to a plain run
  * (counted as a bypass) while a telemetry sink is installed or the
- * cache is disabled.
+ * cache is disabled. Shim over runSim (RunRequest.useCache) — the
+ * cache lookup/store itself lives in runSim; this overload takes the
+ * default cycle guard from SimConfig{} like every other entry point.
  */
-SynthResult cachedRunSynthetic(const NocConfig &config,
-                               std::uint32_t channels,
-                               const SyntheticWorkload &workload,
-                               Cycle max_cycles = kDefaultMaxCycles);
+inline SynthResult
+cachedRunSynthetic(const NocConfig &config, std::uint32_t channels,
+                   const SyntheticWorkload &workload)
+{
+    return runSim({.config = &config,
+                   .channels = channels,
+                   .workload = &workload,
+                   .useCache = true})
+        .synth;
+}
+
+/** Shim over runSim — see above; explicit cycle guard. */
+inline SynthResult
+cachedRunSynthetic(const NocConfig &config, std::uint32_t channels,
+                   const SyntheticWorkload &workload, Cycle max_cycles)
+{
+    return runSim({.config = &config,
+                   .channels = channels,
+                   .workload = &workload,
+                   .sim = {.maxCycles = max_cycles},
+                   .useCache = true})
+        .synth;
+}
 
 } // namespace fasttrack
 

@@ -87,4 +87,49 @@ SyntheticInjector::done() const
            noc_.quiescent();
 }
 
+bool
+SyntheticInjector::captureState(InjectorState &out) const
+{
+    out = InjectorState{};
+    out.rng = rng_.state();
+    out.remaining = remaining_;
+    out.queues.resize(queues_.size());
+    for (std::size_t node = 0; node < queues_.size(); ++node) {
+        out.queues[node].reserve(queues_[node].size());
+        queues_[node].forEach([&](const Pending &rec) {
+            out.queues[node].push_back(rec);
+        });
+    }
+    out.nextId = nextId_;
+    out.generatedTotal = generatedTotal_;
+    return true;
+}
+
+bool
+SyntheticInjector::restoreState(const InjectorState &st)
+{
+    const std::size_t nodes = remaining_.size();
+    if (st.remaining.size() != nodes || st.queues.size() != nodes) {
+        FT_WARN("injector-state restore refused: snapshot is for ",
+                st.remaining.size(), " node(s), device has ", nodes);
+        return false;
+    }
+    if (st.generatedTotal > budgetTotal_)
+        return false;
+    rng_.setState(st.rng);
+    remaining_ = st.remaining;
+    queues_.clear();
+    queues_.reserve(nodes);
+    queuedTotal_ = 0;
+    for (std::size_t node = 0; node < nodes; ++node) {
+        queues_.emplace_back(&chunkArena_);
+        for (const Pending &rec : st.queues[node])
+            queues_.back().push_back(rec);
+        queuedTotal_ += st.queues[node].size();
+    }
+    nextId_ = st.nextId;
+    generatedTotal_ = st.generatedTotal;
+    return true;
+}
+
 } // namespace fasttrack

@@ -121,6 +121,22 @@ class ChunkedQueue
     std::size_t size() const { return count_; }
     const T &front() const { return (*chunks_[headChunk_])[headOff_]; }
 
+    /** Visit every queued entry front to back without consuming it
+     *  (checkpoint capture walks the backlog this way). */
+    template <typename F>
+    void forEach(F &&fn) const
+    {
+        std::size_t left = count_;
+        std::size_t off = headOff_;
+        for (std::size_t ci = headChunk_; left > 0; ++ci, off = 0) {
+            const Chunk &c = *chunks_[ci];
+            const std::size_t end = off + left < kChunk ? off + left
+                                                        : kChunk;
+            for (std::size_t i = off; i < end; ++i, --left)
+                fn(c[i]);
+        }
+    }
+
     void push_back(const T &v)
     {
         if (tailOff_ == kChunk) {
@@ -218,6 +234,24 @@ struct SyntheticWorkload
 };
 
 /**
+ * Serializable state of one SyntheticInjector (sim/checkpoint.hpp):
+ * the RNG stream, per-node generation budgets and source backlogs,
+ * and the id/generation counters. Everything else the injector holds
+ * is re-derived from the workload at construction.
+ */
+struct InjectorState
+{
+    /** xoshiro256** generator words. */
+    std::array<std::uint64_t, 4> rng{};
+    /** Per-node packets still to generate. */
+    std::vector<std::uint32_t> remaining;
+    /** Per-node source backlog, front first. */
+    std::vector<std::vector<PendingPacket>> queues;
+    std::uint64_t nextId = 1;
+    std::uint64_t generatedTotal = 0;
+};
+
+/**
  * Drives a NocDevice with a SyntheticWorkload. Call tick() once per
  * cycle *before* the device's step(); poll done() to finish.
  */
@@ -236,6 +270,14 @@ class SyntheticInjector
     std::uint64_t queued() const { return queuedTotal_; }
     std::uint64_t generated() const { return generatedTotal_; }
     std::uint64_t budget() const { return budgetTotal_; }
+
+    /** Capture the injector's complete dynamic state (always
+     *  succeeds; the bool mirrors the device-side convention). */
+    bool captureState(InjectorState &out) const;
+    /** Replay a captured state; false when the node count does not
+     *  match this injector's device. Generation then continues
+     *  bit-identically with the uninterrupted run. */
+    bool restoreState(const InjectorState &st);
 
   private:
     using Pending = PendingPacket;

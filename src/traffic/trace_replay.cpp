@@ -80,6 +80,62 @@ TraceReplayer::finished() const
     return deliveredCount_ == trace_.messages.size();
 }
 
+bool
+TraceReplayer::captureState(TraceReplayState &out) const
+{
+    out = TraceReplayState{};
+    out.pendingDeps = pendingDeps_;
+    auto pq = readyAt_; // min-queue copy; drain pops in ascending order
+    out.ready.reserve(pq.size());
+    while (!pq.empty()) {
+        out.ready.push_back(pq.top());
+        pq.pop();
+    }
+    out.sourceQueues.resize(sourceQueues_.size());
+    for (std::size_t node = 0; node < sourceQueues_.size(); ++node)
+        out.sourceQueues[node].assign(sourceQueues_[node].begin(),
+                                      sourceQueues_[node].end());
+    out.deliveredCount = deliveredCount_;
+    out.injectedCount = injectedCount_;
+    out.lastDelivery = lastDelivery_;
+    return true;
+}
+
+bool
+TraceReplayer::restoreState(const TraceReplayState &st)
+{
+    if (st.pendingDeps.size() != trace_.messages.size() ||
+        st.sourceQueues.size() != sourceQueues_.size()) {
+        FT_WARN("trace-replay restore refused: snapshot shape (",
+                st.pendingDeps.size(), " message(s), ",
+                st.sourceQueues.size(), " source(s)) does not match "
+                "the trace");
+        return false;
+    }
+    for (const auto &[cycle, id] : st.ready) {
+        (void)cycle;
+        if (id >= trace_.messages.size())
+            return false;
+    }
+    for (const auto &q : st.sourceQueues) {
+        for (std::uint64_t id : q) {
+            if (id >= trace_.messages.size())
+                return false;
+        }
+    }
+    pendingDeps_ = st.pendingDeps;
+    readyAt_ = {};
+    for (const auto &[cycle, id] : st.ready)
+        readyAt_.emplace(cycle, id);
+    for (std::size_t node = 0; node < sourceQueues_.size(); ++node)
+        sourceQueues_[node].assign(st.sourceQueues[node].begin(),
+                                   st.sourceQueues[node].end());
+    deliveredCount_ = st.deliveredCount;
+    injectedCount_ = st.injectedCount;
+    lastDelivery_ = st.lastDelivery;
+    return true;
+}
+
 Cycle
 TraceReplayer::run(Cycle max_cycles)
 {

@@ -18,6 +18,25 @@
 namespace fasttrack {
 
 /**
+ * Serializable state of one TraceReplayer (sim/checkpoint.hpp): the
+ * dependency counters, the ready set, the per-source FIFOs and the
+ * delivery/injection progress. The reverse dependency index is
+ * re-derived from the trace at construction and not serialized.
+ */
+struct TraceReplayState
+{
+    /** Outstanding undelivered dependencies per message. */
+    std::vector<std::uint32_t> pendingDeps;
+    /** Drained ready queue as ascending (cycle, id) pairs. */
+    std::vector<std::pair<Cycle, std::uint64_t>> ready;
+    /** Per-source FIFO contents, front first. */
+    std::vector<std::vector<std::uint64_t>> sourceQueues;
+    std::uint64_t deliveredCount = 0;
+    std::uint64_t injectedCount = 0;
+    Cycle lastDelivery = 0;
+};
+
+/**
  * Replays one Trace on one NocDevice. Wiring: the replayer installs a
  * delivery callback on the device (chaining to any previous callback
  * is the caller's concern), so construct it before running and do not
@@ -42,6 +61,16 @@ class TraceReplayer
     Cycle run(Cycle max_cycles);
 
     std::uint64_t deliveredMessages() const { return deliveredCount_; }
+    /** Cycle of the most recent delivery (the makespan once
+     *  finished()). */
+    Cycle lastDelivery() const { return lastDelivery_; }
+
+    /** Capture the replayer's complete dynamic state (always
+     *  succeeds; the bool mirrors the device-side convention). */
+    bool captureState(TraceReplayState &out) const;
+    /** Replay a captured state; false when the message or PE counts
+     *  do not match this replayer's trace and device. */
+    bool restoreState(const TraceReplayState &st);
 
   private:
     void onDeliver(const Packet &p, Cycle when);

@@ -106,8 +106,7 @@ TEST(Telemetry, SinkDoesNotPerturbSimulationResults)
     SynthResult observed;
     {
         TelemetrySession session{telemetry::TelemetryConfig{}};
-        SimConfig sim;
-        sim.telemetry = &session;
+        const SimConfig sim{.telemetry = &session};
         observed = runSynthetic(cfg, 1, w, sim);
     }
 
@@ -135,8 +134,7 @@ TEST(Telemetry, RegistryAgreesWithNocStatsOnPinnedConfig)
     // this pins the two accounting paths (sink event counters vs the
     // engine's NocStats) to each other on a fixed config.
     TelemetrySession session{telemetry::TelemetryConfig{}};
-    SimConfig sim;
-    sim.telemetry = &session;
+    const SimConfig sim{.telemetry = &session};
     const SynthResult r =
         runSynthetic(NocConfig::fastTrack(8, 2, 2), 1, pinnedWorkload(),
                      sim);
@@ -172,8 +170,7 @@ TEST(Telemetry, MultiThreadedSweepWritesOneTraceFilePerThread)
         // Several independent runs across 2 workers, all emitting
         // into the one installed sink (run under TSan in CI).
         const std::vector<int> seeds{1, 2, 3, 4};
-        SimConfig sim;
-        sim.telemetry = &session;
+        const SimConfig sim{.telemetry = &session};
         const auto delivered = parallelMap(
             seeds,
             [&](int seed) {
@@ -240,8 +237,7 @@ TEST(Telemetry, ChromeTraceExportIsStructurallyValidJson)
 TEST(Telemetry, HeatmapCsvCoversEveryLinkOfTheTorus)
 {
     TelemetrySession session{telemetry::TelemetryConfig{}};
-    SimConfig sim;
-    sim.telemetry = &session;
+    const SimConfig sim{.telemetry = &session};
     runSynthetic(NocConfig::fastTrack(4, 2, 1), 1, pinnedWorkload(),
                  sim);
 
@@ -328,8 +324,7 @@ TEST(Telemetry, SessionExportsMetricsTimeSeries)
         tcfg.dir = dir.string();
         tcfg.epoch = 64; // small epoch: several rows
         TelemetrySession session(std::move(tcfg));
-        SimConfig sim;
-        sim.telemetry = &session;
+        const SimConfig sim{.telemetry = &session};
         runSynthetic(NocConfig::fastTrack(4, 2, 1), 1, pinnedWorkload(),
                      sim);
         EXPECT_GE(session.metrics().epochs().size(), 2u);
