@@ -55,7 +55,10 @@ struct TraceSpeedup
  *  candidate on its own core). Honours the --snapshot-every /
  *  --snapshot-dir / --resume harness flags: each (trace, config)
  *  replay checkpoints into — and resumes from — its own
- *  subdirectory, named from the trace and config labels. */
+ *  subdirectory, named from the trace and config labels. With
+ *  --shard-cycles (and no checkpoint flags) each replay instead runs
+ *  as temporal shards across the --remote fleet — bit-identical to
+ *  the local replay (docs/distributed.md). */
 inline TraceSpeedup
 traceSpeedup(const Trace &trace, Cycle max_cycles = 50'000'000)
 {
@@ -63,9 +66,19 @@ traceSpeedup(const Trace &trace, Cycle max_cycles = 50'000'000)
     for (const NocConfig &cfg : fastTrackCandidates(trace.n))
         configs.push_back(cfg);
 
+    const bool sharded = shardCycles() != 0 && remoteConfigured() &&
+                         snapshotEvery() == 0 && resumeDir().empty();
     const std::vector<Cycle> cycles = parallelMap(
         configs,
         [&](const NocConfig &cfg) {
+            if (sharded) {
+                RunRequest run;
+                run.config = &cfg;
+                run.trace = &trace;
+                run.sim.maxCycles = max_cycles;
+                return runShardedSim(run, shardCycles())
+                    .trace.completion;
+            }
             const std::string run =
                 fileSafeLabel(trace.name + "_" + cfg.describe());
             SimConfig sim{.maxCycles = max_cycles};

@@ -101,6 +101,17 @@ resumeDir()
     return dir;
 }
 
+/** Temporal-shard slice length from --shard-cycles (0 = off).
+ *  Harnesses that honour it run their long single-point simulations
+ *  via runShardedSim across the --remote fleet instead of locally
+ *  (docs/distributed.md, "Temporal sharding"). */
+inline std::uint64_t &
+shardCycles()
+{
+    static std::uint64_t cycles = 0;
+    return cycles;
+}
+
 /** Publish sweep-cache and pool counters into a registry and write
  *  the `metric,kind,value` summary CSV to @p os. */
 inline void
@@ -165,7 +176,7 @@ usage(const char *prog)
            " [--telemetry-epoch N] [--result-cache DIR]"
            " [--result-cache-max-bytes N] [--cache-stats FILE]"
            " [--snapshot-every N] [--snapshot-dir DIR] [--resume DIR]"
-           " [--remote HOST:PORT[,HOST:PORT...]]\n"
+           " [--remote HOST:PORT[,HOST:PORT...]] [--shard-cycles N]\n"
         << "  --csv                emit tables as CSV (for scripting)\n"
         << "  --threads N          cap parallel sweep workers at N\n"
         << "  --batch K            replicas per batched-engine group\n"
@@ -198,7 +209,11 @@ usage(const char *prog)
         << "  --remote HOST:PORT[,HOST:PORT...]\n"
         << "                       fan sweep points out to ftd daemons\n"
         << "                       (unreachable workers fall back to\n"
-        << "                       local execution)\n";
+        << "                       local execution)\n"
+        << "  --shard-cycles N     run long single-point simulations as\n"
+        << "                       N-cycle temporal shards across the\n"
+        << "                       --remote fleet (needs --remote; see\n"
+        << "                       docs/distributed.md)\n";
 }
 
 /** Parse shared harness flags: --csv switches every table to CSV
@@ -329,6 +344,23 @@ parseArgs(int argc, char **argv)
             ++i;
             continue;
         }
+        if (std::strcmp(argv[i], "--shard-cycles") == 0) {
+            char *end = nullptr;
+            const long long n =
+                i + 1 < argc ? std::strtoll(argv[i + 1], &end, 10)
+                             : 0;
+            if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' ||
+                n < 1) {
+                std::cerr
+                    << argv[0]
+                    << ": --shard-cycles needs a positive integer\n";
+                usage(argv[0]);
+                std::exit(2);
+            }
+            shardCycles() = static_cast<std::uint64_t>(n);
+            ++i;
+            continue;
+        }
         if (std::strcmp(argv[i], "--snapshot-every") == 0) {
             char *end = nullptr;
             const long long n =
@@ -387,6 +419,11 @@ parseArgs(int argc, char **argv)
     if (snapshotEvery() != 0 && snapshotDir().empty()) {
         std::cerr << argv[0]
                   << ": --snapshot-every needs --snapshot-dir\n";
+        usage(argv[0]);
+        std::exit(2);
+    }
+    if (shardCycles() != 0 && !remoteConfigured()) {
+        std::cerr << argv[0] << ": --shard-cycles needs --remote\n";
         usage(argv[0]);
         std::exit(2);
     }

@@ -43,11 +43,13 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::cerr << "usage: run_experiment <config-file> [--csv]"
                      " [--remote HOST:PORT[,HOST:PORT...]]"
+                     " [--shard-cycles N]"
                      " [--snapshot-every N] [--snapshot-dir DIR]"
                      " [--resume DIR] [--max-cycles N]\n";
         return 2;
     }
     SimConfig sim;
+    Cycle shard_cycles = 0;
     for (int i = 2; i < argc; ++i) {
         if (std::string(argv[i]) == "--csv") {
             Table::setCsvMode(true);
@@ -80,6 +82,13 @@ main(int argc, char **argv)
                 return 2;
             }
             sim.maxCycles = static_cast<Cycle>(std::stoll(argv[++i]));
+        } else if (std::string(argv[i]) == "--shard-cycles") {
+            if (i + 1 >= argc || std::stoll(argv[i + 1]) < 1) {
+                std::cerr << "run_experiment: --shard-cycles needs"
+                             " a positive integer\n";
+                return 2;
+            }
+            shard_cycles = static_cast<Cycle>(std::stoll(argv[++i]));
         } else if (std::string(argv[i]) == "--remote") {
             std::string error;
             std::vector<net::Endpoint> endpoints;
@@ -141,10 +150,36 @@ main(int argc, char **argv)
     }
     const bool checkpointing =
         sim.snapshotEveryCycles != 0 || !sim.resumeFrom.empty();
+    if (shard_cycles != 0) {
+        if (!remoteConfigured()) {
+            std::cerr << "run_experiment: --shard-cycles needs"
+                         " --remote\n";
+            return 2;
+        }
+        if (checkpointing || channels != 1) {
+            std::cerr << "run_experiment: --shard-cycles is"
+                         " incompatible with --snapshot-every/--resume"
+                         " and needs channels = 1\n";
+            return 2;
+        }
+    }
 
     auto noc = makeNoc(cfg, channels);
     SynthResult res;
-    if (checkpointing) {
+    if (shard_cycles != 0) {
+        // Temporal sharding: the run travels as checkpoint slices
+        // across the --remote daemons; merged stats are bit-identical
+        // to the uninterrupted local run (docs/distributed.md).
+        RunRequest run;
+        run.config = &cfg;
+        run.channels = channels;
+        run.workload = &workload;
+        run.sim.maxCycles = sim.maxCycles;
+        res = runShardedSim(run, shard_cycles).synth;
+        const RemoteStats rs = remoteStats();
+        std::cerr << "shard: " << rs.slicesRemote << " slice(s) remote, "
+                  << rs.slicesFallback << " local\n";
+    } else if (checkpointing) {
         // The checkpoint path runs the point directly (the sweep
         // cache would bypass anyway) so snapshots are written and a
         // --resume continues bit-identically where the last one left

@@ -17,7 +17,7 @@ encodeHeader(WireWriter &w, const Frame &frame)
     w.u32(kFrameMagic);
     w.u32(kWireVersion);
     w.u16(static_cast<std::uint16_t>(frame.type));
-    w.u16(0); // flags (reserved)
+    w.u16(frame.partial ? kFlagPartial : std::uint16_t{0});
     w.u64(frame.requestId);
     w.u32(static_cast<std::uint32_t>(frame.payload.size()));
 }
@@ -39,10 +39,11 @@ parseHeader(const std::uint8_t *bytes, Frame &out,
         return FrameStatus::badMagic;
     if (version != kWireVersion)
         return FrameStatus::badVersion;
-    if (flags != 0 || length > kMaxFramePayload)
+    if ((flags & ~kFlagPartial) != 0 || length > kMaxFramePayload)
         return FrameStatus::malformed;
     out.type = static_cast<MessageType>(type);
     out.requestId = request_id;
+    out.partial = (flags & kFlagPartial) != 0;
     payload_bytes = length;
     return FrameStatus::ok;
 }
@@ -197,6 +198,66 @@ sendFrame(Socket &socket, const Frame &frame, int io_timeout_ms)
         return FrameStatus::ioError;
     }
     return FrameStatus::ioError;
+}
+
+FrameStatus
+sendMessage(Socket &socket, const Frame &frame, int io_timeout_ms,
+            std::size_t max_fragment)
+{
+    if (max_fragment == 0 || max_fragment > kMaxFramePayload)
+        max_fragment = kMaxFramePayload;
+    const std::uint8_t *data = frame.payload.data();
+    std::size_t remaining = frame.payload.size();
+    do {
+        const std::size_t take =
+            remaining < max_fragment ? remaining : max_fragment;
+        Frame fragment;
+        fragment.type = frame.type;
+        fragment.requestId = frame.requestId;
+        fragment.partial = take < remaining;
+        fragment.payload.assign(data, data + take);
+        const FrameStatus status =
+            sendFrame(socket, fragment, io_timeout_ms);
+        if (status != FrameStatus::ok)
+            return status;
+        data += take;
+        remaining -= take;
+    } while (remaining > 0);
+    return FrameStatus::ok;
+}
+
+FrameStatus
+recvMessage(Socket &socket, Frame &out, int idle_timeout_ms,
+            int io_timeout_ms, std::uint64_t max_message_bytes)
+{
+    Frame first;
+    FrameStatus status =
+        recvFrame(socket, first, idle_timeout_ms, io_timeout_ms);
+    if (status != FrameStatus::ok)
+        return status;
+    if (first.payload.size() > max_message_bytes)
+        return FrameStatus::malformed;
+    while (first.partial) {
+        Frame next;
+        status = recvFrame(socket, next, io_timeout_ms, io_timeout_ms);
+        if (status != FrameStatus::ok)
+            // A clean close between fragments still ends mid-message.
+            return status == FrameStatus::closed
+                       ? FrameStatus::truncated
+                       : status;
+        if (next.type != first.type ||
+            next.requestId != first.requestId)
+            return FrameStatus::malformed;
+        if (first.payload.size() + next.payload.size() >
+            max_message_bytes)
+            return FrameStatus::malformed;
+        first.payload.insert(first.payload.end(),
+                             next.payload.begin(),
+                             next.payload.end());
+        first.partial = next.partial;
+    }
+    out = std::move(first);
+    return FrameStatus::ok;
 }
 
 Frame

@@ -222,15 +222,16 @@ FrameServer::runSession(std::shared_ptr<Socket> socket,
                 break;
             Frame frame;
             const FrameStatus status =
-                recvFrame(sock, frame, first ? idle_ms : io_ms,
-                          io_ms);
+                recvMessage(sock, frame, first ? idle_ms : io_ms,
+                            io_ms, config_.maxMessageBytes);
             if (status == FrameStatus::ok) {
                 framesIn_.fetch_add(1, std::memory_order_relaxed);
                 if (frame.type == MessageType::goodbye) {
                     session_over = true;
                     break;
                 }
-                if (frame.type != MessageType::sweepRequest) {
+                if (frame.type != MessageType::sweepRequest &&
+                    frame.type != MessageType::snapshotRequest) {
                     protocolError(frame.requestId, kErrBadRequest,
                                   "unexpected message type");
                     session_over = true;
@@ -268,7 +269,9 @@ FrameServer::runSession(std::shared_ptr<Socket> socket,
                     session_over = true;
                     break;
                 }
-                if (sendFrame(sock, response, io_ms) !=
+                // sendMessage so an oversized snapshotResult payload
+                // fragments instead of overflowing the frame cap.
+                if (sendMessage(sock, response, io_ms) !=
                     FrameStatus::ok) {
                     session_over = true;
                     break;

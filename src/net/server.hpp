@@ -62,6 +62,9 @@ struct ServerConfig
     int idleTimeoutMs = 30'000;
     /** Per-wait bound once inside a frame or while writing. */
     int ioTimeoutMs = 10'000;
+    /** Bound on one reassembled multi-frame message (snapshot
+     *  requests); larger chains end the session as malformed. */
+    std::uint64_t maxMessageBytes = kDefaultMaxMessageBytes;
     /**
      * Fault injection for tests: when nonzero, hard-close each
      * session after this many response frames, simulating a worker

@@ -3,6 +3,7 @@
 #include <bit>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <unistd.h>
 
 #include "common/fnv1a.hpp"
@@ -20,6 +21,13 @@ constexpr char kSnapSuffix[] = ".ftcp";
 /** Fixed-width cycle field: u64 max is 20 decimal digits, so names
  *  sort identically as strings and as numbers. */
 constexpr std::size_t kCycleDigits = 20;
+// The "string order == cycle order" invariant (and the name-length
+// filter in findLatestSnapshot) holds only while every possible
+// Cycle fits the fixed width. If Cycle ever widens, this is the one
+// place that must grow with it.
+static_assert(std::numeric_limits<Cycle>::digits10 + 1 <=
+                  kCycleDigits,
+              "kCycleDigits cannot represent every Cycle value");
 
 /** Feed the NocConfig words a run's trajectory depends on — the same
  *  list sweepKey hashes (sim/sweep_cache.hpp). */
@@ -261,6 +269,12 @@ std::string
 snapshotFileName(Cycle cycle)
 {
     std::string digits = std::to_string(cycle);
+    // Statically impossible while the static_assert above holds, but
+    // a silent wider-than-field name would break the lexicographic
+    // ordering contract and be skipped by findLatestSnapshot's
+    // length filter — refuse rather than emit a broken name.
+    if (digits.size() > kCycleDigits)
+        return std::string();
     return kSnapPrefix +
            std::string(kCycleDigits - digits.size(), '0') + digits +
            kSnapSuffix;
@@ -287,8 +301,10 @@ writeSnapshotFile(const std::string &dir, std::uint64_t key,
     w.bytes(payload.data(), payload.size());
     w.u64(check.value());
 
-    const std::string path =
-        (fs::path(dir) / snapshotFileName(snap.cycle())).string();
+    const std::string name = snapshotFileName(snap.cycle());
+    if (name.empty())
+        return SnapshotStatus::ioError;
+    const std::string path = (fs::path(dir) / name).string();
     // Temp-then-rename so a reader never sees a half-written file.
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());

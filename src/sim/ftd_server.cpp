@@ -81,6 +81,7 @@ FtdServer::stats() const
     s.pointsServed = pointsServed_.load(std::memory_order_relaxed);
     s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
     s.badRequests = badRequests_.load(std::memory_order_relaxed);
+    s.slicesServed = slicesServed_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -97,6 +98,7 @@ FtdServer::reportTo(telemetry::MetricsRegistry &metrics) const
     metrics.counter("ftd.points_served") = s.pointsServed;
     metrics.counter("ftd.cache_hits") = s.cacheHits;
     metrics.counter("ftd.bad_requests") = s.badRequests;
+    metrics.counter("ftd.slices_served") = s.slicesServed;
     const net::ServerStats n = netStats();
     metrics.counter("ftd.net.sessions_accepted") = n.sessionsAccepted;
     metrics.counter("ftd.net.sessions_rejected") = n.sessionsRejected;
@@ -122,6 +124,10 @@ FtdServer::handle(std::vector<net::Frame> batch)
         std::vector<std::uint8_t> cached;
         bool hit = false;
         bool bad = false;
+        /** Temporal-shard slice (snapshotRequest); handled apart
+         *  from the sweep grouping, response pre-built. */
+        bool slice = false;
+        net::Frame sliceResponse;
     };
     std::vector<Item> items(batch.size());
 
@@ -133,6 +139,11 @@ FtdServer::handle(std::vector<net::Frame> batch)
     for (std::size_t i = 0; i < batch.size(); ++i) {
         Item &item = items[i];
         item.requestId = batch[i].requestId;
+        if (batch[i].type == net::MessageType::snapshotRequest) {
+            item.slice = true;
+            item.sliceResponse = handleSlice(batch[i]);
+            continue;
+        }
         if (!decodeSweepRequestPayload(batch[i].payload,
                                        item.request)) {
             item.bad = true;
@@ -157,7 +168,7 @@ FtdServer::handle(std::vector<net::Frame> batch)
     // one batchedCachedRuns call (lockstep batching + pool sharding).
     std::map<std::string, std::vector<std::size_t>> groups;
     for (std::size_t i = 0; i < items.size(); ++i)
-        if (!items[i].bad && !items[i].hit)
+        if (!items[i].bad && !items[i].hit && !items[i].slice)
             groups[groupKey(items[i].request)].push_back(i);
 
     std::vector<std::vector<std::uint8_t>> computed(items.size());
@@ -182,6 +193,10 @@ FtdServer::handle(std::vector<net::Frame> batch)
     responses.reserve(items.size() + 1);
     for (std::size_t i = 0; i < items.size(); ++i) {
         Item &item = items[i];
+        if (item.slice) {
+            responses.push_back(std::move(item.sliceResponse));
+            continue;
+        }
         if (item.bad) {
             responses.push_back(net::makeErrorFrame(
                 item.requestId, net::kErrBadRequest,
@@ -209,6 +224,88 @@ FtdServer::handle(std::vector<net::Frame> batch)
         encodeMetricsPayload(registry.epochs().back().values);
     responses.push_back(std::move(epoch));
     return responses;
+}
+
+net::Frame
+FtdServer::handleSlice(const net::Frame &frame)
+{
+    const auto reject = [&](const char *why) {
+        badRequests_.fetch_add(1, std::memory_order_relaxed);
+        return net::makeErrorFrame(frame.requestId,
+                                   net::kErrBadRequest, why);
+    };
+
+    ShardSliceRequest request;
+    if (!decodeShardSliceRequestPayload(frame.payload, request))
+        return reject("malformed or invalid slice request");
+
+    // Re-derive the checkpoint key from the inputs that actually
+    // arrived: a snapshot may only continue exactly this run, so a
+    // confused (or hostile) client gets a typed rejection instead of
+    // a silently wrong continuation.
+    const std::uint64_t key =
+        request.kind == SnapshotKind::synthetic
+            ? checkpointKey(request.config, request.channels,
+                            request.workload)
+            : checkpointKey(request.config, request.channels,
+                            request.trace);
+    if (key != request.key)
+        return reject("slice key mismatch");
+
+    Cycle consumed = 0;
+    if (request.hasSnapshot) {
+        if (request.snapshot.cycle() < request.snapshot.runStart)
+            return reject("slice snapshot predates its run start");
+        consumed = request.snapshot.cycle() - request.snapshot.runStart;
+    }
+    if (consumed >= request.runMaxCycles)
+        return reject("slice starts at or past runMaxCycles");
+
+    auto noc = makeNoc(request.config, request.channels);
+    Snapshot next;
+    RunRequest run;
+    run.device = noc.get();
+    if (request.kind == SnapshotKind::synthetic)
+        run.workload = &request.workload;
+    else
+        run.trace = &request.trace;
+    run.sim.maxCycles = std::min(request.runMaxCycles,
+                                 consumed + request.sliceCycles);
+    run.sim.resumeSnapshot =
+        request.hasSnapshot ? &request.snapshot : nullptr;
+    run.sim.captureFinal = &next;
+    const RunResult res = runSim(run);
+    // runSim degrades a rejected snapshot to a fresh run — right for
+    // an interactive resume, wrong for a slice whose stats would then
+    // double-count the run's start. Fail loudly instead.
+    if (request.hasSnapshot && !res.resumed)
+        return reject("slice snapshot was not restorable");
+    if (!res.finalCaptured)
+        return reject("slice state capture failed");
+
+    ShardSliceResult result;
+    result.kind = request.kind;
+    result.synth = res.synth;
+    result.trace = res.trace;
+    const Cycle advanced = next.cycle() - next.runStart;
+    result.done = (request.kind == SnapshotKind::trace
+                       ? res.trace.completed
+                       : res.synth.completed) ||
+                  advanced >= request.runMaxCycles;
+    if (!result.done) {
+        // The handoff contract: the next slice resumes the traffic
+        // mid-flight but measures only itself (docs/checkpoint.md).
+        next.trimState();
+        result.hasSnapshot = true;
+        result.snapshot = std::move(next);
+    }
+    slicesServed_.fetch_add(1, std::memory_order_relaxed);
+
+    net::Frame response;
+    response.type = net::MessageType::snapshotResult;
+    response.requestId = frame.requestId;
+    response.payload = encodeShardSliceResultPayload(result);
+    return response;
 }
 
 } // namespace fasttrack

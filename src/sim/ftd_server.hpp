@@ -17,6 +17,12 @@
  * batching, work-stealing pool and blob cache as local sweeps — a
  * warm daemon answers straight from its cache, flagged via the
  * response's cache-hit bit.
+ *
+ * snapshotRequest frames carry one temporal-shard slice of a long
+ * run (docs/distributed.md, "Temporal sharding"): the daemon resumes
+ * from the embedded trimmed snapshot, advances sliceCycles, and
+ * answers with the slice's stats plus the next trimmed snapshot —
+ * statelessly, so any daemon of the fleet can serve any slice.
  */
 
 #ifndef FT_SIM_FTD_SERVER_HPP
@@ -55,6 +61,8 @@ class FtdServer
         std::uint64_t cacheHits = 0;
         /** Requests rejected as malformed or invalid. */
         std::uint64_t badRequests = 0;
+        /** Temporal-shard slices answered with a snapshotResult. */
+        std::uint64_t slicesServed = 0;
     };
     Stats stats() const;
     net::ServerStats netStats() const;
@@ -65,11 +73,16 @@ class FtdServer
 
   private:
     std::vector<net::Frame> handle(std::vector<net::Frame> batch);
+    /** Execute one temporal-shard slice (snapshotRequest frame):
+     *  resume from the embedded trimmed snapshot, advance
+     *  sliceCycles, answer with the slice's stats + next snapshot. */
+    net::Frame handleSlice(const net::Frame &frame);
 
     net::FrameServer server_;
     std::atomic<std::uint64_t> pointsServed_{0};
     std::atomic<std::uint64_t> cacheHits_{0};
     std::atomic<std::uint64_t> badRequests_{0};
+    std::atomic<std::uint64_t> slicesServed_{0};
 };
 
 } // namespace fasttrack

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/logging.hpp"
 #include "common/thread_annotations.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
@@ -29,18 +30,88 @@ constexpr int kEpochDrainMs = 250;
 Mutex g_configMutex;
 RemoteConfig g_config FT_GUARDED_BY(g_configMutex);
 
-Mutex g_epochMutex;
-/** Latest telemetry epoch streamed back, keyed by endpoint label. */
-std::map<std::string, std::map<std::string, double>>
-    g_lastEpochs FT_GUARDED_BY(g_epochMutex);
+/**
+ * Counters of one in-flight remote run (a remoteBatchedRuns or
+ * runShardedSim invocation). Worker threads bump the atomics; the
+ * run publishes itself once complete (publishRun), becoming the
+ * "most recent run" snapshot and an increment of the lifetime
+ * totals. Instance-scoping (instead of the historical process
+ * globals) is what makes a second sweep's remoteStats() its own
+ * numbers; scoping the epoch map to the run is what stops endpoints
+ * dropped from --remote from being re-exported forever.
+ */
+struct RunCounters
+{
+    std::atomic<std::uint64_t> pointsRemote{0};
+    std::atomic<std::uint64_t> remoteCacheHits{0};
+    std::atomic<std::uint64_t> localCacheHits{0};
+    std::atomic<std::uint64_t> pointsFallback{0};
+    std::atomic<std::uint64_t> connectFailures{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> errorFrames{0};
+    std::atomic<std::uint64_t> slicesRemote{0};
+    std::atomic<std::uint64_t> slicesFallback{0};
 
-std::atomic<std::uint64_t> g_pointsRemote{0};
-std::atomic<std::uint64_t> g_remoteCacheHits{0};
-std::atomic<std::uint64_t> g_localCacheHits{0};
-std::atomic<std::uint64_t> g_pointsFallback{0};
-std::atomic<std::uint64_t> g_connectFailures{0};
-std::atomic<std::uint64_t> g_reconnects{0};
-std::atomic<std::uint64_t> g_errorFrames{0};
+    Mutex epochMutex;
+    /** Latest telemetry epoch per endpoint label, this run only. */
+    std::map<std::string, std::map<std::string, double>> epochs
+        FT_GUARDED_BY(epochMutex);
+
+    RemoteStats snapshot() const
+    {
+        RemoteStats s;
+        s.pointsRemote = pointsRemote.load(std::memory_order_relaxed);
+        s.remoteCacheHits =
+            remoteCacheHits.load(std::memory_order_relaxed);
+        s.localCacheHits =
+            localCacheHits.load(std::memory_order_relaxed);
+        s.pointsFallback =
+            pointsFallback.load(std::memory_order_relaxed);
+        s.connectFailures =
+            connectFailures.load(std::memory_order_relaxed);
+        s.reconnects = reconnects.load(std::memory_order_relaxed);
+        s.errorFrames = errorFrames.load(std::memory_order_relaxed);
+        s.slicesRemote = slicesRemote.load(std::memory_order_relaxed);
+        s.slicesFallback =
+            slicesFallback.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    void recordEpoch(const std::string &label,
+                     std::map<std::string, double> values)
+    {
+        MutexLock lk(epochMutex);
+        epochs[label] = std::move(values);
+    }
+};
+
+Mutex g_statsMutex;
+/** Most recent completed run (what remoteStats() reports). */
+RemoteStats g_lastRun FT_GUARDED_BY(g_statsMutex);
+/** Accumulation across every run (remoteLifetimeStats()). */
+RemoteStats g_lifetime FT_GUARDED_BY(g_statsMutex);
+/** Epoch gauges of the most recent run's endpoints only. */
+std::map<std::string, std::map<std::string, double>>
+    g_lastRunEpochs FT_GUARDED_BY(g_statsMutex);
+
+void
+publishRun(RunCounters &run)
+{
+    const RemoteStats s = run.snapshot();
+    MutexLock lk(g_statsMutex);
+    g_lastRun = s;
+    g_lifetime.pointsRemote += s.pointsRemote;
+    g_lifetime.remoteCacheHits += s.remoteCacheHits;
+    g_lifetime.localCacheHits += s.localCacheHits;
+    g_lifetime.pointsFallback += s.pointsFallback;
+    g_lifetime.connectFailures += s.connectFailures;
+    g_lifetime.reconnects += s.reconnects;
+    g_lifetime.errorFrames += s.errorFrames;
+    g_lifetime.slicesRemote += s.slicesRemote;
+    g_lifetime.slicesFallback += s.slicesFallback;
+    MutexLock le(run.epochMutex);
+    g_lastRunEpochs = std::move(run.epochs);
+}
 
 void
 bump(std::atomic<std::uint64_t> &counter, std::uint64_t by = 1)
@@ -53,9 +124,8 @@ bump(std::atomic<std::uint64_t> &counter, std::uint64_t by = 1)
  *  it. The size caps bound what one frame can make the daemon
  *  allocate or step. */
 bool
-validSweepRequest(const SweepRequest &request)
+validConfigOnWire(const NocConfig &c)
 {
-    const NocConfig &c = request.config;
     if (c.n < 2 || c.n > 1024)
         return false;
     if (c.shortLinkStages > 8 || c.expressLinkStages > 8)
@@ -70,9 +140,12 @@ validSweepRequest(const SweepRequest &request)
         if (c.variant == NocVariant::ftInject && c.n % c.d != 0)
             return false;
     }
-    if (request.channels < 1 || request.channels > 64)
-        return false;
-    const SyntheticWorkload &w = request.workload;
+    return true;
+}
+
+bool
+validWorkloadOnWire(const SyntheticWorkload &w)
+{
     if (!std::isfinite(w.injectionRate) || w.injectionRate <= 0.0 ||
         w.injectionRate > 1.0)
         return false;
@@ -80,6 +153,18 @@ validSweepRequest(const SweepRequest &request)
         return false;
     if (w.pattern == TrafficPattern::local &&
         (w.localRadius < 1 || w.localRadius > 1024))
+        return false;
+    return true;
+}
+
+bool
+validSweepRequest(const SweepRequest &request)
+{
+    if (!validConfigOnWire(request.config))
+        return false;
+    if (request.channels < 1 || request.channels > 64)
+        return false;
+    if (!validWorkloadOnWire(request.workload))
         return false;
     return request.maxCycles >= 1;
 }
@@ -90,23 +175,25 @@ validSweepRequest(const SweepRequest &request)
  * removed from @p remaining; @p permanent is set when the endpoint
  * rejected us for a reason retrying cannot fix (version/schema).
  */
-void
-serveConnection(const RemoteConfig &cfg, const net::Endpoint &endpoint,
-                std::vector<std::size_t> &remaining,
-                const std::vector<std::vector<std::uint8_t>> &payloads,
-                std::vector<SynthResult> &results,
-                std::vector<std::uint8_t> &origin,
-                std::vector<std::uint8_t> &remote_hit, bool &permanent)
+/**
+ * Connect to @p endpoint and run the hello/helloAck handshake.
+ * Returns an invalid socket on failure; @p permanent is set when the
+ * endpoint rejected us for a reason retrying cannot fix. On success
+ * @p window holds the granted pipeline window.
+ */
+net::Socket
+connectAndHandshake(const RemoteConfig &cfg,
+                    const net::Endpoint &endpoint, RunCounters &run,
+                    std::uint32_t &window, bool &permanent)
 {
     std::string error;
     net::Socket sock = net::connectTo(endpoint.host, endpoint.port,
                                       cfg.connectTimeoutMs, error);
     if (!sock.valid()) {
-        bump(g_connectFailures);
-        return;
+        bump(run.connectFailures);
+        return net::Socket();
     }
 
-    // --- Handshake -------------------------------------------------
     net::Frame hello;
     hello.type = net::MessageType::hello;
     net::WireWriter hw;
@@ -119,31 +206,65 @@ serveConnection(const RemoteConfig &cfg, const net::Endpoint &endpoint,
             net::FrameStatus::ok ||
         net::recvFrame(sock, ack, cfg.connectTimeoutMs,
                        cfg.ioTimeoutMs) != net::FrameStatus::ok) {
-        bump(g_connectFailures);
-        return;
+        bump(run.connectFailures);
+        return net::Socket();
     }
     if (ack.type == net::MessageType::error) {
-        bump(g_errorFrames);
-        bump(g_connectFailures);
+        bump(run.errorFrames);
+        bump(run.connectFailures);
         std::uint32_t code = 0;
         std::string message;
         if (net::parseErrorFrame(ack, code, message))
             permanent = code == net::kErrBadVersion ||
                         code == net::kErrBadSchema;
-        return;
+        return net::Socket();
     }
+    std::uint32_t version = 0, schema = 0, granted = 0;
+    net::WireReader r(ack.payload);
+    if (ack.type != net::MessageType::helloAck || !r.u32(version) ||
+        !r.u32(schema) || !r.u32(granted) || !r.atEnd() ||
+        granted == 0) {
+        bump(run.connectFailures);
+        return net::Socket();
+    }
+    window = std::min(cfg.window, granted);
+    return sock;
+}
+
+/** Drain trailing metricsEpoch frames (bounded) and part cleanly. */
+void
+drainEpochAndPart(const RemoteConfig &cfg,
+                  const net::Endpoint &endpoint, net::Socket &sock,
+                  RunCounters &run)
+{
+    net::Frame frame;
+    while (net::recvFrame(sock, frame, kEpochDrainMs,
+                          cfg.ioTimeoutMs) == net::FrameStatus::ok) {
+        if (frame.type != net::MessageType::metricsEpoch)
+            break;
+        std::map<std::string, double> values;
+        if (decodeMetricsPayload(frame.payload, values))
+            run.recordEpoch(endpoint.label(), std::move(values));
+    }
+    net::Frame goodbye;
+    goodbye.type = net::MessageType::goodbye;
+    net::sendFrame(sock, goodbye, cfg.ioTimeoutMs);
+}
+
+void
+serveConnection(const RemoteConfig &cfg, const net::Endpoint &endpoint,
+                std::vector<std::size_t> &remaining,
+                const std::vector<std::vector<std::uint8_t>> &payloads,
+                std::vector<SynthResult> &results,
+                std::vector<std::uint8_t> &origin,
+                std::vector<std::uint8_t> &remote_hit, RunCounters &run,
+                bool &permanent)
+{
     std::uint32_t window = 0;
-    {
-        std::uint32_t version = 0, schema = 0, granted = 0;
-        net::WireReader r(ack.payload);
-        if (ack.type != net::MessageType::helloAck || !r.u32(version) ||
-            !r.u32(schema) || !r.u32(granted) || !r.atEnd() ||
-            granted == 0) {
-            bump(g_connectFailures);
-            return;
-        }
-        window = std::min(cfg.window, granted);
-    }
+    net::Socket sock = connectAndHandshake(cfg, endpoint, run, window,
+                                           permanent);
+    if (!sock.valid())
+        return;
 
     // --- Pipeline --------------------------------------------------
     std::size_t next = 0; // next entry of `remaining` to send
@@ -173,14 +294,12 @@ serveConnection(const RemoteConfig &cfg, const net::Endpoint &endpoint,
             break;
         if (frame.type == net::MessageType::metricsEpoch) {
             std::map<std::string, double> values;
-            if (decodeMetricsPayload(frame.payload, values)) {
-                MutexLock lk(g_epochMutex);
-                g_lastEpochs[endpoint.label()] = std::move(values);
-            }
+            if (decodeMetricsPayload(frame.payload, values))
+                run.recordEpoch(endpoint.label(), std::move(values));
             continue;
         }
         if (frame.type == net::MessageType::error) {
-            bump(g_errorFrames);
+            bump(run.errorFrames);
             std::uint32_t code = 0;
             std::string message;
             if (net::parseErrorFrame(frame, code, message)) {
@@ -224,25 +343,10 @@ serveConnection(const RemoteConfig &cfg, const net::Endpoint &endpoint,
         return origin[idx] != kOriginPending;
     });
 
-    if (remaining.empty()) {
-        // Give the trailing metricsEpoch of the final batch a bounded
-        // chance to arrive, then part cleanly.
-        net::Frame frame;
-        while (net::recvFrame(sock, frame, kEpochDrainMs,
-                              cfg.ioTimeoutMs) ==
-               net::FrameStatus::ok) {
-            if (frame.type != net::MessageType::metricsEpoch)
-                break;
-            std::map<std::string, double> values;
-            if (decodeMetricsPayload(frame.payload, values)) {
-                MutexLock lk(g_epochMutex);
-                g_lastEpochs[endpoint.label()] = std::move(values);
-            }
-        }
-        net::Frame goodbye;
-        goodbye.type = net::MessageType::goodbye;
-        net::sendFrame(sock, goodbye, cfg.ioTimeoutMs);
-    }
+    // Give the trailing metricsEpoch of the final batch a bounded
+    // chance to arrive, then part cleanly.
+    if (remaining.empty())
+        drainEpochAndPart(cfg, endpoint, sock, run);
 }
 
 /** Drive one endpoint until its points are served, the retry budget
@@ -254,12 +358,13 @@ runEndpointWorker(const RemoteConfig &cfg,
                   const std::vector<std::vector<std::uint8_t>> &payloads,
                   std::vector<SynthResult> &results,
                   std::vector<std::uint8_t> &origin,
-                  std::vector<std::uint8_t> &remote_hit)
+                  std::vector<std::uint8_t> &remote_hit,
+                  RunCounters &run)
 {
     unsigned failures = 0; // consecutive attempts with no progress
     while (!points.empty() && failures < cfg.maxAttempts) {
         if (failures > 0) {
-            bump(g_reconnects);
+            bump(run.reconnects);
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 net::backoffDelayMs(failures, cfg.backoffInitialMs,
                                     cfg.backoffCapMs)));
@@ -267,7 +372,7 @@ runEndpointWorker(const RemoteConfig &cfg,
         bool permanent = false;
         const std::size_t before = points.size();
         serveConnection(cfg, endpoint, points, payloads, results,
-                        origin, remote_hit, permanent);
+                        origin, remote_hit, run, permanent);
         if (permanent)
             break;
         // Progress resets the budget: a flaky worker that keeps
@@ -311,34 +416,43 @@ remoteConfigured()
 RemoteStats
 remoteStats()
 {
-    RemoteStats s;
-    s.pointsRemote = g_pointsRemote.load(std::memory_order_relaxed);
-    s.remoteCacheHits =
-        g_remoteCacheHits.load(std::memory_order_relaxed);
-    s.localCacheHits =
-        g_localCacheHits.load(std::memory_order_relaxed);
-    s.pointsFallback =
-        g_pointsFallback.load(std::memory_order_relaxed);
-    s.connectFailures =
-        g_connectFailures.load(std::memory_order_relaxed);
-    s.reconnects = g_reconnects.load(std::memory_order_relaxed);
-    s.errorFrames = g_errorFrames.load(std::memory_order_relaxed);
-    return s;
+    MutexLock lk(g_statsMutex);
+    return g_lastRun;
 }
+
+RemoteStats
+remoteLifetimeStats()
+{
+    MutexLock lk(g_statsMutex);
+    return g_lifetime;
+}
+
+namespace {
+
+void
+reportCounterSet(telemetry::MetricsRegistry &metrics,
+                 const std::string &prefix, const RemoteStats &s)
+{
+    metrics.counter(prefix + "points_remote") = s.pointsRemote;
+    metrics.counter(prefix + "cache_hits") = s.remoteCacheHits;
+    metrics.counter(prefix + "local_cache_hits") = s.localCacheHits;
+    metrics.counter(prefix + "points_fallback") = s.pointsFallback;
+    metrics.counter(prefix + "connect_failures") = s.connectFailures;
+    metrics.counter(prefix + "reconnects") = s.reconnects;
+    metrics.counter(prefix + "error_frames") = s.errorFrames;
+    metrics.counter(prefix + "slices_remote") = s.slicesRemote;
+    metrics.counter(prefix + "slices_fallback") = s.slicesFallback;
+}
+
+} // namespace
 
 void
 reportRemoteStats(telemetry::MetricsRegistry &metrics)
 {
-    const RemoteStats s = remoteStats();
-    metrics.counter("remote.points_remote") = s.pointsRemote;
-    metrics.counter("remote.cache_hits") = s.remoteCacheHits;
-    metrics.counter("remote.local_cache_hits") = s.localCacheHits;
-    metrics.counter("remote.points_fallback") = s.pointsFallback;
-    metrics.counter("remote.connect_failures") = s.connectFailures;
-    metrics.counter("remote.reconnects") = s.reconnects;
-    metrics.counter("remote.error_frames") = s.errorFrames;
-    MutexLock lk(g_epochMutex);
-    for (const auto &[label, values] : g_lastEpochs)
+    MutexLock lk(g_statsMutex);
+    reportCounterSet(metrics, "remote.", g_lastRun);
+    reportCounterSet(metrics, "remote.lifetime.", g_lifetime);
+    for (const auto &[label, values] : g_lastRunEpochs)
         for (const auto &[name, value] : values)
             metrics.gauge("remote." + label + "." + name) = value;
 }
@@ -353,6 +467,7 @@ remoteBatchedRuns(const NocConfig &config, std::uint32_t channels,
     if (count == 0)
         return results;
     const RemoteConfig cfg = remoteConfig();
+    RunCounters run; // joined before publishRun, so refs stay valid
 
     // Slot ownership: each index is written by exactly one endpoint
     // thread (round-robin shards are disjoint); the joins below
@@ -374,7 +489,7 @@ remoteBatchedRuns(const NocConfig &config, std::uint32_t channels,
             if (decodeSynthResult(*payload, cached)) {
                 results[i] = cached;
                 origin[i] = kOriginLocalCache;
-                bump(g_localCacheHits);
+                bump(run.localCacheHits);
             }
         }
     }
@@ -399,7 +514,7 @@ remoteBatchedRuns(const NocConfig &config, std::uint32_t channels,
 
     if (pending > 0 && shards.size() == 1) {
         runEndpointWorker(cfg, cfg.endpoints[0], shards[0], payloads,
-                          results, origin, remoteHit);
+                          results, origin, remoteHit, run);
     } else if (pending > 0) {
         std::vector<std::thread> workers;
         workers.reserve(shards.size());
@@ -409,7 +524,7 @@ remoteBatchedRuns(const NocConfig &config, std::uint32_t channels,
             workers.emplace_back([&, e] {
                 runEndpointWorker(cfg, cfg.endpoints[e], shards[e],
                                   payloads, results, origin,
-                                  remoteHit);
+                                  remoteHit, run);
             });
         }
         for (std::thread &worker : workers)
@@ -421,9 +536,9 @@ remoteBatchedRuns(const NocConfig &config, std::uint32_t channels,
     std::vector<std::size_t> fallback;
     for (std::size_t i = 0; i < count; ++i) {
         if (origin[i] == kOriginRemote) {
-            bump(g_pointsRemote);
+            bump(run.pointsRemote);
             if (remoteHit[i] != 0)
-                bump(g_remoteCacheHits);
+                bump(run.remoteCacheHits);
             if (cacheOn)
                 cache.store(keys[i], encodeSynthResult(results[i]));
         } else if (origin[i] == kOriginPending) {
@@ -431,11 +546,12 @@ remoteBatchedRuns(const NocConfig &config, std::uint32_t channels,
         }
     }
     if (!fallback.empty()) {
-        bump(g_pointsFallback, fallback.size());
+        bump(run.pointsFallback, fallback.size());
         const std::vector<SynthResult> computed = local(fallback);
         for (std::size_t j = 0; j < fallback.size(); ++j)
             results[fallback[j]] = computed[j];
     }
+    publishRun(run);
     return results;
 }
 
@@ -564,6 +680,532 @@ decodeMetricsPayload(const std::vector<std::uint8_t> &payload,
         return false;
     out = std::move(values);
     return true;
+}
+
+// --- Temporal-shard slice codecs -----------------------------------
+
+namespace {
+
+/** Smallest possible encoded TraceMessage (empty deps): the count
+ *  bound that keeps a forged message count from forcing an
+ *  allocation larger than the payload that claims it. */
+constexpr std::size_t kMinTraceMessageBytes = 8 + 4 + 4 + 8 + 8 + 4;
+
+/** Cap on a trace name on the wire (names label, never shape). */
+constexpr std::size_t kMaxTraceNameBytes = 4096;
+
+void
+encodeConfigFields(net::WireWriter &w, const NocConfig &c)
+{
+    w.u32(c.n);
+    w.u32(c.d);
+    w.u32(c.r);
+    w.u32(static_cast<std::uint32_t>(c.variant));
+    w.u8(c.allowExpressTurn ? 1 : 0);
+    w.u8(c.allowUpgrade ? 1 : 0);
+    w.u8(c.turnPriority ? 1 : 0);
+    w.u32(c.shortLinkStages);
+    w.u32(c.expressLinkStages);
+}
+
+bool
+decodeConfigFields(net::WireReader &r, NocConfig &c)
+{
+    std::uint32_t variant = 0;
+    std::uint8_t expressTurn = 0, upgrade = 0, turnPriority = 0;
+    if (!r.u32(c.n) || !r.u32(c.d) || !r.u32(c.r) || !r.u32(variant) ||
+        !r.u8(expressTurn) || !r.u8(upgrade) || !r.u8(turnPriority) ||
+        !r.u32(c.shortLinkStages) || !r.u32(c.expressLinkStages))
+        return false;
+    if (variant > static_cast<std::uint32_t>(NocVariant::ftInject))
+        return false;
+    c.variant = static_cast<NocVariant>(variant);
+    c.allowExpressTurn = expressTurn != 0;
+    c.allowUpgrade = upgrade != 0;
+    c.turnPriority = turnPriority != 0;
+    return validConfigOnWire(c);
+}
+
+void
+encodeWorkloadFields(net::WireWriter &w, const SyntheticWorkload &wl)
+{
+    w.u32(static_cast<std::uint32_t>(wl.pattern));
+    w.f64(wl.injectionRate);
+    w.u32(wl.packetsPerPe);
+    w.u32(wl.localRadius);
+    w.u64(wl.seed);
+}
+
+bool
+decodeWorkloadFields(net::WireReader &r, SyntheticWorkload &wl)
+{
+    std::uint32_t pattern = 0;
+    if (!r.u32(pattern) || !r.f64(wl.injectionRate) ||
+        !r.u32(wl.packetsPerPe) || !r.u32(wl.localRadius) ||
+        !r.u64(wl.seed))
+        return false;
+    if (pattern > static_cast<std::uint32_t>(TrafficPattern::transpose))
+        return false;
+    wl.pattern = static_cast<TrafficPattern>(pattern);
+    return validWorkloadOnWire(wl);
+}
+
+void
+encodeTraceFields(net::WireWriter &w, const Trace &trace)
+{
+    w.str(trace.name);
+    w.u32(trace.n);
+    w.u64(trace.messages.size());
+    for (const TraceMessage &m : trace.messages) {
+        w.u64(m.id);
+        w.u32(m.src);
+        w.u32(m.dst);
+        w.u64(m.earliest);
+        w.u64(m.delayAfterDeps);
+        w.u32(static_cast<std::uint32_t>(m.deps.size()));
+        for (std::uint64_t dep : m.deps)
+            w.u64(dep);
+    }
+}
+
+/**
+ * Decode + validate a trace without Trace::validate (which aborts on
+ * violation — unacceptable for hostile input). Mirrors its rules:
+ * dense ids, node ranges, deps reference lower ids. Every count is
+ * bounded by the bytes actually remaining before any allocation.
+ */
+bool
+decodeTraceFields(net::WireReader &r, Trace &trace)
+{
+    if (!r.str(trace.name) || trace.name.size() > kMaxTraceNameBytes)
+        return false;
+    if (!r.u32(trace.n) || trace.n < 2 || trace.n > 1024)
+        return false;
+    std::uint64_t count = 0;
+    if (!r.u64(count) || count > r.remaining() / kMinTraceMessageBytes)
+        return false;
+    const std::uint64_t nodes =
+        static_cast<std::uint64_t>(trace.n) * trace.n;
+    trace.messages.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceMessage m;
+        std::uint32_t deps = 0;
+        if (!r.u64(m.id) || !r.u32(m.src) || !r.u32(m.dst) ||
+            !r.u64(m.earliest) || !r.u64(m.delayAfterDeps) ||
+            !r.u32(deps))
+            return false;
+        if (m.id != i || m.src >= nodes || m.dst >= nodes)
+            return false;
+        if (deps > r.remaining() / 8)
+            return false;
+        m.deps.reserve(deps);
+        for (std::uint32_t j = 0; j < deps; ++j) {
+            std::uint64_t dep = 0;
+            if (!r.u64(dep) || dep >= m.id)
+                return false;
+            m.deps.push_back(dep);
+        }
+        trace.messages.push_back(std::move(m));
+    }
+    return true;
+}
+
+/** Length-prefixed embedded snapshot; kind must match @p kind. */
+bool
+decodeEmbeddedSnapshot(net::WireReader &r, SnapshotKind kind,
+                       Snapshot &out)
+{
+    std::uint64_t bytes = 0;
+    if (!r.u64(bytes) || bytes > r.remaining())
+        return false;
+    std::vector<std::uint8_t> raw(static_cast<std::size_t>(bytes));
+    if (!r.bytes(raw.data(), raw.size()))
+        return false;
+    return decodeSnapshot(raw, out) && out.kind == kind;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeShardSliceRequestPayload(const ShardSliceRequest &request)
+{
+    net::WireWriter w;
+    w.u8(static_cast<std::uint8_t>(request.kind));
+    encodeConfigFields(w, request.config);
+    w.u32(request.channels);
+    if (request.kind == SnapshotKind::synthetic)
+        encodeWorkloadFields(w, request.workload);
+    else
+        encodeTraceFields(w, request.trace);
+    w.u64(request.sliceCycles);
+    w.u64(request.runMaxCycles);
+    w.u64(request.key);
+    w.u8(request.hasSnapshot ? 1 : 0);
+    if (request.hasSnapshot) {
+        const std::vector<std::uint8_t> snap =
+            encodeSnapshot(request.snapshot);
+        w.u64(snap.size());
+        w.bytes(snap.data(), snap.size());
+    }
+    return w.take();
+}
+
+bool
+decodeShardSliceRequestPayload(const std::vector<std::uint8_t> &payload,
+                               ShardSliceRequest &out)
+{
+    ShardSliceRequest request;
+    net::WireReader r(payload);
+    std::uint8_t kind = 0;
+    if (!r.u8(kind) ||
+        (kind != static_cast<std::uint8_t>(SnapshotKind::synthetic) &&
+         kind != static_cast<std::uint8_t>(SnapshotKind::trace)))
+        return false;
+    request.kind = static_cast<SnapshotKind>(kind);
+    if (!decodeConfigFields(r, request.config))
+        return false;
+    // Slice execution resumes/captures engine state, which only
+    // single-channel devices support — reject, never FT_FATAL in
+    // planSnapshots on a daemon.
+    if (!r.u32(request.channels) || request.channels != 1)
+        return false;
+    if (request.kind == SnapshotKind::synthetic) {
+        if (!decodeWorkloadFields(r, request.workload))
+            return false;
+    } else {
+        if (!decodeTraceFields(r, request.trace))
+            return false;
+    }
+    std::uint8_t has_snapshot = 0;
+    if (!r.u64(request.sliceCycles) || !r.u64(request.runMaxCycles) ||
+        !r.u64(request.key) || !r.u8(has_snapshot))
+        return false;
+    if (request.sliceCycles < 1 || request.runMaxCycles < 1 ||
+        has_snapshot > 1)
+        return false;
+    request.hasSnapshot = has_snapshot != 0;
+    if (request.hasSnapshot &&
+        !decodeEmbeddedSnapshot(r, request.kind, request.snapshot))
+        return false;
+    if (!r.atEnd())
+        return false;
+    out = std::move(request);
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeShardSliceResultPayload(const ShardSliceResult &result)
+{
+    net::WireWriter w;
+    w.u8(static_cast<std::uint8_t>(result.kind));
+    w.u8(result.done ? 1 : 0);
+    if (result.kind == SnapshotKind::synthetic) {
+        const std::vector<std::uint8_t> synth =
+            encodeSynthResult(result.synth);
+        w.u32(static_cast<std::uint32_t>(synth.size()));
+        w.bytes(synth.data(), synth.size());
+    } else {
+        encodeNocStats(w, result.trace.stats);
+        w.u64(result.trace.completion);
+        w.u32(result.trace.pes);
+        w.u8(result.trace.completed ? 1 : 0);
+    }
+    w.u8(result.hasSnapshot ? 1 : 0);
+    if (result.hasSnapshot) {
+        const std::vector<std::uint8_t> snap =
+            encodeSnapshot(result.snapshot);
+        w.u64(snap.size());
+        w.bytes(snap.data(), snap.size());
+    }
+    return w.take();
+}
+
+bool
+decodeShardSliceResultPayload(const std::vector<std::uint8_t> &payload,
+                              ShardSliceResult &out)
+{
+    ShardSliceResult result;
+    net::WireReader r(payload);
+    std::uint8_t kind = 0, done = 0;
+    if (!r.u8(kind) ||
+        (kind != static_cast<std::uint8_t>(SnapshotKind::synthetic) &&
+         kind != static_cast<std::uint8_t>(SnapshotKind::trace)) ||
+        !r.u8(done) || done > 1)
+        return false;
+    result.kind = static_cast<SnapshotKind>(kind);
+    result.done = done != 0;
+    if (result.kind == SnapshotKind::synthetic) {
+        std::uint32_t bytes = 0;
+        if (!r.u32(bytes) || bytes == 0 || bytes > r.remaining())
+            return false;
+        std::vector<std::uint8_t> raw(bytes);
+        if (!r.bytes(raw.data(), raw.size()) ||
+            !decodeSynthResult(raw, result.synth))
+            return false;
+    } else {
+        std::uint8_t completed = 0;
+        if (!decodeNocStats(r, result.trace.stats) ||
+            !r.u64(result.trace.completion) ||
+            !r.u32(result.trace.pes) || !r.u8(completed) ||
+            completed > 1)
+            return false;
+        result.trace.completed = completed != 0;
+    }
+    std::uint8_t has_snapshot = 0;
+    if (!r.u8(has_snapshot) || has_snapshot > 1)
+        return false;
+    result.hasSnapshot = has_snapshot != 0;
+    // An unfinished slice must hand the continuation over; a finished
+    // one must not — anything else is a lying peer.
+    if (result.hasSnapshot == result.done)
+        return false;
+    if (result.hasSnapshot &&
+        !decodeEmbeddedSnapshot(r, result.kind, result.snapshot))
+        return false;
+    if (!r.atEnd())
+        return false;
+    out = std::move(result);
+    return true;
+}
+
+// --- Sharded run driver --------------------------------------------
+
+namespace {
+
+/**
+ * One remote slice attempt over one fresh connection: handshake,
+ * send the snapshotRequest message, harvest the snapshotResult
+ * (tolerating interleaved metricsEpoch frames), part cleanly. False
+ * on any transport/protocol/decode failure.
+ */
+bool
+trySliceRemote(const RemoteConfig &cfg, const net::Endpoint &endpoint,
+               const std::vector<std::uint8_t> &payload,
+               std::uint64_t request_id, RunCounters &run,
+               ShardSliceResult &out, bool &permanent)
+{
+    std::uint32_t window = 0;
+    net::Socket sock = connectAndHandshake(cfg, endpoint, run, window,
+                                           permanent);
+    if (!sock.valid())
+        return false;
+
+    net::Frame request;
+    request.type = net::MessageType::snapshotRequest;
+    request.requestId = request_id;
+    request.payload = payload;
+    if (net::sendMessage(sock, request, cfg.ioTimeoutMs) !=
+        net::FrameStatus::ok)
+        return false;
+
+    bool got = false;
+    for (;;) {
+        net::Frame frame;
+        if (net::recvMessage(sock, frame, cfg.resultWaitMs,
+                             cfg.ioTimeoutMs) != net::FrameStatus::ok)
+            break;
+        if (frame.type == net::MessageType::metricsEpoch) {
+            std::map<std::string, double> values;
+            if (decodeMetricsPayload(frame.payload, values))
+                run.recordEpoch(endpoint.label(), std::move(values));
+            continue;
+        }
+        if (frame.type == net::MessageType::error) {
+            bump(run.errorFrames);
+            std::uint32_t code = 0;
+            std::string message;
+            if (net::parseErrorFrame(frame, code, message))
+                permanent = code == net::kErrBadVersion ||
+                            code == net::kErrBadSchema;
+            break;
+        }
+        if (frame.type != net::MessageType::snapshotResult ||
+            frame.requestId != request_id)
+            break;
+        if (decodeShardSliceResultPayload(frame.payload, out))
+            got = true;
+        break;
+    }
+    if (got)
+        drainEpochAndPart(cfg, endpoint, sock, run);
+    return got;
+}
+
+} // namespace
+
+RunResult
+runShardedSim(const RunRequest &request, Cycle shard_cycles)
+{
+    if ((request.workload != nullptr) == (request.trace != nullptr))
+        FT_FATAL("runShardedSim needs exactly one of workload / trace");
+    if (request.device || !request.config)
+        FT_FATAL("runShardedSim needs a config-built run (no device)");
+    if (request.channels != 1)
+        FT_FATAL("runShardedSim requires a single-channel device "
+                 "(engine-state capture)");
+    if (request.useCache || request.sim.telemetry ||
+        request.sim.snapshotEveryCycles != 0 ||
+        !request.sim.resumeFrom.empty() || request.sim.resumeSnapshot ||
+        request.sim.captureFinal)
+        FT_FATAL("runShardedSim owns the cache/telemetry/snapshot "
+                 "knobs; clear them on the request");
+    if (shard_cycles < 1)
+        FT_FATAL("runShardedSim needs shard_cycles >= 1");
+
+    const bool is_trace = request.trace != nullptr;
+    const SnapshotKind kind =
+        is_trace ? SnapshotKind::trace : SnapshotKind::synthetic;
+    const RemoteConfig cfg = remoteConfig();
+    RunCounters run;
+
+    ShardSliceRequest slice;
+    slice.kind = kind;
+    slice.config = *request.config;
+    slice.channels = 1;
+    if (is_trace) {
+        slice.trace = *request.trace;
+        slice.key = checkpointKey(*request.config, request.channels,
+                                  *request.trace);
+    } else {
+        slice.workload = *request.workload;
+        slice.key = checkpointKey(*request.config, request.channels,
+                                  *request.workload);
+    }
+    slice.sliceCycles = shard_cycles;
+    slice.runMaxCycles = request.sim.maxCycles;
+
+    RunResult result;
+    result.isTrace = is_trace;
+    NocStats merged;
+    bool first_slice = true;
+    // Once the fleet has proven dead (budget exhausted or a permanent
+    // rejection), the remaining slices stay local rather than paying
+    // the retry schedule once per slice.
+    bool fleet_dead = cfg.endpoints.empty();
+    std::size_t next_endpoint = 0;
+    std::uint64_t slice_index = 0;
+    Cycle consumed = 0; // run-relative cycles completed so far
+    bool done = false;
+
+    while (!done) {
+        ShardSliceResult answer;
+        bool served = false;
+
+        if (!fleet_dead) {
+            const std::vector<std::uint8_t> payload =
+                encodeShardSliceRequestPayload(slice);
+            unsigned failures = 0;
+            while (!served && failures < cfg.maxAttempts) {
+                if (failures > 0) {
+                    bump(run.reconnects);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(net::backoffDelayMs(
+                            failures, cfg.backoffInitialMs,
+                            cfg.backoffCapMs)));
+                }
+                const net::Endpoint &endpoint =
+                    cfg.endpoints[next_endpoint %
+                                  cfg.endpoints.size()];
+                ++next_endpoint; // round-robin slices and retries
+                bool permanent = false;
+                served = trySliceRemote(cfg, endpoint, payload,
+                                        slice_index, run, answer,
+                                        permanent);
+                // Trust nothing a peer says unchecked: the slice must
+                // be for the right workload kind and must have
+                // advanced the run, or a buggy/hostile daemon could
+                // pin us in an infinite slice loop.
+                if (served &&
+                    (answer.kind != kind ||
+                     (!answer.done &&
+                      answer.snapshot.cycle() -
+                              answer.snapshot.runStart <=
+                          consumed)))
+                    served = false;
+                if (!served) {
+                    if (permanent) {
+                        fleet_dead = true;
+                        break;
+                    }
+                    ++failures;
+                }
+            }
+            if (!served)
+                fleet_dead = true; // degrade to local completion
+        }
+
+        if (served) {
+            bump(run.slicesRemote);
+        } else {
+            // Local slice: same budgets, same handoff contract, so a
+            // sharded run completes (identically) even with no fleet.
+            Snapshot next;
+            auto noc = makeNoc(*request.config, 1);
+            RunRequest local;
+            local.device = noc.get();
+            local.workload = request.workload;
+            local.trace = request.trace;
+            local.sim.maxCycles =
+                std::min(slice.runMaxCycles,
+                         consumed + slice.sliceCycles);
+            local.sim.resumeSnapshot =
+                slice.hasSnapshot ? &slice.snapshot : nullptr;
+            local.sim.captureFinal = &next;
+            const RunResult local_result = runSim(local);
+            if (slice.hasSnapshot && !local_result.resumed)
+                FT_FATAL("sharded run: local slice failed to resume "
+                         "its own snapshot");
+            if (!local_result.finalCaptured)
+                FT_FATAL("sharded run: device lost engine-state "
+                         "capture mid-run");
+            answer = ShardSliceResult{};
+            answer.kind = kind;
+            answer.synth = local_result.synth;
+            answer.trace = local_result.trace;
+            const Cycle advanced = next.cycle() - next.runStart;
+            answer.done = (is_trace ? local_result.trace.completed
+                                    : local_result.synth.completed) ||
+                          advanced >= slice.runMaxCycles;
+            if (!answer.done) {
+                answer.hasSnapshot = true;
+                answer.snapshot = std::move(next);
+            }
+            bump(run.slicesFallback);
+        }
+
+        const NocStats &slice_stats =
+            is_trace ? answer.trace.stats : answer.synth.stats;
+        if (first_slice) {
+            merged = slice_stats;
+            first_slice = false;
+        } else {
+            merged.merge(slice_stats);
+        }
+
+        done = answer.done;
+        if (done) {
+            if (is_trace) {
+                result.trace = answer.trace;
+                result.trace.stats = merged;
+            } else {
+                result.synth = answer.synth;
+                result.synth.stats = merged;
+            }
+        } else {
+            consumed = answer.snapshot.cycle() -
+                       answer.snapshot.runStart;
+            // The handoff contract (Snapshot::trimState): the next
+            // slice resumes the traffic mid-flight but measures only
+            // itself, so the per-slice stats merge back to the whole.
+            answer.snapshot.trimState();
+            slice.snapshot = std::move(answer.snapshot);
+            slice.hasSnapshot = true;
+        }
+        ++slice_index;
+    }
+
+    publishRun(run);
+    return result;
 }
 
 } // namespace fasttrack

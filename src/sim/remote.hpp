@@ -37,6 +37,7 @@
 
 #include "net/endpoint.hpp"
 #include "net/frame.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -75,7 +76,10 @@ void clearRemoteConfig();
 /** True when at least one endpoint is configured. */
 bool remoteConfigured();
 
-/** Lifetime counters for --cache-stats (process-wide, atomic). */
+/** Counters of one remote run (a remoteBatchedRuns or runShardedSim
+ *  invocation). remoteStats() reports the most recent run so a second
+ *  sweep's numbers are its own, not cumulative totals;
+ *  remoteLifetimeStats() keeps the process-wide accumulation. */
 struct RemoteStats
 {
     /** Points answered by a remote SweepResult frame. */
@@ -92,12 +96,23 @@ struct RemoteStats
     std::uint64_t reconnects = 0;
     /** Error frames received (protocol/schema rejections). */
     std::uint64_t errorFrames = 0;
+    /** Temporal-shard slices a daemon answered (runShardedSim). */
+    std::uint64_t slicesRemote = 0;
+    /** Temporal-shard slices computed locally after remote failure. */
+    std::uint64_t slicesFallback = 0;
 };
 
+/** Counters of the most recent remote run (see RemoteStats). */
 RemoteStats remoteStats();
 
-/** Publish remote.* counters plus the latest telemetry epoch each
- *  daemon streamed back (as remote.<host:port>.<metric> gauges). */
+/** Process-lifetime accumulation across every remote run. */
+RemoteStats remoteLifetimeStats();
+
+/** Publish remote.* counters for the most recent run,
+ *  remote.lifetime.* accumulations, and the latest telemetry epoch
+ *  each of that run's daemons streamed back (as
+ *  remote.<host:port>.<metric> gauges — endpoints dropped from the
+ *  configuration stop being exported). */
 void reportRemoteStats(telemetry::MetricsRegistry &metrics);
 
 /**
@@ -118,6 +133,27 @@ std::vector<SynthResult>
 remoteBatchedRuns(const NocConfig &config, std::uint32_t channels,
                   const std::vector<SyntheticWorkload> &workloads,
                   Cycle max_cycles, const LocalRunner &local);
+
+/**
+ * Execute one run as a chain of temporal shards of @p shard_cycles
+ * run-relative cycles each, round-robined across the configured
+ * remote endpoints (docs/distributed.md, "Temporal sharding").
+ *
+ * Each slice ships the run's inputs plus the previous slice's
+ * trimmed snapshot in a snapshotRequest message; the daemon resumes,
+ * advances the slice, and answers with the slice's stats and the
+ * next trimmed snapshot. Slice stats are merged via
+ * NocStats::merge, so the final result is bit-identical to the
+ * uninterrupted local run. A slice whose remote attempts exhaust the
+ * retry budget (or whose answer fails validation) is computed
+ * locally, and once the fleet has proven dead the remaining slices
+ * stay local — a sharded run never yields a wrong or partial result.
+ *
+ * Preconditions (fatal): config-built single-channel request with
+ * exactly one of workload/trace, no device/telemetry/cache/snapshot
+ * knobs, and shard_cycles >= 1.
+ */
+RunResult runShardedSim(const RunRequest &request, Cycle shard_cycles);
 
 // --- Message payload codecs (shared with the ftd server) -----------
 
@@ -150,6 +186,64 @@ std::vector<std::uint8_t>
 encodeMetricsPayload(const std::map<std::string, double> &values);
 bool decodeMetricsPayload(const std::vector<std::uint8_t> &payload,
                           std::map<std::string, double> &out);
+
+/**
+ * One temporal-shard slice on the wire (snapshotRequest payload).
+ * The request is self-contained — the daemon is stateless across
+ * slices: it carries the run's full inputs (config + workload or
+ * trace), the slice/guard budgets, the checkpoint key the client
+ * derived (the daemon re-derives and must agree before trusting the
+ * snapshot), and the previous slice's trimmed snapshot (absent on
+ * the first slice).
+ */
+struct ShardSliceRequest
+{
+    SnapshotKind kind = SnapshotKind::synthetic;
+    NocConfig config;
+    /** Always 1: slice execution needs engine-state capture. */
+    std::uint32_t channels = 1;
+    /** Valid when kind == synthetic. */
+    SyntheticWorkload workload;
+    /** Valid when kind == trace. */
+    Trace trace;
+    /** Run-relative cycles this slice should advance. */
+    Cycle sliceCycles = 1;
+    /** Run-relative guard of the whole run (SimConfig::maxCycles). */
+    Cycle runMaxCycles = kDefaultMaxCycles;
+    /** checkpointKey(config, channels, workload|trace). */
+    std::uint64_t key = 0;
+    bool hasSnapshot = false;
+    Snapshot snapshot;
+};
+
+std::vector<std::uint8_t>
+encodeShardSliceRequestPayload(const ShardSliceRequest &request);
+/** Hostile-input safe: bounds-checks every count before allocating
+ *  and validates trace/workload/config ranges without aborting. */
+bool decodeShardSliceRequestPayload(
+    const std::vector<std::uint8_t> &payload, ShardSliceRequest &out);
+
+/** snapshotResult payload: the slice's outcome + handoff snapshot. */
+struct ShardSliceResult
+{
+    SnapshotKind kind = SnapshotKind::synthetic;
+    /** Run finished (drained/completed or hit runMaxCycles); no
+     *  further slices are needed. */
+    bool done = false;
+    /** Valid when kind == synthetic. Stats are slice-local; cycles
+     *  is run-relative (the temporal-shard merge contract). */
+    SynthResult synth;
+    /** Valid when kind == trace. */
+    TraceResult trace;
+    /** The trimmed next-slice snapshot (present iff !done). */
+    bool hasSnapshot = false;
+    Snapshot snapshot;
+};
+
+std::vector<std::uint8_t>
+encodeShardSliceResultPayload(const ShardSliceResult &result);
+bool decodeShardSliceResultPayload(
+    const std::vector<std::uint8_t> &payload, ShardSliceResult &out);
 
 } // namespace fasttrack
 

@@ -68,9 +68,15 @@ struct SnapshotPlan
 {
     bool snapshotting = false;
     bool resuming = false;
+    /** sim.captureFinal: hand the end state back in memory. */
+    bool capturingFinal = false;
+
     std::uint64_t key = 0;
 
-    bool active() const { return snapshotting || resuming; }
+    bool active() const
+    {
+        return snapshotting || resuming || capturingFinal;
+    }
 };
 
 /** Validate the snapshot knobs and probe device support once. A
@@ -81,7 +87,9 @@ planSnapshots(NocDevice &noc, const SimConfig &sim, std::uint64_t key)
 {
     SnapshotPlan plan;
     plan.snapshotting = sim.snapshotEveryCycles != 0;
-    plan.resuming = !sim.resumeFrom.empty();
+    plan.resuming =
+        !sim.resumeFrom.empty() || sim.resumeSnapshot != nullptr;
+    plan.capturingFinal = sim.captureFinal != nullptr;
     plan.key = key;
     if (plan.snapshotting && sim.snapshotDir.empty())
         FT_FATAL("snapshotEveryCycles requires snapshotDir");
@@ -130,6 +138,51 @@ loadResumeSnapshot(const std::string &resume_from, std::uint64_t key,
     return true;
 }
 
+/**
+ * Resolve the resume source — the in-memory snapshot wins over
+ * resumeFrom — into @p out. False => fresh run. The in-memory path
+ * only checks the workload kind here; content authenticity (the
+ * checkpoint key) is the supplier's job, since a wire snapshot never
+ * went through the keyed file container.
+ */
+bool
+resolveResumeSnapshot(const SimConfig &sim, std::uint64_t key,
+                      SnapshotKind kind, Snapshot &out)
+{
+    if (sim.resumeSnapshot) {
+        if (sim.resumeSnapshot->kind != kind) {
+            FT_WARN("resume: in-memory snapshot is for a different "
+                    "workload kind, starting fresh");
+            return false;
+        }
+        out = *sim.resumeSnapshot;
+        return true;
+    }
+    return loadResumeSnapshot(sim.resumeFrom, key, kind, out);
+}
+
+/** Capture the end-of-run state into *sim.captureFinal (temporal
+ *  sharding handoff). Failure warns; the caller sees finalCaptured
+ *  stay false and treats the slice as failed. */
+template <typename CaptureDriver>
+void
+captureFinalState(NocDevice &noc, const SimConfig &sim,
+                  SnapshotKind kind, Cycle run_start,
+                  CaptureDriver &&capture_driver, RunResult &result)
+{
+    if (!sim.captureFinal)
+        return;
+    Snapshot &snap = *sim.captureFinal;
+    snap = Snapshot{};
+    snap.kind = kind;
+    snap.runStart = run_start;
+    if (!noc.captureState(snap.engine) || !capture_driver(snap)) {
+        FT_WARN("final-state capture failed at cycle ", noc.now());
+        return;
+    }
+    result.finalCaptured = true;
+}
+
 /** Write one snapshot; failures degrade to a warning (the run is
  *  still correct, just not resumable from this point). */
 template <typename CaptureDriver>
@@ -175,8 +228,8 @@ runSyntheticCore(NocDevice &noc, const SyntheticWorkload &workload,
     const SnapshotPlan plan = planSnapshots(noc, sim, key);
     if (plan.resuming) {
         Snapshot snap;
-        if (loadResumeSnapshot(sim.resumeFrom, key,
-                               SnapshotKind::synthetic, snap) &&
+        if (resolveResumeSnapshot(sim, key, SnapshotKind::synthetic,
+                                  snap) &&
             noc.restoreState(snap.engine) &&
             injector.restoreState(snap.injector)) {
             start = snap.runStart;
@@ -215,6 +268,11 @@ runSyntheticCore(NocDevice &noc, const SyntheticWorkload &workload,
         session->sampleEpoch(noc, injector.queued());
         session->releaseSampler();
     }
+    captureFinalState(noc, sim, SnapshotKind::synthetic, start,
+                      [&](Snapshot &snap) {
+                          return injector.captureState(snap.injector);
+                      },
+                      result);
 
     result.synth.stats = noc.statsSnapshot();
     result.synth.cycles = noc.now() - start;
@@ -255,8 +313,8 @@ runTraceCore(NocDevice &noc, const Trace &trace, const SimConfig &sim,
     const SnapshotPlan plan = planSnapshots(noc, sim, key);
     if (plan.resuming) {
         Snapshot snap;
-        if (loadResumeSnapshot(sim.resumeFrom, key, SnapshotKind::trace,
-                               snap) &&
+        if (resolveResumeSnapshot(sim, key, SnapshotKind::trace,
+                                  snap) &&
             noc.restoreState(snap.engine) &&
             replayer.restoreState(snap.replay)) {
             start = snap.runStart;
@@ -293,6 +351,12 @@ runTraceCore(NocDevice &noc, const Trace &trace, const SimConfig &sim,
                   " cycles (", replayer.deliveredMessages(), "/",
                   trace.messages.size(), " delivered)");
     }
+
+    captureFinalState(noc, sim, SnapshotKind::trace, start,
+                      [&](Snapshot &snap) {
+                          return replayer.captureState(snap.replay);
+                      },
+                      result);
 
     result.trace.stats = noc.statsSnapshot();
     result.trace.completion = replayer.lastDelivery();
@@ -353,8 +417,11 @@ runSim(const RunRequest &request)
     // Sweep-cache fast path: identical semantics to the historical
     // cachedRunSynthetic — bypassed (and counted as such) while
     // telemetry or snapshotting would make a replayed result a lie.
-    const bool snapshot_knobs = request.sim.snapshotEveryCycles != 0 ||
-                                !request.sim.resumeFrom.empty();
+    const bool snapshot_knobs =
+        request.sim.snapshotEveryCycles != 0 ||
+        !request.sim.resumeFrom.empty() ||
+        request.sim.resumeSnapshot != nullptr ||
+        request.sim.captureFinal != nullptr;
     if (request.useCache) {
         sched::BlobCache &cache = sweepCache();
         if (!sweepCacheEnabled() || telemetry::installed() != nullptr ||

@@ -25,6 +25,8 @@
 
 namespace fasttrack {
 
+struct Snapshot;
+
 /** Result of one synthetic-workload run. */
 struct SynthResult
 {
@@ -95,6 +97,23 @@ struct SimConfig
      * dependency.
      */
     std::string resumeFrom;
+    /**
+     * In-memory resume source (temporal sharding: a snapshot that
+     * arrived over the wire rather than from disk). Takes precedence
+     * over resumeFrom. The same fall-back-to-fresh semantics apply
+     * on a key/kind mismatch; callers that need the resume to have
+     * happened (the ftd slice handler) check RunResult::resumed.
+     */
+    const Snapshot *resumeSnapshot = nullptr;
+    /**
+     * When set, capture the end-of-run state into *captureFinal so a
+     * sharded driver can hand it to the next slice without touching
+     * disk. Only single-channel devices support state capture; a
+     * device that cannot capture is a fatal error, matching the
+     * snapshotEveryCycles contract. RunResult::finalCaptured reports
+     * success.
+     */
+    Snapshot *captureFinal = nullptr;
 };
 
 /** Result of one trace-replay run. */
@@ -147,6 +166,8 @@ struct RunResult
     std::uint64_t snapshotsWritten = 0;
     /** Result came from the sweep cache (no simulation ran). */
     bool fromCache = false;
+    /** sim.captureFinal was set and the end state was captured. */
+    bool finalCaptured = false;
 };
 
 /** The simulation entry point (see RunRequest). */

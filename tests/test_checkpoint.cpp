@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -160,7 +161,9 @@ TEST(Checkpoint, SimConfigFieldSetIsPinned)
                         .telemetry = nullptr,
                         .snapshotEveryCycles = 2,
                         .snapshotDir = "a",
-                        .resumeFrom = "b"};
+                        .resumeFrom = "b",
+                        .resumeSnapshot = nullptr,
+                        .captureFinal = nullptr};
     EXPECT_EQ(all.maxCycles, 1u);
     EXPECT_EQ(all.snapshotEveryCycles, 2u);
     struct SimConfigMirror
@@ -170,6 +173,8 @@ TEST(Checkpoint, SimConfigFieldSetIsPinned)
         Cycle snapshotEveryCycles;
         std::string snapshotDir;
         std::string resumeFrom;
+        const Snapshot *resumeSnapshot;
+        Snapshot *captureFinal;
     };
     static_assert(sizeof(SimConfig) == sizeof(SimConfigMirror),
                   "SimConfig gained or lost a field: update the "
@@ -259,6 +264,30 @@ TEST(Checkpoint, FindLatestSnapshotPicksHighestCycleByName)
     writeAllBytes(dir + "/other.txt", {1});
     EXPECT_EQ(findLatestSnapshot(dir),
               dir + "/" + snapshotFileName(900));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, SnapshotFileNameHoldsEveryCycleValue)
+{
+    // The fixed-width name field must represent every Cycle value
+    // (the static_assert in checkpoint.cpp pins the width): the
+    // extremes produce equal-length names whose lexicographic order
+    // is the numeric order — the invariant findLatestSnapshot's
+    // string-max selection and name-length filter both lean on.
+    const Cycle max = std::numeric_limits<Cycle>::max();
+    const std::string lo = snapshotFileName(0);
+    const std::string hi = snapshotFileName(max);
+    ASSERT_FALSE(lo.empty());
+    ASSERT_FALSE(hi.empty());
+    EXPECT_EQ(lo.size(), hi.size());
+    EXPECT_LT(lo, hi);
+    EXPECT_LT(snapshotFileName(max - 1), hi);
+
+    const std::string dir = scratchDir("extreme_cycle");
+    std::filesystem::create_directories(dir);
+    for (Cycle c : {Cycle{0}, Cycle{1}, max - 1, max})
+        writeAllBytes(dir + "/" + snapshotFileName(c), {1});
+    EXPECT_EQ(findLatestSnapshot(dir), dir + "/" + hi);
     std::filesystem::remove_all(dir);
 }
 

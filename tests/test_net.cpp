@@ -126,6 +126,14 @@ TEST(Frame, EncodeDecodeRoundTrips)
     EXPECT_EQ(decoded.type, frame.type);
     EXPECT_EQ(decoded.requestId, frame.requestId);
     EXPECT_EQ(decoded.payload, frame.payload);
+    EXPECT_FALSE(decoded.partial);
+
+    // The fragmentation flag survives the trip (message chaining).
+    Frame fragment = frame;
+    fragment.partial = true;
+    ASSERT_EQ(decodeFrame(encodeFrame(fragment), decoded),
+              FrameStatus::ok);
+    EXPECT_TRUE(decoded.partial);
 }
 
 TEST(Frame, TruncationAtEveryBoundaryIsDetected)
@@ -165,7 +173,12 @@ TEST(Frame, HostileHeadersAreRejectedWithoutPayloadReads)
               FrameStatus::badVersion);
 
     std::vector<std::uint8_t> flags = good;
-    flags[10] = 1; // reserved flags must be zero
+    flags[10] = 2; // reserved flag bits (all but kFlagPartial) zero
+    EXPECT_EQ(decodeFrame(flags, out), FrameStatus::malformed);
+    flags[10] = 0x80;
+    EXPECT_EQ(decodeFrame(flags, out), FrameStatus::malformed);
+    flags[11] = 1; // high flag byte is entirely reserved
+    flags[10] = 0;
     EXPECT_EQ(decodeFrame(flags, out), FrameStatus::malformed);
 
     // Length prefix beyond kMaxFramePayload: malformed, regardless

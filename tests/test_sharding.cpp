@@ -1,0 +1,683 @@
+/**
+ * @file
+ * Temporal sharding: one long run executed as checkpoint slices
+ * across ftd daemons (docs/distributed.md, "Temporal sharding").
+ * Pins the slice payload codecs against hostile input, message
+ * fragmentation over the frame layer, the daemon's slice handler
+ * (typed rejections, never a crash), and the end-to-end driver
+ * contract — a sharded run's merged stats are bit-identical to the
+ * uninterrupted local run, and any fleet failure degrades to local
+ * completion, never to a wrong or partial result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "golden_hash.hpp"
+#include "net/endpoint.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/ftd_server.hpp"
+#include "sim/remote.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sweep_cache.hpp"
+#include "workloads/dataflow.hpp"
+
+namespace fasttrack {
+namespace {
+
+SyntheticWorkload
+shardWorkload()
+{
+    SyntheticWorkload w;
+    w.pattern = TrafficPattern::random;
+    w.injectionRate = 0.5;
+    w.packetsPerPe = 192;
+    w.seed = 11;
+    return w;
+}
+
+Trace
+shardTrace()
+{
+    LuDagParams params{"shard_lu", 600, 8.0, 1.8, 3, 13};
+    return dataflowTrace(sparseLuDag(params), 4);
+}
+
+/** Install a remote config for the scope, clear it on exit. */
+struct WithRemote
+{
+    explicit WithRemote(RemoteConfig config)
+    {
+        setRemoteConfig(std::move(config));
+    }
+    ~WithRemote() { clearRemoteConfig(); }
+};
+
+RemoteConfig
+loopbackConfig(std::initializer_list<std::uint16_t> ports)
+{
+    RemoteConfig config;
+    for (std::uint16_t port : ports)
+        config.endpoints.push_back(net::Endpoint{"127.0.0.1", port});
+    config.useLocalCache = false;
+    config.backoffInitialMs = 1;
+    config.backoffCapMs = 20;
+    config.connectTimeoutMs = 2'000;
+    return config;
+}
+
+/** A started FtdServer on an ephemeral loopback port. */
+struct WithDaemon
+{
+    FtdServer server;
+    explicit WithDaemon(net::ServerConfig config = {})
+        : server(std::move(config))
+    {
+        std::string error;
+        EXPECT_TRUE(server.start(error)) << error;
+    }
+    ~WithDaemon() { server.stop(); }
+    std::uint16_t port() { return server.boundPort(); }
+};
+
+/** An ephemeral port with nothing listening on it. */
+std::uint16_t
+deadPort()
+{
+    net::Listener listener;
+    std::string error;
+    EXPECT_TRUE(listener.open("127.0.0.1", 0, error)) << error;
+    const std::uint16_t port = listener.boundPort();
+    listener.close();
+    return port;
+}
+
+/** A first-slice request for the standard synthetic shard run. */
+ShardSliceRequest
+sampleSliceRequest()
+{
+    ShardSliceRequest request;
+    request.kind = SnapshotKind::synthetic;
+    request.config = NocConfig::fastTrack(4, 2, 1);
+    request.channels = 1;
+    request.workload = shardWorkload();
+    request.sliceCycles = 64;
+    request.runMaxCycles = 100'000;
+    request.key = checkpointKey(request.config, 1, request.workload);
+    return request;
+}
+
+/** Capture a real mid-run snapshot to embed in wire payloads. */
+Snapshot
+capturedSnapshot(const ShardSliceRequest &request)
+{
+    auto noc = makeNoc(request.config, 1);
+    Snapshot snap;
+    RunRequest run;
+    run.device = noc.get();
+    run.workload = &request.workload;
+    run.sim.maxCycles = request.sliceCycles;
+    run.sim.captureFinal = &snap;
+    const RunResult res = runSim(run);
+    EXPECT_TRUE(res.finalCaptured);
+    EXPECT_FALSE(res.synth.completed);
+    snap.trimState();
+    return snap;
+}
+
+TEST(ShardingCodec, SliceRequestRoundTripsSynthetic)
+{
+    ShardSliceRequest request = sampleSliceRequest();
+    request.hasSnapshot = true;
+    request.snapshot = capturedSnapshot(request);
+
+    ShardSliceRequest decoded;
+    ASSERT_TRUE(decodeShardSliceRequestPayload(
+        encodeShardSliceRequestPayload(request), decoded));
+    EXPECT_EQ(decoded.kind, request.kind);
+    EXPECT_EQ(decoded.config.n, request.config.n);
+    EXPECT_EQ(decoded.config.d, request.config.d);
+    EXPECT_EQ(decoded.channels, 1u);
+    EXPECT_EQ(decoded.workload.seed, request.workload.seed);
+    EXPECT_EQ(decoded.sliceCycles, request.sliceCycles);
+    EXPECT_EQ(decoded.runMaxCycles, request.runMaxCycles);
+    EXPECT_EQ(decoded.key, request.key);
+    ASSERT_TRUE(decoded.hasSnapshot);
+    EXPECT_EQ(decoded.snapshot.cycle(), request.snapshot.cycle());
+    // The daemon re-derives the key from the decoded inputs and must
+    // agree — the trust anchor of the handoff.
+    EXPECT_EQ(checkpointKey(decoded.config, decoded.channels,
+                            decoded.workload),
+              request.key);
+}
+
+TEST(ShardingCodec, SliceRequestRoundTripsTrace)
+{
+    ShardSliceRequest request;
+    request.kind = SnapshotKind::trace;
+    request.config = NocConfig::hoplite(4);
+    request.channels = 1;
+    request.trace = shardTrace();
+    request.sliceCycles = 100;
+    request.runMaxCycles = 50'000;
+    request.key = checkpointKey(request.config, 1, request.trace);
+
+    ShardSliceRequest decoded;
+    ASSERT_TRUE(decodeShardSliceRequestPayload(
+        encodeShardSliceRequestPayload(request), decoded));
+    EXPECT_EQ(decoded.kind, SnapshotKind::trace);
+    EXPECT_EQ(decoded.trace.name, request.trace.name);
+    EXPECT_EQ(decoded.trace.n, request.trace.n);
+    ASSERT_EQ(decoded.trace.messages.size(),
+              request.trace.messages.size());
+    const TraceMessage &a = request.trace.messages.back();
+    const TraceMessage &b = decoded.trace.messages.back();
+    EXPECT_EQ(b.id, a.id);
+    EXPECT_EQ(b.src, a.src);
+    EXPECT_EQ(b.dst, a.dst);
+    EXPECT_EQ(b.deps, a.deps);
+    EXPECT_FALSE(decoded.hasSnapshot);
+    EXPECT_EQ(checkpointKey(decoded.config, decoded.channels,
+                            decoded.trace),
+              request.key);
+}
+
+TEST(ShardingCodec, SliceRequestRejectsHostilePayloads)
+{
+    ShardSliceRequest request = sampleSliceRequest();
+    request.hasSnapshot = true;
+    request.snapshot = capturedSnapshot(request);
+    const std::vector<std::uint8_t> good =
+        encodeShardSliceRequestPayload(request);
+    ShardSliceRequest out;
+
+    // Truncation at every boundary fails cleanly (never crashes,
+    // never over-allocates).
+    for (std::size_t keep = 0; keep < good.size();
+         keep += (keep < 128 ? 1 : 97)) {
+        const std::vector<std::uint8_t> cut(
+            good.begin(),
+            good.begin() + static_cast<std::ptrdiff_t>(keep));
+        EXPECT_FALSE(decodeShardSliceRequestPayload(cut, out)) << keep;
+    }
+    // Trailing junk fails (payloads decode exactly).
+    std::vector<std::uint8_t> padded = good;
+    padded.push_back(0);
+    EXPECT_FALSE(decodeShardSliceRequestPayload(padded, out));
+
+    // Unknown snapshot kind.
+    std::vector<std::uint8_t> badKind = good;
+    badKind[0] = 0x7f;
+    EXPECT_FALSE(decodeShardSliceRequestPayload(badKind, out));
+
+    // Multi-channel slices are impossible (engine-state capture is
+    // single-channel); must be a decode rejection, not a daemon abort.
+    ShardSliceRequest multi = sampleSliceRequest();
+    multi.channels = 2;
+    EXPECT_FALSE(decodeShardSliceRequestPayload(
+        encodeShardSliceRequestPayload(multi), out));
+
+    // Zero budgets.
+    ShardSliceRequest zero = sampleSliceRequest();
+    zero.sliceCycles = 0;
+    EXPECT_FALSE(decodeShardSliceRequestPayload(
+        encodeShardSliceRequestPayload(zero), out));
+    zero = sampleSliceRequest();
+    zero.runMaxCycles = 0;
+    EXPECT_FALSE(decodeShardSliceRequestPayload(
+        encodeShardSliceRequestPayload(zero), out));
+}
+
+TEST(ShardingCodec, TracePayloadRejectsForgedCounts)
+{
+    // A forged message count larger than the bytes backing it must be
+    // rejected before any allocation happens.
+    net::WireWriter w;
+    w.u8(static_cast<std::uint8_t>(SnapshotKind::trace));
+    const NocConfig cfg = NocConfig::hoplite(4);
+    w.u32(cfg.n);
+    w.u32(cfg.d);
+    w.u32(cfg.r);
+    w.u32(static_cast<std::uint32_t>(cfg.variant));
+    w.u8(0);
+    w.u8(0);
+    w.u8(0);
+    w.u32(cfg.shortLinkStages);
+    w.u32(cfg.expressLinkStages);
+    w.u32(1); // channels
+    w.str("forged");
+    w.u32(4);                       // trace.n
+    w.u64(0xffff'ffff'ffff'ffffull); // message count >> payload
+    ShardSliceRequest out;
+    EXPECT_FALSE(decodeShardSliceRequestPayload(w.take(), out));
+
+    // Same for a forged per-message dependency count.
+    net::WireWriter d;
+    d.u8(static_cast<std::uint8_t>(SnapshotKind::trace));
+    d.u32(cfg.n);
+    d.u32(cfg.d);
+    d.u32(cfg.r);
+    d.u32(static_cast<std::uint32_t>(cfg.variant));
+    d.u8(0);
+    d.u8(0);
+    d.u8(0);
+    d.u32(cfg.shortLinkStages);
+    d.u32(cfg.expressLinkStages);
+    d.u32(1);
+    d.str("forged");
+    d.u32(4);
+    d.u64(1);          // one message...
+    d.u64(0);          // id
+    d.u32(0);          // src
+    d.u32(1);          // dst
+    d.u64(0);          // earliest
+    d.u64(0);          // delayAfterDeps
+    d.u32(0xffffffff); // ...claiming 4 billion deps
+    EXPECT_FALSE(decodeShardSliceRequestPayload(d.take(), out));
+}
+
+TEST(ShardingCodec, SliceResultRoundTripsAndRejectsLyingPeer)
+{
+    const ShardSliceRequest request = sampleSliceRequest();
+
+    // An unfinished slice: stats + handoff snapshot.
+    ShardSliceResult unfinished;
+    unfinished.kind = SnapshotKind::synthetic;
+    unfinished.done = false;
+    unfinished.synth = runSynthetic(request.config, 1, request.workload,
+                                    SimConfig{.maxCycles = 64});
+    unfinished.hasSnapshot = true;
+    unfinished.snapshot = capturedSnapshot(request);
+
+    ShardSliceResult decoded;
+    ASSERT_TRUE(decodeShardSliceResultPayload(
+        encodeShardSliceResultPayload(unfinished), decoded));
+    EXPECT_FALSE(decoded.done);
+    ASSERT_TRUE(decoded.hasSnapshot);
+    EXPECT_EQ(hashStats(decoded.synth.stats),
+              hashStats(unfinished.synth.stats));
+    EXPECT_EQ(decoded.snapshot.cycle(), unfinished.snapshot.cycle());
+
+    // A finished slice: stats only.
+    ShardSliceResult finished = unfinished;
+    finished.done = true;
+    finished.hasSnapshot = false;
+    finished.snapshot = Snapshot{};
+    ASSERT_TRUE(decodeShardSliceResultPayload(
+        encodeShardSliceResultPayload(finished), decoded));
+    EXPECT_TRUE(decoded.done);
+    EXPECT_FALSE(decoded.hasSnapshot);
+
+    // A lying peer: done with a snapshot, or unfinished without one —
+    // both violate the handoff contract and must not decode.
+    ShardSliceResult lying = unfinished;
+    lying.done = true; // done == hasSnapshot == true
+    EXPECT_FALSE(decodeShardSliceResultPayload(
+        encodeShardSliceResultPayload(lying), decoded));
+    lying = finished;
+    lying.done = false; // done == hasSnapshot == false
+    EXPECT_FALSE(decodeShardSliceResultPayload(
+        encodeShardSliceResultPayload(lying), decoded));
+
+    // Truncation battery over the unfinished (snapshot-bearing) form.
+    const std::vector<std::uint8_t> good =
+        encodeShardSliceResultPayload(unfinished);
+    for (std::size_t keep = 0; keep < good.size();
+         keep += (keep < 128 ? 1 : 97)) {
+        const std::vector<std::uint8_t> cut(
+            good.begin(),
+            good.begin() + static_cast<std::ptrdiff_t>(keep));
+        EXPECT_FALSE(decodeShardSliceResultPayload(cut, decoded))
+            << keep;
+    }
+    std::vector<std::uint8_t> padded = good;
+    padded.push_back(0);
+    EXPECT_FALSE(decodeShardSliceResultPayload(padded, decoded));
+}
+
+TEST(FrameMessage, FragmentsAndReassembles)
+{
+    net::Listener listener;
+    std::string error;
+    ASSERT_TRUE(listener.open("127.0.0.1", 0, error)) << error;
+    net::Socket client = net::connectTo(
+        "127.0.0.1", listener.boundPort(), 2'000, error);
+    ASSERT_TRUE(client.valid()) << error;
+    net::Socket server = listener.accept(2'000);
+    ASSERT_TRUE(server.valid());
+
+    // A payload forced through tiny fragments reassembles exactly.
+    net::Frame big;
+    big.type = net::MessageType::snapshotRequest;
+    big.requestId = 77;
+    big.payload.resize(64 * 1024);
+    for (std::size_t i = 0; i < big.payload.size(); ++i)
+        big.payload[i] = static_cast<std::uint8_t>(i * 131);
+    ASSERT_EQ(net::sendMessage(client, big, 2'000,
+                               /*max_fragment=*/4096),
+              net::FrameStatus::ok);
+    net::Frame out;
+    ASSERT_EQ(net::recvMessage(server, out, 2'000, 2'000),
+              net::FrameStatus::ok);
+    EXPECT_EQ(out.type, big.type);
+    EXPECT_EQ(out.requestId, big.requestId);
+    EXPECT_FALSE(out.partial);
+    EXPECT_EQ(out.payload, big.payload);
+
+    // The receiver bounds total reassembled size: the same message
+    // against a small budget is malformed, not an allocation.
+    ASSERT_EQ(net::sendMessage(client, big, 2'000, 4096),
+              net::FrameStatus::ok);
+    EXPECT_EQ(net::recvMessage(server, out, 2'000, 2'000,
+                               /*max_message_bytes=*/16 * 1024),
+              net::FrameStatus::malformed);
+}
+
+TEST(FrameMessage, RejectsBrokenFragmentChains)
+{
+    net::Listener listener;
+    std::string error;
+    ASSERT_TRUE(listener.open("127.0.0.1", 0, error)) << error;
+    net::Socket client = net::connectTo(
+        "127.0.0.1", listener.boundPort(), 2'000, error);
+    ASSERT_TRUE(client.valid()) << error;
+    net::Socket server = listener.accept(2'000);
+    ASSERT_TRUE(server.valid());
+
+    // Mid-chain type switch: first fragment says snapshotRequest,
+    // continuation claims sweepRequest — malformed.
+    net::Frame head;
+    head.type = net::MessageType::snapshotRequest;
+    head.requestId = 5;
+    head.partial = true;
+    head.payload = {1, 2, 3};
+    ASSERT_EQ(net::sendFrame(client, head, 2'000),
+              net::FrameStatus::ok);
+    net::Frame rogue;
+    rogue.type = net::MessageType::sweepRequest;
+    rogue.requestId = 5;
+    rogue.payload = {4, 5, 6};
+    ASSERT_EQ(net::sendFrame(client, rogue, 2'000),
+              net::FrameStatus::ok);
+    net::Frame out;
+    EXPECT_EQ(net::recvMessage(server, out, 2'000, 2'000),
+              net::FrameStatus::malformed);
+
+    // Mid-chain requestId switch on a fresh connection.
+    net::Socket client2 = net::connectTo(
+        "127.0.0.1", listener.boundPort(), 2'000, error);
+    ASSERT_TRUE(client2.valid()) << error;
+    net::Socket server2 = listener.accept(2'000);
+    ASSERT_TRUE(server2.valid());
+    ASSERT_EQ(net::sendFrame(client2, head, 2'000),
+              net::FrameStatus::ok);
+    net::Frame other = head;
+    other.requestId = 6;
+    other.partial = false;
+    ASSERT_EQ(net::sendFrame(client2, other, 2'000),
+              net::FrameStatus::ok);
+    EXPECT_EQ(net::recvMessage(server2, out, 2'000, 2'000),
+              net::FrameStatus::malformed);
+
+    // Chain cut by connection close — truncated, not a hang.
+    net::Socket client3 = net::connectTo(
+        "127.0.0.1", listener.boundPort(), 2'000, error);
+    ASSERT_TRUE(client3.valid()) << error;
+    net::Socket server3 = listener.accept(2'000);
+    ASSERT_TRUE(server3.valid());
+    ASSERT_EQ(net::sendFrame(client3, head, 2'000),
+              net::FrameStatus::ok);
+    client3.close();
+    EXPECT_EQ(net::recvMessage(server3, out, 2'000, 2'000),
+              net::FrameStatus::truncated);
+}
+
+/** Raw-socket handshake against a daemon (hostile-input idiom). */
+net::Socket
+rawHandshake(std::uint16_t port)
+{
+    std::string error;
+    net::Socket sock = net::connectTo("127.0.0.1", port, 2'000, error);
+    EXPECT_TRUE(sock.valid()) << error;
+    if (!sock.valid())
+        return sock;
+    net::Frame hello;
+    hello.type = net::MessageType::hello;
+    net::WireWriter hw;
+    hw.u32(net::kWireVersion);
+    hw.u32(kSweepCacheSchema);
+    hw.u32(8);
+    hello.payload = hw.take();
+    EXPECT_EQ(net::sendFrame(sock, hello, 2'000), net::FrameStatus::ok);
+    net::Frame ack;
+    EXPECT_EQ(net::recvFrame(sock, ack, 2'000, 2'000),
+              net::FrameStatus::ok);
+    EXPECT_EQ(ack.type, net::MessageType::helloAck);
+    return sock;
+}
+
+/** Send one snapshotRequest payload, expect a kErrBadRequest reply. */
+void
+expectSliceRejected(net::Socket &sock,
+                    const std::vector<std::uint8_t> &payload,
+                    std::uint64_t request_id)
+{
+    net::Frame bad;
+    bad.type = net::MessageType::snapshotRequest;
+    bad.requestId = request_id;
+    bad.payload = payload;
+    ASSERT_EQ(net::sendMessage(sock, bad, 2'000), net::FrameStatus::ok);
+    net::Frame reply;
+    ASSERT_EQ(net::recvMessage(sock, reply, 10'000, 2'000),
+              net::FrameStatus::ok);
+    ASSERT_EQ(reply.type, net::MessageType::error);
+    EXPECT_EQ(reply.requestId, request_id);
+    std::uint32_t code = 0;
+    std::string message;
+    ASSERT_TRUE(net::parseErrorFrame(reply, code, message));
+    EXPECT_EQ(code, net::kErrBadRequest);
+    // The batch's telemetry epoch still follows.
+    ASSERT_EQ(net::recvMessage(sock, reply, 10'000, 2'000),
+              net::FrameStatus::ok);
+    EXPECT_EQ(reply.type, net::MessageType::metricsEpoch);
+}
+
+TEST(Sharding, HostileSliceRequestsGetTypedErrorsAndDaemonSurvives)
+{
+    WithDaemon daemon;
+    net::Socket sock = rawHandshake(daemon.port());
+    ASSERT_TRUE(sock.valid());
+
+    // Garbage payload.
+    expectSliceRejected(sock, {0xde, 0xad, 0xbe, 0xef}, 60);
+
+    // Well-formed request whose key does not match its inputs.
+    ShardSliceRequest forged = sampleSliceRequest();
+    forged.key ^= 0x1;
+    expectSliceRejected(sock, encodeShardSliceRequestPayload(forged),
+                        61);
+
+    // Slice that claims to start at/past the whole-run guard.
+    ShardSliceRequest spent = sampleSliceRequest();
+    spent.hasSnapshot = true;
+    spent.snapshot = capturedSnapshot(spent);
+    spent.runMaxCycles =
+        spent.snapshot.cycle() - spent.snapshot.runStart;
+    spent.key = checkpointKey(spent.config, 1, spent.workload);
+    expectSliceRejected(sock, encodeShardSliceRequestPayload(spent),
+                        62);
+
+    // The same session then serves a valid first slice.
+    ShardSliceRequest good = sampleSliceRequest();
+    net::Frame frame;
+    frame.type = net::MessageType::snapshotRequest;
+    frame.requestId = 63;
+    frame.payload = encodeShardSliceRequestPayload(good);
+    ASSERT_EQ(net::sendMessage(sock, frame, 2'000),
+              net::FrameStatus::ok);
+    net::Frame reply;
+    ASSERT_EQ(net::recvMessage(sock, reply, 60'000, 10'000),
+              net::FrameStatus::ok);
+    ASSERT_EQ(reply.type, net::MessageType::snapshotResult);
+    EXPECT_EQ(reply.requestId, 63u);
+    ShardSliceResult result;
+    ASSERT_TRUE(decodeShardSliceResultPayload(reply.payload, result));
+    EXPECT_FALSE(result.done); // 64 cycles cannot drain the workload
+    ASSERT_TRUE(result.hasSnapshot);
+    EXPECT_TRUE(result.snapshot.engine.trimmed);
+    EXPECT_GT(result.snapshot.cycle() - result.snapshot.runStart, 0u);
+
+    net::Frame goodbye;
+    goodbye.type = net::MessageType::goodbye;
+    (void)net::recvMessage(sock, reply, 10'000, 2'000); // epoch
+    ASSERT_EQ(net::sendFrame(sock, goodbye, 2'000),
+              net::FrameStatus::ok);
+    sock.close();
+
+    daemon.server.stop();
+    EXPECT_EQ(daemon.server.stats().badRequests, 3u);
+    EXPECT_EQ(daemon.server.stats().slicesServed, 1u);
+    EXPECT_EQ(daemon.server.netStats().protocolErrors, 0u);
+}
+
+TEST(Sharding, ShardedSyntheticRunMatchesLocalBitForBit)
+{
+    const NocConfig cfg = NocConfig::fastTrack(4, 2, 1);
+    const SyntheticWorkload w = shardWorkload();
+    const RunResult whole = runSim({.config = &cfg, .workload = &w});
+    ASSERT_TRUE(whole.synth.completed);
+    ASSERT_GT(whole.synth.cycles, 16u);
+
+    WithDaemon a, b;
+    const Cycle shard = whole.synth.cycles / 4 + 1; // >= 4 slices
+    RunResult sharded;
+    {
+        WithRemote wr(loopbackConfig({a.port(), b.port()}));
+        RunRequest request;
+        request.config = &cfg;
+        request.workload = &w;
+        sharded = runShardedSim(request, shard);
+    }
+
+    EXPECT_TRUE(sharded.synth.completed);
+    EXPECT_EQ(sharded.synth.cycles, whole.synth.cycles);
+    EXPECT_EQ(hashStats(sharded.synth.stats),
+              hashStats(whole.synth.stats));
+
+    // Every slice travelled the wire, spread over both daemons.
+    const RemoteStats stats = remoteStats();
+    EXPECT_GE(stats.slicesRemote, 3u);
+    EXPECT_EQ(stats.slicesFallback, 0u);
+    EXPECT_GT(a.server.stats().slicesServed, 0u);
+    EXPECT_GT(b.server.stats().slicesServed, 0u);
+    EXPECT_EQ(a.server.stats().slicesServed +
+                  b.server.stats().slicesServed,
+              stats.slicesRemote);
+}
+
+TEST(Sharding, ShardedTraceRunMatchesLocalBitForBit)
+{
+    const NocConfig cfg = NocConfig::fastTrack(4, 2, 1);
+    const Trace trace = shardTrace();
+    const RunResult whole = runSim({.config = &cfg, .trace = &trace});
+    ASSERT_TRUE(whole.trace.completed);
+
+    WithDaemon daemon;
+    const Cycle shard = whole.trace.completion / 4 + 1;
+    RunResult sharded;
+    {
+        WithRemote wr(loopbackConfig({daemon.port()}));
+        RunRequest request;
+        request.config = &cfg;
+        request.trace = &trace;
+        sharded = runShardedSim(request, shard);
+    }
+
+    EXPECT_TRUE(sharded.trace.completed);
+    EXPECT_TRUE(sharded.isTrace);
+    EXPECT_EQ(sharded.trace.completion, whole.trace.completion);
+    EXPECT_EQ(hashStats(sharded.trace.stats),
+              hashStats(whole.trace.stats));
+    EXPECT_GE(remoteStats().slicesRemote, 3u);
+    EXPECT_EQ(remoteStats().slicesFallback, 0u);
+    EXPECT_GE(daemon.server.stats().slicesServed, 3u);
+}
+
+TEST(Sharding, DeadFleetDegradesToLocalCompletion)
+{
+    const NocConfig cfg = NocConfig::fastTrack(4, 2, 1);
+    const SyntheticWorkload w = shardWorkload();
+    const RunResult whole = runSim({.config = &cfg, .workload = &w});
+    ASSERT_TRUE(whole.synth.completed);
+
+    RemoteConfig remote = loopbackConfig({deadPort()});
+    remote.maxAttempts = 2;
+    remote.connectTimeoutMs = 200;
+    const Cycle shard = whole.synth.cycles / 4 + 1;
+    RunResult sharded;
+    {
+        WithRemote wr(std::move(remote));
+        RunRequest request;
+        request.config = &cfg;
+        request.workload = &w;
+        sharded = runShardedSim(request, shard);
+    }
+
+    // The run completes locally, bit-identically.
+    EXPECT_TRUE(sharded.synth.completed);
+    EXPECT_EQ(sharded.synth.cycles, whole.synth.cycles);
+    EXPECT_EQ(hashStats(sharded.synth.stats),
+              hashStats(whole.synth.stats));
+
+    const RemoteStats stats = remoteStats();
+    EXPECT_EQ(stats.slicesRemote, 0u);
+    EXPECT_GE(stats.slicesFallback, 3u);
+    // The fleet is declared dead after the first slice's budget, not
+    // re-probed once per slice.
+    EXPECT_LE(stats.connectFailures, 2u);
+}
+
+TEST(Sharding, MidRunDaemonLossFallsBackAndStaysCorrect)
+{
+    const NocConfig cfg = NocConfig::fastTrack(4, 2, 1);
+    const SyntheticWorkload w = shardWorkload();
+    const RunResult whole = runSim({.config = &cfg, .workload = &w});
+    ASSERT_TRUE(whole.synth.completed);
+
+    // One live daemon, one dead endpoint: round-robin lands slices on
+    // both, so the driver exercises retry-and-rotate mid-run. Every
+    // slice is still served (by the live daemon) or — once the retry
+    // budget trips on a dead pick without rotation luck — locally.
+    RemoteConfig remote;
+    WithDaemon daemon;
+    remote = loopbackConfig({daemon.port(), deadPort()});
+    remote.maxAttempts = 3;
+    remote.connectTimeoutMs = 200;
+    const Cycle shard = whole.synth.cycles / 4 + 1;
+    RunResult sharded;
+    {
+        WithRemote wr(std::move(remote));
+        RunRequest request;
+        request.config = &cfg;
+        request.workload = &w;
+        sharded = runShardedSim(request, shard);
+    }
+
+    EXPECT_TRUE(sharded.synth.completed);
+    EXPECT_EQ(sharded.synth.cycles, whole.synth.cycles);
+    EXPECT_EQ(hashStats(sharded.synth.stats),
+              hashStats(whole.synth.stats));
+    const RemoteStats stats = remoteStats();
+    EXPECT_GE(stats.slicesRemote + stats.slicesFallback, 3u);
+    EXPECT_GE(stats.slicesRemote, 1u);
+    EXPECT_GE(stats.connectFailures, 1u);
+}
+
+} // namespace
+} // namespace fasttrack
