@@ -350,10 +350,12 @@ parseArgs(int argc, char **argv)
                 i + 1 < argc ? std::strtoll(argv[i + 1], &end, 10)
                              : 0;
             if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' ||
-                n < 1) {
+                n < 1 ||
+                static_cast<std::uint64_t>(n) > kMaxSliceCycles) {
                 std::cerr
                     << argv[0]
-                    << ": --shard-cycles needs a positive integer\n";
+                    << ": --shard-cycles needs a positive integer <= "
+                    << kMaxSliceCycles << "\n";
                 usage(argv[0]);
                 std::exit(2);
             }

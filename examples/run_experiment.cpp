@@ -83,9 +83,12 @@ main(int argc, char **argv)
             }
             sim.maxCycles = static_cast<Cycle>(std::stoll(argv[++i]));
         } else if (std::string(argv[i]) == "--shard-cycles") {
-            if (i + 1 >= argc || std::stoll(argv[i + 1]) < 1) {
+            if (i + 1 >= argc || std::stoll(argv[i + 1]) < 1 ||
+                static_cast<std::uint64_t>(std::stoll(argv[i + 1])) >
+                    kMaxSliceCycles) {
                 std::cerr << "run_experiment: --shard-cycles needs"
-                             " a positive integer\n";
+                             " a positive integer <= "
+                          << kMaxSliceCycles << "\n";
                 return 2;
             }
             shard_cycles = static_cast<Cycle>(std::stoll(argv[++i]));

@@ -237,6 +237,12 @@ recvMessage(Socket &socket, Frame &out, int idle_timeout_ms,
         return status;
     if (first.payload.size() > max_message_bytes)
         return FrameStatus::malformed;
+    // Every non-final fragment must carry payload: together with the
+    // byte budget this bounds a hostile chain to max_message_bytes
+    // fragments, so a peer streaming empty kFlagPartial frames cannot
+    // pin this thread forever.
+    if (first.partial && first.payload.empty())
+        return FrameStatus::malformed;
     while (first.partial) {
         Frame next;
         status = recvFrame(socket, next, io_timeout_ms, io_timeout_ms);
@@ -247,6 +253,8 @@ recvMessage(Socket &socket, Frame &out, int idle_timeout_ms,
                        : status;
         if (next.type != first.type ||
             next.requestId != first.requestId)
+            return FrameStatus::malformed;
+        if (next.partial && next.payload.empty())
             return FrameStatus::malformed;
         if (first.payload.size() + next.payload.size() >
             max_message_bytes)

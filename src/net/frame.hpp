@@ -21,7 +21,9 @@
  * kFlagPartial and all fragments share the message's type and
  * request id. sendMessage/recvMessage do the splitting/reassembly;
  * recvMessage bounds the reassembled size so a hostile chain of
- * partial frames cannot exhaust memory.
+ * partial frames cannot exhaust memory, and requires every non-final
+ * fragment to be non-empty so the chain length (and with it the time
+ * one message can pin the receiving thread) is bounded too.
  *
  * Decoding is defensive end to end: the header is validated (magic,
  * version, flags, length bound) *before* the payload is read, so an

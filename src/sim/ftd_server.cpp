@@ -269,8 +269,11 @@ FtdServer::handleSlice(const net::Frame &frame)
         run.workload = &request.workload;
     else
         run.trace = &request.trace;
-    run.sim.maxCycles = std::min(request.runMaxCycles,
-                                 consumed + request.sliceCycles);
+    // sliceCycles is decode-bounded (kMaxSliceCycles) but consumed is
+    // only bounded by runMaxCycles, so the sum must saturate.
+    run.sim.maxCycles =
+        std::min(request.runMaxCycles,
+                 saturatingAddCycles(consumed, request.sliceCycles));
     run.sim.resumeSnapshot =
         request.hasSnapshot ? &request.snapshot : nullptr;
     run.sim.captureFinal = &next;

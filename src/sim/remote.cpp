@@ -12,6 +12,8 @@
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "sim/sweep_cache.hpp"
+#include "traffic/injector.hpp"
+#include "traffic/trace_replay.hpp"
 
 namespace fasttrack {
 
@@ -880,8 +882,12 @@ decodeShardSliceRequestPayload(const std::vector<std::uint8_t> &payload,
     if (!r.u64(request.sliceCycles) || !r.u64(request.runMaxCycles) ||
         !r.u64(request.key) || !r.u8(has_snapshot))
         return false;
-    if (request.sliceCycles < 1 || request.runMaxCycles < 1 ||
-        has_snapshot > 1)
+    // The slice budget bounds what one frame can make a daemon
+    // compute (the slice runs synchronously in the frame handler), so
+    // an unbounded value is hostile by definition.
+    if (request.sliceCycles < 1 ||
+        request.sliceCycles > kMaxSliceCycles ||
+        request.runMaxCycles < 1 || has_snapshot > 1)
         return false;
     request.hasSnapshot = has_snapshot != 0;
     if (request.hasSnapshot &&
@@ -1031,6 +1037,54 @@ trySliceRemote(const RemoteConfig &cfg, const net::Endpoint &endpoint,
     return got;
 }
 
+/**
+ * Client-side validation of a remote slice answer — the mirror of
+ * the daemon's own range checks plus an actual restore probe. A
+ * decoded snapshot is internally consistent but nothing ties it to
+ * *this* run's geometry, and committing an unrestorable one would
+ * poison every later slice: daemons reject the chain, and the local
+ * fallback cannot resume it either. Validating here keeps a hostile
+ * or buggy daemon at the cost of one failed attempt — never a dead
+ * fleet, never a dead process. On success the answer's snapshot is
+ * left trimmed, so the probe restored exactly the bytes the next
+ * slice will.
+ */
+bool
+validateSliceAnswer(const RunRequest &request, SnapshotKind kind,
+                    Cycle consumed, const ShardSliceRequest &slice,
+                    ShardSliceResult &answer)
+{
+    if (answer.kind != kind)
+        return false;
+    if (answer.done)
+        return true; // stats-only; no snapshot travels (decode pins)
+    // Range checks first, and in this order — without the runStart
+    // bound (which only the daemon used to check), a hostile
+    // cycle() < runStart snapshot wraps the unsigned delta into a
+    // huge "advance" that sails past every later comparison.
+    if (answer.snapshot.cycle() < answer.snapshot.runStart)
+        return false;
+    const Cycle advanced =
+        answer.snapshot.cycle() - answer.snapshot.runStart;
+    // The run must have moved (or a lying daemon pins an infinite
+    // slice loop), must not claim more than the slice's budget, and
+    // an unfinished run must still be short of the whole-run guard.
+    if (advanced <= consumed ||
+        advanced > saturatingAddCycles(consumed, slice.sliceCycles) ||
+        advanced >= slice.runMaxCycles)
+        return false;
+    answer.snapshot.trimState();
+    auto probe = makeNoc(*request.config, 1);
+    if (!probe->restoreState(answer.snapshot.engine))
+        return false;
+    if (kind == SnapshotKind::synthetic) {
+        SyntheticInjector injector(*probe, *request.workload);
+        return injector.restoreState(answer.snapshot.injector);
+    }
+    TraceReplayer replayer(*probe, *request.trace);
+    return replayer.restoreState(answer.snapshot.replay);
+}
+
 } // namespace
 
 RunResult
@@ -1049,8 +1103,9 @@ runShardedSim(const RunRequest &request, Cycle shard_cycles)
         request.sim.captureFinal)
         FT_FATAL("runShardedSim owns the cache/telemetry/snapshot "
                  "knobs; clear them on the request");
-    if (shard_cycles < 1)
-        FT_FATAL("runShardedSim needs shard_cycles >= 1");
+    if (shard_cycles < 1 || shard_cycles > kMaxSliceCycles)
+        FT_FATAL("runShardedSim needs 1 <= shard_cycles <= ",
+                 kMaxSliceCycles);
 
     const bool is_trace = request.trace != nullptr;
     const SnapshotKind kind =
@@ -1085,6 +1140,9 @@ runShardedSim(const RunRequest &request, Cycle shard_cycles)
     std::size_t next_endpoint = 0;
     std::uint64_t slice_index = 0;
     Cycle consumed = 0; // run-relative cycles completed so far
+    // Provenance of slice.snapshot: a remote-origin snapshot, even a
+    // restore-probed one, is never worth aborting the process over.
+    bool snapshot_from_remote = false;
     bool done = false;
 
     while (!done) {
@@ -1111,16 +1169,13 @@ runShardedSim(const RunRequest &request, Cycle shard_cycles)
                 served = trySliceRemote(cfg, endpoint, payload,
                                         slice_index, run, answer,
                                         permanent);
-                // Trust nothing a peer says unchecked: the slice must
-                // be for the right workload kind and must have
-                // advanced the run, or a buggy/hostile daemon could
-                // pin us in an infinite slice loop.
+                // Trust nothing a peer says unchecked: range checks
+                // plus a restore probe (validateSliceAnswer), so a
+                // hostile answer is one failed attempt, not a
+                // poisoned slice chain.
                 if (served &&
-                    (answer.kind != kind ||
-                     (!answer.done &&
-                      answer.snapshot.cycle() -
-                              answer.snapshot.runStart <=
-                          consumed)))
+                    !validateSliceAnswer(request, kind, consumed,
+                                         slice, answer))
                     served = false;
                 if (!served) {
                     if (permanent) {
@@ -1147,14 +1202,36 @@ runShardedSim(const RunRequest &request, Cycle shard_cycles)
             local.trace = request.trace;
             local.sim.maxCycles =
                 std::min(slice.runMaxCycles,
-                         consumed + slice.sliceCycles);
+                         saturatingAddCycles(consumed,
+                                             slice.sliceCycles));
             local.sim.resumeSnapshot =
                 slice.hasSnapshot ? &slice.snapshot : nullptr;
             local.sim.captureFinal = &next;
             const RunResult local_result = runSim(local);
-            if (slice.hasSnapshot && !local_result.resumed)
+            if (slice.hasSnapshot && !local_result.resumed) {
+                if (snapshot_from_remote) {
+                    // Belt and braces: a remote snapshot is probed
+                    // before being committed, so this should be
+                    // unreachable — but the contract is that fleet
+                    // failure degrades to local completion, never a
+                    // crash, so discard the remote chain and
+                    // recompute the whole run locally from scratch.
+                    FT_WARN("sharded run: remote snapshot chain "
+                            "failed local resume; recomputing the "
+                            "run locally");
+                    fleet_dead = true;
+                    slice.hasSnapshot = false;
+                    slice.snapshot = Snapshot{};
+                    snapshot_from_remote = false;
+                    consumed = 0;
+                    merged = NocStats{};
+                    first_slice = true;
+                    ++slice_index;
+                    continue;
+                }
                 FT_FATAL("sharded run: local slice failed to resume "
                          "its own snapshot");
+            }
             if (!local_result.finalCaptured)
                 FT_FATAL("sharded run: device lost engine-state "
                          "capture mid-run");
@@ -1200,6 +1277,7 @@ runShardedSim(const RunRequest &request, Cycle shard_cycles)
             answer.snapshot.trimState();
             slice.snapshot = std::move(answer.snapshot);
             slice.hasSnapshot = true;
+            snapshot_from_remote = served;
         }
         ++slice_index;
     }

@@ -187,6 +187,21 @@ encodeMetricsPayload(const std::map<std::string, double> &values);
 bool decodeMetricsPayload(const std::vector<std::uint8_t> &payload,
                           std::map<std::string, double> &out);
 
+/** Upper bound on a slice's cycle budget. The daemon runs a slice
+ *  synchronously in its frame handler, so this (enforced when the
+ *  request is decoded, and by runShardedSim on the client) bounds
+ *  the compute one snapshotRequest frame can demand — 50x the
+ *  default whole-run guard, far past any sane slice, but finite. */
+inline constexpr Cycle kMaxSliceCycles = 1'000'000'000;
+
+/** a + b without wrapping — slice budgets arrive off the wire, so
+ *  consumed + sliceCycles must saturate rather than overflow. */
+inline constexpr Cycle
+saturatingAddCycles(Cycle a, Cycle b)
+{
+    return a + b < a ? ~Cycle{0} : a + b;
+}
+
 /**
  * One temporal-shard slice on the wire (snapshotRequest payload).
  * The request is self-contained — the daemon is stateless across
@@ -206,7 +221,8 @@ struct ShardSliceRequest
     SyntheticWorkload workload;
     /** Valid when kind == trace. */
     Trace trace;
-    /** Run-relative cycles this slice should advance. */
+    /** Run-relative cycles this slice should advance
+     *  (1..kMaxSliceCycles; the decoder rejects anything else). */
     Cycle sliceCycles = 1;
     /** Run-relative guard of the whole run (SimConfig::maxCycles). */
     Cycle runMaxCycles = kDefaultMaxCycles;

@@ -12,8 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "golden_hash.hpp"
@@ -84,6 +87,72 @@ struct WithDaemon
     }
     ~WithDaemon() { server.stop(); }
     std::uint16_t port() { return server.boundPort(); }
+};
+
+/**
+ * A hostile daemon: speaks the handshake correctly, then answers
+ * every slice request on every connection with one canned
+ * snapshotResult payload — the wire-level adversary the client's
+ * answer validation must survive.
+ */
+class HostileDaemon
+{
+  public:
+    explicit HostileDaemon(std::vector<std::uint8_t> result_payload)
+        : payload_(std::move(result_payload))
+    {
+        std::string error;
+        EXPECT_TRUE(listener_.open("127.0.0.1", 0, error)) << error;
+        thread_ = std::thread([this] { serve(); });
+    }
+    ~HostileDaemon()
+    {
+        // Let the accept timeout expire rather than closing the
+        // listener under the serve thread's feet.
+        stop_.store(true);
+        if (thread_.joinable())
+            thread_.join();
+        listener_.close();
+    }
+    std::uint16_t port() { return listener_.boundPort(); }
+
+  private:
+    void serve()
+    {
+        while (!stop_.load()) {
+            net::Socket session = listener_.accept(100);
+            if (!session.valid())
+                continue;
+            net::Frame hello;
+            if (net::recvFrame(session, hello, 2'000, 2'000) !=
+                net::FrameStatus::ok)
+                continue;
+            net::Frame ack;
+            ack.type = net::MessageType::helloAck;
+            net::WireWriter w;
+            w.u32(net::kWireVersion);
+            w.u32(kSweepCacheSchema);
+            w.u32(8);
+            ack.payload = w.take();
+            if (net::sendFrame(session, ack, 2'000) !=
+                net::FrameStatus::ok)
+                continue;
+            net::Frame request;
+            if (net::recvMessage(session, request, 5'000, 2'000) !=
+                net::FrameStatus::ok)
+                continue;
+            net::Frame reply;
+            reply.type = net::MessageType::snapshotResult;
+            reply.requestId = request.requestId;
+            reply.payload = payload_;
+            (void)net::sendMessage(session, reply, 2'000);
+        }
+    }
+
+    net::Listener listener_;
+    std::vector<std::uint8_t> payload_;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
 };
 
 /** An ephemeral port with nothing listening on it. */
@@ -232,6 +301,23 @@ TEST(ShardingCodec, SliceRequestRejectsHostilePayloads)
     zero.runMaxCycles = 0;
     EXPECT_FALSE(decodeShardSliceRequestPayload(
         encodeShardSliceRequestPayload(zero), out));
+}
+
+TEST(ShardingCodec, SliceRequestRejectsOversizedBudget)
+{
+    // The daemon runs a slice synchronously in its frame handler, so
+    // the decoder caps the budget: without it a single frame could
+    // demand up to ~2^64 cycles of compute.
+    ShardSliceRequest request = sampleSliceRequest();
+    request.sliceCycles = kMaxSliceCycles;
+    ShardSliceRequest out;
+    EXPECT_TRUE(decodeShardSliceRequestPayload(
+        encodeShardSliceRequestPayload(request), out));
+    EXPECT_EQ(out.sliceCycles, kMaxSliceCycles);
+
+    request.sliceCycles = kMaxSliceCycles + 1;
+    EXPECT_FALSE(decodeShardSliceRequestPayload(
+        encodeShardSliceRequestPayload(request), out));
 }
 
 TEST(ShardingCodec, TracePayloadRejectsForgedCounts)
@@ -438,6 +524,60 @@ TEST(FrameMessage, RejectsBrokenFragmentChains)
               net::FrameStatus::truncated);
 }
 
+TEST(FrameMessage, RejectsEmptyPartialFragments)
+{
+    net::Listener listener;
+    std::string error;
+    ASSERT_TRUE(listener.open("127.0.0.1", 0, error)) << error;
+    net::Socket client = net::connectTo(
+        "127.0.0.1", listener.boundPort(), 2'000, error);
+    ASSERT_TRUE(client.valid()) << error;
+    net::Socket server = listener.accept(2'000);
+    ASSERT_TRUE(server.valid());
+
+    // An empty head fragment claiming a continuation — the opener of
+    // the endless empty-partial chain that would otherwise pin the
+    // receiving thread forever (each empty fragment adds zero bytes,
+    // so the reassembly budget alone never trips).
+    net::Frame empty;
+    empty.type = net::MessageType::snapshotRequest;
+    empty.requestId = 9;
+    empty.partial = true;
+    ASSERT_EQ(net::sendFrame(client, empty, 2'000),
+              net::FrameStatus::ok);
+    net::Frame out;
+    EXPECT_EQ(net::recvMessage(server, out, 2'000, 2'000),
+              net::FrameStatus::malformed);
+
+    // Same mid-chain: a non-empty head, then an empty non-final
+    // continuation.
+    net::Socket client2 = net::connectTo(
+        "127.0.0.1", listener.boundPort(), 2'000, error);
+    ASSERT_TRUE(client2.valid()) << error;
+    net::Socket server2 = listener.accept(2'000);
+    ASSERT_TRUE(server2.valid());
+    net::Frame head = empty;
+    head.payload = {1, 2, 3};
+    ASSERT_EQ(net::sendFrame(client2, head, 2'000),
+              net::FrameStatus::ok);
+    ASSERT_EQ(net::sendFrame(client2, empty, 2'000),
+              net::FrameStatus::ok);
+    EXPECT_EQ(net::recvMessage(server2, out, 2'000, 2'000),
+              net::FrameStatus::malformed);
+
+    // An empty *message* (single non-partial frame, goodbye-style)
+    // still passes: only non-final fragments must carry payload.
+    net::Frame bare;
+    bare.type = net::MessageType::goodbye;
+    bare.requestId = 10;
+    ASSERT_EQ(net::sendFrame(client, bare, 2'000),
+              net::FrameStatus::ok);
+    ASSERT_EQ(net::recvMessage(server, out, 2'000, 2'000),
+              net::FrameStatus::ok);
+    EXPECT_EQ(out.type, net::MessageType::goodbye);
+    EXPECT_TRUE(out.payload.empty());
+}
+
 /** Raw-socket handshake against a daemon (hostile-input idiom). */
 net::Socket
 rawHandshake(std::uint16_t port)
@@ -513,11 +653,19 @@ TEST(Sharding, HostileSliceRequestsGetTypedErrorsAndDaemonSurvives)
     expectSliceRejected(sock, encodeShardSliceRequestPayload(spent),
                         62);
 
+    // Slice demanding a cycle budget past kMaxSliceCycles (the slice
+    // runs synchronously in the frame handler; the cap bounds what
+    // one frame can make the daemon compute).
+    ShardSliceRequest greedy = sampleSliceRequest();
+    greedy.sliceCycles = kMaxSliceCycles + 1;
+    expectSliceRejected(sock, encodeShardSliceRequestPayload(greedy),
+                        63);
+
     // The same session then serves a valid first slice.
     ShardSliceRequest good = sampleSliceRequest();
     net::Frame frame;
     frame.type = net::MessageType::snapshotRequest;
-    frame.requestId = 63;
+    frame.requestId = 64;
     frame.payload = encodeShardSliceRequestPayload(good);
     ASSERT_EQ(net::sendMessage(sock, frame, 2'000),
               net::FrameStatus::ok);
@@ -525,7 +673,7 @@ TEST(Sharding, HostileSliceRequestsGetTypedErrorsAndDaemonSurvives)
     ASSERT_EQ(net::recvMessage(sock, reply, 60'000, 10'000),
               net::FrameStatus::ok);
     ASSERT_EQ(reply.type, net::MessageType::snapshotResult);
-    EXPECT_EQ(reply.requestId, 63u);
+    EXPECT_EQ(reply.requestId, 64u);
     ShardSliceResult result;
     ASSERT_TRUE(decodeShardSliceResultPayload(reply.payload, result));
     EXPECT_FALSE(result.done); // 64 cycles cannot drain the workload
@@ -541,7 +689,7 @@ TEST(Sharding, HostileSliceRequestsGetTypedErrorsAndDaemonSurvives)
     sock.close();
 
     daemon.server.stop();
-    EXPECT_EQ(daemon.server.stats().badRequests, 3u);
+    EXPECT_EQ(daemon.server.stats().badRequests, 4u);
     EXPECT_EQ(daemon.server.stats().slicesServed, 1u);
     EXPECT_EQ(daemon.server.netStats().protocolErrors, 0u);
 }
@@ -641,6 +789,69 @@ TEST(Sharding, DeadFleetDegradesToLocalCompletion)
     // The fleet is declared dead after the first slice's budget, not
     // re-probed once per slice.
     EXPECT_LE(stats.connectFailures, 2u);
+}
+
+TEST(Sharding, HostileSnapshotAnswersFallBackToLocal)
+{
+    const NocConfig cfg = NocConfig::fastTrack(4, 2, 1);
+    const SyntheticWorkload w = shardWorkload();
+    const RunResult whole = runSim({.config = &cfg, .workload = &w});
+    ASSERT_TRUE(whole.synth.completed);
+    const Cycle shard = whole.synth.cycles / 4 + 1;
+
+    // (a) A decodable, internally consistent snapshot for a
+    // *different* geometry: it passes every cycle-range check and is
+    // only caught by the client's restore probe. Before the probe it
+    // was committed as the next slice's handoff, every daemon then
+    // rejected the chain, and the local fallback aborted the process.
+    ShardSliceRequest foreign = sampleSliceRequest();
+    foreign.config = NocConfig::fastTrack(6, 2, 1);
+    foreign.workload = w;
+    foreign.sliceCycles = shard;
+    foreign.key = checkpointKey(foreign.config, 1, foreign.workload);
+    ShardSliceResult wrong_geometry;
+    wrong_geometry.kind = SnapshotKind::synthetic;
+    wrong_geometry.done = false;
+    wrong_geometry.hasSnapshot = true;
+    wrong_geometry.snapshot = capturedSnapshot(foreign);
+
+    // (b) A snapshot whose runStart lies beyond its cycle: the
+    // unsigned cycle() - runStart delta wraps huge, which used to
+    // sail past the anti-spin progress check unchecked.
+    ShardSliceRequest own = sampleSliceRequest();
+    own.workload = w;
+    own.sliceCycles = shard;
+    own.key = checkpointKey(own.config, 1, own.workload);
+    ShardSliceResult underflow;
+    underflow.kind = SnapshotKind::synthetic;
+    underflow.done = false;
+    underflow.hasSnapshot = true;
+    underflow.snapshot = capturedSnapshot(own);
+    underflow.snapshot.runStart = underflow.snapshot.cycle() + 1;
+
+    for (const ShardSliceResult *hostile :
+         {&wrong_geometry, &underflow}) {
+        HostileDaemon daemon(encodeShardSliceResultPayload(*hostile));
+        RemoteConfig remote = loopbackConfig({daemon.port()});
+        remote.maxAttempts = 2;
+        RunResult sharded;
+        {
+            WithRemote wr(std::move(remote));
+            RunRequest request;
+            request.config = &cfg;
+            request.workload = &w;
+            sharded = runShardedSim(request, shard);
+        }
+        // No crash, no infinite slice loop, no poisoned chain: the
+        // hostile answers are rejected on receipt and the run
+        // completes locally, bit-identical.
+        EXPECT_TRUE(sharded.synth.completed);
+        EXPECT_EQ(sharded.synth.cycles, whole.synth.cycles);
+        EXPECT_EQ(hashStats(sharded.synth.stats),
+                  hashStats(whole.synth.stats));
+        EXPECT_EQ(remoteStats().slicesRemote, 0u);
+        EXPECT_GE(remoteStats().slicesFallback, 3u);
+    }
 }
 
 TEST(Sharding, MidRunDaemonLossFallsBackAndStaysCorrect)
